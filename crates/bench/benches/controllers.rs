@@ -1,0 +1,108 @@
+//! Criterion benchmarks: controller decision latency.
+//!
+//! On real hardware the controller runs every 200 ms per socket; its own
+//! cost is part of the tool's overhead budget (§IV-D discusses why shorter
+//! intervals get expensive). These benches measure one full
+//! sample-decide-actuate round against the in-memory register file.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dufp_control::{Actuators, ControlConfig, Controller, Duf, Dufp, HwActuators};
+use dufp_counters::IntervalMetrics;
+use dufp_msr::registers::{
+    PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
+    MSR_UNCORE_RATIO_LIMIT, SKYLAKE_SP_POWER_UNIT_RAW,
+};
+use dufp_msr::FakeMsr;
+use dufp_rapl::MsrRapl;
+use dufp_types::{
+    ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio, Seconds, SocketId,
+    Watts,
+};
+use std::sync::Arc;
+
+fn actuator_rig(cfg: &ControlConfig) -> HwActuators<Arc<FakeMsr>, MsrRapl<Arc<FakeMsr>>> {
+    let msr = Arc::new(FakeMsr::new(16));
+    msr.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
+    let units = RaplPowerUnit::skylake_sp();
+    let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+    msr.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
+    let arch = ArchSpec::yeti();
+    let band = UncoreRatioLimit {
+        max_ratio: arch.uncore_freq_max.as_ratio_100mhz(),
+        min_ratio: arch.uncore_freq_min.as_ratio_100mhz(),
+    };
+    msr.seed(MSR_UNCORE_RATIO_LIMIT, band.encode());
+    let capper = MsrRapl::new(Arc::clone(&msr), 1, 16).unwrap();
+    HwActuators::new(msr, capper, SocketId(0), 0, cfg.clone()).unwrap()
+}
+
+fn metrics(t_ms: u64, flops: f64, bw: f64) -> IntervalMetrics {
+    IntervalMetrics {
+        at: Instant(t_ms * 1000),
+        interval: Seconds(0.2),
+        flops: FlopsPerSec(flops),
+        bandwidth: BytesPerSec(bw),
+        oi: OpIntensity(if bw > 0.0 { flops / bw } else { f64::INFINITY }),
+        pkg_power: Watts(105.0),
+        dram_power: Watts(25.0),
+        core_freq: Hertz::from_ghz(2.8),
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let cfg = ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(10.0)).unwrap();
+
+    c.bench_function("duf_interval_steady", |b| {
+        let mut duf = Duf::new(cfg.clone());
+        let mut act = actuator_rig(&cfg);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 200;
+            duf.on_interval(black_box(&metrics(t, 1e11, 5e10)), &mut act)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("dufp_interval_steady", |b| {
+        let mut dufp = Dufp::new(cfg.clone());
+        let mut act = actuator_rig(&cfg);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 200;
+            dufp.on_interval(black_box(&metrics(t, 1e11, 5e10)), &mut act)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("dufp_interval_phase_thrash", |b| {
+        // Worst case: every interval is a phase change (reset + coupling 2
+        // read-back + retry).
+        let mut dufp = Dufp::new(cfg.clone());
+        let mut act = actuator_rig(&cfg);
+        let mut t = 0u64;
+        let mut flip = false;
+        b.iter(|| {
+            t += 200;
+            flip = !flip;
+            let m = if flip {
+                metrics(t, 4e11, 1e9) // cpu class
+            } else {
+                metrics(t, 1e10, 9e10) // memory class
+            };
+            dufp.on_interval(black_box(&m), &mut act).unwrap()
+        })
+    });
+
+    c.bench_function("actuator_cap_write_roundtrip", |b| {
+        let mut act = actuator_rig(&cfg);
+        let mut w = 70.0;
+        b.iter(|| {
+            w = if w >= 125.0 { 70.0 } else { w + 5.0 };
+            act.set_cap_both(Watts(w)).unwrap();
+            black_box(act.cap_long())
+        })
+    });
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

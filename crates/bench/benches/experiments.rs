@@ -1,0 +1,69 @@
+//! Criterion benchmarks: end-to-end experiment cost and the monitoring
+//! interval trade-off.
+//!
+//! `run_once` wall time bounds the figure harness (10 apps × 4 slowdowns ×
+//! 2 controllers × 10 runs). The interval sweep quantifies the §IV-D
+//! observation that shorter monitoring intervals cost more controller work
+//! per simulated second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dufp::{run_once, ControllerKind, ExperimentSpec};
+use dufp_sim::SimConfig;
+use dufp_types::Ratio;
+
+fn bench_run_once(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_once");
+    g.sample_size(10);
+    for app in ["EP", "CG"] {
+        g.bench_with_input(BenchmarkId::new("dufp10_single_socket", app), app, |b, app| {
+            let spec = ExperimentSpec {
+                sim: SimConfig::yeti_single_socket(1),
+                app: (*app).into(),
+                controller: ControllerKind::Dufp {
+                    slowdown: Ratio::from_percent(10.0),
+                },
+                trace: None, interval_ms: None,
+            };
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_once(&spec, seed).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_interval_tradeoff(c: &mut Criterion) {
+    // Same simulated run, different controller wake-up cadence: the cost of
+    // dropping the interval from 200 ms to 50 ms (paper §IV-D: "shorter
+    // intervals lead to an overhead").
+    let mut g = c.benchmark_group("monitoring_interval");
+    g.sample_size(10);
+    for interval_ms in [200u64, 100, 50] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(interval_ms),
+            &interval_ms,
+            |b, &ms| {
+                let spec = ExperimentSpec {
+                    sim: SimConfig::yeti_single_socket(2),
+                    app: "EP".into(),
+                    controller: ControllerKind::Dufp {
+                        slowdown: Ratio::from_percent(10.0),
+                    },
+                    trace: None,
+                    interval_ms: Some(ms),
+                };
+                let mut seed = 100;
+                b.iter(|| {
+                    seed += 1;
+                    run_once(&spec, seed).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_run_once, bench_interval_tradeoff);
+criterion_main!(benches);

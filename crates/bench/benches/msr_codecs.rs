@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks: MSR register codec throughput.
+//!
+//! The controllers re-encode `MSR_PKG_POWER_LIMIT` on every cap move and
+//! `MSR_UNCORE_RATIO_LIMIT` on every uncore move (up to once per 200 ms per
+//! socket); the codecs must be effectively free.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dufp_msr::registers::{PkgPowerLimit, PowerLimit, RaplPowerUnit, UncoreRatioLimit};
+use dufp_types::{Hertz, Seconds, Watts};
+
+fn bench_codecs(c: &mut Criterion) {
+    let units = RaplPowerUnit::skylake_sp();
+    let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+    let raw = reg.encode(&units).unwrap();
+
+    c.bench_function("pkg_power_limit_encode", |b| {
+        b.iter(|| black_box(&reg).encode(black_box(&units)).unwrap())
+    });
+
+    c.bench_function("pkg_power_limit_decode", |b| {
+        b.iter(|| PkgPowerLimit::decode(black_box(raw), black_box(&units)))
+    });
+
+    c.bench_function("power_limit_time_window_search", |b| {
+        // The y/z window search is the only non-trivial part of the encoder.
+        let pl = PowerLimit {
+            power: Watts(100.0),
+            enabled: true,
+            clamp: true,
+            window: Seconds(0.875),
+        };
+        b.iter(|| black_box(&pl).encode(black_box(&units)).unwrap())
+    });
+
+    c.bench_function("uncore_ratio_pin_encode_decode", |b| {
+        b.iter(|| {
+            let r = UncoreRatioLimit::pinned(black_box(Hertz::from_ghz(1.8)));
+            UncoreRatioLimit::decode(black_box(r.encode()))
+        })
+    });
+
+    c.bench_function("rapl_power_unit_decode", |b| {
+        b.iter(|| RaplPowerUnit::decode(black_box(0x000A_0E03)))
+    });
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks: the supporting pipelines around the controllers —
+//! workload materialization, trace segmentation (capture), budget
+//! allocation and trace analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dufp_cluster::{AllocatorPolicy, DemandBased};
+use dufp_sim::{Machine, SimConfig};
+use dufp_types::{ArchSpec, BytesPerSec, FlopsPerSec, Seconds, SocketId, Watts};
+use dufp_workloads::capture::{segment, CounterSample, SegmentConfig};
+use dufp_workloads::{apps, MaterializeCtx};
+
+fn bench_materialization(c: &mut Criterion) {
+    let ctx = MaterializeCtx::from_arch(&ArchSpec::yeti());
+    c.bench_function("materialize_all_ten_apps", |b| {
+        b.iter(|| apps::all(black_box(&ctx)).unwrap())
+    });
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let ctx = MaterializeCtx::from_arch(&ArchSpec::yeti());
+    // A 200-second trace at 200 ms sampling with phase structure.
+    let trace: Vec<CounterSample> = (0..1000)
+        .map(|i| {
+            let phase = (i / 25) % 2;
+            CounterSample {
+                interval: Seconds(0.2),
+                flops: FlopsPerSec::from_gflops(if phase == 0 { 30.0 } else { 400.0 }),
+                bandwidth: BytesPerSec::from_gib(if phase == 0 { 100.0 } else { 40.0 }),
+                power: Watts(if phase == 0 { 105.0 } else { 120.0 }),
+            }
+        })
+        .collect();
+    c.bench_function("segment_1000_samples", |b| {
+        b.iter(|| segment(black_box(&trace), &ctx, &SegmentConfig::default()).unwrap())
+    });
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    use dufp_cluster::allocator::NodeObservation;
+    let nodes: Vec<NodeObservation> = (0..64)
+        .map(|i| NodeObservation {
+            ceiling: Watts(100.0),
+            consumption: Watts(60.0 + (i % 40) as f64),
+            active: i % 7 != 0,
+        })
+        .collect();
+    c.bench_function("demand_allocate_64_nodes", |b| {
+        let mut policy = DemandBased::default();
+        b.iter(|| policy.allocate(black_box(Watts(6400.0)), black_box(&nodes)))
+    });
+}
+
+fn bench_trace_analysis(c: &mut Criterion) {
+    let cfg = SimConfig::deterministic(1);
+    let ctx = MaterializeCtx::from_arch(&cfg.arch);
+    let m = Machine::new(cfg);
+    m.load_all(&apps::cg(&ctx).unwrap());
+    m.enable_trace(SocketId(0), 1).unwrap();
+    for _ in 0..10_000 {
+        m.tick();
+    }
+    let trace = m.take_trace(SocketId(0)).unwrap().unwrap();
+    c.bench_function("residency_10k_points", |b| {
+        b.iter(|| {
+            (
+                black_box(&trace).cap_residency(),
+                trace.uncore_residency(),
+                trace.cap_transitions(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_materialization,
+    bench_segmentation,
+    bench_allocation,
+    bench_trace_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks: simulator throughput.
+//!
+//! The figure harness runs hundreds of multi-minute simulated executions;
+//! tick cost directly bounds experiment turnaround. These benches track
+//! per-tick cost for the three interesting regimes (compute-bound,
+//! memory-bound, idle) and the cost of a short end-to-end run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dufp_sim::{Machine, SimConfig};
+use dufp_workloads::{apps, MaterializeCtx};
+
+fn machine_with(app: Option<&str>) -> Machine {
+    let cfg = SimConfig::deterministic(1);
+    let ctx = MaterializeCtx::from_arch(&cfg.arch);
+    let m = Machine::new(cfg);
+    if let Some(app) = app {
+        m.load_all(&apps::by_name(app, &ctx).unwrap());
+    }
+    m
+}
+
+fn bench_ticks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tick");
+    g.throughput(Throughput::Elements(1));
+    for (name, app) in [
+        ("compute_bound_ep", Some("EP")),
+        ("memory_bound_cg", Some("CG")),
+        ("phase_alternating_bt", Some("BT")),
+        ("idle", None),
+    ] {
+        g.bench_function(name, |b| {
+            let m = machine_with(app);
+            b.iter(|| m.tick())
+        });
+    }
+    g.finish();
+}
+
+fn bench_short_run(c: &mut Criterion) {
+    // One simulated second (1000 ticks) of a 4-socket machine.
+    let mut g = c.benchmark_group("simulated_second");
+    g.sample_size(20);
+    g.bench_function("four_sockets_cg", |b| {
+        b.iter_batched(
+            || {
+                let cfg = SimConfig::yeti(1);
+                let ctx = MaterializeCtx::from_arch(&cfg.arch);
+                let m = Machine::new(cfg);
+                m.load_all(&apps::cg(&ctx).unwrap());
+                m
+            },
+            |m| {
+                for _ in 0..1000 {
+                    m.tick();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ticks, bench_short_run);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation study over DUFP's design choices (see DESIGN.md §5).
+//!
+//! Usage: `ablation [--slowdown PCT] [--seed S] [APP ...]`
+
+use dufp_bench::ablation::{run_ablation, Variant};
+use dufp_bench::report::{fmt_pct, markdown_table};
+
+fn main() {
+    let mut slowdown = 10.0f64;
+    let mut seed = 42u64;
+    let mut apps: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--slowdown" => {
+                slowdown = args.next().expect("--slowdown PCT").parse().expect("float")
+            }
+            "--seed" => seed = args.next().expect("--seed S").parse().expect("int"),
+            other => apps.push(other.to_string()),
+        }
+    }
+    if apps.is_empty() {
+        apps = vec!["CG".into(), "EP".into(), "UA".into(), "LAMMPS".into()];
+    }
+    let app_refs: Vec<&str> = apps.iter().map(String::as_str).collect();
+
+    eprintln!(
+        "ablation: {} variants x {:?} at {slowdown:.0}% tolerated slowdown...",
+        Variant::ALL.len(),
+        apps
+    );
+    let rows = run_ablation(&app_refs, slowdown, seed).expect("ablation runs");
+
+    println!("\n## Ablation — DUFP @ {slowdown:.0}% (overhead% / package savings%)\n");
+    let mut header = vec!["variant"];
+    header.extend(app_refs.iter().copied());
+    let table: Vec<Vec<String>> = Variant::ALL
+        .iter()
+        .map(|v| {
+            let mut row = vec![v.label().to_string()];
+            for app in &app_refs {
+                let r = rows
+                    .iter()
+                    .find(|r| r.variant == *v && r.app == *app)
+                    .expect("grid complete");
+                row.push(format!(
+                    "{} / {}",
+                    fmt_pct(r.overhead_pct),
+                    fmt_pct(r.pkg_savings_pct)
+                ));
+            }
+            row
+        })
+        .collect();
+    print!("{}", markdown_table(&header, &table));
+    println!(
+        "\nRead each row against 'full DUFP': a mechanism earns its place when \
+         removing it either breaks the tolerance (overhead above the target) \
+         or costs savings."
+    );
+}

@@ -1,0 +1,70 @@
+//! Diagnostic: dump operating-point statistics for one app × controller.
+//!
+//! Usage: `debug_trace <APP> <duf|dufp|default> <slowdown_pct>`
+
+use dufp::prelude::*;
+use dufp::{run_once, ControllerKind, ExperimentSpec, TraceSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(String::as_str).unwrap_or("EP");
+    let which = args.get(2).map(String::as_str).unwrap_or("dufp");
+    let pct: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20.0);
+    let controller = match which {
+        "duf" => ControllerKind::Duf {
+            slowdown: Ratio::from_percent(pct),
+        },
+        "default" => ControllerKind::Default,
+        _ => ControllerKind::Dufp {
+            slowdown: Ratio::from_percent(pct),
+        },
+    };
+    let spec = ExperimentSpec {
+        sim: SimConfig::yeti_single_socket(7),
+        app: app.into(),
+        controller,
+        trace: Some(TraceSpec {
+            socket: SocketId(0),
+            stride: 50,
+        }), interval_ms: None,
+    };
+    let r = run_once(&spec, 7).unwrap();
+    let tr = r.trace.unwrap();
+    println!(
+        "{} {} @{}%: time {:.2}s pkg {:.2}W dram {:.2}W",
+        app,
+        which,
+        pct,
+        r.exec_time.value(),
+        r.avg_pkg_power.value(),
+        r.avg_dram_power.value()
+    );
+    let n = tr.points.len() as f64;
+    let avg = |f: &dyn Fn(&dufp_sim::TracePoint) -> f64| tr.points.iter().map(|p| f(p)).sum::<f64>() / n;
+    println!(
+        "avg core {:.2} GHz | avg uncore {:.2} GHz | avg pl1 {:.1} W | avg allowance {:.1} W",
+        avg(&|p| p.core_freq.as_ghz()),
+        avg(&|p| p.uncore_freq.as_ghz()),
+        avg(&|p| p.pl1.value()),
+        avg(&|p| p.allowance.value()),
+    );
+    // Histogram of PL1 over time (seconds at each cap level).
+    let mut hist = std::collections::BTreeMap::new();
+    for p in &tr.points {
+        *hist.entry(p.pl1.value() as i64).or_insert(0usize) += 1;
+    }
+    print!("pl1 histogram:");
+    for (w, c) in hist {
+        print!(" {w}W:{:.0}%", 100.0 * c as f64 / n);
+    }
+    println!();
+    let mut uh = std::collections::BTreeMap::new();
+    for p in &tr.points {
+        *uh.entry((p.uncore_freq.as_ghz() * 10.0).round() as i64).or_insert(0usize) += 1;
+    }
+    print!("uncore histogram:");
+    for (u, c) in uh {
+        print!(" {:.1}G:{:.0}%", u as f64 / 10.0, 100.0 * c as f64 / n);
+    }
+    println!();
+}

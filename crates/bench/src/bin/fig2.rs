@@ -1,0 +1,213 @@
+//! Fig. 2, machine-checked: the DUFP decision algorithm as a generated
+//! table.
+//!
+//! The paper's Fig. 2 is a flow chart; this binary *derives* the
+//! equivalent decision table from the implementation by driving a fresh
+//! DUFP instance into each (phase class × FLOPS-drop severity × cap
+//! position) state and recording what the cap logic does. A handful of
+//! canonical rows are asserted against the paper's prose, so the table
+//! cannot silently drift from §III.
+//!
+//! Usage: `fig2 [--slowdown PCT]`
+
+use dufp_bench::report::markdown_table;
+use dufp_control::dufp::CapAction;
+use dufp_control::{ControlConfig, Controller, Dufp, HwActuators};
+use dufp_counters::IntervalMetrics;
+use dufp_msr::registers::{
+    PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
+    MSR_UNCORE_RATIO_LIMIT, SKYLAKE_SP_POWER_UNIT_RAW,
+};
+use dufp_msr::FakeMsr;
+use dufp_rapl::MsrRapl;
+use dufp_types::{
+    ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio, Seconds, SocketId,
+    Watts,
+};
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy)]
+enum OiClass {
+    HighlyMemory,
+    Memory,
+    Mixed,
+    HighlyCompute,
+}
+
+impl OiClass {
+    const ALL: [OiClass; 4] = [
+        OiClass::HighlyMemory,
+        OiClass::Memory,
+        OiClass::Mixed,
+        OiClass::HighlyCompute,
+    ];
+    fn oi(self) -> f64 {
+        match self {
+            OiClass::HighlyMemory => 0.01,
+            OiClass::Memory => 0.4,
+            OiClass::Mixed => 5.0,
+            OiClass::HighlyCompute => 200.0,
+        }
+    }
+    fn label(self) -> &'static str {
+        match self {
+            OiClass::HighlyMemory => "oi < 0.02",
+            OiClass::Memory => "0.02 ≤ oi < 1",
+            OiClass::Mixed => "1 ≤ oi ≤ 100",
+            OiClass::HighlyCompute => "oi > 100",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DropCase {
+    Within,
+    AtBoundary,
+    Violating,
+}
+
+impl DropCase {
+    const ALL: [DropCase; 3] = [DropCase::Within, DropCase::AtBoundary, DropCase::Violating];
+    fn factor(self, slowdown: f64) -> f64 {
+        match self {
+            DropCase::Within => 1.0,
+            DropCase::AtBoundary => 1.0 - slowdown,
+            DropCase::Violating => 1.0 - slowdown - 0.05,
+        }
+    }
+    fn label(self) -> &'static str {
+        match self {
+            DropCase::Within => "within tolerance",
+            DropCase::AtBoundary => "at the boundary",
+            DropCase::Violating => "beyond tolerance",
+        }
+    }
+}
+
+fn rig(cfg: &ControlConfig) -> HwActuators<Arc<FakeMsr>, MsrRapl<Arc<FakeMsr>>> {
+    let msr = Arc::new(FakeMsr::new(16));
+    msr.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
+    let units = RaplPowerUnit::skylake_sp();
+    let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+    msr.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
+    let arch = ArchSpec::yeti();
+    let band = UncoreRatioLimit {
+        max_ratio: arch.uncore_freq_max.as_ratio_100mhz(),
+        min_ratio: arch.uncore_freq_min.as_ratio_100mhz(),
+    };
+    msr.seed(MSR_UNCORE_RATIO_LIMIT, band.encode());
+    let capper = MsrRapl::new(Arc::clone(&msr), 1, 16).unwrap();
+    HwActuators::new(msr, capper, SocketId(0), 0, cfg.clone()).unwrap()
+}
+
+fn metrics(t: u64, oi: f64, flops: f64, power: f64) -> IntervalMetrics {
+    IntervalMetrics {
+        at: Instant(t * 200_000),
+        interval: Seconds(0.2),
+        flops: FlopsPerSec(flops),
+        bandwidth: BytesPerSec(flops / oi),
+        oi: OpIntensity(oi),
+        pkg_power: Watts(power),
+        dram_power: Watts(20.0),
+        core_freq: Hertz::from_ghz(2.8),
+    }
+}
+
+/// Drives a fresh DUFP into the requested state and returns the cap action
+/// of the decisive interval.
+fn probe(cfg: &ControlConfig, class: OiClass, case: DropCase) -> CapAction {
+    let mut dufp = Dufp::new(cfg.clone());
+    let mut act = rig(cfg);
+    let base_flops = 1e11;
+    // Establish the phase and walk the cap down a few steps so increases
+    // and resets are observable.
+    let mut t = 0;
+    for _ in 0..4 {
+        dufp.on_interval(&metrics(t, class.oi(), base_flops, 95.0), &mut act)
+            .unwrap();
+        t += 1;
+    }
+    // One clean interval (uncore at rest) so the decisive interval is not
+    // suppressed by probe attribution.
+    dufp.on_interval(&metrics(t, class.oi(), base_flops, 95.0), &mut act)
+        .unwrap();
+    t += 1;
+    let f = base_flops * case.factor(cfg.slowdown.value());
+    // Two intervals: the first may be attributed to the uncore's own probe;
+    // the second is the cap's decision.
+    dufp.on_interval(&metrics(t, class.oi(), f, 95.0), &mut act).unwrap();
+    t += 1;
+    dufp.on_interval(&metrics(t, class.oi(), f, 95.0), &mut act).unwrap();
+    dufp.last_cap_action()
+}
+
+fn action_label(a: CapAction) -> &'static str {
+    match a {
+        CapAction::None => "—",
+        CapAction::Decreased => "decrease cap (both constraints)",
+        CapAction::Increased => "increase cap",
+        CapAction::Reset => "reset cap",
+        CapAction::Hold => "hold",
+    }
+}
+
+fn main() {
+    let mut pct = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--slowdown" => pct = args.next().expect("--slowdown PCT").parse().expect("float"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let cfg = ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(pct)).unwrap();
+
+    println!("## Fig 2 — DUFP cap decisions, derived from the implementation ({pct:.0}% tolerance)\n");
+    let mut rows = Vec::new();
+    for class in OiClass::ALL {
+        for case in DropCase::ALL {
+            let action = probe(&cfg, class, case);
+            rows.push(vec![
+                class.label().to_string(),
+                case.label().to_string(),
+                action_label(action).to_string(),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        markdown_table(&["phase class", "FLOPS/s vs phase max", "cap action"], &rows)
+    );
+
+    // Machine-check the canonical §III rows.
+    assert_eq!(
+        probe(&cfg, OiClass::HighlyMemory, DropCase::Violating),
+        CapAction::Decreased,
+        "oi < 0.02: decrease regardless of FLOPS (§III)"
+    );
+    assert_eq!(
+        probe(&cfg, OiClass::HighlyCompute, DropCase::Violating),
+        CapAction::Reset,
+        "oi > 100: violation resets the cap outright (§III)"
+    );
+    assert_eq!(
+        probe(&cfg, OiClass::Mixed, DropCase::Violating),
+        CapAction::Increased,
+        "mixed: violation steps the cap back up (§III)"
+    );
+    assert_eq!(
+        probe(&cfg, OiClass::Mixed, DropCase::AtBoundary),
+        CapAction::Hold,
+        "equivalent to the slowdown: keep steady (§III)"
+    );
+    assert_eq!(
+        probe(&cfg, OiClass::Memory, DropCase::Within),
+        CapAction::Decreased,
+        "within tolerance: keep decreasing (§III)"
+    );
+    println!("\nall canonical §III rows verified against the implementation ✓");
+    println!(
+        "(phase changes additionally reset both actuators, with the coupling-2 \
+         uncore re-check; a measured power above a fresh cap resets it — §IV-D.)"
+    );
+}

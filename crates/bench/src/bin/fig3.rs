@@ -1,0 +1,107 @@
+//! Regenerates Fig. 3 (a: execution time, b: package power, c: package +
+//! DRAM energy): 10 applications × {0, 5, 10, 20} % tolerated slowdown,
+//! DUF vs DUFP, as percentages over the default configuration.
+//!
+//! Usage: `fig3 [--runs N] [--sockets N] [--seed S] [--json PATH] [time|power|energy|all]`
+
+use dufp_bench::report::{fmt_pct, markdown_table};
+use dufp_bench::sweep::{sweep_app, AppSweep, SweepConfig, APPS};
+use rayon::prelude::*;
+use std::io::Write;
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    let mut which = "all".to_string();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => cfg.runs = args.next().expect("--runs N").parse().expect("int"),
+            "--sockets" => cfg.sockets = args.next().expect("--sockets N").parse().expect("int"),
+            "--seed" => cfg.seed = args.next().expect("--seed S").parse().expect("int"),
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
+            other => which = other.to_string(),
+        }
+    }
+
+    eprintln!(
+        "fig3: sweeping {} apps x 4 slowdowns x (DUF, DUFP), {} runs each, {} socket(s)...",
+        APPS.len(),
+        cfg.runs,
+        cfg.sockets
+    );
+    let sweeps: Vec<AppSweep> = APPS
+        .par_iter()
+        .map(|app| sweep_app(app, &cfg).unwrap_or_else(|e| panic!("{app}: {e}")))
+        .collect();
+
+    if let Some(path) = json_path {
+        let f = std::fs::File::create(&path).expect("create json");
+        serde_json::to_writer_pretty(f, &sweeps).expect("write json");
+        eprintln!("fig3: wrote {path}");
+    }
+
+    if which == "time" || which == "all" {
+        print_panel(&sweeps, "Fig 3a — execution time overhead (% over default)", |v| {
+            v.ratios.overhead_pct
+        });
+    }
+    if which == "power" || which == "all" {
+        print_panel(&sweeps, "Fig 3b — package power savings (% over default)", |v| {
+            v.ratios.pkg_power_savings_pct
+        });
+    }
+    if which == "energy" || which == "all" {
+        print_panel(
+            &sweeps,
+            "Fig 3c — package+DRAM energy savings (% over default)",
+            |v| v.ratios.energy_savings_pct,
+        );
+    }
+
+    // Fig 3a summary statistics quoted in the text.
+    let mut respected = 0usize;
+    let mut total = 0usize;
+    let mut max_excess: (f64, String) = (f64::MIN, String::new());
+    for s in &sweeps {
+        for v in &s.dufp {
+            total += 1;
+            let excess = v.ratios.overhead_pct - v.slowdown_pct;
+            if excess <= 0.0 {
+                respected += 1;
+            } else if excess > max_excess.0 {
+                max_excess = (excess, format!("{} @ {:.0}%", s.app, v.slowdown_pct));
+            }
+        }
+    }
+    println!(
+        "\nDUFP respects the tolerated slowdown in {respected}/{total} configurations \
+         (paper: 34/40); max excess {:.2}% on {} (paper: 3.17% on LAMMPS @ 20%)",
+        max_excess.0.max(0.0),
+        if max_excess.1.is_empty() { "-" } else { &max_excess.1 },
+    );
+    std::io::stdout().flush().ok();
+}
+
+fn print_panel(
+    sweeps: &[AppSweep],
+    title: &str,
+    metric: impl Fn(&dufp_bench::sweep::VariantResult) -> f64,
+) {
+    println!("\n## {title}\n");
+    let header = [
+        "app", "DUF@0", "DUFP@0", "DUF@5", "DUFP@5", "DUF@10", "DUFP@10", "DUF@20", "DUFP@20",
+    ];
+    let rows: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.app.clone()];
+            for i in 0..4 {
+                row.push(fmt_pct(metric(&s.duf[i])));
+                row.push(fmt_pct(metric(&s.dufp[i])));
+            }
+            row
+        })
+        .collect();
+    print!("{}", markdown_table(&header, &rows));
+}

@@ -1,0 +1,43 @@
+//! Regenerates Fig. 4 — DUFP's impact on DRAM power consumption.
+//!
+//! Usage: `fig4 [--runs N] [--sockets N] [--seed S]`
+
+use dufp_bench::report::{fmt_pct, markdown_table};
+use dufp_bench::sweep::{sweep_app, AppSweep, SweepConfig, APPS};
+use rayon::prelude::*;
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => cfg.runs = args.next().expect("--runs N").parse().expect("int"),
+            "--sockets" => cfg.sockets = args.next().expect("--sockets N").parse().expect("int"),
+            "--seed" => cfg.seed = args.next().expect("--seed S").parse().expect("int"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    eprintln!("fig4: sweeping DRAM power, {} runs per configuration...", cfg.runs);
+    let sweeps: Vec<AppSweep> = APPS
+        .par_iter()
+        .map(|app| sweep_app(app, &cfg).unwrap_or_else(|e| panic!("{app}: {e}")))
+        .collect();
+
+    println!("\n## Fig 4 — DRAM power savings (% over default)\n");
+    let header = [
+        "app", "DUF@0", "DUFP@0", "DUF@5", "DUFP@5", "DUF@10", "DUFP@10", "DUF@20", "DUFP@20",
+    ];
+    let rows: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.app.clone()];
+            for i in 0..4 {
+                row.push(fmt_pct(s.duf[i].ratios.dram_power_savings_pct));
+                row.push(fmt_pct(s.dufp[i].ratios.dram_power_savings_pct));
+            }
+            row
+        })
+        .collect();
+    print!("{}", markdown_table(&header, &rows));
+}

@@ -1,0 +1,19 @@
+//! Regenerates Table I — target architecture characteristics.
+
+use dufp_types::ArchSpec;
+
+fn main() {
+    let arch = ArchSpec::yeti();
+    println!("## Table I — target architecture characteristics\n");
+    println!("| cores | uncore frequency (GHz) | long term (W) | short term (W) |");
+    println!("|-------|------------------------|---------------|----------------|");
+    println!("{}", arch.table1_row());
+    println!();
+    println!("platform: {arch}");
+    println!(
+        "actuation: uncore step {:.0} MHz, cap step {:.0} W, cap floor {:.0} W (§IV-A)",
+        arch.uncore_freq_step.as_mhz(),
+        arch.cap_step.value(),
+        arch.cap_floor.value(),
+    );
+}

@@ -1,0 +1,26 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/*.rs` binary regenerates one artifact:
+//!
+//! | binary            | paper artifact |
+//! |-------------------|----------------|
+//! | `table1`          | Table I — architecture characteristics |
+//! | `fig1`            | Fig. 1 — static/partial power capping on CG |
+//! | `fig3`            | Fig. 3a/b/c — time, package power, energy (10 apps × 4 slowdowns, DUF vs DUFP) |
+//! | `fig4`            | Fig. 4 — DRAM power |
+//! | `fig5`            | Fig. 5 — CPU frequency traces, CG @ 10 % |
+//! | `all_experiments` | everything above + EXPERIMENTS.md update |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig5;
+pub mod paper;
+pub mod report;
+pub mod sweep;
+
+pub use paper::PaperClaim;
+pub use report::{fmt_pct, markdown_table};
+pub use sweep::{sweep_app, AppSweep, SweepConfig, SLOWDOWNS};

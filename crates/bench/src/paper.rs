@@ -1,0 +1,174 @@
+//! The paper's headline numbers, as machine-checkable claims.
+//!
+//! The evaluation text (§II-A, §V) quotes specific values; the
+//! `all_experiments` binary measures each of them on the simulator and
+//! writes a paper-vs-measured table into `EXPERIMENTS.md`. Absolute
+//! agreement is not expected (the substrate is a calibrated simulator, not
+//! the YETI testbed) — the *shape* is what each claim checks: who wins, by
+//! roughly what factor, and in which direction.
+
+use serde::{Deserialize, Serialize};
+
+/// One quoted number from the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PaperClaim {
+    /// Stable identifier, e.g. `fig3b.cg.dufp20`.
+    pub id: &'static str,
+    /// The figure/table the number comes from.
+    pub artifact: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// The value the paper reports (percent unless noted).
+    pub paper: f64,
+}
+
+/// All headline claims quoted in the paper's text.
+pub fn claims() -> Vec<PaperClaim> {
+    vec![
+        PaperClaim {
+            id: "fig1a.cg.cap110.power",
+            artifact: "Fig 1a",
+            description: "CG, UFS + 110 W cap: extra power savings vs UFS alone (% of budget)",
+            paper: 16.0,
+        },
+        PaperClaim {
+            id: "fig1a.cg.cap110.overhead",
+            artifact: "Fig 1a",
+            description: "CG, UFS + 110 W cap: execution-time overhead (%)",
+            paper: 7.15,
+        },
+        PaperClaim {
+            id: "fig1a.cg.cap100.power",
+            artifact: "Fig 1a",
+            description: "CG, UFS + 100 W cap: extra power savings vs UFS alone (% of budget)",
+            paper: 24.0,
+        },
+        PaperClaim {
+            id: "fig1a.cg.cap100.overhead",
+            artifact: "Fig 1a",
+            description: "CG, UFS + 100 W cap: execution-time overhead (%)",
+            paper: 12.0,
+        },
+        PaperClaim {
+            id: "fig1b.cg.cap110.phase_power",
+            artifact: "Fig 1b",
+            description: "CG first phase, 110 W cap: phase power reduction (% of budget)",
+            paper: 16.0,
+        },
+        PaperClaim {
+            id: "fig1b.cg.cap100.phase_power",
+            artifact: "Fig 1b",
+            description: "CG first phase, 100 W cap: phase power reduction (% of budget)",
+            paper: 19.0,
+        },
+        PaperClaim {
+            id: "fig1c.cg.partial_cap.overhead",
+            artifact: "Fig 1c",
+            description: "CG, cap on first phase only: total-time overhead (%)",
+            paper: 0.0,
+        },
+        PaperClaim {
+            id: "fig3a.respected",
+            artifact: "Fig 3a",
+            description: "configurations (of 40) where DUFP respects the tolerated slowdown",
+            paper: 34.0,
+        },
+        PaperClaim {
+            id: "fig3a.max_excess",
+            artifact: "Fig 3a",
+            description: "maximum slowdown excess beyond tolerance (LAMMPS @ 20 %), %",
+            paper: 3.17,
+        },
+        PaperClaim {
+            id: "fig3b.ep.best",
+            artifact: "Fig 3b",
+            description: "EP best package power savings (%)",
+            paper: 24.27,
+        },
+        PaperClaim {
+            id: "fig3b.cg.duf20",
+            artifact: "Fig 3b",
+            description: "CG @ 20 %: DUF package power savings (%)",
+            paper: 9.66,
+        },
+        PaperClaim {
+            id: "fig3b.cg.dufp20",
+            artifact: "Fig 3b",
+            description: "CG @ 20 %: DUFP package power savings (%)",
+            paper: 17.57,
+        },
+        PaperClaim {
+            id: "fig3b.cg.dufp10",
+            artifact: "Fig 3b",
+            description: "CG @ 10 %: DUFP package power savings (%)",
+            paper: 13.98,
+        },
+        PaperClaim {
+            id: "fig3b.bt.duf20",
+            artifact: "Fig 3b",
+            description: "BT @ 20 %: DUF package power savings (%)",
+            paper: 0.64,
+        },
+        PaperClaim {
+            id: "fig3b.bt.dufp20",
+            artifact: "Fig 3b",
+            description: "BT @ 20 %: DUFP package power savings (%)",
+            paper: 5.14,
+        },
+        PaperClaim {
+            id: "fig3c.cg.dufp10.energy",
+            artifact: "Fig 3c",
+            description: "CG @ 10 %: DUFP package+DRAM energy savings (%)",
+            paper: 4.7,
+        },
+        PaperClaim {
+            id: "fig4.cg.dufp20.dram",
+            artifact: "Fig 4",
+            description: "CG @ 20 %: DUFP DRAM power savings (%)",
+            paper: 8.83,
+        },
+        PaperClaim {
+            id: "fig4.ua.dufp20.dram",
+            artifact: "Fig 4",
+            description: "UA @ 20 %: DUFP DRAM power savings (%)",
+            paper: 3.23,
+        },
+        PaperClaim {
+            id: "fig5.cg.duf10.freq",
+            artifact: "Fig 5",
+            description: "CG @ 10 %: DUF average core frequency (GHz)",
+            paper: 2.8,
+        },
+        PaperClaim {
+            id: "fig5.cg.dufp10.freq",
+            artifact: "Fig 5",
+            description: "CG @ 10 %: DUFP average core frequency (GHz)",
+            paper: 2.5,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_ids_are_unique() {
+        let cs = claims();
+        let mut ids: Vec<&str> = cs.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cs.len());
+    }
+
+    #[test]
+    fn every_artifact_is_covered() {
+        let cs = claims();
+        for artifact in ["Fig 1a", "Fig 1b", "Fig 1c", "Fig 3a", "Fig 3b", "Fig 3c", "Fig 4", "Fig 5"] {
+            assert!(
+                cs.iter().any(|c| c.artifact == artifact),
+                "no claim for {artifact}"
+            );
+        }
+    }
+}

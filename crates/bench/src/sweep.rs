@@ -1,0 +1,132 @@
+//! The Fig. 3/4 parameter sweep: apps × slowdowns × {DUF, DUFP} against the
+//! default configuration.
+
+use dufp::prelude::*;
+use dufp::{ratios_vs_default, ControllerKind, ExperimentSpec, Ratios, RepeatedResult};
+use dufp_types::Result;
+use serde::{Deserialize, Serialize};
+
+/// The paper's evaluated tolerated-slowdown grid (percent).
+pub const SLOWDOWNS: [f64; 4] = [0.0, 5.0, 10.0, 20.0];
+
+/// Sweep configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Repetitions per configuration (the paper uses 10).
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of sockets to simulate (4 = paper, 1 = fast smoke runs).
+    pub sockets: u16,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            runs: 10,
+            seed: 42,
+            sockets: 4,
+        }
+    }
+}
+
+/// Results of one controller at one slowdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantResult {
+    /// Legend label, e.g. `DUFP@10%`.
+    pub label: String,
+    /// Tolerated slowdown in percent.
+    pub slowdown_pct: f64,
+    /// Raw summaries.
+    pub result: RepeatedResult,
+    /// Ratios against the default run.
+    pub ratios: Ratios,
+}
+
+/// Everything measured for one application.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSweep {
+    /// Application name.
+    pub app: String,
+    /// The default-configuration reference.
+    pub default_run: RepeatedResult,
+    /// DUF at each slowdown.
+    pub duf: Vec<VariantResult>,
+    /// DUFP at each slowdown.
+    pub dufp: Vec<VariantResult>,
+}
+
+fn sim_config(cfg: &SweepConfig) -> SimConfig {
+    let mut sim = SimConfig::yeti(cfg.seed);
+    sim.arch.sockets = cfg.sockets;
+    sim
+}
+
+/// Runs the full DUF/DUFP sweep for one application.
+pub fn sweep_app(app: &str, cfg: &SweepConfig) -> Result<AppSweep> {
+    let sim = sim_config(cfg);
+    let spec = |controller: ControllerKind| ExperimentSpec {
+        sim: sim.clone(),
+        app: app.into(),
+        controller,
+        trace: None,
+        interval_ms: None,
+    };
+
+    let default_run = dufp::run_repeated(&spec(ControllerKind::Default), cfg.runs, cfg.seed)?;
+
+    let mut duf = Vec::new();
+    let mut dufp = Vec::new();
+    for pct in SLOWDOWNS {
+        let slowdown = Ratio::from_percent(pct);
+        for (kind, bucket) in [
+            (ControllerKind::Duf { slowdown }, &mut duf),
+            (ControllerKind::Dufp { slowdown }, &mut dufp),
+        ] {
+            let s = spec(kind);
+            let result = dufp::run_repeated(&s, cfg.runs, cfg.seed ^ 0xABCD)?;
+            bucket.push(VariantResult {
+                label: kind.label(),
+                slowdown_pct: pct,
+                ratios: ratios_vs_default(&default_run, &result),
+                result,
+            });
+        }
+    }
+
+    Ok(AppSweep {
+        app: app.into(),
+        default_run,
+        duf,
+        dufp,
+    })
+}
+
+/// The paper's application list in figure order.
+pub const APPS: [&str; 10] = [
+    "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_single_socket_two_runs() {
+        let cfg = SweepConfig {
+            runs: 2,
+            seed: 1,
+            sockets: 1,
+        };
+        let s = sweep_app("EP", &cfg).unwrap();
+        assert_eq!(s.duf.len(), 4);
+        assert_eq!(s.dufp.len(), 4);
+        // DUFP at 20 % must save package power on EP.
+        let at20 = s.dufp.last().unwrap();
+        assert!(
+            at20.ratios.pkg_power_savings_pct > 5.0,
+            "EP DUFP@20% savings {:.2}%",
+            at20.ratios.pkg_power_savings_pct
+        );
+    }
+}

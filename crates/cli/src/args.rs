@@ -1,0 +1,338 @@
+//! Argument parsing for the `dufp` tool (hand-rolled; no external parser).
+
+use dufp_types::{Ratio, Watts};
+
+/// Usage text.
+pub const USAGE: &str = "\
+dufp — dynamic uncore frequency scaling and power capping
+
+USAGE:
+    dufp run <APP> [--controller default|duf|dufp|dufpf|dnpc|cap:<W>] [--slowdown PCT]
+                   [--sockets N] [--runs N] [--seed S] [--json]
+                   <APP> is a modeled application (see `dufp apps`) or a
+                   path to a workload spec file ending in .json
+    dufp timeline <APP> [--controller ...] [--slowdown PCT] [--seed S]
+                             render frequency/power/cap timelines (Fig 5 style)
+    dufp machine-template    print the default platform as editable JSON
+                             (use with --machine FILE on run/timeline/plan)
+    dufp record <APP> --out FILE.json [--seed S]
+                             run once, capture the counter trace and emit a
+                             workload spec reproducing its phase signature
+    dufp plan <APP> [--runs N] [--seed S]
+                             sweep DUFP tolerances and recommend the best
+                             power-saving setting with no energy loss (§V-H)
+    dufp platform            print the target platform (Table I)
+    dufp apps                list the modeled applications
+    dufp probe               check real-hardware access paths
+    dufp help                show this text
+
+EXAMPLES:
+    dufp run CG --controller dufp --slowdown 10
+    dufp run EP --controller duf --slowdown 5 --runs 10 --json
+    dufp run HPL --controller cap:100
+";
+
+/// A parsed `run` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Application name (BT, CG, ..., HPL, LAMMPS).
+    pub app: String,
+    /// Controller selector.
+    pub controller: ControllerArg,
+    /// Tolerated slowdown.
+    pub slowdown: Ratio,
+    /// Number of sockets to simulate.
+    pub sockets: u16,
+    /// Repetitions (1 = single run, no statistics).
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON instead of a human summary.
+    pub json: bool,
+    /// Optional path to a machine description (serialized `SimConfig`).
+    pub machine: Option<String>,
+}
+
+/// Which controller to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControllerArg {
+    /// No actuation.
+    Default,
+    /// Uncore only.
+    Duf,
+    /// Uncore + dynamic cap.
+    Dufp,
+    /// Uncore + direct core frequency + trailing cap (§VII future work).
+    DufpF,
+    /// The DNPC related-work baseline (frequency-linear model).
+    Dnpc,
+    /// Fixed whole-run cap.
+    StaticCap(Watts),
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The selected subcommand.
+    pub command: Command,
+}
+
+/// A parsed `record` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSpec {
+    /// Application (model name or .json spec path) to record.
+    pub app: String,
+    /// Output path for the captured workload file.
+    pub out: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run an application under a controller.
+    Run(RunSpec),
+    /// Run once with tracing and render ASCII timelines.
+    Timeline(RunSpec),
+    /// Capture a counter trace into a workload spec file.
+    Record(RecordSpec),
+    /// Recommend a tolerated-slowdown setting (§V-H).
+    Plan(RunSpec),
+    /// Print the default platform as editable JSON.
+    MachineTemplate,
+    /// Print the platform description.
+    Platform,
+    /// List modeled applications.
+    Apps,
+    /// Check hardware access paths.
+    Probe,
+    /// Print usage.
+    Help,
+}
+
+impl Cli {
+    /// Parses `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, String> {
+        let mut it = argv.iter();
+        let sub = it.next().map(String::as_str).unwrap_or("help");
+        match sub {
+            "platform" => Ok(Cli { command: Command::Platform }),
+            "machine-template" => Ok(Cli { command: Command::MachineTemplate }),
+            "apps" => Ok(Cli { command: Command::Apps }),
+            "probe" => Ok(Cli { command: Command::Probe }),
+            "help" | "--help" | "-h" => Ok(Cli { command: Command::Help }),
+            "record" => {
+                let app = it
+                    .next()
+                    .ok_or_else(|| format!("record: missing <APP>\n\n{USAGE}"))?
+                    .clone();
+                let mut spec = RecordSpec {
+                    app,
+                    out: String::new(),
+                    seed: 42,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--out" => spec.out = it.next().ok_or("--out needs a path")?.clone(),
+                        "--seed" => {
+                            let v = it.next().ok_or("--seed needs a value")?;
+                            spec.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+                        }
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                if spec.out.is_empty() {
+                    return Err("record: --out FILE.json is required".into());
+                }
+                Ok(Cli {
+                    command: Command::Record(spec),
+                })
+            }
+            "run" | "timeline" | "plan" => {
+                let app = it
+                    .next()
+                    .ok_or_else(|| format!("{sub}: missing <APP>\n\n{USAGE}"))?
+                    .clone();
+                let mut spec = RunSpec {
+                    app,
+                    controller: ControllerArg::Dufp,
+                    slowdown: Ratio::from_percent(5.0),
+                    sockets: 4,
+                    runs: 1,
+                    seed: 42,
+                    json: false,
+                    machine: None,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--controller" => {
+                            let v = it.next().ok_or("--controller needs a value")?;
+                            spec.controller = parse_controller(v)?;
+                        }
+                        "--slowdown" => {
+                            let v = it.next().ok_or("--slowdown needs a value")?;
+                            let pct: f64 =
+                                v.parse().map_err(|_| format!("bad slowdown {v}"))?;
+                            if !(0.0..100.0).contains(&pct) {
+                                return Err(format!("slowdown {pct} outside [0, 100)"));
+                            }
+                            spec.slowdown = Ratio::from_percent(pct);
+                        }
+                        "--sockets" => {
+                            let v = it.next().ok_or("--sockets needs a value")?;
+                            spec.sockets =
+                                v.parse().map_err(|_| format!("bad socket count {v}"))?;
+                            if spec.sockets == 0 {
+                                return Err("need at least one socket".into());
+                            }
+                        }
+                        "--runs" => {
+                            let v = it.next().ok_or("--runs needs a value")?;
+                            spec.runs = v.parse().map_err(|_| format!("bad run count {v}"))?;
+                            if spec.runs == 0 {
+                                return Err("need at least one run".into());
+                            }
+                        }
+                        "--seed" => {
+                            let v = it.next().ok_or("--seed needs a value")?;
+                            spec.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+                        }
+                        "--json" => spec.json = true,
+                        "--machine" => {
+                            spec.machine =
+                                Some(it.next().ok_or("--machine needs a path")?.clone())
+                        }
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                Ok(Cli {
+                    command: match sub {
+                        "timeline" => Command::Timeline(spec),
+                        "plan" => Command::Plan(spec),
+                        _ => Command::Run(spec),
+                    },
+                })
+            }
+            other => Err(format!("unknown subcommand {other}\n\n{USAGE}")),
+        }
+    }
+}
+
+fn parse_controller(v: &str) -> Result<ControllerArg, String> {
+    match v {
+        "default" => Ok(ControllerArg::Default),
+        "duf" => Ok(ControllerArg::Duf),
+        "dufp" => Ok(ControllerArg::Dufp),
+        "dufpf" | "dufp-f" => Ok(ControllerArg::DufpF),
+        "dnpc" => Ok(ControllerArg::Dnpc),
+        other => {
+            if let Some(w) = other.strip_prefix("cap:") {
+                let watts: f64 = w.parse().map_err(|_| format!("bad cap value {w}"))?;
+                if !(1.0..=1000.0).contains(&watts) {
+                    return Err(format!("cap {watts} W outside a sane range"));
+                }
+                Ok(ControllerArg::StaticCap(Watts(watts)))
+            } else {
+                Err(format!(
+                    "unknown controller {other} (default|duf|dufp|dufpf|dnpc|cap:<W>)"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Cli::parse(&v)
+    }
+
+    #[test]
+    fn bare_invocation_is_help() {
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn run_with_all_flags() {
+        let cli = parse(&[
+            "run", "CG", "--controller", "dufp", "--slowdown", "10", "--sockets", "2",
+            "--runs", "5", "--seed", "7", "--json",
+        ])
+        .unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!("expected run");
+        };
+        assert_eq!(spec.app, "CG");
+        assert_eq!(spec.controller, ControllerArg::Dufp);
+        assert_eq!(spec.slowdown, Ratio::from_percent(10.0));
+        assert_eq!(spec.sockets, 2);
+        assert_eq!(spec.runs, 5);
+        assert_eq!(spec.seed, 7);
+        assert!(spec.json);
+    }
+
+    #[test]
+    fn record_and_plan_parse() {
+        let cli = parse(&["record", "CG", "--out", "/tmp/cg.json", "--seed", "9"]).unwrap();
+        let Command::Record(spec) = cli.command else { panic!() };
+        assert_eq!(spec.app, "CG");
+        assert_eq!(spec.out, "/tmp/cg.json");
+        assert_eq!(spec.seed, 9);
+        assert!(parse(&["record", "CG"]).unwrap_err().contains("--out"));
+
+        let cli = parse(&["plan", "EP", "--runs", "4"]).unwrap();
+        assert!(matches!(cli.command, Command::Plan(_)));
+    }
+
+    #[test]
+    fn extension_controllers_parse() {
+        for (name, want) in [
+            ("dufpf", ControllerArg::DufpF),
+            ("dufp-f", ControllerArg::DufpF),
+            ("dnpc", ControllerArg::Dnpc),
+        ] {
+            let cli = parse(&["run", "CG", "--controller", name]).unwrap();
+            let Command::Run(spec) = cli.command else { panic!() };
+            assert_eq!(spec.controller, want, "{name}");
+        }
+    }
+
+    #[test]
+    fn static_cap_controller_parses() {
+        let cli = parse(&["run", "EP", "--controller", "cap:100"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.controller, ControllerArg::StaticCap(Watts(100.0)));
+    }
+
+    #[test]
+    fn defaults_match_paper_tool() {
+        let cli = parse(&["run", "LU"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.controller, ControllerArg::Dufp);
+        assert_eq!(spec.slowdown, Ratio::from_percent(5.0));
+        assert_eq!(spec.sockets, 4);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected_with_messages() {
+        assert!(parse(&["run"]).unwrap_err().contains("missing <APP>"));
+        assert!(parse(&["run", "CG", "--slowdown", "150"])
+            .unwrap_err()
+            .contains("outside"));
+        assert!(parse(&["run", "CG", "--controller", "magic"])
+            .unwrap_err()
+            .contains("unknown controller"));
+        assert!(parse(&["run", "CG", "--sockets", "0"]).is_err());
+        assert!(parse(&["run", "CG", "--runs", "0"]).is_err());
+        assert!(parse(&["frobnicate"]).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&["run", "CG", "--controller", "cap:0"]).is_err());
+    }
+}

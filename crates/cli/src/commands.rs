@@ -1,0 +1,518 @@
+//! Subcommand implementations.
+
+use crate::args::{ControllerArg, RecordSpec, RunSpec};
+use crate::plot::{chart, Series};
+use dufp::{run_once, run_repeated, ControllerKind, ExperimentSpec, TraceSpec};
+use dufp_types::SocketId;
+use dufp_types::ArchSpec;
+use dufp_workloads::{apps, MaterializeCtx};
+use std::fmt::Write as _;
+
+/// Resolves the simulated platform for a run: the YETI default or a JSON
+/// machine description (`dufp machine-template` emits an editable one).
+fn resolve_sim(spec: &RunSpec) -> Result<dufp_sim::SimConfig, String> {
+    let mut sim = match &spec.machine {
+        None => dufp_sim::SimConfig::yeti(spec.seed),
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("machine file {path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("machine file {path}: {e}"))?
+        }
+    };
+    sim.arch.sockets = spec.sockets;
+    sim.seed = spec.seed;
+    Ok(sim)
+}
+
+/// `dufp machine-template` — the default platform as editable JSON.
+pub fn machine_template() -> String {
+    serde_json::to_string_pretty(&dufp_sim::SimConfig::yeti(42))
+        .expect("SimConfig always serializes")
+}
+
+fn controller_kind(spec: &RunSpec) -> ControllerKind {
+    match spec.controller {
+        ControllerArg::Default => ControllerKind::Default,
+        ControllerArg::Duf => ControllerKind::Duf {
+            slowdown: spec.slowdown,
+        },
+        ControllerArg::Dufp => ControllerKind::Dufp {
+            slowdown: spec.slowdown,
+        },
+        ControllerArg::DufpF => ControllerKind::DufpF {
+            slowdown: spec.slowdown,
+        },
+        ControllerArg::Dnpc => ControllerKind::Dnpc {
+            slowdown: spec.slowdown,
+        },
+        ControllerArg::StaticCap(cap) => ControllerKind::StaticCap { cap },
+    }
+}
+
+/// `dufp run <APP> ...`
+pub fn run_app(spec: &RunSpec) -> Result<String, String> {
+    let sim = resolve_sim(spec)?;
+    let kind = controller_kind(spec);
+    let exp = ExperimentSpec {
+        sim,
+        app: spec.app.clone(),
+        controller: kind,
+        trace: None,
+        interval_ms: None,
+    };
+
+    if spec.runs == 1 {
+        let r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
+        if spec.json {
+            return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
+        }
+        let mut out = String::new();
+        writeln!(out, "{} under {}", spec.app, kind.label()).unwrap();
+        writeln!(out, "  execution time : {:>10.2} s", r.exec_time.value()).unwrap();
+        writeln!(out, "  package power  : {:>10.2} W", r.avg_pkg_power.value()).unwrap();
+        writeln!(out, "  DRAM power     : {:>10.2} W", r.avg_dram_power.value()).unwrap();
+        writeln!(out, "  total energy   : {:>10.1} J", r.total_energy().value()).unwrap();
+        Ok(out)
+    } else {
+        let r = run_repeated(&exp, spec.runs, spec.seed).map_err(|e| e.to_string())?;
+        if spec.json {
+            return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
+        }
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{} under {} — {} runs, trimmed mean of {} (paper protocol)",
+            spec.app,
+            kind.label(),
+            spec.runs,
+            r.exec_time.n
+        )
+        .unwrap();
+        let line = |name: &str, s: &dufp::Summary, unit: &str| {
+            format!(
+                "  {name:<15}: {:>10.2} {unit}  [{:.2} .. {:.2}]",
+                s.mean, s.min, s.max
+            )
+        };
+        writeln!(out, "{}", line("execution time", &r.exec_time, "s")).unwrap();
+        writeln!(out, "{}", line("package power", &r.pkg_power, "W")).unwrap();
+        writeln!(out, "{}", line("DRAM power", &r.dram_power, "W")).unwrap();
+        writeln!(out, "{}", line("total energy", &r.total_energy, "J")).unwrap();
+        Ok(out)
+    }
+}
+
+/// `dufp timeline <APP> ...` — one traced run rendered as ASCII charts.
+pub fn timeline(spec: &RunSpec) -> Result<String, String> {
+    let sim = resolve_sim(spec)?;
+    let kind = controller_kind(spec);
+    let exp = ExperimentSpec {
+        sim,
+        app: spec.app.clone(),
+        controller: kind,
+        trace: Some(TraceSpec {
+            socket: SocketId(0),
+            stride: 100, // one point per 100 ms
+        }),
+        interval_ms: None,
+    };
+    let r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
+    let trace = r.trace.as_ref().ok_or("trace missing")?;
+
+    let pick = |f: &dyn Fn(&dufp_sim::TracePoint) -> f64| -> Vec<f64> {
+        trace.points.iter().map(|p| f(p)).collect()
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} under {} — socket 0, {:.1} s ({} samples)\n",
+        spec.app,
+        kind.label(),
+        r.exec_time.value(),
+        trace.points.len()
+    )
+    .unwrap();
+    out.push_str(&chart(
+        "core & uncore frequency (GHz)",
+        &[
+            Series {
+                label: "core".into(),
+                glyph: '*',
+                values: pick(&|p| p.core_freq.as_ghz()),
+            },
+            Series {
+                label: "uncore".into(),
+                glyph: 'u',
+                values: pick(&|p| p.uncore_freq.as_ghz()),
+            },
+        ],
+        72,
+        10,
+    ));
+    out.push('\n');
+    out.push_str(&chart(
+        "package power vs programmed cap (W)",
+        &[
+            Series {
+                label: "power".into(),
+                glyph: '*',
+                values: pick(&|p| p.pkg_power.value()),
+            },
+            Series {
+                label: "PL1 cap".into(),
+                glyph: '-',
+                values: pick(&|p| p.pl1.value()),
+            },
+        ],
+        72,
+        10,
+    ));
+    writeln!(
+        out,
+        "\navg core {:.2} GHz | avg package {:.1} W | total energy {:.0} J",
+        trace
+            .avg_core_freq()
+            .map(|f| f.as_ghz())
+            .unwrap_or(f64::NAN),
+        trace.avg_pkg_power().map(|p| p.value()).unwrap_or(f64::NAN),
+        r.total_energy().value(),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "actuations: {} cap writes, {} uncore writes",
+        trace.cap_transitions(),
+        trace.uncore_transitions()
+    )
+    .unwrap();
+    let residency = |label: &str, items: Vec<(f64, f64)>| {
+        let top: Vec<String> = items
+            .iter()
+            .rev()
+            .take(4)
+            .map(|(v, f)| format!("{v:.1}:{:.0}%", f * 100.0))
+            .collect();
+        format!("{label} residency (top levels): {}", top.join("  "))
+    };
+    writeln!(
+        out,
+        "{}",
+        residency(
+            "cap (W)",
+            trace.cap_residency().iter().map(|(w, f)| (w.value(), *f)).collect()
+        )
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}",
+        residency(
+            "uncore (GHz)",
+            trace
+                .uncore_residency()
+                .iter()
+                .map(|(h, f)| (h.as_ghz(), *f))
+                .collect()
+        )
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `dufp record <APP> --out FILE.json` — capture a workload spec.
+pub fn record(spec: &RecordSpec) -> Result<String, String> {
+    let sim = dufp_sim::SimConfig::yeti_single_socket(spec.seed);
+    let file = dufp::record_workload(
+        &sim,
+        &spec.app,
+        &dufp_workloads::SegmentConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    file.save(&spec.out).map_err(|e| e.to_string())?;
+    let ctx = dufp_workloads::MaterializeCtx::from_arch(&sim.arch);
+    let w = file.materialize(&ctx).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "captured {} as {} — {} phases, ≈{:.1} s at the default configuration\nreplay with: dufp run {} --controller dufp --slowdown 10\n",
+        spec.app,
+        spec.out,
+        file.phases.len(),
+        w.nominal_duration(&ctx).value(),
+        spec.out,
+    ))
+}
+
+/// `dufp plan <APP>` — the §V-H recommendation: the tolerance with the best
+/// power savings and no energy loss.
+pub fn plan(spec: &RunSpec) -> Result<String, String> {
+    use dufp::{ratios_vs_default, run_repeated, Ratios};
+    let sim = resolve_sim(spec)?;
+    let runs = spec.runs.max(3);
+    let exp = |controller| ExperimentSpec {
+        sim: sim.clone(),
+        app: spec.app.clone(),
+        controller,
+        trace: None,
+        interval_ms: None,
+    };
+    let base = run_repeated(&exp(ControllerKind::Default), runs, spec.seed)
+        .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "planning {} — DUFP tolerance sweep, {} runs each\n",
+        spec.app, runs
+    )
+    .unwrap();
+    writeln!(out, "| tolerance | overhead | power savings | energy savings |").unwrap();
+    writeln!(out, "|-----------|----------|---------------|----------------|").unwrap();
+    let mut table: Vec<(f64, Ratios)> = Vec::new();
+    for pct in [0.0, 5.0, 10.0, 20.0] {
+        let r = run_repeated(
+            &exp(ControllerKind::Dufp {
+                slowdown: dufp_types::Ratio::from_percent(pct),
+            }),
+            runs,
+            spec.seed,
+        )
+        .map_err(|e| e.to_string())?;
+        let ratios = ratios_vs_default(&base, &r);
+        writeln!(
+            out,
+            "| {pct:>6.0} %  | {:+6.2} % | {:+9.2} %    | {:+9.2} %     |",
+            ratios.overhead_pct, ratios.pkg_power_savings_pct, ratios.energy_savings_pct
+        )
+        .unwrap();
+        table.push((pct, ratios));
+    }
+    match table
+        .iter()
+        .filter(|(_, r)| r.energy_savings_pct >= 0.0)
+        .max_by(|a, b| a.1.pkg_power_savings_pct.total_cmp(&b.1.pkg_power_savings_pct))
+    {
+        Some((pct, r)) => writeln!(
+            out,
+            "\nrecommendation: {pct:.0} % tolerated slowdown — {:+.2} % power at {:+.2} % energy (\"power savings with no energy loss\", §V-H)",
+            r.pkg_power_savings_pct, r.energy_savings_pct
+        )
+        .unwrap(),
+        None => writeln!(out, "\nno energy-neutral tolerance found").unwrap(),
+    }
+    Ok(out)
+}
+
+/// `dufp platform`
+pub fn platform() -> String {
+    let arch = ArchSpec::yeti();
+    format!(
+        "{arch}\n\
+         | cores | uncore frequency (GHz) | long term (W) | short term (W) |\n\
+         |-------|------------------------|---------------|----------------|\n\
+         {}\n\
+         monitoring interval 200 ms, uncore step {:.0} MHz, cap step {:.0} W, \
+         cap floor {:.0} W\n",
+        arch.table1_row(),
+        arch.uncore_freq_step.as_mhz(),
+        arch.cap_step.value(),
+        arch.cap_floor.value(),
+    )
+}
+
+/// `dufp apps`
+pub fn apps() -> String {
+    let ctx = MaterializeCtx::from_arch(&ArchSpec::yeti());
+    let mut out = String::from("modeled applications (phase-graph models, see dufp-workloads):\n");
+    for w in apps::all(&ctx).expect("builtin apps") {
+        writeln!(
+            out,
+            "  {:<7} {:>3} phases, ≈{:>5.1} s at the default configuration",
+            w.name,
+            w.phases.len(),
+            w.nominal_duration(&ctx).value()
+        )
+        .unwrap();
+    }
+    out.push_str("reference kernels (roofline extremes):\n");
+    for w in [
+        apps::stream(&ctx).expect("stream"),
+        apps::dgemm(&ctx).expect("dgemm"),
+        apps::pointer_chase(&ctx).expect("chase"),
+    ] {
+        writeln!(
+            out,
+            "  {:<7} {:>3} phase,  ≈{:>5.1} s at the default configuration",
+            w.name,
+            w.phases.len(),
+            w.nominal_duration(&ctx).value()
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// `dufp probe` — reports which real-hardware access paths exist.
+pub fn probe() -> String {
+    let mut out = String::new();
+    let msr = std::path::Path::new("/dev/cpu/0/msr").exists();
+    let powercap = std::path::Path::new("/sys/class/powercap/intel-rapl:0").exists();
+    writeln!(
+        out,
+        "MSR device files (/dev/cpu/N/msr) : {}",
+        if msr { "present" } else { "absent" }
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "powercap sysfs (intel-rapl zones)  : {}",
+        if powercap { "present" } else { "absent" }
+    )
+    .unwrap();
+    if msr && powercap {
+        writeln!(
+            out,
+            "bare-metal deployment possible: dufp_msr::LinuxMsr + dufp_rapl::SysfsRapl"
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            out,
+            "no hardware access — experiments run on the calibrated simulator \
+             (dufp_sim::Machine), which exposes the same MsrIo/Telemetry interfaces"
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::Ratio;
+
+    fn spec(app: &str, runs: usize) -> RunSpec {
+        RunSpec {
+            app: app.into(),
+            controller: ControllerArg::Dufp,
+            slowdown: Ratio::from_percent(10.0),
+            sockets: 1,
+            runs,
+            seed: 3,
+            json: false,
+            machine: None,
+        }
+    }
+
+    #[test]
+    fn single_run_renders_summary() {
+        let out = run_app(&spec("EP", 1)).unwrap();
+        assert!(out.contains("EP under DUFP@10%"), "{out}");
+        assert!(out.contains("execution time"));
+        assert!(out.contains("package power"));
+    }
+
+    #[test]
+    fn repeated_run_renders_error_bars() {
+        let out = run_app(&spec("EP", 3)).unwrap();
+        assert!(out.contains("3 runs"));
+        assert!(out.contains(".."), "error bars expected: {out}");
+    }
+
+    #[test]
+    fn json_output_is_parseable() {
+        let mut s = spec("EP", 1);
+        s.json = true;
+        let out = run_app(&s).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v["exec_time"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unknown_app_is_a_clean_error() {
+        let err = run_app(&spec("NOT_AN_APP", 1)).unwrap_err();
+        assert!(err.contains("NOT_AN_APP"), "{err}");
+    }
+
+    #[test]
+    fn timeline_renders_charts() {
+        let out = timeline(&spec("CG", 1)).unwrap();
+        assert!(out.contains("core & uncore frequency"), "{out}");
+        assert!(out.contains("package power vs programmed cap"));
+        assert!(out.contains("avg core"));
+    }
+
+    #[test]
+    fn json_workload_file_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("dufp-cli-wl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "name": "toy",
+                "phases": [{
+                    "name": "stream", "seconds_at_default": 3.0, "oi": 0.05,
+                    "boundness": { "MemoryBound": { "headroom": 1.5 } },
+                    "core_util": 0.5, "overlap_penalty": 0.0
+                }],
+                "repeat": 2
+            }"#,
+        )
+        .unwrap();
+        let out = run_app(&spec(path.to_str().unwrap(), 1)).unwrap();
+        assert!(out.contains("under DUFP"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn machine_template_round_trips_through_a_run() {
+        let dir = std::env::temp_dir().join(format!("dufp-machine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("machine.json");
+        // Edit the template: a smaller 95 W PL1 platform.
+        let mut sim: dufp_sim::SimConfig =
+            serde_json::from_str(&machine_template()).unwrap();
+        sim.arch.pl1_default = dufp_types::Watts(95.0);
+        sim.arch.name = "custom-95w".into();
+        std::fs::write(&path, serde_json::to_string(&sim).unwrap()).unwrap();
+
+        let mut s = spec("EP", 1);
+        s.machine = Some(path.to_str().unwrap().to_string());
+        s.json = true;
+        let out = run_app(&s).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        // EP must be held under the custom 95 W PL1.
+        let pkg = v["avg_pkg_power"].as_f64().unwrap();
+        assert!(pkg < 97.0, "custom PL1 not honored: {pkg} W");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_machine_file_is_a_clean_error() {
+        let mut s = spec("EP", 1);
+        s.machine = Some("/nonexistent/machine.json".into());
+        assert!(run_app(&s).unwrap_err().contains("machine file"));
+    }
+
+    #[test]
+    fn platform_prints_table1() {
+        let out = platform();
+        assert!(out.contains("| 64 | [1.2-2.4] | 125 | 150 |"));
+    }
+
+    #[test]
+    fn apps_lists_all_ten_plus_kernels() {
+        let out = apps();
+        for name in [
+            "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS", "STREAM",
+            "DGEMM", "CHASE",
+        ] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn probe_reports_something() {
+        let out = probe();
+        assert!(out.contains("MSR device files"));
+    }
+}

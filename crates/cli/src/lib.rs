@@ -1,0 +1,42 @@
+//! Implementation of the `dufp` command-line tool.
+//!
+//! The real DUFP is started as `dufp --slowdown 10 --sockets 0,1,2,3 --
+//! <application>`; one controller instance then runs per socket until the
+//! application exits. This crate reproduces that interface against the
+//! simulator (the default) and exposes the same plumbing a real-hardware
+//! deployment would use (`/dev/cpu/N/msr` + powercap sysfs backends).
+//!
+//! Subcommands:
+//!
+//! * `run` — run one of the modeled applications under a controller,
+//! * `platform` — print the Table I description of the target platform,
+//! * `apps` — list the modeled applications,
+//! * `probe` — check real-hardware access paths (MSR device files,
+//!   powercap sysfs) and report what a bare-metal deployment would use,
+//! * `timeline` — run once with tracing and render the Fig. 5-style
+//!   frequency/power/cap timelines as ASCII charts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod plot;
+
+pub use args::{Cli, Command};
+
+/// Entry point shared by the binary and the tests.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cli = Cli::parse(argv)?;
+    match cli.command {
+        Command::Run(ref spec) => commands::run_app(spec),
+        Command::Timeline(ref spec) => commands::timeline(spec),
+        Command::Record(ref spec) => commands::record(spec),
+        Command::Plan(ref spec) => commands::plan(spec),
+        Command::MachineTemplate => Ok(commands::machine_template()),
+        Command::Platform => Ok(commands::platform()),
+        Command::Apps => Ok(commands::apps()),
+        Command::Probe => Ok(commands::probe()),
+        Command::Help => Ok(args::USAGE.to_string()),
+    }
+}

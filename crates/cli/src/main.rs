@@ -1,0 +1,12 @@
+//! The `dufp` binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dufp_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("dufp: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal ASCII time-series charts for terminal output.
+//!
+//! Renders the Fig. 5-style operating-point timelines (`dufp timeline`)
+//! without any plotting dependency: each series is downsampled to the
+//! terminal width and drawn with its own glyph on a shared y-scale.
+
+/// One named series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Glyph used for this series' points.
+    pub glyph: char,
+    /// Sample values, uniformly spaced in time.
+    pub values: Vec<f64>,
+}
+
+/// Renders `series` into a `width`×`height` character chart with a y-axis.
+///
+/// All series share one y-scale (min/max over all finite values). Returns
+/// an empty string when there is nothing to draw.
+pub fn chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let finite: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let mut lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-12 {
+        lo -= 1.0;
+        hi += 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        if s.values.is_empty() {
+            continue;
+        }
+        for col in 0..width {
+            // Downsample: average the bucket this column covers.
+            let start = col * s.values.len() / width;
+            let end = (((col + 1) * s.values.len()) / width).max(start + 1);
+            let bucket = &s.values[start..end.min(s.values.len())];
+            let v: f64 = bucket.iter().sum::<f64>() / bucket.len() as f64;
+            if !v.is_finite() {
+                continue;
+            }
+            let frac = (v - lo) / (hi - lo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(height - 1)][col];
+            // Later series draw over earlier ones only on empty cells, so
+            // overlapping lines stay distinguishable.
+            if *cell == ' ' {
+                *cell = s.glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y = hi - (hi - lo) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:8.1} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:8} +{}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .map(|s| format!("{} {}", s.glyph, s.label))
+        .collect();
+    out.push_str(&format!("{:9}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let s = Series {
+            label: "power (W)".into(),
+            glyph: '*',
+            values: ramp(100),
+        };
+        let out = chart("test chart", &[s], 40, 8);
+        assert!(out.starts_with("test chart\n"));
+        assert!(out.contains('|'));
+        assert!(out.contains("* power (W)"));
+        // Rising ramp: the last column's glyph is above the first column's.
+        let rows: Vec<&str> = out.lines().collect();
+        assert!(rows[1].contains('*') || rows[2].contains('*'), "top rows hold the max");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series {
+            label: "flat".into(),
+            glyph: '#',
+            values: vec![5.0; 10],
+        };
+        let out = chart("flat", &[s], 20, 5);
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn empty_series_renders_nothing() {
+        assert!(chart("none", &[], 20, 5).is_empty());
+        let s = Series {
+            label: "nan".into(),
+            glyph: '.',
+            values: vec![f64::NAN; 4],
+        };
+        assert!(chart("nan", &[s], 20, 5).is_empty());
+    }
+
+    #[test]
+    fn two_series_keep_distinct_glyphs() {
+        let a = Series {
+            label: "a".into(),
+            glyph: 'a',
+            values: vec![0.0; 50],
+        };
+        let b = Series {
+            label: "b".into(),
+            glyph: 'b',
+            values: vec![10.0; 50],
+        };
+        let out = chart("two", &[a, b], 30, 6);
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+    }
+
+    #[test]
+    fn downsampling_covers_every_column() {
+        let s = Series {
+            label: "x".into(),
+            glyph: 'x',
+            values: ramp(1000),
+        };
+        let out = chart("dense", &[s], 30, 6);
+        let glyphs = out.chars().filter(|c| *c == 'x').count();
+        assert!(glyphs >= 28, "almost every column drawn, got {glyphs}");
+    }
+}

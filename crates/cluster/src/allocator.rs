@@ -1,0 +1,223 @@
+//! Budget allocation policies.
+
+use dufp_types::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Per-node state the allocator sees at each epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeObservation {
+    /// The node's current ceiling.
+    pub ceiling: Watts,
+    /// Average package power over the last epoch.
+    pub consumption: Watts,
+    /// Whether the node still has work.
+    pub active: bool,
+}
+
+/// A budget allocation policy: maps observations to new ceilings summing
+/// to at most the cluster budget.
+pub trait AllocatorPolicy: Send {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the next epoch's ceilings.
+    fn allocate(&mut self, budget: Watts, nodes: &[NodeObservation]) -> Vec<Watts>;
+}
+
+/// Even split, never changes — the baseline every distribution paper
+/// compares against.
+#[derive(Debug, Default)]
+pub struct StaticSplit;
+
+impl AllocatorPolicy for StaticSplit {
+    fn name(&self) -> &'static str {
+        "static-split"
+    }
+
+    fn allocate(&mut self, budget: Watts, nodes: &[NodeObservation]) -> Vec<Watts> {
+        let n = nodes.len().max(1) as f64;
+        vec![budget / n; nodes.len()]
+    }
+}
+
+/// Demand-based reallocation: nodes consuming well below their ceiling
+/// donate part of the headroom; nodes riding their ceiling split the pool.
+///
+/// ```
+/// use dufp_cluster::allocator::{AllocatorPolicy, DemandBased, NodeObservation};
+/// use dufp_types::Watts;
+///
+/// let mut policy = DemandBased::default();
+/// let nodes = [
+///     NodeObservation { ceiling: Watts(100.0), consumption: Watts(99.0), active: true },
+///     NodeObservation { ceiling: Watts(100.0), consumption: Watts(70.0), active: true },
+/// ];
+/// let out = policy.allocate(Watts(200.0), &nodes);
+/// assert!(out[0] > Watts(100.0)); // the rider gains what the donor frees
+/// assert!(out[1] < Watts(100.0));
+/// ```
+///
+/// Inactive (finished) nodes keep only a `floor` allocation and donate the
+/// rest — the mechanism of the paper's §VII heterogeneous-budget vision
+/// ("reduce the budget of the CPU when it does not need it and increase
+/// the GPU power budget"), applied across nodes.
+#[derive(Debug)]
+pub struct DemandBased {
+    /// A node is "riding" its ceiling when within this margin of it.
+    pub riding_margin: Watts,
+    /// Fraction of observed headroom a node donates per epoch.
+    pub donate_fraction: f64,
+    /// No node's ceiling falls below this.
+    pub floor: Watts,
+    /// No node's ceiling exceeds this (the silicon PL1 — extra watts above
+    /// it are unusable and stay in the pool).
+    pub node_max: Watts,
+}
+
+impl Default for DemandBased {
+    fn default() -> Self {
+        DemandBased {
+            riding_margin: Watts(6.0),
+            donate_fraction: 0.5,
+            floor: Watts(65.0),
+            node_max: Watts(125.0),
+        }
+    }
+}
+
+impl AllocatorPolicy for DemandBased {
+    fn name(&self) -> &'static str {
+        "demand-based"
+    }
+
+    fn allocate(&mut self, budget: Watts, nodes: &[NodeObservation]) -> Vec<Watts> {
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        // Start from a demand estimate per node…
+        let mut want: Vec<f64> = nodes
+            .iter()
+            .map(|n| {
+                if !n.active {
+                    self.floor.value()
+                } else if n.consumption.value() >= (n.ceiling - self.riding_margin).value() {
+                    // Riding the ceiling: wants more than it has.
+                    n.ceiling.value() + 2.0 * self.riding_margin.value()
+                } else {
+                    // Headroom: donate a fraction of it.
+                    let headroom = (n.ceiling - n.consumption).value();
+                    (n.ceiling.value() - self.donate_fraction * headroom).max(self.floor.value())
+                }
+            })
+            .collect();
+
+        // …then scale into the budget while respecting the floor.
+        let floor_total: f64 = self.floor.value() * nodes.len() as f64;
+        let budget_above_floor = (budget.value() - floor_total).max(0.0);
+        let want_above_floor: f64 = want
+            .iter()
+            .map(|w| (w - self.floor.value()).max(0.0))
+            .sum();
+        if want_above_floor > 0.0 {
+            let scale = (budget_above_floor / want_above_floor).min(1.0);
+            for w in &mut want {
+                let above = (*w - self.floor.value()).max(0.0);
+                *w = self.floor.value() + above * scale;
+            }
+        }
+        // Leftover (if everyone is modest) goes to the riders evenly.
+        let assigned: f64 = want.iter().sum();
+        let leftover = budget.value() - assigned;
+        if leftover > 1.0 {
+            let riders: Vec<usize> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.active
+                        && n.consumption.value() >= (n.ceiling - self.riding_margin).value()
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let targets = if riders.is_empty() {
+                (0..nodes.len()).collect::<Vec<_>>()
+            } else {
+                riders
+            };
+            let share = leftover / targets.len() as f64;
+            for i in targets {
+                want[i] += share;
+            }
+        }
+        // Watts above the silicon limit are unusable; clamp.
+        for w in &mut want {
+            *w = w.min(self.node_max.value());
+        }
+        want.into_iter().map(Watts).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(ceiling: f64, consumption: f64, active: bool) -> NodeObservation {
+        NodeObservation {
+            ceiling: Watts(ceiling),
+            consumption: Watts(consumption),
+            active,
+        }
+    }
+
+    #[test]
+    fn static_split_is_even_and_constant() {
+        let mut p = StaticSplit;
+        let out = p.allocate(Watts(400.0), &[obs(100.0, 50.0, true); 4]);
+        assert_eq!(out, vec![Watts(100.0); 4]);
+    }
+
+    #[test]
+    fn demand_based_moves_watts_from_idle_to_riders() {
+        let mut p = DemandBased::default();
+        let nodes = [
+            obs(100.0, 99.0, true),  // rider (HPL-like)
+            obs(100.0, 70.0, true),  // headroom (EP under DUFP)
+            obs(100.0, 99.0, true),  // rider
+            obs(100.0, 65.0, false), // finished
+        ];
+        let out = p.allocate(Watts(400.0), &nodes);
+        let total: f64 = out.iter().map(|w| w.value()).sum();
+        assert!(total <= 400.0 + 1e-6, "total {total}");
+        assert!(out[0] > Watts(100.0), "rider should gain: {:?}", out[0]);
+        assert!(out[0] <= Watts(125.0), "never above the silicon PL1");
+        assert!(out[2] > Watts(100.0));
+        assert!(out[1] < Watts(100.0), "donor should shrink: {:?}", out[1]);
+        assert!(out[3] >= Watts(65.0) && out[3] <= Watts(80.0), "finished node near floor");
+    }
+
+    #[test]
+    fn nobody_falls_below_the_floor() {
+        let mut p = DemandBased::default();
+        let nodes = [obs(70.0, 40.0, true), obs(70.0, 69.0, true)];
+        let out = p.allocate(Watts(140.0), &nodes);
+        for w in &out {
+            assert!(*w >= Watts(65.0), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn total_respects_a_tight_budget() {
+        let mut p = DemandBased::default();
+        let nodes = [obs(100.0, 99.0, true); 4];
+        let out = p.allocate(Watts(300.0), &nodes);
+        let total: f64 = out.iter().map(|w| w.value()).sum();
+        assert!(total <= 300.0 + 1e-6, "{total}");
+    }
+
+    #[test]
+    fn empty_cluster_is_fine() {
+        let mut p = DemandBased::default();
+        assert!(p.allocate(Watts(100.0), &[]).is_empty());
+        let mut s = StaticSplit;
+        assert!(s.allocate(Watts(100.0), &[]).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Cluster-level power-budget distribution over per-node DUFP.
+//!
+//! The paper positions DUFP as *node-level* dynamic capping and cites the
+//! job/cluster-level budget distributors (GEOPM, DAPS, …) as complementary
+//! (§VI): "These studies are complementary to DUFP since they propose
+//! power budget allocation strategies across nodes while DUFP provides
+//! node-level dynamic power-capping." This crate builds that complementary
+//! layer and composes it with DUFP:
+//!
+//! * [`budget`] — a per-node budget ceiling and a [`dufp_rapl::PowerCapper`]
+//!   wrapper that clamps everything a node-local controller does to it, so
+//!   DUFP needs no modification to run under an allocator,
+//! * [`allocator`] — allocation policies: static even split, and a
+//!   demand-based policy that moves watts from nodes with headroom to
+//!   nodes riding their ceiling,
+//! * [`cluster`] — the cluster simulation: one simulated node (socket) per
+//!   job, per-node DUFP instances, a global allocator epoch,
+//! * [`gpu`] / [`hetero`] — the §VII future-work question: a power-capped
+//!   GPU model and a CPU+GPU shared-budget coordinator that donates the
+//!   watts DUFP frees on the CPU to the GPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod budget;
+pub mod cluster;
+pub mod gpu;
+pub mod hetero;
+
+pub use allocator::{AllocatorPolicy, DemandBased, StaticSplit};
+pub use budget::{BudgetedCapper, NodeBudget};
+pub use cluster::{Cluster, ClusterConfig, ClusterOutcome, NodeSpec};
+pub use gpu::{GpuSim, GpuSpec};
+pub use hetero::{run_hetero, HeteroConfig, HeteroOutcome, SharePolicy};

@@ -1,0 +1,143 @@
+//! Controller configuration.
+
+use dufp_types::{ArchSpec, Duration, Error, Hertz, Ratio, Result, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Everything a DUF/DUFP instance needs to know about limits and steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlConfig {
+    /// User-defined tolerated slowdown, in `[0, 1)` (the paper evaluates
+    /// 0 %, 5 %, 10 % and 20 %).
+    pub slowdown: Ratio,
+    /// Monitoring interval (200 ms in the paper, §IV-D).
+    pub interval: Duration,
+    /// Measurement-error band: FLOPS/s within `epsilon` of the slowdown
+    /// boundary are "equivalent" and the actuators hold steady (§III).
+    pub epsilon: Ratio,
+    /// Maximum (all-core turbo) core frequency; observing an average core
+    /// frequency below it means RAPL is actively throttling.
+    pub core_freq_max: Hertz,
+    /// Lowest core P-state (DUFP-F's frequency floor).
+    pub core_freq_min: Hertz,
+    /// Core DVFS ladder step (100 MHz).
+    pub core_freq_step: Hertz,
+    /// Uncore ladder: lowest frequency.
+    pub uncore_min: Hertz,
+    /// Uncore ladder: highest frequency.
+    pub uncore_max: Hertz,
+    /// Uncore actuation step (100 MHz).
+    pub uncore_step: Hertz,
+    /// Cap actuation step (5 W).
+    pub cap_step: Watts,
+    /// Lowest cap DUFP applies (65 W, §IV-A).
+    pub cap_floor: Watts,
+    /// §IV-D: reset the cap when measured power exceeds the programmed cap
+    /// by more than this margin (a freshly applied cap needs time to bite).
+    pub overshoot_margin: Watts,
+    /// Operational-intensity threshold below which a phase counts as
+    /// *highly* memory-intensive (0.02).
+    pub oi_highly_memory: f64,
+    /// Operational-intensity threshold above which a phase counts as
+    /// *highly* compute-intensive (100).
+    pub oi_highly_compute: f64,
+    /// After a slowdown violation forced an actuator back up, wait this
+    /// many intervals before probing below that level again. Prevents the
+    /// controller from oscillating across the violation boundary every
+    /// other interval (which would push the *average* slowdown past the
+    /// tolerance). `0` disables the memory entirely (ablation).
+    pub reprobe_intervals: u32,
+    /// Enable coupling 1 (§III): raise the cap when an uncore increase did
+    /// not restore FLOPS/s. Disable only for ablation studies.
+    pub coupling1: bool,
+    /// Enable coupling 2 (§III): after a joint reset, re-read the uncore
+    /// and retry its reset if the lingering cap held it down. Disable only
+    /// for ablation studies.
+    pub coupling2: bool,
+    /// Enable the §IV-D rule: reset the cap when measured power exceeds the
+    /// programmed cap beyond [`ControlConfig::overshoot_margin`]. Disable
+    /// only for ablation studies.
+    pub overshoot_reset: bool,
+    /// §V-G improvement (off by default — the paper's tool does not have
+    /// it): guard *cumulative* progress as well as per-interval FLOPS/s.
+    /// Slowdowns that hide below the per-interval tolerance but accumulate
+    /// (LAMMPS' aliased power bursts) freeze cap decreases once the
+    /// cumulative deficit reaches the tolerated slowdown.
+    pub cumulative_guard: bool,
+}
+
+impl ControlConfig {
+    /// The paper's configuration for `arch` at the given tolerated
+    /// slowdown.
+    pub fn from_arch(arch: &ArchSpec, slowdown: Ratio) -> Result<Self> {
+        if !(0.0..1.0).contains(&slowdown.value()) {
+            return Err(Error::invalid(
+                "slowdown",
+                format!("{} must be within [0, 1)", slowdown.value()),
+            ));
+        }
+        Ok(ControlConfig {
+            slowdown,
+            interval: Duration::from_millis(200),
+            epsilon: Ratio(0.01),
+            core_freq_max: arch.core_freq_max,
+            core_freq_min: arch.core_freq_min,
+            core_freq_step: arch.core_freq_step,
+            uncore_min: arch.uncore_freq_min,
+            uncore_max: arch.uncore_freq_max,
+            uncore_step: arch.uncore_freq_step,
+            cap_step: arch.cap_step,
+            cap_floor: arch.cap_floor,
+            overshoot_margin: Watts(3.0),
+            oi_highly_memory: 0.02,
+            oi_highly_compute: 100.0,
+            reprobe_intervals: 25,
+            coupling1: true,
+            coupling2: true,
+            overshoot_reset: true,
+            cumulative_guard: false,
+        })
+    }
+
+    /// The FLOPS/s floor implied by the tolerated slowdown for a per-phase
+    /// maximum of `max`.
+    #[inline]
+    pub fn performance_floor(&self, max: f64) -> f64 {
+        max * (1.0 - self.slowdown.value())
+    }
+
+    /// Half-width of the "equivalent" hold band around the floor.
+    #[inline]
+    pub fn band(&self, max: f64) -> f64 {
+        max * self.epsilon.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yeti_defaults_match_paper() {
+        let c = ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(5.0)).unwrap();
+        assert_eq!(c.interval, Duration::from_millis(200));
+        assert_eq!(c.cap_step, Watts(5.0));
+        assert_eq!(c.cap_floor, Watts(65.0));
+        assert_eq!(c.uncore_step, Hertz::from_mhz(100.0));
+        assert_eq!(c.oi_highly_memory, 0.02);
+        assert_eq!(c.oi_highly_compute, 100.0);
+    }
+
+    #[test]
+    fn slowdown_must_be_a_fraction() {
+        assert!(ControlConfig::from_arch(&ArchSpec::yeti(), Ratio(1.0)).is_err());
+        assert!(ControlConfig::from_arch(&ArchSpec::yeti(), Ratio(-0.1)).is_err());
+        assert!(ControlConfig::from_arch(&ArchSpec::yeti(), Ratio(0.0)).is_ok());
+    }
+
+    #[test]
+    fn performance_floor_scales() {
+        let c = ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(10.0)).unwrap();
+        assert!((c.performance_floor(100.0) - 90.0).abs() < 1e-9);
+        assert!((c.band(100.0) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,313 @@
+//! DUF — dynamic uncore frequency scaling (the paper's prior tool and the
+//! baseline of every figure).
+//!
+//! Per monitoring interval (§II-C): on a phase change the uncore resets;
+//! otherwise, if FLOPS/s (or bandwidth — DUF guards bandwidth on *all*
+//! phases, unlike DUFP's cap logic, §III) dropped below the tolerated
+//! slowdown relative to the per-phase maximum, the uncore frequency is
+//! raised one step; if performance is comfortably within the tolerance the
+//! uncore keeps stepping down toward its minimum; inside the
+//! measurement-error band it holds.
+
+use crate::actuators::Actuators;
+use crate::config::ControlConfig;
+use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::Controller;
+use dufp_counters::IntervalMetrics;
+use dufp_types::{Hertz, Result};
+
+/// What the uncore logic did this interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UncoreAction {
+    /// No decision yet (first interval) or nothing to do.
+    None,
+    /// Stepped the uncore down.
+    Decreased,
+    /// Stepped the uncore up.
+    Increased,
+    /// Reset to the maximum (phase change).
+    Reset,
+    /// Inside the measurement-error band.
+    Hold,
+}
+
+/// The uncore decision engine, shared verbatim between DUF and DUFP
+/// ("DUFP uses the same algorithm as DUF when it comes to uncore
+/// frequency", §I).
+#[derive(Debug, Clone)]
+pub struct UncoreLogic {
+    cfg: ControlConfig,
+    /// The action taken on the most recent interval.
+    pub last_action: UncoreAction,
+    /// Frequency a violation forced us back up to; probing below it is
+    /// blocked until [`ControlConfig::reprobe_intervals`] pass.
+    probe_floor: Option<f64>,
+    intervals_since_violation: u32,
+}
+
+impl UncoreLogic {
+    /// New engine for `cfg`.
+    pub fn new(cfg: ControlConfig) -> Self {
+        UncoreLogic {
+            cfg,
+            last_action: UncoreAction::None,
+            probe_floor: None,
+            intervals_since_violation: 0,
+        }
+    }
+
+    /// Decides and actuates for one interval. `event` must come from the
+    /// shared phase tracker *after* observing `m`.
+    ///
+    /// `suppress_violation` tells the engine that another actuator (DUFP's
+    /// power cap) moved last interval and is the likely cause of any
+    /// FLOPS/s dip — the uncore must not react to it. Standalone DUF
+    /// always passes `false`.
+    pub fn decide(
+        &mut self,
+        event: PhaseEvent,
+        tracker: &PhaseTracker,
+        m: &IntervalMetrics,
+        act: &mut dyn Actuators,
+        suppress_violation: bool,
+    ) -> Result<UncoreAction> {
+        let action = match event {
+            PhaseEvent::First => UncoreAction::None,
+            PhaseEvent::Changed => {
+                act.reset_uncore()?;
+                self.probe_floor = None;
+                self.intervals_since_violation = 0;
+                UncoreAction::Reset
+            }
+            PhaseEvent::Continued => {
+                // Relative performance drops vs. the per-phase maxima; DUF
+                // guards both FLOPS/s and bandwidth on every phase.
+                let drop_f = relative_drop(m.flops.value(), tracker.max_flops);
+                let drop_b = relative_drop(m.bandwidth.value(), tracker.max_bandwidth);
+                let s = self.cfg.slowdown.value();
+                let e = self.cfg.epsilon.value();
+
+                // Three-way split per §II-C / §III: dropped by more than
+                // the tolerated slowdown → raise; "equivalent to the
+                // slowdown" (within the measurement-error band below the
+                // boundary) → hold; otherwise keep stepping down. At 0 %
+                // tolerance the measurement-error band itself is the
+                // violation threshold.
+                let threshold = if s > 0.0 { s } else { e };
+                let violating = drop_f > threshold || drop_b > threshold;
+                let at_boundary = s > 0.0 && (drop_f >= s - e || drop_b >= s - e);
+
+                self.intervals_since_violation = self.intervals_since_violation.saturating_add(1);
+                if violating && suppress_violation {
+                    // The cap moved last interval: let the cap logic fix
+                    // its own damage instead of burning uncore headroom.
+                    UncoreAction::Hold
+                } else if violating {
+                    let cur = act.uncore();
+                    self.intervals_since_violation = 0;
+                    if cur < self.cfg.uncore_max {
+                        let raised = Hertz(cur.value() + self.cfg.uncore_step.value());
+                        act.set_uncore(raised)?;
+                        self.probe_floor = Some(raised.value());
+                        UncoreAction::Increased
+                    } else {
+                        UncoreAction::Hold
+                    }
+                } else if at_boundary {
+                    UncoreAction::Hold
+                } else {
+                    let cur = act.uncore();
+                    let next = cur.value() - self.cfg.uncore_step.value();
+                    let blocked = self.probe_floor.is_some_and(|fl| next < fl - 1.0)
+                        && self.intervals_since_violation < self.cfg.reprobe_intervals;
+                    if cur > self.cfg.uncore_min && !blocked {
+                        if self.probe_floor.is_some_and(|fl| next < fl - 1.0) {
+                            // Re-probe window reached: forget the floor and
+                            // feel for the boundary again.
+                            self.probe_floor = None;
+                        }
+                        act.set_uncore(Hertz(next))?;
+                        UncoreAction::Decreased
+                    } else {
+                        UncoreAction::Hold
+                    }
+                }
+            }
+        };
+        self.last_action = action;
+        Ok(action)
+    }
+}
+
+/// `1 - value/max`, clamped to zero when the phase has no recorded maximum.
+#[inline]
+pub(crate) fn relative_drop(value: f64, max: f64) -> f64 {
+    if max > 0.0 {
+        (1.0 - value / max).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+/// The DUF controller: phase tracking + uncore logic, nothing else.
+#[derive(Debug)]
+pub struct Duf {
+    tracker: PhaseTracker,
+    logic: UncoreLogic,
+}
+
+impl Duf {
+    /// New DUF instance.
+    pub fn new(cfg: ControlConfig) -> Self {
+        Duf {
+            tracker: PhaseTracker::new(),
+            logic: UncoreLogic::new(cfg),
+        }
+    }
+
+    /// The most recent uncore action (for tests and traces).
+    pub fn last_action(&self) -> UncoreAction {
+        self.logic.last_action
+    }
+}
+
+impl Controller for Duf {
+    fn name(&self) -> &'static str {
+        "DUF"
+    }
+
+    fn on_interval(&mut self, m: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()> {
+        let event = self.tracker.observe(m);
+        self.logic.decide(event, &self.tracker, m, act, false)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuators::test_support::MemActuators;
+    use dufp_types::{
+        ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio, Seconds, Watts,
+    };
+
+    fn cfg(slowdown_pct: f64) -> ControlConfig {
+        ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(slowdown_pct)).unwrap()
+    }
+
+    fn m(flops: f64, bw: f64) -> IntervalMetrics {
+        IntervalMetrics {
+            at: Instant(0),
+            interval: Seconds(0.2),
+            flops: FlopsPerSec(flops),
+            bandwidth: BytesPerSec(bw),
+            oi: OpIntensity(if bw > 0.0 { flops / bw } else { f64::INFINITY }),
+            pkg_power: Watts(100.0),
+            dram_power: Watts(20.0),
+            core_freq: Hertz::from_ghz(2.8),
+        }
+    }
+
+    #[test]
+    fn steady_phase_keeps_stepping_down_to_minimum() {
+        let c = cfg(5.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        // 20 identical intervals: flops stay at max, so DUF steps 100 MHz
+        // each time until the 1.2 GHz floor.
+        for _ in 0..20 {
+            duf.on_interval(&m(1e11, 5e10), &mut act).unwrap();
+        }
+        assert_eq!(act.uncore(), c.uncore_min);
+        assert_eq!(duf.last_action(), UncoreAction::Hold);
+    }
+
+    #[test]
+    fn slowdown_violation_steps_back_up() {
+        let c = cfg(5.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        duf.on_interval(&m(1e11, 5e10), &mut act).unwrap(); // prime
+        duf.on_interval(&m(1e11, 5e10), &mut act).unwrap(); // decrease → 2.3
+        assert_eq!(act.uncore(), Hertz::from_ghz(2.3));
+        // FLOPS drop 8 % — beyond the 5 % tolerance.
+        duf.on_interval(&m(0.92e11, 4.6e10), &mut act).unwrap();
+        assert_eq!(duf.last_action(), UncoreAction::Increased);
+        assert_eq!(act.uncore(), Hertz::from_ghz(2.4));
+    }
+
+    #[test]
+    fn bandwidth_drop_alone_triggers_increase() {
+        // DUF guards bandwidth on all phases (§III, difference 1).
+        let c = cfg(5.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        duf.on_interval(&m(1e10, 8e10), &mut act).unwrap();
+        duf.on_interval(&m(1e10, 8e10), &mut act).unwrap(); // decrease
+        let down = act.uncore();
+        // FLOPS fine, bandwidth down 10 %.
+        duf.on_interval(&m(1e10, 7.2e10), &mut act).unwrap();
+        assert_eq!(duf.last_action(), UncoreAction::Increased);
+        assert!(act.uncore() > down);
+    }
+
+    #[test]
+    fn within_band_holds() {
+        let c = cfg(5.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        duf.on_interval(&m(1e11, 5e10), &mut act).unwrap();
+        // Exactly at the 5 % floor: inside the ±1 % band → hold.
+        duf.on_interval(&m(0.95e11, 4.75e10), &mut act).unwrap();
+        assert_eq!(duf.last_action(), UncoreAction::Hold);
+        assert_eq!(act.uncore(), c.uncore_max);
+    }
+
+    #[test]
+    fn phase_change_resets_uncore() {
+        let c = cfg(10.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        duf.on_interval(&m(1e10, 8e10), &mut act).unwrap(); // memory phase
+        duf.on_interval(&m(1e10, 8e10), &mut act).unwrap(); // decrease
+        duf.on_interval(&m(1e10, 8e10), &mut act).unwrap(); // decrease
+        assert!(act.uncore() < c.uncore_max);
+        // Flip to a CPU-intensive interval (oi ≥ 1).
+        duf.on_interval(&m(2e11, 5e10), &mut act).unwrap();
+        assert_eq!(duf.last_action(), UncoreAction::Reset);
+        assert_eq!(act.uncore(), c.uncore_max);
+    }
+
+    #[test]
+    fn never_steps_outside_ladder() {
+        let c = cfg(20.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        // Long steady run: must stop at min, never below.
+        for _ in 0..50 {
+            duf.on_interval(&m(1e11, 5e10), &mut act).unwrap();
+            assert!(act.uncore() >= c.uncore_min);
+            assert!(act.uncore() <= c.uncore_max);
+        }
+        // Long violating run: must stop at max.
+        for _ in 0..50 {
+            duf.on_interval(&m(0.5e11, 2.5e10), &mut act).unwrap();
+            assert!(act.uncore() <= c.uncore_max);
+        }
+        assert_eq!(act.uncore(), c.uncore_max);
+    }
+
+    #[test]
+    fn zero_slowdown_still_reclaims_uncore_when_flops_hold() {
+        let c = cfg(0.0);
+        let mut duf = Duf::new(c.clone());
+        let mut act = MemActuators::new(c.clone());
+        for _ in 0..5 {
+            duf.on_interval(&m(1e11, 5e10), &mut act).unwrap();
+        }
+        assert!(
+            act.uncore() < c.uncore_max,
+            "steady FLOPS at 0 % tolerance must still allow decreases"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! DUFP-F — DUFP extended with *direct* core-frequency management (the
+//! paper's §VII future work).
+//!
+//! §V-G observes that under DUFP "power capping impacts CPU frequency.
+//! Therefore, better handling CPU frequency under power capping, instead
+//! of relying on power capping to change the CPU frequency, may improve
+//! even more both performance and power consumption." DUFP-F implements
+//! that idea with the third knob, `IA32_PERF_CTL`:
+//!
+//! * the **uncore** runs DUF's algorithm unchanged,
+//! * the **core frequency** is stepped down directly (100 MHz at a time)
+//!   while FLOPS/s stay within the tolerated slowdown, with the same
+//!   violation/boundary/probe-memory discipline as the other knobs,
+//! * the **power cap** no longer drives DVFS at all: it *trails* the
+//!   measured power a couple of steps above it, so bursts are still
+//!   clipped but the enforcement loop never throttles behind the
+//!   controller's back (and never triggers its settle transients).
+//!
+//! Compared with DUFP, the same operating point is reached through an
+//! explicit request rather than through the RAPL firmware hunting for it —
+//! fewer transients, no bandwidth starvation from deep allowances.
+
+use crate::actuators::Actuators;
+use crate::config::ControlConfig;
+use crate::duf::{relative_drop, UncoreAction, UncoreLogic};
+use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::Controller;
+use dufp_counters::IntervalMetrics;
+use dufp_types::{Hertz, Result, Watts};
+
+/// What the frequency logic did this interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqAction {
+    /// No decision yet.
+    None,
+    /// Stepped the P-state request down.
+    Decreased,
+    /// Stepped the P-state request up.
+    Increased,
+    /// Reset to the architectural maximum.
+    Reset,
+    /// Held steady.
+    Hold,
+}
+
+/// The DUFP-F controller.
+#[derive(Debug)]
+pub struct DufpF {
+    cfg: ControlConfig,
+    tracker: PhaseTracker,
+    uncore: UncoreLogic,
+    last_freq_action: FreqAction,
+    probe_floor: Option<f64>,
+    intervals_since_violation: u32,
+}
+
+impl DufpF {
+    /// New DUFP-F instance.
+    pub fn new(cfg: ControlConfig) -> Self {
+        DufpF {
+            uncore: UncoreLogic::new(cfg.clone()),
+            cfg,
+            tracker: PhaseTracker::new(),
+            last_freq_action: FreqAction::None,
+            probe_floor: None,
+            intervals_since_violation: 0,
+        }
+    }
+
+    /// The most recent frequency action.
+    pub fn last_freq_action(&self) -> FreqAction {
+        self.last_freq_action
+    }
+
+    /// The trailing power cap for a measured power level: two cap steps of
+    /// headroom, quantized to the cap step, clamped to `[floor, default]`.
+    fn trailing_cap(&self, measured: Watts, default_long: Watts) -> Watts {
+        let step = self.cfg.cap_step.value();
+        let target = measured.value() + 2.0 * step;
+        let quantized = (target / step).ceil() * step;
+        Watts(quantized.clamp(self.cfg.cap_floor.value(), default_long.value()))
+    }
+
+    fn freq_decide(
+        &mut self,
+        drop_f: f64,
+        act: &mut dyn Actuators,
+    ) -> Result<FreqAction> {
+        let s = self.cfg.slowdown.value();
+        let e = self.cfg.epsilon.value();
+        let threshold = if s > 0.0 { s } else { e };
+        let step = self.cfg.core_freq_step.value();
+
+        self.intervals_since_violation = self.intervals_since_violation.saturating_add(1);
+        Ok(if drop_f > threshold {
+            self.intervals_since_violation = 0;
+            let cur = act.core_freq_cap();
+            if cur < self.cfg.core_freq_max {
+                let raised = Hertz(cur.value() + step);
+                act.set_core_freq_cap(raised)?;
+                self.probe_floor = Some(raised.value());
+                FreqAction::Increased
+            } else {
+                FreqAction::Hold
+            }
+        } else if s > 0.0 && drop_f >= s - e {
+            FreqAction::Hold
+        } else {
+            let cur = act.core_freq_cap();
+            let next = cur.value() - step;
+            let blocked = self.probe_floor.is_some_and(|fl| next < fl - 1.0)
+                && self.intervals_since_violation < self.cfg.reprobe_intervals;
+            if cur > self.cfg.core_freq_min && !blocked {
+                if self.probe_floor.is_some_and(|fl| next < fl - 1.0) {
+                    self.probe_floor = None;
+                }
+                act.set_core_freq_cap(Hertz(next))?;
+                FreqAction::Decreased
+            } else {
+                FreqAction::Hold
+            }
+        })
+    }
+}
+
+impl Controller for DufpF {
+    fn name(&self) -> &'static str {
+        "DUFP-F"
+    }
+
+    fn on_interval(&mut self, m: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()> {
+        let event = self.tracker.observe(m);
+
+        // Attribution mirror of DUFP: while we hold the frequency below the
+        // maximum, FLOPS dips are (potentially) our own doing — the uncore
+        // must not respond to them.
+        let freq_throttling = act.core_freq_cap() < self.cfg.core_freq_max;
+        self.uncore
+            .decide(event, &self.tracker, m, act, freq_throttling)?;
+
+        let freq_action = match event {
+            PhaseEvent::First => FreqAction::None,
+            PhaseEvent::Changed => {
+                act.reset_core_freq_cap()?;
+                act.reset_cap()?;
+                self.probe_floor = None;
+                self.intervals_since_violation = 0;
+                FreqAction::Reset
+            }
+            PhaseEvent::Continued => {
+                // The uncore raising this interval means the dip was the
+                // uncore's probe — leave the frequency alone for one round.
+                let drop_f = relative_drop(m.flops.value(), self.tracker.max_flops);
+                let action = if self.uncore.last_action == UncoreAction::Increased {
+                    FreqAction::Hold
+                } else {
+                    self.freq_decide(drop_f, act)?
+                };
+
+                // The cap trails measured power instead of leading it.
+                let (default_long, _) = act.cap_defaults();
+                let want = self.trailing_cap(m.pkg_power, default_long);
+                if (want.value() - act.cap_long().value()).abs()
+                    >= self.cfg.cap_step.value() - 1e-9
+                {
+                    act.set_cap_both(want)?;
+                }
+                action
+            }
+        };
+        self.last_freq_action = freq_action;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actuators::test_support::MemActuators;
+    use dufp_types::{
+        ArchSpec, BytesPerSec, FlopsPerSec, Instant, OpIntensity, Ratio, Seconds,
+    };
+
+    fn cfg(pct: f64) -> ControlConfig {
+        ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(pct)).unwrap()
+    }
+
+    fn m(flops: f64, bw: f64, power: f64, freq_ghz: f64) -> IntervalMetrics {
+        IntervalMetrics {
+            at: Instant(0),
+            interval: Seconds(0.2),
+            flops: FlopsPerSec(flops),
+            bandwidth: BytesPerSec(bw),
+            oi: OpIntensity(if bw > 0.0 { flops / bw } else { f64::INFINITY }),
+            pkg_power: Watts(power),
+            dram_power: Watts(25.0),
+            core_freq: Hertz::from_ghz(freq_ghz),
+        }
+    }
+
+    #[test]
+    fn steady_memory_phase_steps_frequency_down() {
+        let c = cfg(10.0);
+        let mut d = DufpF::new(c.clone());
+        let mut a = MemActuators::new(c.clone());
+        for _ in 0..6 {
+            d.on_interval(&m(1e10, 8e10, 100.0, 2.8), &mut a).unwrap();
+        }
+        assert!(
+            a.core_freq_cap() < c.core_freq_max,
+            "freq cap should descend: {:?}",
+            a.core_freq_cap()
+        );
+        assert_eq!(d.last_freq_action(), FreqAction::Decreased);
+    }
+
+    #[test]
+    fn violation_raises_frequency_and_locks_probe_floor() {
+        let c = cfg(10.0);
+        let mut d = DufpF::new(c.clone());
+        let mut a = MemActuators::new(c.clone());
+        d.on_interval(&m(1e10, 8e10, 100.0, 2.8), &mut a).unwrap();
+        for _ in 0..4 {
+            d.on_interval(&m(1e10, 8e10, 98.0, 2.8), &mut a).unwrap();
+        }
+        let low = a.core_freq_cap();
+        // 12 % drop > 10 % → raise.
+        d.on_interval(&m(0.88e10, 7.0e10, 95.0, low.as_ghz()), &mut a)
+            .unwrap();
+        // The uncore responds first (it was not suppressed before the freq
+        // started moving? it was — freq_cap < max ⇒ uncore held), so the
+        // frequency logic must have acted.
+        assert_eq!(d.last_freq_action(), FreqAction::Increased);
+        assert!(a.core_freq_cap() > low);
+        // Further decreases are blocked by the probe floor.
+        let at = a.core_freq_cap();
+        d.on_interval(&m(1e10, 8e10, 98.0, at.as_ghz()), &mut a).unwrap();
+        assert_eq!(a.core_freq_cap(), at, "probe floor must hold");
+    }
+
+    #[test]
+    fn cap_trails_measured_power() {
+        let c = cfg(10.0);
+        let mut d = DufpF::new(c.clone());
+        let mut a = MemActuators::new(c.clone());
+        d.on_interval(&m(1e10, 8e10, 93.0, 2.8), &mut a).unwrap();
+        d.on_interval(&m(1e10, 8e10, 93.0, 2.8), &mut a).unwrap();
+        // 93 W + 10 W headroom, ceil to 5 W grid → 105 W.
+        assert_eq!(a.cap_long(), Watts(105.0));
+        assert_eq!(a.cap_short(), Watts(105.0));
+        // Power falls; the cap follows down.
+        for _ in 0..3 {
+            d.on_interval(&m(1e10, 8e10, 74.0, 2.6), &mut a).unwrap();
+        }
+        assert_eq!(a.cap_long(), Watts(85.0));
+    }
+
+    #[test]
+    fn trailing_cap_respects_floor_and_default() {
+        let c = cfg(10.0);
+        let d = DufpF::new(c);
+        assert_eq!(d.trailing_cap(Watts(40.0), Watts(125.0)), Watts(65.0));
+        assert_eq!(d.trailing_cap(Watts(130.0), Watts(125.0)), Watts(125.0));
+        assert_eq!(d.trailing_cap(Watts(93.0), Watts(125.0)), Watts(105.0));
+    }
+
+    #[test]
+    fn phase_change_resets_all_three_knobs() {
+        let c = cfg(10.0);
+        let mut d = DufpF::new(c.clone());
+        let mut a = MemActuators::new(c.clone());
+        for _ in 0..5 {
+            d.on_interval(&m(1e10, 8e10, 95.0, 2.8), &mut a).unwrap();
+        }
+        assert!(a.core_freq_cap() < c.core_freq_max);
+        assert!(a.cap_long() < Watts(125.0));
+        // Class flip.
+        d.on_interval(&m(3e11, 5e10, 120.0, 2.8), &mut a).unwrap();
+        assert_eq!(d.last_freq_action(), FreqAction::Reset);
+        assert_eq!(a.core_freq_cap(), c.core_freq_max);
+        assert_eq!(a.cap_long(), Watts(125.0));
+        assert_eq!(a.uncore_now, c.uncore_max);
+    }
+
+    #[test]
+    fn frequency_never_leaves_ladder_bounds() {
+        let c = cfg(20.0);
+        let mut d = DufpF::new(c.clone());
+        let mut a = MemActuators::new(c.clone());
+        for _ in 0..60 {
+            d.on_interval(&m(1e10, 8e10, 90.0, 2.8), &mut a).unwrap();
+            assert!(a.core_freq_cap() >= c.core_freq_min);
+            assert!(a.core_freq_cap() <= c.core_freq_max);
+        }
+        assert_eq!(a.core_freq_cap(), c.core_freq_min);
+    }
+}

@@ -1,0 +1,60 @@
+//! The DUF and DUFP runtime controllers.
+//!
+//! One controller instance runs per socket (exactly like the paper's tool,
+//! §III). Every monitoring interval (200 ms) it receives the derived
+//! [`dufp_counters::IntervalMetrics`] and decides how to move two
+//! actuators: the pinned uncore frequency and the RAPL package power cap.
+//!
+//! * [`config`] — tolerated slowdown, interval, step sizes, floors.
+//! * [`phase`] — the shared phase tracker: classifies intervals as
+//!   memory-/CPU-intensive by operational intensity, detects phase changes
+//!   (intensity class flips or FLOPS/s doubling), tracks the per-phase
+//!   FLOPS/s and bandwidth maxima every decision compares against.
+//! * [`actuators`] — the actuator abstraction plus the hardware
+//!   implementation over [`dufp_msr::MsrIo`] + [`dufp_rapl::PowerCapper`].
+//! * [`duf`] — the prior tool: uncore frequency only (the paper's baseline).
+//! * [`dufp`] — the paper's contribution: DUF's uncore algorithm plus
+//!   dynamic power capping with the Fig. 2 decision rules, the two
+//!   uncore/cap couplings, the asymmetric long/short-term constraint
+//!   handling and the §IV-D overshoot reset.
+//! * [`baseline`] — `NoOp` (default configuration) and `StaticCap`
+//!   (whole-run or windowed fixed caps, used by the Fig. 1 motivation).
+//! * [`dnpc`] — the DNPC related-work baseline (§VI): cap-only control
+//!   with a frequency-linear degradation model, implemented so the paper's
+//!   critique of it is measurable.
+//! * [`dufpf`] — DUFP-F, the §VII future-work extension: core frequency is
+//!   managed directly through `IA32_PERF_CTL` and the cap merely trails
+//!   the measured power.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actuators;
+pub mod baseline;
+pub mod config;
+pub mod dnpc;
+pub mod duf;
+pub mod dufp;
+pub mod dufpf;
+pub mod phase;
+
+pub use actuators::{Actuators, HwActuators};
+pub use baseline::{NoOp, StaticCap};
+pub use config::ControlConfig;
+pub use dnpc::Dnpc;
+pub use duf::Duf;
+pub use dufp::Dufp;
+pub use dufpf::DufpF;
+pub use phase::{PhaseClass, PhaseEvent, PhaseTracker};
+
+use dufp_counters::IntervalMetrics;
+use dufp_types::Result;
+
+/// A per-socket runtime controller.
+pub trait Controller: Send {
+    /// Controller name for reports ("default", "DUF", "DUFP", ...).
+    fn name(&self) -> &'static str;
+
+    /// One monitoring-interval decision step.
+    fn on_interval(&mut self, metrics: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()>;
+}

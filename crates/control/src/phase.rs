@@ -1,0 +1,178 @@
+//! Phase detection and per-phase performance tracking.
+//!
+//! The paper's phase model (§III): an interval is *memory-intensive* when
+//! its operational intensity is below 1 and *CPU-intensive* otherwise; a
+//! *phase change* is either a flip between those classes or the FLOPS/s
+//! doubling within the same class. On a phase change both actuators reset
+//! and the per-phase maxima restart from the current interval.
+
+use dufp_counters::IntervalMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Coarse behaviour class of an interval (§III: "we only consider the
+/// ratio between FLOPS/s and memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseClass {
+    /// Operational intensity below 1.
+    Memory,
+    /// Operational intensity of 1 or above (including ∞ when the interval
+    /// moved no bytes).
+    Cpu,
+}
+
+impl PhaseClass {
+    /// Classifies an operational intensity value.
+    pub fn of(oi: f64) -> Self {
+        if oi < 1.0 {
+            PhaseClass::Memory
+        } else {
+            PhaseClass::Cpu
+        }
+    }
+}
+
+/// Result of feeding one interval to the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseEvent {
+    /// First interval ever observed.
+    First,
+    /// Same phase continues.
+    Continued,
+    /// A new phase began (class flip or FLOPS/s doubling).
+    Changed,
+}
+
+/// Tracks the current phase and its performance maxima.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseTracker {
+    class: Option<PhaseClass>,
+    /// Highest FLOPS/s seen in the current phase.
+    pub max_flops: f64,
+    /// Highest bandwidth seen in the current phase.
+    pub max_bandwidth: f64,
+    /// Operational intensity of the latest interval.
+    pub last_oi: f64,
+}
+
+impl PhaseTracker {
+    /// A tracker that has seen nothing yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current phase class, if any interval has been observed.
+    pub fn class(&self) -> Option<PhaseClass> {
+        self.class
+    }
+
+    /// Feeds one interval; updates maxima and reports what happened.
+    pub fn observe(&mut self, m: &IntervalMetrics) -> PhaseEvent {
+        let oi = m.oi.value();
+        let flops = m.flops.value();
+        let bw = m.bandwidth.value();
+        self.last_oi = oi;
+        let class = PhaseClass::of(oi);
+
+        let event = match self.class {
+            None => PhaseEvent::First,
+            Some(prev) if prev != class => PhaseEvent::Changed,
+            Some(_) if self.max_flops > 0.0 && flops >= 2.0 * self.max_flops => {
+                PhaseEvent::Changed
+            }
+            Some(_) => PhaseEvent::Continued,
+        };
+
+        match event {
+            PhaseEvent::Continued => {
+                self.max_flops = self.max_flops.max(flops);
+                self.max_bandwidth = self.max_bandwidth.max(bw);
+            }
+            PhaseEvent::First | PhaseEvent::Changed => {
+                self.class = Some(class);
+                self.max_flops = flops;
+                self.max_bandwidth = bw;
+            }
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::{
+        BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Seconds, Watts,
+    };
+
+    pub(crate) fn metrics(flops: f64, bw: f64) -> IntervalMetrics {
+        IntervalMetrics {
+            at: Instant(0),
+            interval: Seconds(0.2),
+            flops: FlopsPerSec(flops),
+            bandwidth: BytesPerSec(bw),
+            oi: OpIntensity(if bw > 0.0 { flops / bw } else { f64::INFINITY }),
+            pkg_power: Watts(100.0),
+            dram_power: Watts(20.0),
+            core_freq: Hertz::from_ghz(2.8),
+        }
+    }
+
+    #[test]
+    fn classes_split_at_oi_one() {
+        assert_eq!(PhaseClass::of(0.99), PhaseClass::Memory);
+        assert_eq!(PhaseClass::of(1.0), PhaseClass::Cpu);
+        assert_eq!(PhaseClass::of(f64::INFINITY), PhaseClass::Cpu);
+    }
+
+    #[test]
+    fn first_then_continue() {
+        let mut t = PhaseTracker::new();
+        assert_eq!(t.observe(&metrics(1e9, 1e10)), PhaseEvent::First);
+        assert_eq!(t.observe(&metrics(1.1e9, 1e10)), PhaseEvent::Continued);
+        assert_eq!(t.max_flops, 1.1e9);
+    }
+
+    #[test]
+    fn class_flip_is_a_phase_change() {
+        let mut t = PhaseTracker::new();
+        t.observe(&metrics(1e9, 1e10)); // oi 0.1, Memory
+        assert_eq!(t.observe(&metrics(5e10, 1e10)), PhaseEvent::Changed); // oi 5
+        assert_eq!(t.class(), Some(PhaseClass::Cpu));
+        // Maxima restart from the new phase.
+        assert_eq!(t.max_flops, 5e10);
+    }
+
+    #[test]
+    fn flops_doubling_within_class_is_a_phase_change() {
+        let mut t = PhaseTracker::new();
+        t.observe(&metrics(1e9, 1e10)); // Memory
+        t.observe(&metrics(1.2e9, 1.1e10)); // still Memory, max 1.2e9
+        assert_eq!(t.observe(&metrics(2.5e9, 2.6e10)), PhaseEvent::Changed);
+        assert_eq!(t.max_flops, 2.5e9);
+    }
+
+    #[test]
+    fn sub_doubling_rise_is_not_a_phase_change() {
+        let mut t = PhaseTracker::new();
+        t.observe(&metrics(1e9, 1e10));
+        assert_eq!(t.observe(&metrics(1.9e9, 2e10)), PhaseEvent::Continued);
+        assert_eq!(t.max_flops, 1.9e9);
+    }
+
+    #[test]
+    fn flops_drop_is_not_a_phase_change() {
+        // The paper's detector only fires on rises (doubling); the maxima
+        // must keep remembering the phase's best.
+        let mut t = PhaseTracker::new();
+        t.observe(&metrics(1e9, 1e10));
+        assert_eq!(t.observe(&metrics(0.5e9, 0.5e10)), PhaseEvent::Continued);
+        assert_eq!(t.max_flops, 1e9);
+    }
+
+    #[test]
+    fn zero_flops_start_does_not_trip_doubling() {
+        let mut t = PhaseTracker::new();
+        t.observe(&metrics(0.0, 1e10));
+        assert_eq!(t.observe(&metrics(1e8, 1e10)), PhaseEvent::Continued);
+    }
+}

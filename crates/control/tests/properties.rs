@@ -1,0 +1,229 @@
+//! Property tests for the controller state machines: arbitrary metric
+//! streams must never drive the actuators outside their legal ranges, and
+//! the actuator caches must always agree with the hardware registers.
+
+use dufp_control::{Actuators, ControlConfig, Controller, Dnpc, Duf, Dufp, DufpF};
+use dufp_counters::IntervalMetrics;
+use dufp_msr::registers::{
+    PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
+    MSR_UNCORE_RATIO_LIMIT, SKYLAKE_SP_POWER_UNIT_RAW,
+};
+use dufp_msr::{FakeMsr, MsrIo};
+use dufp_rapl::{Constraint, MsrRapl, PowerCapper};
+use dufp_types::{
+    ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio, Seconds, SocketId,
+    Watts,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn rig(slowdown_pct: f64) -> (
+    Arc<FakeMsr>,
+    ControlConfig,
+    dufp_control::HwActuators<Arc<FakeMsr>, MsrRapl<Arc<FakeMsr>>>,
+) {
+    let msr = Arc::new(FakeMsr::new(16));
+    msr.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
+    let units = RaplPowerUnit::skylake_sp();
+    let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+    msr.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
+    let arch = ArchSpec::yeti();
+    let band = UncoreRatioLimit {
+        max_ratio: arch.uncore_freq_max.as_ratio_100mhz(),
+        min_ratio: arch.uncore_freq_min.as_ratio_100mhz(),
+    };
+    msr.seed(MSR_UNCORE_RATIO_LIMIT, band.encode());
+    let capper = MsrRapl::new(Arc::clone(&msr), 1, 16).unwrap();
+    let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(slowdown_pct)).unwrap();
+    let act = dufp_control::HwActuators::new(Arc::clone(&msr), capper, SocketId(0), 0, cfg.clone())
+        .unwrap();
+    (msr, cfg, act)
+}
+
+/// Arbitrary-but-plausible interval metrics.
+fn arb_metrics() -> impl Strategy<Value = (f64, f64, f64, f64)> {
+    (
+        0.0f64..1e12,   // flops/s
+        1.0f64..1.2e11, // bytes/s
+        30.0f64..160.0, // pkg power W
+        1.0f64..2.8,    // core freq GHz
+    )
+}
+
+fn metrics(t: u64, flops: f64, bw: f64, power: f64, freq: f64) -> IntervalMetrics {
+    IntervalMetrics {
+        at: Instant(t * 200_000),
+        interval: Seconds(0.2),
+        flops: FlopsPerSec(flops),
+        bandwidth: BytesPerSec(bw),
+        oi: OpIntensity(if bw > 0.0 { flops / bw } else { f64::INFINITY }),
+        pkg_power: Watts(power),
+        dram_power: Watts(20.0),
+        core_freq: Hertz::from_ghz(freq),
+    }
+}
+
+fn check_invariants(
+    cfg: &ControlConfig,
+    act: &dufp_control::HwActuators<Arc<FakeMsr>, MsrRapl<Arc<FakeMsr>>>,
+    msr: &FakeMsr,
+) {
+    // Cached views stay in legal ranges.
+    assert!(act.uncore() >= cfg.uncore_min && act.uncore() <= cfg.uncore_max);
+    assert!(act.cap_long() >= cfg.cap_floor);
+    assert!(act.cap_short() >= act.cap_long());
+    assert!(act.core_freq_cap() >= cfg.core_freq_min);
+    assert!(act.core_freq_cap() <= cfg.core_freq_max);
+
+    // Cache coherence: the hardware registers agree with the cached view.
+    let units = RaplPowerUnit::skylake_sp();
+    let raw = msr.read(0, MSR_PKG_POWER_LIMIT).unwrap();
+    let reg = PkgPowerLimit::decode(raw, &units);
+    assert!(
+        (reg.pl1.power.value() - act.cap_long().value()).abs() < 0.25,
+        "PL1 register {:?} vs cache {:?}",
+        reg.pl1.power,
+        act.cap_long()
+    );
+    assert!(
+        (reg.pl2.power.value() - act.cap_short().value()).abs() < 0.25,
+        "PL2 register {:?} vs cache {:?}",
+        reg.pl2.power,
+        act.cap_short()
+    );
+}
+
+macro_rules! fuzz_controller {
+    ($name:ident, $make:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn $name(
+                slowdown in prop::sample::select(vec![0.0, 5.0, 10.0, 20.0]),
+                stream in prop::collection::vec(arb_metrics(), 1..120),
+            ) {
+                let (msr, cfg, mut act) = rig(slowdown);
+                let mut controller = $make(cfg.clone());
+                for (t, (flops, bw, power, freq)) in stream.into_iter().enumerate() {
+                    controller
+                        .on_interval(&metrics(t as u64, flops, bw, power, freq), &mut act)
+                        .unwrap();
+                    check_invariants(&cfg, &act, &msr);
+                }
+            }
+        }
+    };
+}
+
+fuzz_controller!(duf_survives_arbitrary_metric_streams, Duf::new);
+fuzz_controller!(dufp_survives_arbitrary_metric_streams, Dufp::new);
+fuzz_controller!(dufpf_survives_arbitrary_metric_streams, DufpF::new);
+fuzz_controller!(dnpc_survives_arbitrary_metric_streams, Dnpc::new);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// NaN/∞-poisoned metrics must not wedge the controllers or break the
+    /// actuator invariants (a dead PAPI counter reads as zero or garbage).
+    #[test]
+    fn dufp_tolerates_degenerate_metrics(
+        poison_idx in 0usize..20,
+        kind in 0u8..4,
+    ) {
+        let (msr, cfg, mut act) = rig(10.0);
+        let mut controller = Dufp::new(cfg.clone());
+        for t in 0..20u64 {
+            let m = if t as usize == poison_idx {
+                match kind {
+                    0 => metrics(t, 0.0, 0.0, 0.0, 1.0),
+                    1 => metrics(t, f64::INFINITY, 1.0, 100.0, 2.8),
+                    2 => metrics(t, 1e11, 0.0, 100.0, 2.8), // oi = inf
+                    _ => metrics(t, 0.0, 1e11, 160.0, 1.0),
+                }
+            } else {
+                metrics(t, 1e11, 5e10, 100.0, 2.8)
+            };
+            controller.on_interval(&m, &mut act).unwrap();
+            check_invariants(&cfg, &act, &msr);
+        }
+    }
+}
+
+#[test]
+fn mid_run_msr_fault_surfaces_as_a_clean_error() {
+    // A dying MSR device must produce an error, not a panic or a wedged
+    // state; after the fault clears the controller keeps working.
+    let (msr, cfg, mut act) = rig(10.0);
+    let mut controller = Dufp::new(cfg.clone());
+    controller
+        .on_interval(&metrics(0, 1e11, 5e10, 100.0, 2.8), &mut act)
+        .unwrap();
+    msr.inject(dufp_msr::io::Fault::WriteOf(MSR_PKG_POWER_LIMIT));
+    let err = controller
+        .on_interval(&metrics(1, 1e11, 5e10, 100.0, 2.8), &mut act)
+        .unwrap_err();
+    assert!(err.to_string().contains("0x610"), "{err}");
+    msr.inject(dufp_msr::io::Fault::None);
+    controller
+        .on_interval(&metrics(2, 1e11, 5e10, 100.0, 2.8), &mut act)
+        .unwrap();
+    check_invariants(&cfg, &act, &msr);
+}
+
+#[test]
+fn cap_writes_are_visible_in_the_register_file() {
+    let (msr, cfg, mut act) = rig(10.0);
+    let mut controller = Dufp::new(cfg);
+    // Two steady intervals: prime then decrease → 120 W in the register.
+    controller
+        .on_interval(&metrics(0, 1e11, 5e10, 100.0, 2.8), &mut act)
+        .unwrap();
+    controller
+        .on_interval(&metrics(1, 1e11, 5e10, 100.0, 2.8), &mut act)
+        .unwrap();
+    let units = RaplPowerUnit::skylake_sp();
+    let reg = PkgPowerLimit::decode(msr.read(0, MSR_PKG_POWER_LIMIT).unwrap(), &units);
+    assert_eq!(reg.pl1.power, Watts(120.0));
+    assert_eq!(reg.pl2.power, Watts(120.0));
+}
+
+#[test]
+fn actuator_cache_follows_external_clamping() {
+    // A capper that clamps (like the cluster budget wrapper) must stay
+    // coherent with the cached view thanks to the read-back writes.
+    struct Clamping<C>(C);
+    impl<C: PowerCapper> PowerCapper for Clamping<C> {
+        fn set_limit(&self, s: SocketId, w: Constraint, l: Watts) -> dufp_types::Result<()> {
+            self.0.set_limit(s, w, l.min(Watts(100.0)))
+        }
+        fn limit(&self, s: SocketId, w: Constraint) -> dufp_types::Result<Watts> {
+            self.0.limit(s, w)
+        }
+        fn defaults(&self, s: SocketId) -> dufp_types::Result<(Watts, Watts)> {
+            let (a, b) = self.0.defaults(s)?;
+            Ok((a.min(Watts(100.0)), b.min(Watts(100.0))))
+        }
+        fn package_energy(&self, s: SocketId) -> dufp_types::Result<dufp_types::Joules> {
+            self.0.package_energy(s)
+        }
+        fn dram_energy(&self, s: SocketId) -> dufp_types::Result<dufp_types::Joules> {
+            self.0.dram_energy(s)
+        }
+    }
+
+    let msr = Arc::new(FakeMsr::new(16));
+    msr.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
+    let units = RaplPowerUnit::skylake_sp();
+    let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+    msr.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
+    let arch = ArchSpec::yeti();
+    let capper = Clamping(MsrRapl::new(Arc::clone(&msr), 1, 16).unwrap());
+    let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(10.0)).unwrap();
+    let mut act =
+        dufp_control::HwActuators::new(Arc::clone(&msr), capper, SocketId(0), 0, cfg).unwrap();
+
+    act.set_cap_both(Watts(115.0)).unwrap();
+    assert_eq!(act.cap_long(), Watts(100.0), "cache reflects the clamp");
+    act.reset_cap().unwrap();
+    assert_eq!(act.cap_long(), Watts(100.0), "reset lands on the clamped default");
+}

@@ -1,0 +1,92 @@
+//! Paper-style ratio reporting.
+//!
+//! Every figure in the paper presents results "as a percentage over its
+//! default execution time and power and energy consumption" (§V); the
+//! Fig. 1 motivation additionally normalizes power by the *default power
+//! budget* (125 W per socket) rather than by consumption.
+
+use crate::stats::RepeatedResult;
+use dufp_types::Watts;
+use serde::{Deserialize, Serialize};
+
+/// Percentage deltas of a variant against the default configuration.
+/// Positive `*_savings_pct` means the variant consumes less; positive
+/// `overhead_pct` means it runs slower.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ratios {
+    /// Execution-time overhead, percent over the default time.
+    pub overhead_pct: f64,
+    /// Package power savings, percent of the default package power.
+    pub pkg_power_savings_pct: f64,
+    /// DRAM power savings, percent of the default DRAM power.
+    pub dram_power_savings_pct: f64,
+    /// Package+DRAM energy savings, percent of the default energy.
+    pub energy_savings_pct: f64,
+}
+
+/// Computes the Fig. 3/4-style ratios of `variant` against `default_run`.
+pub fn ratios_vs_default(default_run: &RepeatedResult, variant: &RepeatedResult) -> Ratios {
+    let pct = |base: f64, v: f64| (1.0 - v / base) * 100.0;
+    Ratios {
+        overhead_pct: (variant.exec_time.mean / default_run.exec_time.mean - 1.0) * 100.0,
+        pkg_power_savings_pct: pct(default_run.pkg_power.mean, variant.pkg_power.mean),
+        dram_power_savings_pct: pct(default_run.dram_power.mean, variant.dram_power.mean),
+        energy_savings_pct: pct(default_run.total_energy.mean, variant.total_energy.mean),
+    }
+}
+
+/// Fig. 1-style power ratio: consumption over the socket *budget*
+/// (`sockets × PL1`), not over default consumption.
+pub fn power_over_budget(avg_power: Watts, sockets: u16, pl1: Watts) -> f64 {
+    avg_power.value() / (f64::from(sockets) * pl1.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    fn rr(time: f64, pkg: f64, dram: f64, energy: f64) -> RepeatedResult {
+        let s = |v: f64| Summary {
+            mean: v,
+            min: v,
+            max: v,
+            n: 8,
+        };
+        RepeatedResult {
+            exec_time: s(time),
+            pkg_power: s(pkg),
+            dram_power: s(dram),
+            total_energy: s(energy),
+        }
+    }
+
+    #[test]
+    fn ratios_have_paper_sign_conventions() {
+        let default_run = rr(100.0, 120.0, 30.0, 15000.0);
+        let variant = rr(105.0, 100.0, 27.0, 13500.0);
+        let r = ratios_vs_default(&default_run, &variant);
+        assert!((r.overhead_pct - 5.0).abs() < 1e-9);
+        assert!((r.pkg_power_savings_pct - 16.666).abs() < 0.01);
+        assert!((r.dram_power_savings_pct - 10.0).abs() < 1e-9);
+        assert!((r.energy_savings_pct - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_are_negative_savings() {
+        let default_run = rr(100.0, 120.0, 30.0, 15000.0);
+        let worse = rr(99.0, 125.0, 31.0, 15600.0);
+        let r = ratios_vs_default(&default_run, &worse);
+        assert!(r.overhead_pct < 0.0);
+        assert!(r.pkg_power_savings_pct < 0.0);
+        assert!(r.energy_savings_pct < 0.0);
+    }
+
+    #[test]
+    fn budget_ratio_matches_fig1_convention() {
+        // One socket consuming 100 W of a 125 W budget → 0.8.
+        assert!((power_over_budget(Watts(100.0), 1, Watts(125.0)) - 0.8).abs() < 1e-12);
+        // Four sockets, 400 W of 500 W.
+        assert!((power_over_budget(Watts(400.0), 4, Watts(125.0)) - 0.8).abs() < 1e-12);
+    }
+}

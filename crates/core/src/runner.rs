@@ -1,0 +1,387 @@
+//! The experiment runner: one application × one controller × one platform.
+//!
+//! Reproduces the paper's measurement protocol: the application runs on
+//! every socket, one controller instance per socket wakes every 200 ms,
+//! samples the PAPI-like counters and actuates its socket's uncore
+//! frequency and power cap. Execution time, package power, DRAM power and
+//! total energy are reported for the whole node.
+
+use crate::stats::{trimmed, RepeatedResult};
+use dufp_control::{
+    Actuators, ControlConfig, Controller, Duf, Dufp, HwActuators, NoOp, StaticCap,
+};
+use dufp_counters::{Sampler, Telemetry};
+use dufp_rapl::MsrRapl;
+use dufp_sim::{Machine, SimConfig, Trace};
+use dufp_types::{
+    Duration, Error, Joules, Ratio, Result, Seconds, SocketId, Watts,
+};
+use dufp_workloads::{apps, MaterializeCtx};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which controller to run on each socket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControllerKind {
+    /// Default configuration: nothing actuates.
+    Default,
+    /// DUF (uncore only) at the given tolerated slowdown.
+    Duf {
+        /// Tolerated slowdown in `[0, 1)`.
+        slowdown: Ratio,
+    },
+    /// DUFP (uncore + dynamic cap) at the given tolerated slowdown.
+    Dufp {
+        /// Tolerated slowdown in `[0, 1)`.
+        slowdown: Ratio,
+    },
+    /// The DNPC related-work baseline: cap only, frequency-linear model.
+    Dnpc {
+        /// Tolerated performance degradation in `[0, 1)`.
+        slowdown: Ratio,
+    },
+    /// DUFP-F: the §VII future-work extension with direct core-frequency
+    /// management.
+    DufpF {
+        /// Tolerated slowdown in `[0, 1)`.
+        slowdown: Ratio,
+    },
+    /// A fixed whole-run power cap (Fig. 1a).
+    StaticCap {
+        /// The cap applied to both constraints.
+        cap: Watts,
+    },
+    /// A fixed cap applied only within `[start, end)` (Fig. 1b/1c).
+    WindowedCap {
+        /// The cap applied to both constraints.
+        cap: Watts,
+        /// Window start, seconds from run start.
+        start: Seconds,
+        /// Window end, seconds from run start.
+        end: Seconds,
+    },
+}
+
+impl ControllerKind {
+    fn build(&self, cfg: &ControlConfig) -> Box<dyn Controller> {
+        match *self {
+            ControllerKind::Default => Box::new(NoOp),
+            ControllerKind::Duf { .. } => Box::new(Duf::new(cfg.clone())),
+            ControllerKind::Dufp { .. } => Box::new(Dufp::new(cfg.clone())),
+            ControllerKind::Dnpc { .. } => Box::new(dufp_control::Dnpc::new(cfg.clone())),
+            ControllerKind::DufpF { .. } => Box::new(dufp_control::DufpF::new(cfg.clone())),
+            ControllerKind::StaticCap { cap } => Box::new(StaticCap::whole_run(cap)),
+            ControllerKind::WindowedCap { cap, start, end } => {
+                Box::new(StaticCap::windowed(cap, start, end))
+            }
+        }
+    }
+
+    fn slowdown(&self) -> Ratio {
+        match *self {
+            ControllerKind::Duf { slowdown }
+            | ControllerKind::Dufp { slowdown }
+            | ControllerKind::Dnpc { slowdown }
+            | ControllerKind::DufpF { slowdown } => slowdown,
+            _ => Ratio(0.0),
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match *self {
+            ControllerKind::Default => "default".into(),
+            ControllerKind::Duf { slowdown } => {
+                format!("DUF@{:.0}%", slowdown.as_percent())
+            }
+            ControllerKind::Dufp { slowdown } => {
+                format!("DUFP@{:.0}%", slowdown.as_percent())
+            }
+            ControllerKind::Dnpc { slowdown } => {
+                format!("DNPC@{:.0}%", slowdown.as_percent())
+            }
+            ControllerKind::DufpF { slowdown } => {
+                format!("DUFP-F@{:.0}%", slowdown.as_percent())
+            }
+            ControllerKind::StaticCap { cap } => format!("cap{:.0}W", cap.value()),
+            ControllerKind::WindowedCap { cap, .. } => {
+                format!("cap{:.0}W[window]", cap.value())
+            }
+        }
+    }
+}
+
+/// Optional per-run trace request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Socket to trace.
+    pub socket: SocketId,
+    /// Sampling stride in simulator ticks.
+    pub stride: u32,
+}
+
+/// A fully-specified experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Platform configuration (the seed inside is overridden per run).
+    pub sim: SimConfig,
+    /// Application name (see [`dufp_workloads::apps::by_name`]) or, when
+    /// the value ends in `.json`, a path to a workload spec file
+    /// ([`dufp_workloads::WorkloadFile`]).
+    pub app: String,
+    /// Controller to run on every socket.
+    pub controller: ControllerKind,
+    /// Optional frequency/power trace.
+    pub trace: Option<TraceSpec>,
+    /// Monitoring-interval override in milliseconds (`None` = the paper's
+    /// 200 ms). Shorter intervals react faster but cost more controller
+    /// work and actuate on noisier samples (§IV-D).
+    pub interval_ms: Option<u64>,
+}
+
+/// Whole-node measurements of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Wall-clock execution time.
+    pub exec_time: Seconds,
+    /// Sum of package energies over all sockets.
+    pub pkg_energy: Joules,
+    /// Sum of DRAM energies over all sockets.
+    pub dram_energy: Joules,
+    /// Node-level average package power (all sockets).
+    pub avg_pkg_power: Watts,
+    /// Node-level average DRAM power.
+    pub avg_dram_power: Watts,
+    /// The recorded trace, if requested.
+    pub trace: Option<Trace>,
+}
+
+impl RunResult {
+    /// Package + DRAM energy.
+    pub fn total_energy(&self) -> Joules {
+        self.pkg_energy + self.dram_energy
+    }
+}
+
+/// Executes one run with the given seed.
+pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
+    let mut sim = spec.sim.clone();
+    sim.seed = seed;
+    let arch = sim.arch.clone();
+    let machine = Arc::new(Machine::new(sim));
+    let ctx = MaterializeCtx::from_arch(&arch);
+    let workload = if spec.app.ends_with(".json") {
+        dufp_workloads::load_workload(&spec.app, &ctx)?
+    } else {
+        apps::by_name(&spec.app, &ctx)?
+    };
+    let nominal = workload.nominal_duration(&ctx);
+    machine.load_all(&workload);
+
+    if let Some(t) = spec.trace {
+        machine.enable_trace(t.socket, t.stride)?;
+    }
+
+    let mut cfg = ControlConfig::from_arch(&arch, spec.controller.slowdown())?;
+    if let Some(ms) = spec.interval_ms {
+        if ms == 0 {
+            return Err(Error::invalid("interval_ms", "must be positive"));
+        }
+        cfg.interval = Duration::from_millis(ms);
+    }
+    let capper = MsrRapl::new(
+        Arc::clone(&machine),
+        arch.sockets as usize,
+        arch.cores_per_socket as usize,
+    )?;
+    let capper = Arc::new(capper);
+
+    // One controller + sampler + actuator set per socket.
+    let mut per_socket: Vec<(Box<dyn Controller>, Sampler, _)> = (0..arch.sockets)
+        .map(|s| {
+            let act = HwActuators::new(
+                Arc::clone(&machine),
+                Arc::clone(&capper),
+                SocketId(s),
+                usize::from(s) * usize::from(arch.cores_per_socket),
+                cfg.clone(),
+            )?;
+            Ok((spec.controller.build(&cfg), Sampler::new(), act))
+        })
+        .collect::<Result<Vec<_>>>()?;
+
+    // Prime all samplers at t = 0.
+    for (idx, (_, sampler, _)) in per_socket.iter_mut().enumerate() {
+        sampler.sample(machine.as_ref(), SocketId(idx as u16))?;
+    }
+    let start_snaps: Vec<_> = (0..arch.sockets)
+        .map(|s| machine.sample(SocketId(s)))
+        .collect::<Result<Vec<_>>>()?;
+    let started = machine.now();
+
+    let ticks_per_interval =
+        (cfg.interval.as_micros() / machine.config().tick.as_micros()).max(1);
+    let max_duration = Duration::from_seconds(Seconds(nominal.value() * 10.0 + 30.0));
+
+    'outer: loop {
+        for _ in 0..ticks_per_interval {
+            machine.tick();
+            if machine.done() {
+                break 'outer;
+            }
+            if machine.now().duration_since(started) >= max_duration {
+                return Err(Error::Precondition(format!(
+                    "{} did not finish within 10x nominal time under {}",
+                    spec.app,
+                    spec.controller.label()
+                )));
+            }
+        }
+        for (idx, (controller, sampler, act)) in per_socket.iter_mut().enumerate() {
+            if let Some(metrics) = sampler.sample(machine.as_ref(), SocketId(idx as u16))? {
+                controller.on_interval(&metrics, act as &mut dyn Actuators)?;
+            }
+        }
+    }
+
+    let exec_time = machine.now().duration_since(started).as_seconds();
+    let mut pkg = Joules(0.0);
+    let mut dram = Joules(0.0);
+    for (s, start) in start_snaps.iter().enumerate() {
+        let end = machine.sample(SocketId(s as u16))?;
+        pkg += end.pkg_energy - start.pkg_energy;
+        dram += end.dram_energy - start.dram_energy;
+    }
+
+    let trace = match spec.trace {
+        Some(t) => machine.take_trace(t.socket)?,
+        None => None,
+    };
+
+    Ok(RunResult {
+        exec_time,
+        avg_pkg_power: pkg / exec_time,
+        avg_dram_power: dram / exec_time,
+        pkg_energy: pkg,
+        dram_energy: dram,
+        trace,
+    })
+}
+
+/// Executes `runs` seeded repetitions in parallel and summarizes them with
+/// the paper's trimmed statistics.
+pub fn run_repeated(spec: &ExperimentSpec, runs: usize, base_seed: u64) -> Result<RepeatedResult> {
+    if runs == 0 {
+        return Err(Error::Precondition("runs must be >= 1".into()));
+    }
+    let results: Vec<RunResult> = (0..runs)
+        .into_par_iter()
+        .map(|i| run_once(spec, base_seed.wrapping_add(i as u64 * 7919)))
+        .collect::<Result<Vec<_>>>()?;
+
+    let times: Vec<f64> = results.iter().map(|r| r.exec_time.value()).collect();
+    let pkg: Vec<f64> = results.iter().map(|r| r.avg_pkg_power.value()).collect();
+    let dram: Vec<f64> = results.iter().map(|r| r.avg_dram_power.value()).collect();
+    let energy: Vec<f64> = results.iter().map(|r| r.total_energy().value()).collect();
+    Ok(RepeatedResult {
+        exec_time: trimmed(&times),
+        pkg_power: trimmed(&pkg),
+        dram_power: trimmed(&dram),
+        total_energy: trimmed(&energy),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(app: &str, controller: ControllerKind) -> ExperimentSpec {
+        ExperimentSpec {
+            sim: SimConfig::yeti_single_socket(0),
+            app: app.into(),
+            controller,
+            trace: None, interval_ms: None,
+        }
+    }
+
+    #[test]
+    fn default_run_produces_sane_numbers() {
+        let r = run_once(&spec("EP", ControllerKind::Default), 1).unwrap();
+        assert!((25.0..40.0).contains(&r.exec_time.value()), "{:?}", r.exec_time);
+        assert!(
+            (100.0..135.0).contains(&r.avg_pkg_power.value()),
+            "pkg {:?}",
+            r.avg_pkg_power
+        );
+        assert!(r.avg_dram_power.value() > 10.0);
+        assert!(r.total_energy().value() > 0.0);
+    }
+
+    #[test]
+    fn unknown_app_errors() {
+        assert!(run_once(&spec("NOPE", ControllerKind::Default), 1).is_err());
+    }
+
+    #[test]
+    fn static_cap_reduces_power_and_slows_compute() {
+        let free = run_once(&spec("EP", ControllerKind::Default), 1).unwrap();
+        let capped = run_once(
+            &spec(
+                "EP",
+                ControllerKind::StaticCap {
+                    cap: Watts(100.0),
+                },
+            ),
+            1,
+        )
+        .unwrap();
+        assert!(capped.avg_pkg_power.value() < free.avg_pkg_power.value() - 10.0);
+        assert!(capped.exec_time.value() > free.exec_time.value() * 1.02);
+    }
+
+    #[test]
+    fn dufp_respects_large_slowdown_budget_on_ep() {
+        let free = run_once(&spec("EP", ControllerKind::Default), 2).unwrap();
+        let dufp = run_once(
+            &spec(
+                "EP",
+                ControllerKind::Dufp {
+                    slowdown: Ratio::from_percent(20.0),
+                },
+            ),
+            2,
+        )
+        .unwrap();
+        let overhead = dufp.exec_time.value() / free.exec_time.value() - 1.0;
+        assert!(overhead < 0.25, "overhead {overhead}");
+        assert!(
+            dufp.avg_pkg_power.value() < free.avg_pkg_power.value(),
+            "DUFP must save power on EP"
+        );
+    }
+
+    #[test]
+    fn trace_request_round_trips() {
+        let mut s = spec("CG", ControllerKind::Default);
+        s.trace = Some(TraceSpec {
+            socket: SocketId(0),
+            stride: 100,
+        });
+        let r = run_once(&s, 3).unwrap();
+        let trace = r.trace.expect("trace requested");
+        assert!(!trace.points.is_empty());
+    }
+
+    #[test]
+    fn repeated_runs_summarize() {
+        let r = run_repeated(&spec("EP", ControllerKind::Default), 4, 10).unwrap();
+        assert_eq!(r.exec_time.n, 2, "4 runs, trimmed to 2");
+        assert!(r.exec_time.relative_spread() < 0.05);
+    }
+
+    #[test]
+    fn zero_runs_rejected() {
+        assert!(run_repeated(&spec("EP", ControllerKind::Default), 0, 1).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! PAPI-style named events and event sets.
+//!
+//! DUF/DUFP historically program a PAPI event set containing the
+//! double-precision FLOP counter, an uncore traffic proxy and the two RAPL
+//! energy components. This module offers the same ergonomics on top of
+//! [`crate::telemetry::Telemetry`]: select events by name, read them as a
+//! value vector.
+
+use crate::telemetry::{CounterSnapshot, Telemetry};
+use dufp_types::{Error, Result, SocketId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The counters the measurement layer can expose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// Double-precision floating point operations (`PAPI_DP_OPS`).
+    DpOps,
+    /// Bytes moved between socket and DRAM (uncore IMC counters).
+    DramBytes,
+    /// Package energy in nanojoules (`rapl:::PACKAGE_ENERGY:PACKAGE<n>`).
+    PackageEnergyNj,
+    /// DRAM energy in nanojoules (`rapl:::DRAM_ENERGY:PACKAGE<n>`).
+    DramEnergyNj,
+    /// Average core frequency in kHz (APERF/MPERF derived).
+    CoreFreqKhz,
+}
+
+impl Event {
+    /// The PAPI-style name of this event.
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::DpOps => "PAPI_DP_OPS",
+            Event::DramBytes => "uncore_imc::CAS_COUNT_BYTES",
+            Event::PackageEnergyNj => "rapl:::PACKAGE_ENERGY",
+            Event::DramEnergyNj => "rapl:::DRAM_ENERGY",
+            Event::CoreFreqKhz => "aperf_mperf::AVG_CORE_FREQ_KHZ",
+        }
+    }
+
+    /// Parses a PAPI-style name.
+    pub fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "PAPI_DP_OPS" => Ok(Event::DpOps),
+            "uncore_imc::CAS_COUNT_BYTES" => Ok(Event::DramBytes),
+            "rapl:::PACKAGE_ENERGY" => Ok(Event::PackageEnergyNj),
+            "rapl:::DRAM_ENERGY" => Ok(Event::DramEnergyNj),
+            "aperf_mperf::AVG_CORE_FREQ_KHZ" => Ok(Event::CoreFreqKhz),
+            other => Err(Error::invalid("event name", other.to_owned())),
+        }
+    }
+
+    /// Extracts this event's value from a snapshot.
+    pub fn extract(self, s: &CounterSnapshot) -> f64 {
+        match self {
+            Event::DpOps => s.flops,
+            Event::DramBytes => s.bytes,
+            Event::PackageEnergyNj => s.pkg_energy.value() * 1e9,
+            Event::DramEnergyNj => s.dram_energy.value() * 1e9,
+            Event::CoreFreqKhz => s.avg_core_freq.value() / 1e3,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered selection of events read together, PAPI-eventset style.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventSet {
+    events: Vec<Event>,
+}
+
+impl EventSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full set DUF/DUFP program: FLOPs, bytes, both energies, core
+    /// frequency.
+    pub fn dufp_default() -> Self {
+        EventSet {
+            events: vec![
+                Event::DpOps,
+                Event::DramBytes,
+                Event::PackageEnergyNj,
+                Event::DramEnergyNj,
+                Event::CoreFreqKhz,
+            ],
+        }
+    }
+
+    /// Adds an event; duplicates are rejected like PAPI does.
+    pub fn add(&mut self, event: Event) -> Result<()> {
+        if self.events.contains(&event) {
+            return Err(Error::invalid("event", format!("{event} already in set")));
+        }
+        self.events.push(event);
+        Ok(())
+    }
+
+    /// The events in read order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are selected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Reads all selected events from `telemetry` for `socket`, in order.
+    pub fn read(&self, telemetry: &dyn Telemetry, socket: SocketId) -> Result<Vec<f64>> {
+        let snap = telemetry.sample(socket)?;
+        Ok(self.events.iter().map(|e| e.extract(&snap)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::{Hertz, Instant, Joules};
+
+    fn snap() -> CounterSnapshot {
+        CounterSnapshot {
+            at: Instant(0),
+            flops: 1e9,
+            bytes: 2e9,
+            pkg_energy: Joules(3.0),
+            dram_energy: Joules(0.5),
+            avg_core_freq: Hertz::from_ghz(2.5),
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for e in [
+            Event::DpOps,
+            Event::DramBytes,
+            Event::PackageEnergyNj,
+            Event::DramEnergyNj,
+            Event::CoreFreqKhz,
+        ] {
+            assert_eq!(Event::from_name(e.name()).unwrap(), e);
+        }
+        assert!(Event::from_name("PAPI_NOPE").is_err());
+    }
+
+    #[test]
+    fn extract_scales_correctly() {
+        let s = snap();
+        assert_eq!(Event::DpOps.extract(&s), 1e9);
+        assert_eq!(Event::PackageEnergyNj.extract(&s), 3e9);
+        assert_eq!(Event::CoreFreqKhz.extract(&s), 2.5e6);
+    }
+
+    #[test]
+    fn duplicate_events_rejected() {
+        let mut set = EventSet::new();
+        set.add(Event::DpOps).unwrap();
+        assert!(set.add(Event::DpOps).is_err());
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn default_set_reads_in_order() {
+        use crate::telemetry::test_support::Scripted;
+        let t = Scripted::new(vec![snap()]);
+        let set = EventSet::dufp_default();
+        let vals = set.read(&t, SocketId(0)).unwrap();
+        assert_eq!(vals.len(), 5);
+        assert_eq!(vals[0], 1e9);
+        assert_eq!(vals[1], 2e9);
+    }
+}

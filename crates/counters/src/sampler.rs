@@ -1,0 +1,189 @@
+//! Periodic sampling and derived interval metrics.
+//!
+//! Both DUF and DUFP observe the platform at a fixed monitoring interval
+//! (200 ms in the paper, §IV-D: shorter intervals add overhead, longer ones
+//! apply bad caps for too long). Each interval is summarized as an
+//! [`IntervalMetrics`]: FLOPS/s, memory bandwidth, operational intensity,
+//! package and DRAM power, average core frequency.
+
+use crate::telemetry::{CounterSnapshot, Telemetry};
+use dufp_types::{
+    BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Result, Seconds, SocketId, Watts,
+};
+use serde::{Deserialize, Serialize};
+
+/// Derived measurements over one monitoring interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalMetrics {
+    /// End of the interval.
+    pub at: Instant,
+    /// Interval length.
+    pub interval: Seconds,
+    /// FLOPS/s achieved over the interval — DUFP's primary performance
+    /// signal.
+    pub flops: FlopsPerSec,
+    /// Memory bandwidth over the interval.
+    pub bandwidth: BytesPerSec,
+    /// Operational intensity (`flops / bandwidth`).
+    pub oi: OpIntensity,
+    /// Average package power over the interval.
+    pub pkg_power: Watts,
+    /// Average DRAM power over the interval.
+    pub dram_power: Watts,
+    /// Average core frequency over the interval.
+    pub core_freq: Hertz,
+}
+
+/// Differencing sampler for one socket.
+///
+/// Call [`Sampler::sample`] once per monitoring interval; the first call
+/// only primes the baseline and yields `None`.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    prev: Option<CounterSnapshot>,
+}
+
+impl Sampler {
+    /// A sampler with no baseline yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a snapshot and, when a baseline exists, returns the metrics of
+    /// the elapsed interval.
+    pub fn sample(
+        &mut self,
+        telemetry: &dyn Telemetry,
+        socket: SocketId,
+    ) -> Result<Option<IntervalMetrics>> {
+        let snap = telemetry.sample(socket)?;
+        let metrics = self.prev.take().map(|prev| Self::derive(&prev, &snap));
+        self.prev = Some(snap);
+        Ok(metrics.flatten())
+    }
+
+    /// Drops the baseline, so the next call primes afresh. Used after
+    /// experiment restarts.
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+
+    fn derive(prev: &CounterSnapshot, cur: &CounterSnapshot) -> Option<IntervalMetrics> {
+        let dt = cur.at.duration_since(prev.at).as_seconds();
+        if dt.value() <= 0.0 {
+            return None;
+        }
+        let d_flops = (cur.flops - prev.flops).max(0.0);
+        let d_bytes = (cur.bytes - prev.bytes).max(0.0);
+        let flops = FlopsPerSec(d_flops / dt.value());
+        let bandwidth = BytesPerSec(d_bytes / dt.value());
+        let oi = if bandwidth.value() > 0.0 {
+            flops / bandwidth
+        } else {
+            OpIntensity(f64::INFINITY)
+        };
+        Some(IntervalMetrics {
+            at: cur.at,
+            interval: dt,
+            flops,
+            bandwidth,
+            oi,
+            pkg_power: (cur.pkg_energy - prev.pkg_energy) / dt,
+            dram_power: (cur.dram_energy - prev.dram_energy) / dt,
+            core_freq: cur.avg_core_freq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::test_support::Scripted;
+    use dufp_types::Joules;
+
+    fn snap(at_ms: u64, flops: f64, bytes: f64, pkg_j: f64, dram_j: f64) -> CounterSnapshot {
+        CounterSnapshot {
+            at: Instant(at_ms * 1000),
+            flops,
+            bytes,
+            pkg_energy: Joules(pkg_j),
+            dram_energy: Joules(dram_j),
+            avg_core_freq: Hertz::from_ghz(2.8),
+        }
+    }
+
+    #[test]
+    fn first_sample_primes_only() {
+        let t = Scripted::new(vec![snap(0, 0.0, 0.0, 0.0, 0.0)]);
+        let mut s = Sampler::new();
+        assert!(s.sample(&t, SocketId(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn derives_rates_over_200ms() {
+        let t = Scripted::new(vec![
+            snap(0, 0.0, 0.0, 0.0, 0.0),
+            snap(200, 2e9, 4e9, 25.0, 6.0),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        let m = s.sample(&t, SocketId(0)).unwrap().unwrap();
+        assert!((m.interval.value() - 0.2).abs() < 1e-9);
+        assert!((m.flops.value() - 1e10).abs() < 1.0);
+        assert!((m.bandwidth.value() - 2e10).abs() < 1.0);
+        assert!((m.oi.value() - 0.5).abs() < 1e-9);
+        assert!((m.pkg_power.value() - 125.0).abs() < 1e-9);
+        assert!((m.dram_power.value() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_bandwidth_gives_infinite_oi() {
+        let t = Scripted::new(vec![
+            snap(0, 0.0, 0.0, 0.0, 0.0),
+            snap(200, 1e9, 0.0, 10.0, 1.0),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        let m = s.sample(&t, SocketId(0)).unwrap().unwrap();
+        assert!(m.oi.value().is_infinite());
+    }
+
+    #[test]
+    fn non_advancing_clock_yields_none() {
+        let t = Scripted::new(vec![
+            snap(100, 1.0, 1.0, 1.0, 1.0),
+            snap(100, 2.0, 2.0, 2.0, 2.0),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        assert!(s.sample(&t, SocketId(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn counter_regression_clamps_to_zero() {
+        // A wrapped / reset raw counter must not produce negative rates.
+        let t = Scripted::new(vec![
+            snap(0, 5e9, 5e9, 10.0, 1.0),
+            snap(200, 1e9, 1e9, 11.0, 1.1),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        let m = s.sample(&t, SocketId(0)).unwrap().unwrap();
+        assert_eq!(m.flops.value(), 0.0);
+        assert_eq!(m.bandwidth.value(), 0.0);
+    }
+
+    #[test]
+    fn reset_forces_reprime() {
+        let t = Scripted::new(vec![
+            snap(0, 0.0, 0.0, 0.0, 0.0),
+            snap(200, 1.0, 1.0, 1.0, 1.0),
+            snap(400, 2.0, 2.0, 2.0, 2.0),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        s.reset();
+        assert!(s.sample(&t, SocketId(0)).unwrap().is_none());
+        assert!(s.sample(&t, SocketId(0)).unwrap().is_some());
+    }
+}

@@ -1,0 +1,113 @@
+//! Raw per-socket hardware counters.
+
+use dufp_types::{Hertz, Instant, Joules, Result, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// One reading of a socket's monotonic counters.
+///
+/// All fields except `at` and `avg_core_freq` are cumulative since an
+/// implementation-defined epoch; consumers must difference consecutive
+/// snapshots, never interpret absolute values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// When the snapshot was taken (simulated or wall-clock timeline).
+    pub at: Instant,
+    /// Double-precision floating-point operations retired.
+    pub flops: f64,
+    /// Bytes transferred between the socket and DRAM.
+    pub bytes: f64,
+    /// Package (PKG RAPL domain) energy.
+    pub pkg_energy: Joules,
+    /// DRAM RAPL domain energy.
+    pub dram_energy: Joules,
+    /// Average core frequency over the recent past (APERF/MPERF style).
+    pub avg_core_freq: Hertz,
+}
+
+/// Read access to a platform's performance and energy counters.
+///
+/// Implementations must be thread-safe: DUFP runs one controller per socket
+/// concurrently.
+pub trait Telemetry: Send + Sync {
+    /// Samples the counters of `socket`.
+    fn sample(&self, socket: SocketId) -> Result<CounterSnapshot>;
+
+    /// Sockets this platform exposes.
+    fn socket_count(&self) -> usize;
+}
+
+impl<T: Telemetry + ?Sized> Telemetry for std::sync::Arc<T> {
+    fn sample(&self, socket: SocketId) -> Result<CounterSnapshot> {
+        (**self).sample(socket)
+    }
+    fn socket_count(&self) -> usize {
+        (**self).socket_count()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use dufp_types::Error;
+    use std::sync::Mutex;
+
+    /// A scripted telemetry source replaying a fixed snapshot sequence.
+    pub struct Scripted {
+        pub frames: Mutex<std::vec::IntoIter<CounterSnapshot>>,
+    }
+
+    impl Scripted {
+        pub fn new(frames: Vec<CounterSnapshot>) -> Self {
+            Scripted {
+                frames: Mutex::new(frames.into_iter()),
+            }
+        }
+    }
+
+    impl Telemetry for Scripted {
+        fn sample(&self, _socket: SocketId) -> Result<CounterSnapshot> {
+            self.frames
+                .lock()
+                .unwrap()
+                .next()
+                .ok_or_else(|| Error::Precondition("script exhausted".into()))
+        }
+        fn socket_count(&self) -> usize {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_plain_data() {
+        let s = CounterSnapshot {
+            at: Instant(1),
+            flops: 10.0,
+            bytes: 20.0,
+            pkg_energy: Joules(1.0),
+            dram_energy: Joules(0.5),
+            avg_core_freq: Hertz::from_ghz(2.8),
+        };
+        let t = s;
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn scripted_source_replays_then_errors() {
+        use test_support::Scripted;
+        let s = Scripted::new(vec![CounterSnapshot {
+            at: Instant(0),
+            flops: 0.0,
+            bytes: 0.0,
+            pkg_energy: Joules(0.0),
+            dram_energy: Joules(0.0),
+            avg_core_freq: Hertz::ZERO,
+        }]);
+        assert!(s.sample(SocketId(0)).is_ok());
+        assert!(s.sample(SocketId(0)).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Achievable memory bandwidth as a function of uncore frequency and
+//! power-cap pressure.
+//!
+//! Two effects matter to the controllers:
+//!
+//! 1. Bandwidth scales nearly linearly with uncore frequency until a knee
+//!    (the mesh stops being the bottleneck), then saturates. This is why
+//!    DUF can lower the uncore on compute phases for free but must stop at
+//!    the knee on memory phases.
+//! 2. Very deep power caps starve the memory subsystem and erode bandwidth
+//!    even at a fixed uncore frequency — the paper's stated reason for the
+//!    65 W cap floor (§IV-A).
+
+use dufp_types::{BytesPerSec, Hertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth transfer function for one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthModel {
+    /// Peak bandwidth with the uncore at or above the knee.
+    pub peak: BytesPerSec,
+    /// Uncore frequency above which bandwidth no longer improves.
+    pub knee_freq: Hertz,
+    /// Exponent of the sub-knee scaling: 1 = linear, 2 = convex (latency
+    /// effects compound the raw mesh-throughput loss).
+    pub uncore_exponent: f64,
+    /// Power cap below which bandwidth starts to degrade.
+    pub cap_knee: Watts,
+    /// Fractional bandwidth loss per watt below [`Self::cap_knee`].
+    pub cap_slope_per_watt: f64,
+    /// Lower bound on the cap-induced degradation factor.
+    pub cap_floor_factor: f64,
+}
+
+impl BandwidthModel {
+    /// Xeon Gold 6130 with six DDR4-2666 channels.
+    pub fn xeon_gold_6130() -> Self {
+        BandwidthModel {
+            peak: BytesPerSec::from_gib(105.0),
+            knee_freq: Hertz::from_ghz(2.0),
+            uncore_exponent: 3.0,
+            cap_knee: Watts(68.0),
+            cap_slope_per_watt: 0.012,
+            cap_floor_factor: 0.35,
+        }
+    }
+
+    /// Fraction of peak bandwidth available at `uncore_freq` (cap ignored).
+    pub fn uncore_factor(&self, uncore_freq: Hertz) -> f64 {
+        (uncore_freq.value() / self.knee_freq.value())
+            .clamp(0.0, 1.0)
+            .powf(self.uncore_exponent.max(1e-9))
+    }
+
+    /// Degradation factor from power-cap starvation, `(0, 1]`.
+    pub fn cap_factor(&self, cap: Watts) -> f64 {
+        if cap >= self.cap_knee {
+            1.0
+        } else {
+            (1.0 - self.cap_slope_per_watt * (self.cap_knee - cap).value())
+                .max(self.cap_floor_factor)
+        }
+    }
+
+    /// Achievable bandwidth at this operating point.
+    pub fn achievable(&self, uncore_freq: Hertz, cap: Watts) -> BytesPerSec {
+        self.peak * self.uncore_factor(uncore_freq) * self.cap_factor(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn saturates_above_knee() {
+        let m = BandwidthModel::xeon_gold_6130();
+        let at_knee = m.achievable(Hertz::from_ghz(2.0), Watts(125.0));
+        let above = m.achievable(Hertz::from_ghz(2.4), Watts(125.0));
+        assert_eq!(at_knee, above);
+        assert_eq!(above, m.peak);
+    }
+
+    #[test]
+    fn convex_below_knee() {
+        // γ = 3: half the knee frequency gives an eighth of peak bandwidth.
+        let m = BandwidthModel::xeon_gold_6130();
+        let half = m.achievable(Hertz::from_ghz(1.0), Watts(125.0));
+        assert!((half.value() / m.peak.value() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_cap_floor_is_nearly_free() {
+        // 65 W — the paper's chosen floor — must cost almost no bandwidth,
+        // while 45 W visibly hurts. That asymmetry is why 65 W was chosen.
+        let m = BandwidthModel::xeon_gold_6130();
+        assert!(m.cap_factor(Watts(65.0)) > 0.95);
+        assert!(m.cap_factor(Watts(45.0)) < 0.80);
+    }
+
+    #[test]
+    fn cap_factor_floors_out() {
+        let m = BandwidthModel::xeon_gold_6130();
+        assert_eq!(m.cap_factor(Watts(0.0)), m.cap_floor_factor);
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_in_uncore(f1 in 0.5f64..3.0, f2 in 0.5f64..3.0) {
+            let m = BandwidthModel::xeon_gold_6130();
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            prop_assert!(
+                m.achievable(Hertz::from_ghz(lo), Watts(100.0)).value()
+                    <= m.achievable(Hertz::from_ghz(hi), Watts(100.0)).value() + 1e-6
+            );
+        }
+
+        #[test]
+        fn monotone_in_cap(c1 in 20.0f64..150.0, c2 in 20.0f64..150.0) {
+            let m = BandwidthModel::xeon_gold_6130();
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            prop_assert!(
+                m.achievable(Hertz::from_ghz(2.0), Watts(lo)).value()
+                    <= m.achievable(Hertz::from_ghz(2.0), Watts(hi)).value() + 1e-6
+            );
+        }
+
+        #[test]
+        fn always_positive_and_bounded(f in 0.1f64..3.0, c in 0.0f64..200.0) {
+            let m = BandwidthModel::xeon_gold_6130();
+            let bw = m.achievable(Hertz::from_ghz(f), Watts(c));
+            prop_assert!(bw.value() >= 0.0);
+            prop_assert!(bw.value() <= m.peak.value() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! RAPL power-cap enforcement model.
+//!
+//! Real RAPL keeps a *running average* of package power inside each
+//! constraint's time window and throttles core frequency (DVFS) when the
+//! average approaches the limit (§II-B of the paper). Two behaviours matter
+//! to DUFP and are reproduced here:
+//!
+//! * **Burst headroom** — after a quiet spell the package may exceed PL1
+//!   (up to PL2) for a short while: the long-window average has slack.
+//! * **Settle latency** — a freshly written, lower limit takes a little
+//!   while to bite; the measured power transiently exceeds the new cap.
+//!   DUFP §IV-D detects exactly this and resets the cap when it happens.
+//!
+//! The enforcer exposes a single *power allowance*: the instantaneous
+//! package power the firmware will currently tolerate. The simulator picks
+//! the highest DVFS point whose predicted power fits the allowance.
+
+use dufp_types::{Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the enforcement dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapEnforcerParams {
+    /// First-order time constant with which a new limit takes effect.
+    pub settle_tau: Seconds,
+    /// How much of the long-window slack converts into burst allowance.
+    pub burst_gain: f64,
+}
+
+impl Default for CapEnforcerParams {
+    fn default() -> Self {
+        CapEnforcerParams {
+            settle_tau: Seconds(0.015),
+            burst_gain: 0.5,
+        }
+    }
+}
+
+/// Windowed-average power-limit enforcement for one package.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapEnforcer {
+    params: CapEnforcerParams,
+    pl1: Watts,
+    pl1_window: Seconds,
+    pl2: Watts,
+    pl2_window: Seconds,
+    ema_long: f64,
+    ema_short: f64,
+    allowance: f64,
+}
+
+impl CapEnforcer {
+    /// Creates an enforcer with the given limits; averages start at the PL1
+    /// level (no artificial cold-start burst).
+    pub fn new(
+        pl1: Watts,
+        pl1_window: Seconds,
+        pl2: Watts,
+        pl2_window: Seconds,
+        params: CapEnforcerParams,
+    ) -> Self {
+        CapEnforcer {
+            params,
+            pl1,
+            pl1_window,
+            pl2,
+            pl2_window,
+            ema_long: pl1.value(),
+            ema_short: pl1.value(),
+            allowance: pl1.value(),
+        }
+    }
+
+    /// Replaces both limits (what a `MSR_PKG_POWER_LIMIT` write does). The
+    /// running averages are *kept* — that is what makes a cap decrease
+    /// settle gradually.
+    pub fn set_limits(&mut self, pl1: Watts, pl2: Watts) {
+        self.pl1 = pl1;
+        self.pl2 = pl2;
+    }
+
+    /// Current long-term limit.
+    pub fn pl1(&self) -> Watts {
+        self.pl1
+    }
+
+    /// Current short-term limit.
+    pub fn pl2(&self) -> Watts {
+        self.pl2
+    }
+
+    /// Long-window average power currently tracked by the firmware.
+    pub fn long_window_avg(&self) -> Watts {
+        Watts(self.ema_long)
+    }
+
+    /// Advances the firmware state by `dt` with `measured` package power,
+    /// returning the updated instantaneous power allowance.
+    pub fn step(&mut self, dt: Seconds, measured: Watts) -> Watts {
+        let a_long = (dt.value() / self.pl1_window.value().max(1e-6)).clamp(0.0, 1.0);
+        let a_short = (dt.value() / self.pl2_window.value().max(1e-6)).clamp(0.0, 1.0);
+        self.ema_long += a_long * (measured.value() - self.ema_long);
+        self.ema_short += a_short * (measured.value() - self.ema_short);
+
+        let pl1_allow =
+            self.pl1.value() + self.params.burst_gain * (self.pl1.value() - self.ema_long);
+        let pl2_allow = self.pl2.value();
+        let target = pl1_allow.min(pl2_allow).max(0.0);
+
+        // First-order settle toward the target allowance.
+        let k = 1.0 - (-dt.value() / self.params.settle_tau.value().max(1e-6)).exp();
+        self.allowance += k * (target - self.allowance);
+        Watts(self.allowance)
+    }
+
+    /// The instantaneous allowance without advancing time.
+    pub fn allowance(&self) -> Watts {
+        Watts(self.allowance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn yeti_enforcer() -> CapEnforcer {
+        CapEnforcer::new(
+            Watts(125.0),
+            Seconds(1.0),
+            Watts(150.0),
+            Seconds(0.01),
+            CapEnforcerParams::default(),
+        )
+    }
+
+    /// Runs the enforcer for `secs`, with the package always consuming
+    /// exactly the allowance (a perfectly cap-riding workload).
+    fn run_riding(e: &mut CapEnforcer, secs: f64) -> Watts {
+        let dt = Seconds(0.001);
+        let mut allow = e.allowance();
+        let steps = (secs / dt.value()) as usize;
+        for _ in 0..steps {
+            allow = e.step(dt, allow);
+        }
+        allow
+    }
+
+    #[test]
+    fn steady_state_rides_pl1() {
+        let mut e = yeti_enforcer();
+        let allow = run_riding(&mut e, 3.0);
+        assert!(
+            (allow.value() - 125.0).abs() < 1.0,
+            "steady allowance {allow} should converge to PL1"
+        );
+    }
+
+    #[test]
+    fn quiet_spell_earns_burst_headroom_up_to_pl2() {
+        let mut e = yeti_enforcer();
+        // Idle at 40 W for 3 s: the long window drains.
+        let dt = Seconds(0.001);
+        for _ in 0..3000 {
+            e.step(dt, Watts(40.0));
+        }
+        let allow = e.step(dt, Watts(40.0));
+        assert!(allow.value() > 130.0, "post-idle burst {allow}");
+        assert!(allow.value() <= 150.0 + 1e-9, "bounded by PL2");
+    }
+
+    #[test]
+    fn lowering_cap_settles_gradually() {
+        let mut e = yeti_enforcer();
+        run_riding(&mut e, 2.0);
+        e.set_limits(Watts(100.0), Watts(100.0));
+        // Immediately after the write the allowance still exceeds the new
+        // cap — the §IV-D transient DUFP must tolerate.
+        let first = e.step(Seconds(0.001), Watts(125.0));
+        assert!(first.value() > 100.0, "transient overshoot, got {first}");
+        // But within ~10 settle constants it is enforced.
+        let mut allow = first;
+        for _ in 0..200 {
+            allow = e.step(Seconds(0.001), allow);
+        }
+        assert!(
+            allow.value() <= 101.0,
+            "cap must bite after settling, got {allow}"
+        );
+    }
+
+    #[test]
+    fn raising_cap_restores_allowance() {
+        let mut e = yeti_enforcer();
+        e.set_limits(Watts(80.0), Watts(80.0));
+        run_riding(&mut e, 2.0);
+        e.set_limits(Watts(125.0), Watts(150.0));
+        let allow = run_riding(&mut e, 2.0);
+        assert!((allow.value() - 125.0).abs() < 2.0, "restored {allow}");
+    }
+
+    #[test]
+    fn zero_cap_drives_allowance_to_zero() {
+        let mut e = yeti_enforcer();
+        e.set_limits(Watts(0.0), Watts(0.0));
+        let allow = run_riding(&mut e, 1.0);
+        assert!(allow.value() < 1.0, "got {allow}");
+    }
+
+    proptest! {
+        #[test]
+        fn allowance_bounded_and_settles_under_pl2(
+            power in 0.0f64..300.0,
+            pl1 in 40.0f64..125.0,
+            steps in 1usize..500,
+        ) {
+            let mut e = yeti_enforcer();
+            e.set_limits(Watts(pl1), Watts(pl1 + 25.0));
+            let mut allow = Watts(0.0);
+            for _ in 0..steps {
+                allow = e.step(Seconds(0.001), Watts(power));
+            }
+            // During the settle transient the allowance may still reflect
+            // the previous (higher) limits, but never more than the larger
+            // of the old allowance and the new PL2.
+            prop_assert!(allow.value() <= 125.0f64.max(pl1 + 25.0) + 1e-6);
+            prop_assert!(allow.value() >= 0.0);
+            // Once settled (≫ settle_tau), PL2 strictly bounds it.
+            for _ in 0..500 {
+                allow = e.step(Seconds(0.001), Watts(power));
+            }
+            prop_assert!(allow.value() <= pl1 + 25.0 + 1e-6);
+        }
+
+        #[test]
+        fn long_window_average_tracks_input(power in 10.0f64..200.0) {
+            let mut e = yeti_enforcer();
+            for _ in 0..20_000 {
+                e.step(Seconds(0.001), Watts(power));
+            }
+            prop_assert!((e.long_window_avg().value() - power).abs() < 1.0);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Roofline phase-progress model.
+//!
+//! A workload phase is characterized by the floating-point work and memory
+//! traffic needed per abstract *work unit*. Given the current compute
+//! capability (set by core frequency) and achievable bandwidth (set by
+//! uncore frequency and cap pressure), the phase progresses at a rate
+//! limited by the slower of the two, with a tunable partial-overlap term
+//! that softens the roofline ridge:
+//!
+//! ```text
+//! T_compute = flops_per_unit / compute_rate(f)
+//! T_memory  = bytes_per_unit / bandwidth
+//! rate      = 1 / (max(T_c, T_m) + overlap_penalty · min(T_c, T_m))
+//! ```
+//!
+//! Observed FLOPS/s is then `rate · flops_per_unit` and observed bandwidth
+//! `rate · bytes_per_unit` — precisely the two signals DUFP samples.
+
+use dufp_types::{BytesPerSec, FlopsPerSec, Hertz, OpIntensity};
+use serde::{Deserialize, Serialize};
+
+/// The paper's empirical phase taxonomy (§III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// `oi < 0.02` — cap may be dropped to the floor for free.
+    HighlyMemoryIntensive,
+    /// `0.02 ≤ oi < 1` — memory intensive.
+    MemoryIntensive,
+    /// `1 ≤ oi ≤ 100` — mixed.
+    Mixed,
+    /// `oi > 100` — reset the cap on any violation; also guard bandwidth.
+    HighlyComputeIntensive,
+}
+
+impl PhaseKind {
+    /// Classifies an operational intensity per the paper's thresholds.
+    pub fn classify(oi: OpIntensity) -> Self {
+        let v = oi.value();
+        if v < 0.02 {
+            PhaseKind::HighlyMemoryIntensive
+        } else if v < 1.0 {
+            PhaseKind::MemoryIntensive
+        } else if v <= 100.0 {
+            PhaseKind::Mixed
+        } else {
+            PhaseKind::HighlyComputeIntensive
+        }
+    }
+
+    /// True for both memory-intensive classes.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            PhaseKind::HighlyMemoryIntensive | PhaseKind::MemoryIntensive
+        )
+    }
+}
+
+/// Static compute/memory demands of one phase, per abstract work unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRates {
+    /// Floating-point operations per work unit.
+    pub flops_per_unit: f64,
+    /// Bytes of memory traffic per work unit.
+    pub bytes_per_unit: f64,
+    /// FLOPs each core retires per cycle in this phase (vectorization and
+    /// ILP quality; ≤ the machine's architectural peak).
+    pub flops_per_core_cycle: f64,
+    /// How poorly compute and memory overlap: `0` = perfect roofline,
+    /// `1` = fully serialized.
+    pub overlap_penalty: f64,
+}
+
+/// Evaluates phase progress on a socket with `cores` active cores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflineModel {
+    /// Active core count contributing compute capability.
+    pub cores: u16,
+}
+
+/// Progress and the observable signals it generates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProgress {
+    /// Work units completed per second.
+    pub units_per_sec: f64,
+    /// Resulting FLOPS/s signal.
+    pub flops: FlopsPerSec,
+    /// Resulting memory-traffic signal.
+    pub bandwidth: BytesPerSec,
+}
+
+impl RooflineModel {
+    /// Computes the progress rate of `phase` at core frequency `f` with
+    /// `bw` of achievable memory bandwidth.
+    pub fn progress(&self, phase: &PhaseRates, f: Hertz, bw: BytesPerSec) -> PhaseProgress {
+        let compute_rate =
+            phase.flops_per_core_cycle * f64::from(self.cores) * f.value().max(1.0);
+        let t_c = if phase.flops_per_unit > 0.0 {
+            phase.flops_per_unit / compute_rate
+        } else {
+            0.0
+        };
+        let t_m = if phase.bytes_per_unit > 0.0 {
+            phase.bytes_per_unit / bw.value().max(1.0)
+        } else {
+            0.0
+        };
+        let bound = t_c.max(t_m) + phase.overlap_penalty.clamp(0.0, 1.0) * t_c.min(t_m);
+        let rate = if bound > 0.0 { 1.0 / bound } else { 0.0 };
+        PhaseProgress {
+            units_per_sec: rate,
+            flops: FlopsPerSec(rate * phase.flops_per_unit),
+            bandwidth: BytesPerSec(rate * phase.bytes_per_unit),
+        }
+    }
+
+    /// The operational intensity this phase presents to the counters.
+    pub fn intensity(phase: &PhaseRates) -> OpIntensity {
+        if phase.bytes_per_unit > 0.0 {
+            OpIntensity(phase.flops_per_unit / phase.bytes_per_unit)
+        } else {
+            OpIntensity(f64::INFINITY)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn compute_phase() -> PhaseRates {
+        PhaseRates {
+            flops_per_unit: 1.0e9,
+            bytes_per_unit: 1.0e6, // oi = 1000
+            flops_per_core_cycle: 2.0,
+            overlap_penalty: 0.0,
+        }
+    }
+
+    fn memory_phase() -> PhaseRates {
+        PhaseRates {
+            flops_per_unit: 1.0e6,
+            bytes_per_unit: 1.0e9, // oi = 0.001
+            flops_per_core_cycle: 2.0,
+            overlap_penalty: 0.0,
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_thresholds() {
+        assert_eq!(
+            PhaseKind::classify(OpIntensity(0.001)),
+            PhaseKind::HighlyMemoryIntensive
+        );
+        assert_eq!(
+            PhaseKind::classify(OpIntensity(0.5)),
+            PhaseKind::MemoryIntensive
+        );
+        assert_eq!(PhaseKind::classify(OpIntensity(10.0)), PhaseKind::Mixed);
+        assert_eq!(
+            PhaseKind::classify(OpIntensity(150.0)),
+            PhaseKind::HighlyComputeIntensive
+        );
+        // Boundary values.
+        assert_eq!(
+            PhaseKind::classify(OpIntensity(0.02)),
+            PhaseKind::MemoryIntensive
+        );
+        assert_eq!(PhaseKind::classify(OpIntensity(1.0)), PhaseKind::Mixed);
+        assert_eq!(PhaseKind::classify(OpIntensity(100.0)), PhaseKind::Mixed);
+    }
+
+    #[test]
+    fn compute_phase_scales_with_frequency() {
+        let m = RooflineModel { cores: 16 };
+        let bw = BytesPerSec::from_gib(100.0);
+        let hi = m.progress(&compute_phase(), Hertz::from_ghz(2.8), bw);
+        let lo = m.progress(&compute_phase(), Hertz::from_ghz(1.4), bw);
+        let ratio = hi.flops.value() / lo.flops.value();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_phase_insensitive_to_core_frequency() {
+        let m = RooflineModel { cores: 16 };
+        let bw = BytesPerSec::from_gib(100.0);
+        let hi = m.progress(&memory_phase(), Hertz::from_ghz(2.8), bw);
+        let lo = m.progress(&memory_phase(), Hertz::from_ghz(1.0), bw);
+        let ratio = hi.flops.value() / lo.flops.value();
+        assert!(
+            (ratio - 1.0).abs() < 0.01,
+            "memory phase should not care about core f: {ratio}"
+        );
+    }
+
+    #[test]
+    fn memory_phase_scales_with_bandwidth() {
+        let m = RooflineModel { cores: 16 };
+        let hi = m.progress(&memory_phase(), Hertz::from_ghz(2.0), BytesPerSec::from_gib(100.0));
+        let lo = m.progress(&memory_phase(), Hertz::from_ghz(2.0), BytesPerSec::from_gib(50.0));
+        let ratio = hi.bandwidth.value() / lo.bandwidth.value();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn overlap_penalty_slows_progress() {
+        let m = RooflineModel { cores: 16 };
+        let mut p = compute_phase();
+        p.bytes_per_unit = 1.0e8;
+        let free = m.progress(&p, Hertz::from_ghz(2.0), BytesPerSec::from_gib(50.0));
+        p.overlap_penalty = 0.5;
+        let penalized = m.progress(&p, Hertz::from_ghz(2.0), BytesPerSec::from_gib(50.0));
+        assert!(penalized.units_per_sec < free.units_per_sec);
+    }
+
+    #[test]
+    fn signals_are_consistent_with_rate() {
+        let m = RooflineModel { cores: 16 };
+        let p = memory_phase();
+        let pr = m.progress(&p, Hertz::from_ghz(2.0), BytesPerSec::from_gib(80.0));
+        assert!((pr.flops.value() - pr.units_per_sec * p.flops_per_unit).abs() < 1e-3);
+        assert!((pr.bandwidth.value() - pr.units_per_sec * p.bytes_per_unit).abs() < 1e-3);
+    }
+
+    #[test]
+    fn intensity_of_pure_compute_is_infinite() {
+        let p = PhaseRates {
+            flops_per_unit: 1.0,
+            bytes_per_unit: 0.0,
+            flops_per_core_cycle: 2.0,
+            overlap_penalty: 0.0,
+        };
+        assert!(RooflineModel::intensity(&p).value().is_infinite());
+    }
+
+    proptest! {
+        #[test]
+        fn progress_monotone_in_frequency(
+            f1 in 1.0f64..3.0, f2 in 1.0f64..3.0,
+            flops in 1e6f64..1e10, bytes in 1e6f64..1e10,
+        ) {
+            let m = RooflineModel { cores: 16 };
+            let p = PhaseRates {
+                flops_per_unit: flops,
+                bytes_per_unit: bytes,
+                flops_per_core_cycle: 2.0,
+                overlap_penalty: 0.1,
+            };
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            let bw = BytesPerSec::from_gib(80.0);
+            let r_lo = m.progress(&p, Hertz::from_ghz(lo), bw);
+            let r_hi = m.progress(&p, Hertz::from_ghz(hi), bw);
+            prop_assert!(r_lo.units_per_sec <= r_hi.units_per_sec * (1.0 + 1e-9));
+        }
+
+        #[test]
+        fn progress_bounded_by_roofline(
+            f in 1.0f64..3.0,
+            flops in 1e6f64..1e10, bytes in 1e3f64..1e10,
+        ) {
+            let m = RooflineModel { cores: 16 };
+            let p = PhaseRates {
+                flops_per_unit: flops,
+                bytes_per_unit: bytes,
+                flops_per_core_cycle: 2.0,
+                overlap_penalty: 0.3,
+            };
+            let bw = BytesPerSec::from_gib(80.0);
+            let pr = m.progress(&p, Hertz::from_ghz(f), bw);
+            let compute_cap = 2.0 * 16.0 * Hertz::from_ghz(f).value();
+            prop_assert!(pr.flops.value() <= compute_cap * (1.0 + 1e-9));
+            prop_assert!(pr.bandwidth.value() <= bw.value() * (1.0 + 1e-9));
+        }
+    }
+}

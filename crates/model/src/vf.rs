@@ -1,0 +1,107 @@
+//! Voltage/frequency operating curve.
+//!
+//! Intel parts raise core voltage roughly affinely with frequency across the
+//! usable P-state range. Dynamic power then scales as `f · V(f)²`, which is
+//! why RAPL throttling (which lowers `f` *and* rides the curve down in `V`)
+//! saves disproportionately more power than performance is lost — the
+//! mechanism behind the paper's Fig. 5.
+
+use dufp_types::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// Affine V/f curve: `V(f) = v0 + slope_per_ghz · f[GHz]`, clamped to
+/// `[vmin, vmax]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VfCurve {
+    /// Extrapolated voltage at 0 Hz (volts).
+    pub v0: f64,
+    /// Voltage increase per GHz (volts).
+    pub slope_per_ghz: f64,
+    /// Lower rail clamp (volts).
+    pub vmin: f64,
+    /// Upper rail clamp (volts).
+    pub vmax: f64,
+}
+
+impl VfCurve {
+    /// Skylake-SP core voltage curve: ≈0.73 V at 1.0 GHz rising to
+    /// ≈1.05 V at the 2.8 GHz all-core turbo.
+    pub fn skylake_core() -> Self {
+        VfCurve {
+            v0: 0.55,
+            slope_per_ghz: 0.18,
+            vmin: 0.60,
+            vmax: 1.15,
+        }
+    }
+
+    /// Skylake-SP uncore (mesh/LLC) voltage curve: shallower than the cores.
+    pub fn skylake_uncore() -> Self {
+        VfCurve {
+            v0: 0.60,
+            slope_per_ghz: 0.15,
+            vmin: 0.62,
+            vmax: 1.05,
+        }
+    }
+
+    /// Operating voltage at frequency `f`.
+    #[inline]
+    pub fn voltage(&self, f: Hertz) -> f64 {
+        (self.v0 + self.slope_per_ghz * f.as_ghz()).clamp(self.vmin, self.vmax)
+    }
+
+    /// The `f · V(f)²` dynamic-power factor, normalized to hertz·volt².
+    #[inline]
+    pub fn dynamic_factor(&self, f: Hertz) -> f64 {
+        let v = self.voltage(f);
+        f.value() * v * v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn skylake_core_anchor_points() {
+        let c = VfCurve::skylake_core();
+        assert!((c.voltage(Hertz::from_ghz(1.0)) - 0.73).abs() < 1e-9);
+        assert!((c.voltage(Hertz::from_ghz(2.8)) - 1.054).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_clamps_at_rails() {
+        let c = VfCurve::skylake_core();
+        assert_eq!(c.voltage(Hertz::ZERO), c.vmin);
+        assert_eq!(c.voltage(Hertz::from_ghz(10.0)), c.vmax);
+    }
+
+    #[test]
+    fn dynamic_factor_superlinear_in_f() {
+        // Doubling f inside the affine region must more than double f·V².
+        let c = VfCurve::skylake_core();
+        let lo = c.dynamic_factor(Hertz::from_ghz(1.2));
+        let hi = c.dynamic_factor(Hertz::from_ghz(2.4));
+        assert!(hi > 2.0 * lo);
+    }
+
+    proptest! {
+        #[test]
+        fn voltage_monotone_nondecreasing(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+            let c = VfCurve::skylake_core();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.voltage(Hertz::from_ghz(lo)) <= c.voltage(Hertz::from_ghz(hi)) + 1e-12);
+        }
+
+        #[test]
+        fn dynamic_factor_monotone(a in 0.1f64..5.0, b in 0.1f64..5.0) {
+            let c = VfCurve::skylake_uncore();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(
+                c.dynamic_factor(Hertz::from_ghz(lo)) <= c.dynamic_factor(Hertz::from_ghz(hi)) + 1e-6
+            );
+        }
+    }
+}

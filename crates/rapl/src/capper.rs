@@ -1,0 +1,122 @@
+//! The power-capping backend abstraction.
+
+use dufp_types::{Joules, Result, SocketId, Watts};
+
+/// Which RAPL constraint a limit applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// `constraint_0`, "long_term" — PL1, defaults to TDP.
+    LongTerm,
+    /// `constraint_1`, "short_term" — PL2.
+    ShortTerm,
+}
+
+/// Package-level power capping and energy measurement.
+///
+/// Implementations must be thread-safe; DUFP drives one socket per thread.
+pub trait PowerCapper: Send + Sync {
+    /// Sets one constraint's power limit.
+    fn set_limit(&self, socket: SocketId, which: Constraint, limit: Watts) -> Result<()>;
+
+    /// Reads one constraint's power limit.
+    fn limit(&self, socket: SocketId, which: Constraint) -> Result<Watts>;
+
+    /// Sets both constraints at once (DUFP's cap *decrease* writes the same
+    /// value to both, §III).
+    fn set_both(&self, socket: SocketId, limit: Watts) -> Result<()> {
+        self.set_limit(socket, Constraint::LongTerm, limit)?;
+        self.set_limit(socket, Constraint::ShortTerm, limit)
+    }
+
+    /// The platform-default limits `(long_term, short_term)`.
+    fn defaults(&self, socket: SocketId) -> Result<(Watts, Watts)>;
+
+    /// Restores both constraints to their defaults (DUFP's cap *reset*).
+    fn reset(&self, socket: SocketId) -> Result<()> {
+        let (pl1, pl2) = self.defaults(socket)?;
+        self.set_limit(socket, Constraint::LongTerm, pl1)?;
+        self.set_limit(socket, Constraint::ShortTerm, pl2)
+    }
+
+    /// Monotonic, wrap-corrected package energy since the handle was
+    /// created.
+    fn package_energy(&self, socket: SocketId) -> Result<Joules>;
+
+    /// Monotonic, wrap-corrected DRAM energy since the handle was created.
+    fn dram_energy(&self, socket: SocketId) -> Result<Joules>;
+}
+
+impl<T: PowerCapper + ?Sized> PowerCapper for std::sync::Arc<T> {
+    fn set_limit(&self, socket: SocketId, which: Constraint, limit: Watts) -> Result<()> {
+        (**self).set_limit(socket, which, limit)
+    }
+    fn limit(&self, socket: SocketId, which: Constraint) -> Result<Watts> {
+        (**self).limit(socket, which)
+    }
+    fn defaults(&self, socket: SocketId) -> Result<(Watts, Watts)> {
+        (**self).defaults(socket)
+    }
+    fn package_energy(&self, socket: SocketId) -> Result<Joules> {
+        (**self).package_energy(socket)
+    }
+    fn dram_energy(&self, socket: SocketId) -> Result<Joules> {
+        (**self).dram_energy(socket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::Error;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// Minimal in-memory capper to exercise the trait's default methods.
+    struct MemCapper {
+        limits: Mutex<HashMap<(SocketId, Constraint), Watts>>,
+    }
+
+    impl PowerCapper for MemCapper {
+        fn set_limit(&self, s: SocketId, w: Constraint, l: Watts) -> Result<()> {
+            self.limits.lock().insert((s, w), l);
+            Ok(())
+        }
+        fn limit(&self, s: SocketId, w: Constraint) -> Result<Watts> {
+            self.limits
+                .lock()
+                .get(&(s, w))
+                .copied()
+                .ok_or_else(|| Error::Precondition("unset".into()))
+        }
+        fn defaults(&self, _: SocketId) -> Result<(Watts, Watts)> {
+            Ok((Watts(125.0), Watts(150.0)))
+        }
+        fn package_energy(&self, _: SocketId) -> Result<Joules> {
+            Ok(Joules(0.0))
+        }
+        fn dram_energy(&self, _: SocketId) -> Result<Joules> {
+            Ok(Joules(0.0))
+        }
+    }
+
+    #[test]
+    fn set_both_writes_both_constraints() {
+        let c = MemCapper {
+            limits: Mutex::new(HashMap::new()),
+        };
+        c.set_both(SocketId(0), Watts(90.0)).unwrap();
+        assert_eq!(c.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(90.0));
+        assert_eq!(c.limit(SocketId(0), Constraint::ShortTerm).unwrap(), Watts(90.0));
+    }
+
+    #[test]
+    fn reset_restores_defaults() {
+        let c = MemCapper {
+            limits: Mutex::new(HashMap::new()),
+        };
+        c.set_both(SocketId(1), Watts(70.0)).unwrap();
+        c.reset(SocketId(1)).unwrap();
+        assert_eq!(c.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(125.0));
+        assert_eq!(c.limit(SocketId(1), Constraint::ShortTerm).unwrap(), Watts(150.0));
+    }
+}

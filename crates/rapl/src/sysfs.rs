@@ -1,0 +1,290 @@
+//! The powercap sysfs backend (`/sys/class/powercap/intel-rapl:*`).
+//!
+//! This is the access path of the powercap library the paper uses. The
+//! kernel exposes, per package `intel-rapl:<n>`:
+//!
+//! ```text
+//! energy_uj                      cumulative energy, microjoules
+//! constraint_0_name              "long_term"
+//! constraint_0_power_limit_uw    PL1 in microwatts
+//! constraint_1_name              "short_term"
+//! constraint_1_power_limit_uw    PL2 in microwatts
+//! intel-rapl:<n>:0/              the DRAM subzone (name = "dram")
+//! ```
+//!
+//! The root directory is relocatable so tests can operate on a fixture
+//! tree; [`SysfsRapl::create_fixture`] builds one.
+
+use crate::capper::{Constraint, PowerCapper};
+use dufp_types::{Error, Joules, Result, SocketId, Watts};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Wrap window of the kernel's `energy_uj` file: the kernel itself widens
+/// the 32-bit hardware counter, but still wraps at `max_energy_range_uj`.
+const DEFAULT_MAX_ENERGY_RANGE_UJ: u64 = 262_143_328_850;
+
+/// RAPL capping via the powercap sysfs tree.
+#[derive(Debug)]
+pub struct SysfsRapl {
+    root: PathBuf,
+    sockets: usize,
+    defaults: Vec<(Watts, Watts)>,
+    energy_state: Mutex<HashMap<(SocketId, bool), (u64, f64)>>,
+    max_energy_range_uj: u64,
+}
+
+impl SysfsRapl {
+    /// Opens the standard location.
+    pub fn open() -> Result<Self> {
+        Self::open_at("/sys/class/powercap")
+    }
+
+    /// Opens a relocated powercap tree (fixtures, containers).
+    pub fn open_at(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        let mut sockets = 0;
+        while root.join(format!("intel-rapl:{sockets}")).is_dir() {
+            sockets += 1;
+        }
+        if sockets == 0 {
+            return Err(Error::Unsupported(
+                "no intel-rapl zones found (powercap not available)",
+            ));
+        }
+        let mut defaults = Vec::with_capacity(sockets);
+        for s in 0..sockets {
+            let id = SocketId(s as u16);
+            let pl1 = read_uw(&zone_path(&root, id, false).join("constraint_0_power_limit_uw"))?;
+            let pl2 = read_uw(&zone_path(&root, id, false).join("constraint_1_power_limit_uw"))?;
+            defaults.push((pl1, pl2));
+        }
+        Ok(SysfsRapl {
+            root,
+            sockets,
+            defaults,
+            energy_state: Mutex::new(HashMap::new()),
+            max_energy_range_uj: DEFAULT_MAX_ENERGY_RANGE_UJ,
+        })
+    }
+
+    /// Number of package zones found.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Builds a fixture tree with `sockets` packages at `root`, each with
+    /// the given default limits, a DRAM subzone and zeroed energy counters.
+    pub fn create_fixture(
+        root: &Path,
+        sockets: usize,
+        pl1: Watts,
+        pl2: Watts,
+    ) -> std::io::Result<()> {
+        for s in 0..sockets {
+            let pkg = root.join(format!("intel-rapl:{s}"));
+            let dram = pkg.join(format!("intel-rapl:{s}:0"));
+            std::fs::create_dir_all(&dram)?;
+            std::fs::write(pkg.join("name"), format!("package-{s}\n"))?;
+            std::fs::write(pkg.join("energy_uj"), "0\n")?;
+            std::fs::write(
+                pkg.join("max_energy_range_uj"),
+                format!("{DEFAULT_MAX_ENERGY_RANGE_UJ}\n"),
+            )?;
+            std::fs::write(pkg.join("constraint_0_name"), "long_term\n")?;
+            std::fs::write(
+                pkg.join("constraint_0_power_limit_uw"),
+                format!("{}\n", (pl1.value() * 1e6) as u64),
+            )?;
+            std::fs::write(pkg.join("constraint_1_name"), "short_term\n")?;
+            std::fs::write(
+                pkg.join("constraint_1_power_limit_uw"),
+                format!("{}\n", (pl2.value() * 1e6) as u64),
+            )?;
+            std::fs::write(dram.join("name"), "dram\n")?;
+            std::fs::write(dram.join("energy_uj"), "0\n")?;
+        }
+        Ok(())
+    }
+
+    fn energy_of(&self, socket: SocketId, dram: bool) -> Result<Joules> {
+        if socket.as_usize() >= self.sockets {
+            return Err(Error::NoSuchComponent(socket.to_string()));
+        }
+        let path = zone_path(&self.root, socket, dram).join("energy_uj");
+        let raw: u64 = std::fs::read_to_string(&path)?
+            .trim()
+            .parse()
+            .map_err(|e| Error::invalid("energy_uj", format!("{e}")))?;
+        let mut state = self.energy_state.lock();
+        let entry = state.entry((socket, dram)).or_insert((raw, 0.0));
+        let delta_uj = if raw >= entry.0 {
+            raw - entry.0
+        } else {
+            raw + self.max_energy_range_uj - entry.0
+        };
+        entry.1 += delta_uj as f64 * 1e-6;
+        entry.0 = raw;
+        Ok(Joules(entry.1))
+    }
+
+    fn constraint_file(&self, socket: SocketId, which: Constraint) -> Result<PathBuf> {
+        if socket.as_usize() >= self.sockets {
+            return Err(Error::NoSuchComponent(socket.to_string()));
+        }
+        let idx = match which {
+            Constraint::LongTerm => 0,
+            Constraint::ShortTerm => 1,
+        };
+        Ok(zone_path(&self.root, socket, false)
+            .join(format!("constraint_{idx}_power_limit_uw")))
+    }
+}
+
+fn zone_path(root: &Path, socket: SocketId, dram: bool) -> PathBuf {
+    let s = socket.0;
+    if dram {
+        root.join(format!("intel-rapl:{s}")).join(format!("intel-rapl:{s}:0"))
+    } else {
+        root.join(format!("intel-rapl:{s}"))
+    }
+}
+
+fn read_uw(path: &Path) -> Result<Watts> {
+    let raw: u64 = std::fs::read_to_string(path)?
+        .trim()
+        .parse()
+        .map_err(|e| Error::invalid("power_limit_uw", format!("{e}")))?;
+    Ok(Watts(raw as f64 * 1e-6))
+}
+
+impl PowerCapper for SysfsRapl {
+    fn set_limit(&self, socket: SocketId, which: Constraint, limit: Watts) -> Result<()> {
+        if !limit.is_finite() || limit.value() < 0.0 {
+            return Err(Error::invalid("power limit", format!("{limit:?}")));
+        }
+        let path = self.constraint_file(socket, which)?;
+        std::fs::write(&path, format!("{}\n", (limit.value() * 1e6) as u64))?;
+        Ok(())
+    }
+
+    fn limit(&self, socket: SocketId, which: Constraint) -> Result<Watts> {
+        read_uw(&self.constraint_file(socket, which)?)
+    }
+
+    fn defaults(&self, socket: SocketId) -> Result<(Watts, Watts)> {
+        self.defaults
+            .get(socket.as_usize())
+            .copied()
+            .ok_or_else(|| Error::NoSuchComponent(socket.to_string()))
+    }
+
+    fn package_energy(&self, socket: SocketId) -> Result<Joules> {
+        self.energy_of(socket, false)
+    }
+
+    fn dram_energy(&self, socket: SocketId) -> Result<Joules> {
+        self.energy_of(socket, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (PathBuf, SysfsRapl) {
+        let dir = std::env::temp_dir().join(format!(
+            "dufp-powercap-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        SysfsRapl::create_fixture(&dir, 2, Watts(125.0), Watts(150.0)).unwrap();
+        let r = SysfsRapl::open_at(&dir).unwrap();
+        (dir, r)
+    }
+
+    #[test]
+    fn discovers_zones_and_defaults() {
+        let (dir, r) = fixture();
+        assert_eq!(r.sockets(), 2);
+        assert_eq!(r.defaults(SocketId(0)).unwrap(), (Watts(125.0), Watts(150.0)));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_tree_is_unsupported() {
+        let err = SysfsRapl::open_at("/nonexistent-powercap").unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn limits_round_trip_through_files() {
+        let (dir, r) = fixture();
+        r.set_both(SocketId(1), Watts(85.0)).unwrap();
+        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(85.0));
+        assert_eq!(r.limit(SocketId(1), Constraint::ShortTerm).unwrap(), Watts(85.0));
+        // The file itself holds microwatts.
+        let raw = std::fs::read_to_string(
+            dir.join("intel-rapl:1").join("constraint_0_power_limit_uw"),
+        )
+        .unwrap();
+        assert_eq!(raw.trim(), "85000000");
+        r.reset(SocketId(1)).unwrap();
+        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(125.0));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn energy_accumulates_across_kernel_wrap() {
+        let (dir, r) = fixture();
+        let e_file = dir.join("intel-rapl:0").join("energy_uj");
+        std::fs::write(&e_file, format!("{}\n", DEFAULT_MAX_ENERGY_RANGE_UJ - 50)).unwrap();
+        let _ = r.package_energy(SocketId(0)).unwrap(); // prime near wrap
+        std::fs::write(&e_file, "150\n").unwrap();
+        let e = r.package_energy(SocketId(0)).unwrap();
+        assert!((e.value() - 200e-6).abs() < 1e-9, "{e:?}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn dram_subzone_is_separate() {
+        let (dir, r) = fixture();
+        std::fs::write(
+            dir.join("intel-rapl:0").join("intel-rapl:0:0").join("energy_uj"),
+            "1000000\n",
+        )
+        .unwrap();
+        let _ = r.dram_energy(SocketId(0)).unwrap();
+        std::fs::write(
+            dir.join("intel-rapl:0").join("intel-rapl:0:0").join("energy_uj"),
+            "3000000\n",
+        )
+        .unwrap();
+        let e = r.dram_energy(SocketId(0)).unwrap();
+        assert!((e.value() - 2.0).abs() < 1e-9);
+        // Package counter unaffected.
+        let p = r.package_energy(SocketId(0)).unwrap();
+        assert_eq!(p, Joules(0.0));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_limit_rejected() {
+        let (dir, r) = fixture();
+        assert!(r.set_limit(SocketId(0), Constraint::LongTerm, Watts(-5.0)).is_err());
+        assert!(r
+            .set_limit(SocketId(0), Constraint::LongTerm, Watts(f64::NAN))
+            .is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_socket_errors() {
+        let (dir, r) = fixture();
+        assert!(r.limit(SocketId(7), Constraint::LongTerm).is_err());
+        assert!(r.package_energy(SocketId(7)).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! Simulator configuration.
+
+use crate::governor::Governor;
+use dufp_model::{CapEnforcerParams, DramPowerModel, PowerModel};
+use dufp_types::{ArchSpec, Duration};
+use serde::{Deserialize, Serialize};
+
+/// Measurement / execution noise configuration.
+///
+/// Three components, all multiplicative:
+///
+/// * a per-run factor (σ = `run_sigma`) — run-to-run variation, what the
+///   paper's error bars show (< 2 % for most configurations, §V),
+/// * a slowly-varying random walk (step σ = `walk_sigma`, reverting to 1),
+/// * per-tick jitter (σ = `tick_sigma`) — averages out over a 200 ms
+///   sampling interval but gives the controllers realistic measurement
+///   wiggle, which the paper's "equivalent with respect to the considered
+///   measurement error" branch must absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Std-dev of the per-run performance/power factor.
+    pub run_sigma: f64,
+    /// Std-dev of each random-walk step (applied per tick, mean-reverting).
+    pub walk_sigma: f64,
+    /// Std-dev of independent per-tick jitter.
+    pub tick_sigma: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            run_sigma: 0.004,
+            walk_sigma: 0.0015,
+            tick_sigma: 0.01,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Noise-free configuration, for exactness-sensitive tests.
+    pub fn none() -> Self {
+        NoiseConfig {
+            run_sigma: 0.0,
+            walk_sigma: 0.0,
+            tick_sigma: 0.0,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Architecture being simulated (Table I values).
+    pub arch: ArchSpec,
+    /// Package power model.
+    pub power: PowerModel,
+    /// DRAM power model (per socket's NUMA node).
+    pub dram: DramPowerModel,
+    /// Bandwidth transfer function.
+    pub bandwidth: dufp_model::BandwidthModel,
+    /// RAPL enforcement dynamics.
+    pub cap: CapEnforcerParams,
+    /// Simulation tick.
+    pub tick: Duration,
+    /// Noise model.
+    pub noise: NoiseConfig,
+    /// Master seed; per-socket streams derive from it.
+    pub seed: u64,
+    /// CPU frequency governor (the paper uses the performance governor).
+    #[serde(default)]
+    pub governor: Governor,
+}
+
+impl SimConfig {
+    /// The paper's platform: four Xeon Gold 6130 packages.
+    pub fn yeti(seed: u64) -> Self {
+        SimConfig {
+            arch: ArchSpec::yeti(),
+            power: PowerModel::xeon_gold_6130(),
+            dram: DramPowerModel::ddr4_64gib(),
+            bandwidth: dufp_model::BandwidthModel::xeon_gold_6130(),
+            cap: CapEnforcerParams::default(),
+            tick: Duration::from_millis(1),
+            noise: NoiseConfig::default(),
+            seed,
+            governor: Governor::Performance,
+        }
+    }
+
+    /// Single-socket YETI variant for fast unit tests.
+    pub fn yeti_single_socket(seed: u64) -> Self {
+        let mut c = Self::yeti(seed);
+        c.arch.sockets = 1;
+        c
+    }
+
+    /// Noise-free single-socket variant for exactness-sensitive tests.
+    pub fn deterministic(seed: u64) -> Self {
+        let mut c = Self::yeti_single_socket(seed);
+        c.noise = NoiseConfig::none();
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yeti_config_matches_table1() {
+        let c = SimConfig::yeti(0);
+        assert_eq!(c.arch.sockets, 4);
+        assert_eq!(c.arch.total_cores(), 64);
+        assert_eq!(c.tick, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn deterministic_config_has_no_noise() {
+        let c = SimConfig::deterministic(0);
+        assert_eq!(c.noise, NoiseConfig::none());
+        assert_eq!(c.arch.sockets, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! CPU frequency governor models.
+//!
+//! The paper's platform "runs under Intel Pstate with performance
+//! governor" (§IV-A) — the governor requests the maximum and RAPL throttles
+//! below it when a cap binds. §V-G asks whether CPU frequency is "properly
+//! managed under power capping"; modeling alternative governors makes that
+//! question experimentally accessible:
+//!
+//! * [`Governor::Performance`] — always request the maximum (the paper's
+//!   setup, and the default),
+//! * [`Governor::Powersave`] — a schedutil-flavoured policy: request a
+//!   frequency proportional to the phase's compute share (memory-stalled
+//!   cores don't need clocks), plus a configurable headroom bias,
+//! * [`Governor::Fixed`] — pin the request (userspace governor).
+
+use dufp_types::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// The frequency-request policy of the simulated OS driver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Always request the maximum (intel_pstate + performance).
+    Performance,
+    /// Request tracks the workload's compute share with a headroom bias in
+    /// `[0, 1]` (0 = exactly the compute share, 1 = always maximum).
+    Powersave {
+        /// Fraction of the remaining range added on top of the estimate.
+        bias: f64,
+    },
+    /// Userspace-pinned request.
+    Fixed(Hertz),
+}
+
+impl Default for Governor {
+    fn default() -> Self {
+        Governor::Performance
+    }
+}
+
+impl Governor {
+    /// The frequency this governor requests, before RAPL and `IA32_PERF_CTL`
+    /// clamp it.
+    ///
+    /// `compute_share` is the fraction of the phase's critical path spent
+    /// compute-bound (`T_c / max(T_c, T_m)` capped at 1), the signal a
+    /// schedutil-style governor derives from stall counters.
+    pub fn request(&self, min: Hertz, max: Hertz, compute_share: f64) -> Hertz {
+        match *self {
+            Governor::Performance => max,
+            Governor::Powersave { bias } => {
+                let share = compute_share.clamp(0.0, 1.0);
+                let bias = bias.clamp(0.0, 1.0);
+                let eff = share + (1.0 - share) * bias;
+                Hertz(min.value() + (max.value() - min.value()) * eff)
+            }
+            Governor::Fixed(f) => Hertz(f.value().clamp(min.value(), max.value())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MIN: Hertz = Hertz(1.0e9);
+    const MAX: Hertz = Hertz(2.8e9);
+
+    #[test]
+    fn performance_always_requests_max() {
+        for share in [0.0, 0.3, 1.0] {
+            assert_eq!(Governor::Performance.request(MIN, MAX, share), MAX);
+        }
+    }
+
+    #[test]
+    fn powersave_tracks_compute_share() {
+        let g = Governor::Powersave { bias: 0.0 };
+        assert_eq!(g.request(MIN, MAX, 0.0), MIN);
+        assert_eq!(g.request(MIN, MAX, 1.0), MAX);
+        let mid = g.request(MIN, MAX, 0.5);
+        assert!((mid.value() - 1.9e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bias_lifts_the_request() {
+        let share = 0.4;
+        let lazy = Governor::Powersave { bias: 0.0 }.request(MIN, MAX, share);
+        let eager = Governor::Powersave { bias: 0.5 }.request(MIN, MAX, share);
+        assert!(eager > lazy);
+        assert_eq!(
+            Governor::Powersave { bias: 1.0 }.request(MIN, MAX, share),
+            MAX
+        );
+    }
+
+    #[test]
+    fn fixed_clamps_to_the_ladder() {
+        assert_eq!(Governor::Fixed(Hertz(5.0e9)).request(MIN, MAX, 1.0), MAX);
+        assert_eq!(Governor::Fixed(Hertz(0.1e9)).request(MIN, MAX, 1.0), MIN);
+        assert_eq!(
+            Governor::Fixed(Hertz(2.0e9)).request(MIN, MAX, 0.0),
+            Hertz(2.0e9)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn requests_always_inside_the_range(share in -1.0f64..2.0, bias in -1.0f64..2.0) {
+            for g in [
+                Governor::Performance,
+                Governor::Powersave { bias },
+                Governor::Fixed(Hertz(2.0e9)),
+            ] {
+                let f = g.request(MIN, MAX, share);
+                prop_assert!(f >= MIN && f <= MAX, "{g:?} -> {f:?}");
+            }
+        }
+
+        #[test]
+        fn powersave_monotone_in_share(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let g = Governor::Powersave { bias: 0.2 };
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(g.request(MIN, MAX, lo) <= g.request(MIN, MAX, hi));
+        }
+    }
+}

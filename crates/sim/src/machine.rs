@@ -1,0 +1,438 @@
+//! The whole simulated node: sockets, clock, and the hardware interfaces.
+
+use crate::config::SimConfig;
+use crate::socket::{energy_to_rapl_counter, SocketSim};
+use crate::trace::Trace;
+use dufp_counters::{CounterSnapshot, Telemetry};
+use dufp_msr::registers::{
+    PerfCtl, RaplPowerUnit, UncoreRatioLimit, IA32_APERF, IA32_MPERF, IA32_PERF_CTL,
+    MSR_DRAM_ENERGY_STATUS,
+    MSR_DRAM_POWER_LIMIT, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_INFO, MSR_PKG_POWER_LIMIT,
+    MSR_PLATFORM_INFO, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT, SKYLAKE_SP_POWER_UNIT_RAW,
+};
+use dufp_msr::MsrIo;
+use dufp_types::{Duration, Error, Instant, Joules, Result, SocketId};
+use dufp_workloads::Workload;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A simulated multi-socket node.
+///
+/// Thread-safe: controllers access it through [`MsrIo`] and [`Telemetry`]
+/// (`&self`), while the experiment driver advances time with
+/// [`Machine::tick`] (also `&self`; per-socket state lives behind mutexes).
+///
+/// ```
+/// use dufp_sim::{Machine, SimConfig};
+/// use dufp_counters::Telemetry;
+/// use dufp_types::SocketId;
+/// use dufp_workloads::{apps, MaterializeCtx};
+///
+/// let machine = Machine::new(SimConfig::deterministic(1));
+/// let ctx = MaterializeCtx::from_arch(&machine.config().arch);
+/// machine.load_all(&apps::ep(&ctx).unwrap());
+/// for _ in 0..1000 {
+///     machine.tick(); // one simulated second
+/// }
+/// let snap = machine.sample(SocketId(0)).unwrap();
+/// assert!(snap.flops > 0.0 && snap.pkg_energy.value() > 50.0);
+/// ```
+pub struct Machine {
+    cfg: SimConfig,
+    sockets: Vec<Mutex<SocketSim>>,
+    /// Microseconds since simulation start.
+    now_us: AtomicU64,
+}
+
+impl Machine {
+    /// Builds an idle machine for `cfg`.
+    pub fn new(cfg: SimConfig) -> Self {
+        let sockets = (0..cfg.arch.sockets)
+            .map(|i| Mutex::new(SocketSim::new(cfg.clone(), i)))
+            .collect();
+        Machine {
+            cfg,
+            sockets,
+            now_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this machine runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Loads a copy of `workload` onto every socket (the paper runs each
+    /// application across all four packages).
+    pub fn load_all(&self, workload: &Workload) {
+        for s in &self.sockets {
+            s.lock().load(workload.clone());
+        }
+    }
+
+    /// Loads a workload onto one socket.
+    pub fn load(&self, socket: SocketId, workload: Workload) -> Result<()> {
+        self.socket(socket)?.lock().load(workload);
+        Ok(())
+    }
+
+    /// Loads `workload` onto every socket with a per-socket work scale
+    /// (real nodes never balance perfectly; rank 0 usually carries extra
+    /// work). A factor of `1.0` is the nominal share.
+    pub fn load_imbalanced(&self, workload: &Workload, factors: &[f64]) -> Result<()> {
+        if factors.len() != self.sockets.len() {
+            return Err(Error::Precondition(format!(
+                "{} factors for {} sockets",
+                factors.len(),
+                self.sockets.len()
+            )));
+        }
+        for (s, &factor) in self.sockets.iter().zip(factors) {
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(Error::invalid("imbalance factor", format!("{factor}")));
+            }
+            let mut scaled = workload.clone();
+            for p in &mut scaled.phases {
+                p.work_units *= factor;
+            }
+            s.lock().load(scaled);
+        }
+        Ok(())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        Instant(self.now_us.load(Ordering::Relaxed))
+    }
+
+    /// True when every socket has finished its workload.
+    pub fn done(&self) -> bool {
+        self.sockets.iter().all(|s| s.lock().done())
+    }
+
+    /// Advances the whole machine by one tick.
+    pub fn tick(&self) {
+        let now = self.now();
+        for s in &self.sockets {
+            s.lock().tick(now);
+        }
+        self.now_us
+            .fetch_add(self.cfg.tick.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Runs until every socket finishes or `max` elapses; returns the
+    /// elapsed simulated time.
+    pub fn run_to_completion(&self, max: Duration) -> Result<Duration> {
+        let start = self.now();
+        while !self.done() {
+            if self.now().duration_since(start) >= max {
+                return Err(Error::Precondition(format!(
+                    "workload did not finish within {max}"
+                )));
+            }
+            self.tick();
+        }
+        Ok(self.now().duration_since(start))
+    }
+
+    /// Enables per-tick tracing on one socket.
+    pub fn enable_trace(&self, socket: SocketId, stride: u32) -> Result<()> {
+        self.socket(socket)?.lock().enable_trace(stride);
+        Ok(())
+    }
+
+    /// Takes the trace recorded on one socket.
+    pub fn take_trace(&self, socket: SocketId) -> Result<Option<Trace>> {
+        Ok(self.socket(socket)?.lock().take_trace())
+    }
+
+    /// Ground-truth phase transitions of one socket's workload.
+    pub fn phase_log(&self, socket: SocketId) -> Result<Vec<(Instant, usize)>> {
+        Ok(self.socket(socket)?.lock().phase_log().to_vec())
+    }
+
+    /// Runs `f` with the socket simulation locked (test/diagnostic hook).
+    pub fn with_socket<T>(&self, socket: SocketId, f: impl FnOnce(&mut SocketSim) -> T) -> Result<T> {
+        Ok(f(&mut self.socket(socket)?.lock()))
+    }
+
+    fn socket(&self, id: SocketId) -> Result<&Mutex<SocketSim>> {
+        self.sockets
+            .get(id.as_usize())
+            .ok_or_else(|| Error::NoSuchComponent(id.to_string()))
+    }
+
+    fn socket_of_cpu(&self, cpu: usize) -> Result<&Mutex<SocketSim>> {
+        let per = usize::from(self.cfg.arch.cores_per_socket);
+        let idx = cpu / per;
+        if cpu >= per * self.sockets.len() {
+            return Err(Error::NoSuchComponent(format!("cpu{cpu}")));
+        }
+        Ok(&self.sockets[idx])
+    }
+}
+
+impl MsrIo for Machine {
+    fn read(&self, cpu: usize, address: u32) -> Result<u64> {
+        let sock = self.socket_of_cpu(cpu)?;
+        let units = RaplPowerUnit::skylake_sp();
+        let s = sock.lock();
+        match address {
+            MSR_RAPL_POWER_UNIT => Ok(SKYLAKE_SP_POWER_UNIT_RAW),
+            MSR_UNCORE_RATIO_LIMIT => Ok(s.uncore_raw().encode()),
+            MSR_PKG_POWER_LIMIT => Ok(s.limit_raw()),
+            MSR_PKG_ENERGY_STATUS => Ok(energy_to_rapl_counter(
+                s.accumulators().pkg_energy,
+                units.energy_unit,
+            )),
+            MSR_DRAM_ENERGY_STATUS => Ok(energy_to_rapl_counter(
+                s.accumulators().dram_energy,
+                units.energy_unit,
+            )),
+            MSR_PKG_POWER_INFO => {
+                // Bits 14:0 — TDP in power units.
+                let ticks =
+                    (self.cfg.arch.pl1_default.value() / units.power_unit.value()).round() as u64;
+                Ok(ticks & 0x7FFF)
+            }
+            MSR_PLATFORM_INFO => {
+                Ok(u64::from(self.cfg.arch.core_freq_base.as_ratio_100mhz()) << 8)
+            }
+            IA32_PERF_CTL => Ok(s.perf_ctl().encode()),
+            IA32_APERF => Ok(s.accumulators().aperf as u64),
+            IA32_MPERF => Ok(s.accumulators().mperf as u64),
+            other => Err(Error::msr(other, "unmodelled register".to_owned())),
+        }
+    }
+
+    fn write(&self, cpu: usize, address: u32, value: u64) -> Result<()> {
+        let sock = self.socket_of_cpu(cpu)?;
+        let mut s = sock.lock();
+        match address {
+            MSR_UNCORE_RATIO_LIMIT => {
+                s.write_uncore(UncoreRatioLimit::decode(value));
+                Ok(())
+            }
+            MSR_PKG_POWER_LIMIT => {
+                s.write_limit(value);
+                Ok(())
+            }
+            IA32_PERF_CTL => {
+                s.write_perf_ctl(PerfCtl::decode(value));
+                Ok(())
+            }
+            MSR_DRAM_POWER_LIMIT => {
+                // Matches the paper's platform: "memory power capping is not
+                // available on the processor that we used" (§II-B).
+                Err(Error::Unsupported("DRAM power capping on Skylake-SP"))
+            }
+            other => Err(Error::msr(other, "read-only or unmodelled".to_owned())),
+        }
+    }
+
+    fn cpu_count(&self) -> usize {
+        usize::from(self.cfg.arch.cores_per_socket) * self.sockets.len()
+    }
+}
+
+impl Telemetry for Machine {
+    fn sample(&self, socket: SocketId) -> Result<CounterSnapshot> {
+        let s = self.socket(socket)?.lock();
+        let acc = s.accumulators();
+        Ok(CounterSnapshot {
+            at: self.now(),
+            flops: acc.flops,
+            bytes: acc.bytes,
+            pkg_energy: Joules(acc.pkg_energy),
+            dram_energy: Joules(acc.dram_energy),
+            avg_core_freq: s.core_freq(),
+        })
+    }
+
+    fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_msr::registers::{PkgPowerLimit, PowerLimit};
+    use dufp_types::{Hertz, Seconds, Watts};
+    use dufp_workloads::{apps, MaterializeCtx};
+
+    fn machine() -> Machine {
+        Machine::new(SimConfig::deterministic(11))
+    }
+
+    #[test]
+    fn msr_surface_defaults() {
+        let m = machine();
+        assert_eq!(m.read(0, MSR_RAPL_POWER_UNIT).unwrap(), SKYLAKE_SP_POWER_UNIT_RAW);
+        let unc = UncoreRatioLimit::decode(m.read(0, MSR_UNCORE_RATIO_LIMIT).unwrap());
+        assert_eq!(unc.max_ratio, 24);
+        assert_eq!(unc.min_ratio, 12);
+        let units = RaplPowerUnit::skylake_sp();
+        let lim = PkgPowerLimit::decode(m.read(0, MSR_PKG_POWER_LIMIT).unwrap(), &units);
+        assert_eq!(lim.pl1.power, Watts(125.0));
+        assert_eq!(lim.pl2.power, Watts(150.0));
+        // TDP via POWER_INFO.
+        assert_eq!(m.read(0, MSR_PKG_POWER_INFO).unwrap(), 1000);
+    }
+
+    #[test]
+    fn dram_power_limit_is_unsupported() {
+        let m = machine();
+        let err = m.write(0, MSR_DRAM_POWER_LIMIT, 0).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn unknown_registers_error() {
+        let m = machine();
+        assert!(m.read(0, 0xDEAD).is_err());
+        assert!(m.write(0, 0x611, 0).is_err(), "energy counter is read-only");
+    }
+
+    #[test]
+    fn cpu_to_socket_mapping() {
+        let cfg = SimConfig::yeti(3);
+        let m = Machine::new(cfg);
+        // 64 CPUs over 4 sockets.
+        assert_eq!(m.cpu_count(), 64);
+        // Pin socket 2's uncore via cpu 37 (37/16 = 2).
+        m.write(37, MSR_UNCORE_RATIO_LIMIT, UncoreRatioLimit::pinned(Hertz::from_ghz(1.5)).encode())
+            .unwrap();
+        let s2 = UncoreRatioLimit::decode(m.read(32, MSR_UNCORE_RATIO_LIMIT).unwrap());
+        assert_eq!(s2.max_ratio, 15);
+        let s0 = UncoreRatioLimit::decode(m.read(0, MSR_UNCORE_RATIO_LIMIT).unwrap());
+        assert_eq!(s0.max_ratio, 24, "socket 0 unaffected");
+        assert!(m.read(64, MSR_UNCORE_RATIO_LIMIT).is_err());
+    }
+
+    #[test]
+    fn telemetry_counters_advance_with_work() {
+        let m = machine();
+        let ctx = MaterializeCtx::from_arch(&m.config().arch);
+        m.load_all(&apps::cg(&ctx).unwrap());
+        let before = m.sample(SocketId(0)).unwrap();
+        for _ in 0..500 {
+            m.tick();
+        }
+        let after = m.sample(SocketId(0)).unwrap();
+        assert!(after.flops > before.flops);
+        assert!(after.bytes > before.bytes);
+        assert!(after.pkg_energy > before.pkg_energy);
+        assert!(after.dram_energy > before.dram_energy);
+        assert_eq!(after.at.duration_since(before.at), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn run_to_completion_terminates_and_reports_duration() {
+        let m = machine();
+        let ctx = MaterializeCtx::from_arch(&m.config().arch);
+        let w = apps::ep(&ctx).unwrap();
+        let nominal = w.nominal_duration(&ctx).value();
+        m.load_all(&w);
+        let elapsed = m.run_to_completion(Duration::from_secs(200)).unwrap();
+        let t = elapsed.as_seconds().value();
+        assert!((t - nominal).abs() / nominal < 0.02, "{t} vs {nominal}");
+    }
+
+    #[test]
+    fn run_to_completion_times_out() {
+        let m = machine();
+        let ctx = MaterializeCtx::from_arch(&m.config().arch);
+        m.load_all(&apps::ep(&ctx).unwrap());
+        assert!(m.run_to_completion(Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn lowering_pl1_is_visible_in_power_telemetry() {
+        let m = machine();
+        let ctx = MaterializeCtx::from_arch(&m.config().arch);
+        m.load_all(&apps::hpl(&ctx).unwrap());
+        // Warm up uncapped.
+        for _ in 0..2000 {
+            m.tick();
+        }
+        let a = m.sample(SocketId(0)).unwrap();
+        for _ in 0..2000 {
+            m.tick();
+        }
+        let b = m.sample(SocketId(0)).unwrap();
+        let p_free = (b.pkg_energy - a.pkg_energy).value() / 2.0;
+
+        let units = RaplPowerUnit::skylake_sp();
+        let reg = PkgPowerLimit {
+            pl1: PowerLimit {
+                power: Watts(90.0),
+                enabled: true,
+                clamp: true,
+                window: Seconds(1.0),
+            },
+            pl2: PowerLimit {
+                power: Watts(90.0),
+                enabled: true,
+                clamp: true,
+                window: Seconds(0.01),
+            },
+            lock: false,
+        };
+        m.write(0, MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap()).unwrap();
+        for _ in 0..2000 {
+            m.tick();
+        }
+        let c = m.sample(SocketId(0)).unwrap();
+        for _ in 0..2000 {
+            m.tick();
+        }
+        let d = m.sample(SocketId(0)).unwrap();
+        let p_capped = (d.pkg_energy - c.pkg_energy).value() / 2.0;
+        assert!(
+            p_capped < 93.0 && p_capped < p_free - 15.0,
+            "capped {p_capped} vs free {p_free}"
+        );
+    }
+
+    #[test]
+    fn imbalanced_sockets_finish_at_different_times() {
+        let cfg = SimConfig::yeti(9);
+        let m = Machine::new(cfg);
+        let ctx = MaterializeCtx::from_arch(&m.config().arch);
+        let w = apps::ep(&ctx).unwrap();
+        m.load_imbalanced(&w, &[1.0, 1.2, 0.8, 1.0]).unwrap();
+        // Run until socket 2 (the lightest) is done.
+        let mut done2_at = None;
+        for i in 0..60_000 {
+            m.tick();
+            let done2 = m.with_socket(SocketId(2), |s| s.done()).unwrap();
+            if done2 {
+                done2_at = Some(i);
+                break;
+            }
+        }
+        let done2_at = done2_at.expect("socket 2 finishes first");
+        assert!(
+            !m.with_socket(SocketId(1), |s| s.done()).unwrap(),
+            "socket 1 carries 20% extra work and must still be running at tick {done2_at}"
+        );
+        // Wrong factor counts and bad factors are rejected.
+        assert!(m.load_imbalanced(&w, &[1.0, 1.0]).is_err());
+        assert!(m.load_imbalanced(&w, &[1.0, 0.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let m = machine();
+        let ctx = MaterializeCtx::from_arch(&m.config().arch);
+        m.load_all(&apps::cg(&ctx).unwrap());
+        m.enable_trace(SocketId(0), 10).unwrap();
+        for _ in 0..100 {
+            m.tick();
+        }
+        let tr = m.take_trace(SocketId(0)).unwrap().unwrap();
+        assert_eq!(tr.points.len(), 10);
+        assert!(m.take_trace(SocketId(0)).unwrap().is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Architecture descriptions (the paper's Table I).
+//!
+//! An [`ArchSpec`] captures everything the controllers and the simulator need
+//! to know about a target machine: topology, frequency ranges and steps,
+//! RAPL power-limit defaults and the actuation granularity the paper uses
+//! (100 MHz uncore steps, 5 W cap steps, 65 W cap floor).
+
+use crate::units::{Hertz, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static description of one target platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Microarchitecture name (informational).
+    pub microarch: String,
+    /// Number of processor packages.
+    pub sockets: u16,
+    /// Cores per package (hyperthreading disabled, as in the paper).
+    pub cores_per_socket: u16,
+    /// Lowest core P-state frequency.
+    pub core_freq_min: Hertz,
+    /// Nominal (base / TDP) core frequency.
+    pub core_freq_base: Hertz,
+    /// Maximum all-core turbo frequency. With all 16 cores active the Xeon
+    /// Gold 6130 reaches 2.8 GHz (paper, Fig. 5 caption).
+    pub core_freq_max: Hertz,
+    /// DVFS ladder granularity (100 MHz bus-clock multiples on Intel).
+    pub core_freq_step: Hertz,
+    /// Lowest uncore frequency.
+    pub uncore_freq_min: Hertz,
+    /// Highest uncore frequency.
+    pub uncore_freq_max: Hertz,
+    /// Uncore actuation step used by DUF/DUFP (100 MHz).
+    pub uncore_freq_step: Hertz,
+    /// Default RAPL long-term package power limit (PL1). Equals TDP.
+    pub pl1_default: Watts,
+    /// Default RAPL short-term package power limit (PL2).
+    pub pl2_default: Watts,
+    /// Default PL1 averaging window.
+    pub pl1_window: Seconds,
+    /// Default PL2 averaging window.
+    pub pl2_window: Seconds,
+    /// Cap actuation step used by DUFP (5 W).
+    pub cap_step: Watts,
+    /// Lowest cap DUFP will ever apply (65 W in the paper; lower values
+    /// erode memory bandwidth).
+    pub cap_floor: Watts,
+    /// Peak memory bandwidth per socket at maximum uncore frequency.
+    pub peak_bandwidth: crate::units::BytesPerSec,
+    /// Peak double-precision FLOP/s per socket at maximum core frequency.
+    pub peak_flops: crate::units::FlopsPerSec,
+}
+
+impl ArchSpec {
+    /// The Grid'5000 YETI node (`yeti-2`) used by the paper: four Intel Xeon
+    /// Gold 6130 (Skylake-SP) packages, 16 cores each, uncore 1.2–2.4 GHz,
+    /// PL1 125 W / PL2 150 W.
+    pub fn yeti() -> Self {
+        ArchSpec {
+            name: "yeti-2 (Grid'5000)".to_owned(),
+            microarch: "Skylake-SP (Intel Xeon Gold 6130)".to_owned(),
+            sockets: 4,
+            cores_per_socket: 16,
+            core_freq_min: Hertz::from_ghz(1.0),
+            core_freq_base: Hertz::from_ghz(2.1),
+            core_freq_max: Hertz::from_ghz(2.8),
+            core_freq_step: Hertz::from_mhz(100.0),
+            uncore_freq_min: Hertz::from_ghz(1.2),
+            uncore_freq_max: Hertz::from_ghz(2.4),
+            uncore_freq_step: Hertz::from_mhz(100.0),
+            pl1_default: Watts(125.0),
+            pl2_default: Watts(150.0),
+            pl1_window: Seconds(1.0),
+            pl2_window: Seconds(0.01),
+            cap_step: Watts(5.0),
+            cap_floor: Watts(65.0),
+            // Skylake-SP with 6 DDR4-2666 channels: ~105 GiB/s stream-like
+            // peak per socket; AVX-512 FMA peak is far higher than any of the
+            // studied apps reach, the useful envelope is ~590 GFLOP/s.
+            peak_bandwidth: crate::units::BytesPerSec::from_gib(105.0),
+            peak_flops: crate::units::FlopsPerSec::from_gflops(590.0),
+        }
+    }
+
+    /// A small two-socket, four-core configuration for fast tests.
+    pub fn tiny() -> Self {
+        ArchSpec {
+            name: "tiny-test".to_owned(),
+            microarch: "synthetic".to_owned(),
+            sockets: 2,
+            cores_per_socket: 4,
+            core_freq_min: Hertz::from_ghz(1.0),
+            core_freq_base: Hertz::from_ghz(2.0),
+            core_freq_max: Hertz::from_ghz(3.0),
+            core_freq_step: Hertz::from_mhz(100.0),
+            uncore_freq_min: Hertz::from_ghz(1.0),
+            uncore_freq_max: Hertz::from_ghz(2.0),
+            uncore_freq_step: Hertz::from_mhz(100.0),
+            pl1_default: Watts(60.0),
+            pl2_default: Watts(75.0),
+            pl1_window: Seconds(1.0),
+            pl2_window: Seconds(0.01),
+            cap_step: Watts(5.0),
+            cap_floor: Watts(20.0),
+            peak_bandwidth: crate::units::BytesPerSec::from_gib(25.0),
+            peak_flops: crate::units::FlopsPerSec::from_gflops(100.0),
+        }
+    }
+
+    /// Total core count across all sockets.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.sockets as usize * self.cores_per_socket as usize
+    }
+
+    /// Number of discrete uncore steps between min and max (inclusive range).
+    pub fn uncore_steps(&self) -> usize {
+        let span = self.uncore_freq_max.value() - self.uncore_freq_min.value();
+        (span / self.uncore_freq_step.value()).round() as usize + 1
+    }
+
+    /// Number of discrete cap steps between the floor and PL1 (inclusive).
+    pub fn cap_steps(&self) -> usize {
+        let span = self.pl1_default.value() - self.cap_floor.value();
+        (span / self.cap_step.value()).round() as usize + 1
+    }
+
+    /// Snaps a frequency onto the core DVFS ladder (clamped to range).
+    pub fn snap_core_freq(&self, f: Hertz) -> Hertz {
+        snap(f, self.core_freq_min, self.core_freq_max, self.core_freq_step)
+    }
+
+    /// Snaps a frequency onto the uncore ladder (clamped to range).
+    pub fn snap_uncore_freq(&self, f: Hertz) -> Hertz {
+        snap(f, self.uncore_freq_min, self.uncore_freq_max, self.uncore_freq_step)
+    }
+
+    /// Renders the paper's Table I row for this architecture.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "| {} | [{:.1}-{:.1}] | {:.0} | {:.0} |",
+            self.total_cores(),
+            self.uncore_freq_min.as_ghz(),
+            self.uncore_freq_max.as_ghz(),
+            self.pl1_default.value(),
+            self.pl2_default.value(),
+        )
+    }
+}
+
+fn snap(f: Hertz, lo: Hertz, hi: Hertz, step: Hertz) -> Hertz {
+    let clamped = f.clamp(lo, hi);
+    let steps = ((clamped.value() - lo.value()) / step.value()).round();
+    Hertz(lo.value() + steps * step.value()).clamp(lo, hi)
+}
+
+impl fmt::Display for ArchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} — {}×{} cores, core {:.1}-{:.1} GHz, uncore {:.1}-{:.1} GHz, PL1 {:.0} W / PL2 {:.0} W",
+            self.name,
+            self.sockets,
+            self.cores_per_socket,
+            self.core_freq_min.as_ghz(),
+            self.core_freq_max.as_ghz(),
+            self.uncore_freq_min.as_ghz(),
+            self.uncore_freq_max.as_ghz(),
+            self.pl1_default.value(),
+            self.pl2_default.value(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yeti_matches_table1() {
+        let a = ArchSpec::yeti();
+        assert_eq!(a.total_cores(), 64);
+        assert_eq!(a.uncore_freq_min, Hertz::from_ghz(1.2));
+        assert_eq!(a.uncore_freq_max, Hertz::from_ghz(2.4));
+        assert_eq!(a.pl1_default, Watts(125.0));
+        assert_eq!(a.pl2_default, Watts(150.0));
+        assert_eq!(
+            a.table1_row(),
+            "| 64 | [1.2-2.4] | 125 | 150 |"
+        );
+    }
+
+    #[test]
+    fn uncore_ladder_has_13_steps() {
+        // 1.2, 1.3, ..., 2.4 GHz.
+        assert_eq!(ArchSpec::yeti().uncore_steps(), 13);
+    }
+
+    #[test]
+    fn cap_ladder_has_13_steps() {
+        // 65, 70, ..., 125 W.
+        assert_eq!(ArchSpec::yeti().cap_steps(), 13);
+    }
+
+    #[test]
+    fn snapping_clamps_and_rounds() {
+        let a = ArchSpec::yeti();
+        assert_eq!(a.snap_uncore_freq(Hertz::from_ghz(5.0)), Hertz::from_ghz(2.4));
+        assert_eq!(a.snap_uncore_freq(Hertz::from_ghz(0.1)), Hertz::from_ghz(1.2));
+        assert_eq!(
+            a.snap_uncore_freq(Hertz::from_mhz(1849.0)),
+            Hertz::from_mhz(1800.0)
+        );
+        assert_eq!(
+            a.snap_core_freq(Hertz::from_mhz(2751.0)),
+            Hertz::from_mhz(2800.0)
+        );
+    }
+
+    #[test]
+    fn snapped_values_are_on_ladder() {
+        let a = ArchSpec::yeti();
+        for mhz in (0..4000).step_by(7) {
+            let s = a.snap_uncore_freq(Hertz::from_mhz(mhz as f64));
+            let offset = s.value() - a.uncore_freq_min.value();
+            let rem = offset % a.uncore_freq_step.value();
+            assert!(rem.abs() < 1.0 || (a.uncore_freq_step.value() - rem).abs() < 1.0);
+            assert!(s >= a.uncore_freq_min && s <= a.uncore_freq_max);
+        }
+    }
+}

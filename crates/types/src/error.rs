@@ -1,0 +1,110 @@
+//! The suite-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the hardware-access and control layers.
+#[derive(Debug)]
+pub enum Error {
+    /// An MSR read or write failed (bad address, permission, device error).
+    Msr {
+        /// The register address involved.
+        address: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// An underlying I/O operation failed (e.g. `/dev/cpu/N/msr`, sysfs).
+    Io(std::io::Error),
+    /// A value was outside its legal range (frequency off-ladder, cap below
+    /// hardware minimum, slowdown outside `[0, 1]`, ...).
+    InvalidValue {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The requested capability does not exist on this platform
+    /// (e.g. DRAM power capping on Skylake-SP, per the paper §II-B).
+    Unsupported(&'static str),
+    /// Referenced a socket or core that the platform does not have.
+    NoSuchComponent(String),
+    /// A controller or experiment precondition was violated.
+    Precondition(String),
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidValue`].
+    pub fn invalid(what: &'static str, detail: impl Into<String>) -> Self {
+        Error::InvalidValue {
+            what,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::Msr`].
+    pub fn msr(address: u32, detail: impl Into<String>) -> Self {
+        Error::Msr {
+            address,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Msr { address, detail } => {
+                write!(f, "MSR {address:#x} access failed: {detail}")
+            }
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::InvalidValue { what, detail } => {
+                write!(f, "invalid value for {what}: {detail}")
+            }
+            Error::Unsupported(what) => write!(f, "unsupported on this platform: {what}"),
+            Error::NoSuchComponent(what) => write!(f, "no such component: {what}"),
+            Error::Precondition(what) => write!(f, "precondition violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_address_in_hex() {
+        let e = Error::msr(0x620, "EIO");
+        assert_eq!(e.to_string(), "MSR 0x620 access failed: EIO");
+    }
+
+    #[test]
+    fn io_error_chains_source() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn invalid_value_formats() {
+        let e = Error::invalid("slowdown", "must be within [0,1], got 1.5");
+        assert!(e.to_string().contains("slowdown"));
+        assert!(e.to_string().contains("1.5"));
+    }
+}

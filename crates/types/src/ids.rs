@@ -1,0 +1,82 @@
+//! Hardware identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one processor package (socket) in a machine.
+///
+/// DUFP runs one controller instance per socket, exactly as the paper's tool
+/// does ("one instance of DUFP is started on each user-specified socket").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SocketId(pub u16);
+
+/// Identifies one core within the whole machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId {
+    /// The socket the core belongs to.
+    pub socket: SocketId,
+    /// Core index within the socket, `0..cores_per_socket`.
+    pub index: u16,
+}
+
+impl SocketId {
+    /// Numeric value, for indexing per-socket arrays.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CoreId {
+    /// Builds a core id.
+    #[inline]
+    pub const fn new(socket: SocketId, index: u16) -> Self {
+        CoreId { socket, index }
+    }
+
+    /// Machine-global linear index given the socket width.
+    #[inline]
+    pub const fn linear(self, cores_per_socket: u16) -> usize {
+        self.socket.0 as usize * cores_per_socket as usize + self.index as usize
+    }
+}
+
+impl fmt::Display for SocketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "socket{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/core{}", self.socket, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index() {
+        let c = CoreId::new(SocketId(2), 3);
+        assert_eq!(c.linear(16), 35);
+        assert_eq!(CoreId::new(SocketId(0), 0).linear(16), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SocketId(1).to_string(), "socket1");
+        assert_eq!(CoreId::new(SocketId(1), 7).to_string(), "socket1/core7");
+    }
+
+    #[test]
+    fn ordering_is_socket_major() {
+        let a = CoreId::new(SocketId(0), 15);
+        let b = CoreId::new(SocketId(1), 0);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic integer simulation time.
+//!
+//! The simulator advances an integer microsecond clock so that runs are
+//! exactly reproducible; the analytic models use the float
+//! [`crate::units::Seconds`] view. This module provides the conversions
+//! between the two.
+
+use crate::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the simulated timeline, in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Instant(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(pub u64);
+
+impl Instant {
+    /// Simulation start.
+    pub const ZERO: Self = Instant(0);
+
+    /// Elapsed time since `earlier`. Saturates at zero if `earlier` is later.
+    #[inline]
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The instant as float seconds since simulation start.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds(self.0 as f64 / 1.0e6)
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Self = Duration(0);
+
+    /// Builds a span from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Builds a span from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Builds a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Builds a span from float seconds, rounding to the nearest microsecond.
+    #[inline]
+    pub fn from_seconds(s: Seconds) -> Self {
+        Duration((s.value() * 1.0e6).round().max(0.0) as u64)
+    }
+
+    /// The span as float seconds.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds(self.0 as f64 / 1.0e6)
+    }
+
+    /// The span in whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.0 as f64 / 1.0e6)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0 as f64 / 1.0e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::ZERO;
+        let t1 = t0 + Duration::from_millis(200);
+        assert_eq!(t1.0, 200_000);
+        assert_eq!(t1 - t0, Duration::from_millis(200));
+        // saturating subtraction
+        assert_eq!(t0 - t1, Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(Duration::from_secs(2).as_millis(), 2000);
+        assert_eq!(Duration::from_millis(200).as_seconds(), Seconds(0.2));
+        assert_eq!(Duration::from_seconds(Seconds(0.05)), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn negative_float_seconds_clamp_to_zero() {
+        assert_eq!(Duration::from_seconds(Seconds(-1.0)), Duration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_micros(us in 0u64..10_000_000_000) {
+            let d = Duration::from_micros(us);
+            prop_assert_eq!(Duration::from_seconds(d.as_seconds()).as_micros(), us);
+        }
+
+        #[test]
+        fn add_then_since(start in 0u64..1_000_000_000, span in 0u64..1_000_000_000) {
+            let t0 = Instant(start);
+            let t1 = t0 + Duration(span);
+            prop_assert_eq!(t1.duration_since(t0), Duration(span));
+        }
+    }
+}

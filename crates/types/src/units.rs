@@ -1,0 +1,539 @@
+//! Physical unit newtypes.
+//!
+//! Every quantity the suite manipulates — frequencies, powers, energies,
+//! throughputs and dimensionless ratios — gets its own newtype so the type
+//! system rules out dimension mistakes. Arithmetic is implemented only where
+//! it is dimensionally meaningful (`Watts * Seconds = Joules`,
+//! `FlopsPerSec / BytesPerSec = OpIntensity`, ...).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the boilerplate shared by all `f64` newtype units.
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[repr(transparent)]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw `f64` magnitude in the unit's base dimension.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Smaller of two values (NaN-safe via `f64::min`).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Larger of two values (NaN-safe via `f64::max`).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// `true` when the magnitude is a finite number.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Total ordering (IEEE `total_cmp`), usable as a sort key.
+            #[inline]
+            pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = Ratio;
+            #[inline]
+            fn div(self, rhs: $name) -> Ratio {
+                Ratio(self.0 / rhs.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{:.3} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// A frequency in hertz. Used for both core and uncore clocks.
+    ///
+    /// ```
+    /// use dufp_types::Hertz;
+    /// let uncore = Hertz::from_ghz(2.4);
+    /// assert_eq!(uncore.as_ratio_100mhz(), 24); // the MSR encoding
+    /// assert_eq!(Hertz::from_ratio_100mhz(12), Hertz::from_ghz(1.2));
+    /// ```
+    Hertz,
+    "Hz"
+);
+
+unit!(
+    /// Instantaneous power in watts.
+    ///
+    /// ```
+    /// use dufp_types::{Watts, Seconds, Joules};
+    /// // Dimensional arithmetic is checked by the type system:
+    /// let energy: Joules = Watts(125.0) * Seconds(2.0);
+    /// assert_eq!(energy, Joules(250.0));
+    /// assert_eq!(energy / Seconds(2.0), Watts(125.0));
+    /// ```
+    Watts,
+    "W"
+);
+
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+
+unit!(
+    /// A span of wall-clock (or simulated) time in seconds, as a float.
+    ///
+    /// The simulator's own clock is the integer [`crate::time::Instant`];
+    /// `Seconds` is the analytic/float view used by the models.
+    Seconds,
+    "s"
+);
+
+unit!(
+    /// Floating-point operation throughput (FLOP/s).
+    FlopsPerSec,
+    "FLOP/s"
+);
+
+unit!(
+    /// Memory traffic throughput (bytes/s).
+    BytesPerSec,
+    "B/s"
+);
+
+unit!(
+    /// A dimensionless ratio. Used for slowdown tolerances, normalized
+    /// results ("% over default"), and efficiency factors.
+    Ratio,
+    ""
+);
+
+unit!(
+    /// Operational intensity: FLOP per byte of memory traffic.
+    ///
+    /// The paper's phase classifier: `oi < 1` memory-intensive,
+    /// `oi < 0.02` *highly* memory-intensive, `oi > 100` *highly*
+    /// compute-intensive.
+    OpIntensity,
+    "FLOP/B"
+);
+
+impl Hertz {
+    /// Builds a frequency from megahertz.
+    #[inline]
+    pub const fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1.0e6)
+    }
+
+    /// Builds a frequency from gigahertz.
+    #[inline]
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Hertz(ghz * 1.0e9)
+    }
+
+    /// Frequency in megahertz.
+    #[inline]
+    pub fn as_mhz(self) -> f64 {
+        self.0 / 1.0e6
+    }
+
+    /// Frequency in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1.0e9
+    }
+
+    /// Converts to the 100 MHz bus-clock multiplier used by Intel MSRs
+    /// (rounded to nearest).
+    #[inline]
+    pub fn as_ratio_100mhz(self) -> u8 {
+        (self.0 / 1.0e8).round().clamp(0.0, 255.0) as u8
+    }
+
+    /// Builds a frequency from a 100 MHz bus-clock multiplier.
+    #[inline]
+    pub const fn from_ratio_100mhz(ratio: u8) -> Self {
+        Hertz(ratio as f64 * 1.0e8)
+    }
+}
+
+impl Ratio {
+    /// The identity ratio (100 %).
+    pub const ONE: Self = Ratio(1.0);
+
+    /// Builds a ratio from a percentage (`5.0` → `0.05`).
+    #[inline]
+    pub const fn from_percent(pct: f64) -> Self {
+        Ratio(pct / 100.0)
+    }
+
+    /// The ratio as a percentage.
+    #[inline]
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl Seconds {
+    /// Builds a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: f64) -> Self {
+        Seconds(ms / 1.0e3)
+    }
+
+    /// Duration in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1.0e3
+    }
+}
+
+impl BytesPerSec {
+    /// Builds a throughput from GiB/s.
+    #[inline]
+    pub const fn from_gib(gib: f64) -> Self {
+        BytesPerSec(gib * (1024.0 * 1024.0 * 1024.0))
+    }
+
+    /// Throughput in GiB/s.
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+impl FlopsPerSec {
+    /// Builds a throughput from GFLOP/s.
+    #[inline]
+    pub const fn from_gflops(g: f64) -> Self {
+        FlopsPerSec(g * 1.0e9)
+    }
+
+    /// Throughput in GFLOP/s.
+    #[inline]
+    pub fn as_gflops(self) -> f64 {
+        self.0 / 1.0e9
+    }
+}
+
+// ---- cross-dimension arithmetic ----
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Div<BytesPerSec> for FlopsPerSec {
+    type Output = OpIntensity;
+    #[inline]
+    fn div(self, rhs: BytesPerSec) -> OpIntensity {
+        OpIntensity(self.0 / rhs.0)
+    }
+}
+
+impl Mul<BytesPerSec> for OpIntensity {
+    type Output = FlopsPerSec;
+    #[inline]
+    fn mul(self, rhs: BytesPerSec) -> FlopsPerSec {
+        FlopsPerSec(self.0 * rhs.0)
+    }
+}
+
+impl Div<OpIntensity> for FlopsPerSec {
+    type Output = BytesPerSec;
+    #[inline]
+    fn div(self, rhs: OpIntensity) -> BytesPerSec {
+        BytesPerSec(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ratio> for Watts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ratio> for Hertz {
+    type Output = Hertz;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> Hertz {
+        Hertz(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ratio> for FlopsPerSec {
+    type Output = FlopsPerSec;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> FlopsPerSec {
+        FlopsPerSec(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ratio> for BytesPerSec {
+    type Output = BytesPerSec;
+    #[inline]
+    fn mul(self, rhs: Ratio) -> BytesPerSec {
+        BytesPerSec(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for FlopsPerSec {
+    /// Total floating-point operations executed over a span (dimensionless count).
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+impl Mul<Seconds> for BytesPerSec {
+    /// Total bytes moved over a span (dimensionless count).
+    type Output = f64;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts(125.0) * Seconds(2.0);
+        assert_eq!(e, Joules(250.0));
+        assert_eq!(e / Seconds(2.0), Watts(125.0));
+        assert_eq!(e / Watts(125.0), Seconds(2.0));
+    }
+
+    #[test]
+    fn operational_intensity_round_trips() {
+        let f = FlopsPerSec::from_gflops(100.0);
+        let b = BytesPerSec::from_gib(50.0);
+        let oi = f / b;
+        let f2 = oi * b;
+        assert!((f2.0 - f.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hertz_conversions() {
+        assert_eq!(Hertz::from_ghz(2.4).as_mhz(), 2400.0);
+        assert_eq!(Hertz::from_mhz(1200.0).as_ghz(), 1.2);
+        assert_eq!(Hertz::from_ghz(2.4).as_ratio_100mhz(), 24);
+        assert_eq!(Hertz::from_ratio_100mhz(12), Hertz::from_ghz(1.2));
+    }
+
+    #[test]
+    fn ratio_percent_round_trip() {
+        assert_eq!(Ratio::from_percent(5.0).as_percent(), 5.0);
+        assert_eq!(Ratio::ONE.as_percent(), 100.0);
+    }
+
+    #[test]
+    fn like_division_gives_ratio() {
+        let r = Watts(110.0) / Watts(125.0);
+        assert!((r.0 - 0.88).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_has_unit_suffix() {
+        assert_eq!(format!("{:.1}", Watts(125.0)), "125.0 W");
+        assert_eq!(format!("{:.0}", Hertz::from_ghz(2.0)), "2000000000 Hz");
+        assert_eq!(format!("{}", Joules(1.5)), "1.500 J");
+    }
+
+    #[test]
+    fn clamp_and_min_max() {
+        assert_eq!(Watts(200.0).clamp(Watts(65.0), Watts(125.0)), Watts(125.0));
+        assert_eq!(Watts(10.0).clamp(Watts(65.0), Watts(125.0)), Watts(65.0));
+        assert_eq!(Watts(3.0).min(Watts(2.0)), Watts(2.0));
+        assert_eq!(Watts(3.0).max(Watts(2.0)), Watts(3.0));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Joules = [Joules(1.0), Joules(2.5), Joules(0.5)].into_iter().sum();
+        assert_eq!(total, Joules(4.0));
+    }
+
+    #[test]
+    fn seconds_millis_round_trip() {
+        assert_eq!(Seconds::from_millis(200.0).value(), 0.2);
+        assert_eq!(Seconds(0.05).as_millis(), 50.0);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&Watts(125.0)).unwrap();
+        assert_eq!(json, "125.0");
+        let back: Watts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Watts(125.0));
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_inverse(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let w = Watts(a) + Watts(b) - Watts(b);
+            prop_assert!((w.0 - a).abs() <= 1e-6 * a.abs().max(1.0));
+        }
+
+        #[test]
+        fn energy_power_duality(p in 0.0f64..1e4, t in 1e-6f64..1e4) {
+            let e = Watts(p) * Seconds(t);
+            let p2 = e / Seconds(t);
+            prop_assert!((p2.0 - p).abs() <= 1e-9 * p.max(1.0));
+        }
+
+        #[test]
+        fn ratio_mul_monotone(p in 0.0f64..1e4, r in 0.0f64..1.0) {
+            let scaled = Watts(p) * Ratio(r);
+            prop_assert!(scaled.0 <= p + 1e-12);
+        }
+
+        #[test]
+        fn hertz_ratio_round_trip(ratio in 0u8..=60) {
+            let hz = Hertz::from_ratio_100mhz(ratio);
+            prop_assert_eq!(hz.as_ratio_100mhz(), ratio);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Loading and saving workload descriptions as JSON.
+//!
+//! Downstream users characterize their own applications by writing a phase
+//! spec file instead of Rust code:
+//!
+//! ```json
+//! {
+//!   "name": "my-solver",
+//!   "phases": [
+//!     { "name": "assemble", "seconds_at_default": 2.0, "oi": 0.05,
+//!       "boundness": { "MemoryBound": { "headroom": 1.5 } },
+//!       "core_util": 0.4, "overlap_penalty": 0.0 },
+//!     { "name": "solve", "seconds_at_default": 5.0, "oi": 8.0,
+//!       "boundness": { "ComputeBound": { "mem_frac": 0.3 } },
+//!       "core_util": 0.9, "overlap_penalty": 0.1 }
+//!   ],
+//!   "repeat": 10
+//! }
+//! ```
+//!
+//! `repeat` unrolls the phase list; the file carries *specs* (behavioural
+//! description), materialized for a concrete machine at load time.
+
+use crate::spec::{repeat, MaterializeCtx, PhaseSpec, Workload};
+use dufp_types::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The on-disk description: specs plus an optional repeat count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadFile {
+    /// Workload name.
+    pub name: String,
+    /// Phase specifications, executed in order (before unrolling).
+    pub phases: Vec<PhaseSpec>,
+    /// Unroll the phase list this many times (default 1).
+    #[serde(default = "default_repeat")]
+    pub repeat: usize,
+}
+
+fn default_repeat() -> usize {
+    1
+}
+
+impl WorkloadFile {
+    /// Parses a JSON string.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let file: WorkloadFile = serde_json::from_str(json)
+            .map_err(|e| Error::invalid("workload file", e.to_string()))?;
+        if file.phases.is_empty() {
+            return Err(Error::Precondition("workload file has no phases".into()));
+        }
+        if file.repeat == 0 {
+            return Err(Error::invalid("repeat", "must be at least 1"));
+        }
+        Ok(file)
+    }
+
+    /// Reads and parses a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        Self::from_json(&text)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("workload files always serialize")
+    }
+
+    /// Writes the description to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path.as_ref(), self.to_json())?;
+        Ok(())
+    }
+
+    /// Materializes into an executable workload for `ctx`.
+    pub fn materialize(&self, ctx: &MaterializeCtx) -> Result<Workload> {
+        let unrolled = repeat(&self.phases, self.repeat);
+        Workload::from_specs(self.name.clone(), &unrolled, ctx)
+    }
+}
+
+/// Convenience: load a file and materialize it in one step.
+pub fn load_workload(path: impl AsRef<Path>, ctx: &MaterializeCtx) -> Result<Workload> {
+    WorkloadFile::load(path)?.materialize(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Boundness;
+    use dufp_types::ArchSpec;
+
+    fn ctx() -> MaterializeCtx {
+        MaterializeCtx::from_arch(&ArchSpec::yeti())
+    }
+
+    fn sample() -> WorkloadFile {
+        WorkloadFile {
+            name: "sample".into(),
+            phases: vec![
+                PhaseSpec {
+                    name: "mem".into(),
+                    seconds_at_default: 1.0,
+                    oi: 0.1,
+                    boundness: Boundness::MemoryBound { headroom: 1.5 },
+                    core_util: 0.5,
+                    overlap_penalty: 0.0,
+                },
+                PhaseSpec {
+                    name: "cpu".into(),
+                    seconds_at_default: 2.0,
+                    oi: 10.0,
+                    boundness: Boundness::ComputeBound { mem_frac: 0.4 },
+                    core_util: 0.9,
+                    overlap_penalty: 0.1,
+                },
+            ],
+            repeat: 3,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let f = sample();
+        let back = WorkloadFile::from_json(&f.to_json()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn repeat_defaults_to_one() {
+        let json = r#"{
+            "name": "noloop",
+            "phases": [{
+                "name": "p", "seconds_at_default": 1.0, "oi": 0.1,
+                "boundness": { "MemoryBound": { "headroom": 1.5 } },
+                "core_util": 0.5, "overlap_penalty": 0.0
+            }]
+        }"#;
+        let f = WorkloadFile::from_json(json).unwrap();
+        assert_eq!(f.repeat, 1);
+        assert_eq!(f.materialize(&ctx()).unwrap().phases.len(), 1);
+    }
+
+    #[test]
+    fn materialization_unrolls_repeats() {
+        let w = sample().materialize(&ctx()).unwrap();
+        assert_eq!(w.phases.len(), 6);
+        assert!((w.nominal_duration(&ctx()).value() - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn file_round_trip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("dufp-wl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.json");
+        sample().save(&path).unwrap();
+        let w = load_workload(&path, &ctx()).unwrap();
+        assert_eq!(w.name, "sample");
+        assert_eq!(w.phases.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_are_clean_errors() {
+        assert!(WorkloadFile::from_json("not json").is_err());
+        assert!(WorkloadFile::from_json(r#"{"name":"x","phases":[]}"#).is_err());
+        let mut f = sample();
+        f.repeat = 0;
+        assert!(WorkloadFile::from_json(&f.to_json()).is_err());
+        // Semantically invalid specs surface at materialization.
+        let mut f = sample();
+        f.phases[0].core_util = 2.0;
+        let parsed = WorkloadFile::from_json(&f.to_json()).unwrap();
+        assert!(parsed.materialize(&ctx()).is_err());
+        assert!(WorkloadFile::load("/nonexistent/workload.json").is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Declarative phase specifications and their materialization.
+//!
+//! Application authors describe phases in *behavioural* terms — operational
+//! intensity, whether the phase is memory- or compute-bound at the default
+//! operating point, and how long it runs there. Materialization converts
+//! that into the roofline quantities the simulator executes, for a concrete
+//! machine (core count, max frequency, peak bandwidth).
+
+use dufp_model::perf::PhaseRates;
+use dufp_types::{ArchSpec, BytesPerSec, Error, Hertz, Result, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// Whether a phase saturates memory or compute at the default operating
+/// point, and by how much.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Boundness {
+    /// The phase saturates achievable bandwidth; core compute capability
+    /// exceeds what the traffic needs by `headroom` (> 1). A headroom just
+    /// above 1 makes the phase sensitive to *any* core throttling (MG);
+    /// a large headroom makes core frequency irrelevant (CG's prologue).
+    MemoryBound {
+        /// Compute-capability surplus factor, must be > 1.
+        headroom: f64,
+    },
+    /// The phase is limited by core throughput; at the default operating
+    /// point it consumes `mem_frac` (< 1) of peak bandwidth.
+    ComputeBound {
+        /// Fraction of peak bandwidth demanded, in `(0, 1)`.
+        mem_frac: f64,
+    },
+}
+
+/// Declarative description of one phase.
+///
+/// ```
+/// use dufp_workloads::{Boundness, MaterializeCtx, PhaseSpec, Workload};
+/// use dufp_types::ArchSpec;
+///
+/// let ctx = MaterializeCtx::from_arch(&ArchSpec::yeti());
+/// let spec = PhaseSpec {
+///     name: "stream_like".into(),
+///     seconds_at_default: 5.0,
+///     oi: 0.06,
+///     boundness: Boundness::MemoryBound { headroom: 1.5 },
+///     core_util: 0.45,
+///     overlap_penalty: 0.0,
+/// };
+/// let w = Workload::from_specs("demo", &[spec], &ctx).unwrap();
+/// assert!((w.nominal_duration(&ctx).value() - 5.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Region name, e.g. `"conj_grad"` or `"neighbor_rebuild"`.
+    pub name: String,
+    /// Duration of the phase when run at the default configuration.
+    pub seconds_at_default: f64,
+    /// Operational intensity (FLOP per byte) the counters will observe.
+    pub oi: f64,
+    /// Boundness at the default operating point.
+    pub boundness: Boundness,
+    /// Core issue-slot utilization, feeds the power model.
+    pub core_util: f64,
+    /// Roofline overlap penalty (0 = perfect compute/memory overlap).
+    pub overlap_penalty: f64,
+}
+
+/// Machine context needed to materialize specs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaterializeCtx {
+    /// Cores per socket contributing compute capability.
+    pub cores: u16,
+    /// Maximum (all-core turbo) core frequency.
+    pub core_freq_max: Hertz,
+    /// Peak achievable memory bandwidth per socket.
+    pub peak_bandwidth: BytesPerSec,
+    /// Peak useful FLOP/s per socket (for activity estimation in capture).
+    pub peak_flops: dufp_types::FlopsPerSec,
+}
+
+impl MaterializeCtx {
+    /// Context for one socket of the given architecture.
+    pub fn from_arch(arch: &ArchSpec) -> Self {
+        MaterializeCtx {
+            cores: arch.cores_per_socket,
+            core_freq_max: arch.core_freq_max,
+            peak_bandwidth: arch.peak_bandwidth,
+            peak_flops: arch.peak_flops,
+        }
+    }
+}
+
+/// An executable phase: materialized roofline terms plus total work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Region name.
+    pub name: String,
+    /// Roofline demands per work unit.
+    pub rates: PhaseRates,
+    /// Total abstract work units in the phase.
+    pub work_units: f64,
+    /// Core issue-slot utilization for the power model.
+    pub core_util: f64,
+}
+
+impl PhaseSpec {
+    /// Materializes the spec for `ctx`.
+    ///
+    /// Work units are normalized so that one unit moves one byte; the phase
+    /// then carries `oi` FLOPs per unit. `work_units` is chosen so the
+    /// phase lasts [`PhaseSpec::seconds_at_default`] at the default
+    /// operating point (max core frequency, peak bandwidth, no cap).
+    pub fn materialize(&self, ctx: &MaterializeCtx) -> Result<Phase> {
+        if self.oi <= 0.0 || !self.oi.is_finite() {
+            return Err(Error::invalid("oi", format!("{}", self.oi)));
+        }
+        if self.seconds_at_default <= 0.0 {
+            return Err(Error::invalid(
+                "seconds_at_default",
+                format!("{}", self.seconds_at_default),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.core_util) {
+            return Err(Error::invalid("core_util", format!("{}", self.core_util)));
+        }
+        let n = f64::from(ctx.cores);
+        let f = ctx.core_freq_max.value();
+        let peak = ctx.peak_bandwidth.value();
+        let alpha = self.overlap_penalty.clamp(0.0, 1.0);
+
+        // bytes_per_unit = 1, flops_per_unit = oi; pick the per-core-cycle
+        // FLOP capability so the requested boundness holds at default.
+        let (fpc, rate_default) = match self.boundness {
+            Boundness::MemoryBound { headroom } => {
+                if headroom <= 1.0 {
+                    return Err(Error::invalid("headroom", format!("{headroom} must be > 1")));
+                }
+                let fpc = headroom * self.oi * peak / (n * f);
+                // T_m = 1/peak, T_c = 1/(headroom·peak)
+                let rate = 1.0 / (1.0 / peak + alpha / (headroom * peak));
+                (fpc, rate)
+            }
+            Boundness::ComputeBound { mem_frac } => {
+                if !(0.0..1.0).contains(&mem_frac) || mem_frac == 0.0 {
+                    return Err(Error::invalid(
+                        "mem_frac",
+                        format!("{mem_frac} must be in (0,1)"),
+                    ));
+                }
+                let fpc = self.oi * mem_frac * peak / (n * f);
+                // T_c = 1/(mem_frac·peak), T_m = 1/peak
+                let rate = 1.0 / (1.0 / (mem_frac * peak) + alpha / peak);
+                (fpc, rate)
+            }
+        };
+
+        Ok(Phase {
+            name: self.name.clone(),
+            rates: PhaseRates {
+                flops_per_unit: self.oi,
+                bytes_per_unit: 1.0,
+                flops_per_core_cycle: fpc,
+                overlap_penalty: alpha,
+            },
+            work_units: self.seconds_at_default * rate_default,
+            core_util: self.core_util,
+        })
+    }
+}
+
+/// A full application: an ordered sequence of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Application name as used in the paper's figures.
+    pub name: String,
+    /// Phases, executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Builds a workload by materializing `specs`, unrolling any repeats
+    /// the caller already expanded.
+    pub fn from_specs(
+        name: impl Into<String>,
+        specs: &[PhaseSpec],
+        ctx: &MaterializeCtx,
+    ) -> Result<Self> {
+        let phases = specs
+            .iter()
+            .map(|s| s.materialize(ctx))
+            .collect::<Result<Vec<_>>>()?;
+        if phases.is_empty() {
+            return Err(Error::Precondition("workload needs at least one phase".into()));
+        }
+        Ok(Workload {
+            name: name.into(),
+            phases,
+        })
+    }
+
+    /// Sum of the phases' design-point durations.
+    pub fn nominal_duration(&self, ctx: &MaterializeCtx) -> Seconds {
+        // Recompute from the materialized terms: work / rate_at_default.
+        let m = dufp_model::RooflineModel { cores: ctx.cores };
+        Seconds(
+            self.phases
+                .iter()
+                .map(|p| {
+                    let pr = m.progress(&p.rates, ctx.core_freq_max, ctx.peak_bandwidth);
+                    p.work_units / pr.units_per_sec
+                })
+                .sum(),
+        )
+    }
+
+    /// Total floating-point operations in the workload.
+    pub fn total_flops(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.work_units * p.rates.flops_per_unit)
+            .sum()
+    }
+
+    /// Total bytes of memory traffic in the workload.
+    pub fn total_bytes(&self) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.work_units * p.rates.bytes_per_unit)
+            .sum()
+    }
+}
+
+/// Repeats a slice of specs `count` times (loop unrolling helper).
+pub fn repeat(body: &[PhaseSpec], count: usize) -> Vec<PhaseSpec> {
+    let mut out = Vec::with_capacity(body.len() * count);
+    for _ in 0..count {
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_model::RooflineModel;
+
+    fn ctx() -> MaterializeCtx {
+        MaterializeCtx::from_arch(&ArchSpec::yeti())
+    }
+
+    fn mem_spec() -> PhaseSpec {
+        PhaseSpec {
+            name: "mem".into(),
+            seconds_at_default: 10.0,
+            oi: 0.1,
+            boundness: Boundness::MemoryBound { headroom: 1.5 },
+            core_util: 0.5,
+            overlap_penalty: 0.0,
+        }
+    }
+
+    fn cpu_spec() -> PhaseSpec {
+        PhaseSpec {
+            name: "cpu".into(),
+            seconds_at_default: 10.0,
+            oi: 10.0,
+            boundness: Boundness::ComputeBound { mem_frac: 0.4 },
+            core_util: 0.9,
+            overlap_penalty: 0.0,
+        }
+    }
+
+    #[test]
+    fn memory_phase_lasts_declared_seconds_at_default() {
+        let c = ctx();
+        let p = mem_spec().materialize(&c).unwrap();
+        let m = RooflineModel { cores: c.cores };
+        let pr = m.progress(&p.rates, c.core_freq_max, c.peak_bandwidth);
+        let t = p.work_units / pr.units_per_sec;
+        assert!((t - 10.0).abs() < 1e-6, "duration {t}");
+    }
+
+    #[test]
+    fn compute_phase_lasts_declared_seconds_at_default() {
+        let c = ctx();
+        let p = cpu_spec().materialize(&c).unwrap();
+        let m = RooflineModel { cores: c.cores };
+        let pr = m.progress(&p.rates, c.core_freq_max, c.peak_bandwidth);
+        let t = p.work_units / pr.units_per_sec;
+        assert!((t - 10.0).abs() < 1e-6, "duration {t}");
+    }
+
+    #[test]
+    fn memory_phase_saturates_bandwidth() {
+        let c = ctx();
+        let p = mem_spec().materialize(&c).unwrap();
+        let m = RooflineModel { cores: c.cores };
+        let pr = m.progress(&p.rates, c.core_freq_max, c.peak_bandwidth);
+        assert!(
+            pr.bandwidth.value() / c.peak_bandwidth.value() > 0.999,
+            "bw frac {}",
+            pr.bandwidth.value() / c.peak_bandwidth.value()
+        );
+    }
+
+    #[test]
+    fn compute_phase_uses_declared_bandwidth_fraction() {
+        let c = ctx();
+        let p = cpu_spec().materialize(&c).unwrap();
+        let m = RooflineModel { cores: c.cores };
+        let pr = m.progress(&p.rates, c.core_freq_max, c.peak_bandwidth);
+        let frac = pr.bandwidth.value() / c.peak_bandwidth.value();
+        assert!((frac - 0.4).abs() < 1e-6, "mem frac {frac}");
+    }
+
+    #[test]
+    fn compute_phase_tracks_core_frequency() {
+        let c = ctx();
+        let p = cpu_spec().materialize(&c).unwrap();
+        let m = RooflineModel { cores: c.cores };
+        let full = m.progress(&p.rates, c.core_freq_max, c.peak_bandwidth);
+        let half = m.progress(
+            &p.rates,
+            Hertz(c.core_freq_max.value() / 2.0),
+            c.peak_bandwidth,
+        );
+        let ratio = full.units_per_sec / half.units_per_sec;
+        assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn memory_phase_ignores_moderate_core_throttling() {
+        let c = ctx();
+        let p = mem_spec().materialize(&c).unwrap();
+        let m = RooflineModel { cores: c.cores };
+        let full = m.progress(&p.rates, c.core_freq_max, c.peak_bandwidth);
+        // Throttle by 30 % — still above 1/headroom = 2/3 of capability.
+        let throttled = m.progress(
+            &p.rates,
+            Hertz(c.core_freq_max.value() * 0.7),
+            c.peak_bandwidth,
+        );
+        let ratio = throttled.units_per_sec / full.units_per_sec;
+        assert!(ratio > 0.999, "memory phase slowed by core throttle: {ratio}");
+    }
+
+    #[test]
+    fn oi_is_observable() {
+        let c = ctx();
+        let p = cpu_spec().materialize(&c).unwrap();
+        assert!((RooflineModel::intensity(&p.rates).value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let c = ctx();
+        let mut s = mem_spec();
+        s.oi = 0.0;
+        assert!(s.materialize(&c).is_err());
+        let mut s = mem_spec();
+        s.seconds_at_default = -1.0;
+        assert!(s.materialize(&c).is_err());
+        let mut s = mem_spec();
+        s.core_util = 1.5;
+        assert!(s.materialize(&c).is_err());
+        let mut s = mem_spec();
+        s.boundness = Boundness::MemoryBound { headroom: 0.9 };
+        assert!(s.materialize(&c).is_err());
+        let mut s = cpu_spec();
+        s.boundness = Boundness::ComputeBound { mem_frac: 1.0 };
+        assert!(s.materialize(&c).is_err());
+    }
+
+    #[test]
+    fn workload_nominal_duration_sums_phases() {
+        let c = ctx();
+        let w =
+            Workload::from_specs("test", &[mem_spec(), cpu_spec()], &c).unwrap();
+        assert!((w.nominal_duration(&c).value() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeat_unrolls() {
+        let body = [mem_spec(), cpu_spec()];
+        let unrolled = repeat(&body, 3);
+        assert_eq!(unrolled.len(), 6);
+        assert_eq!(unrolled[4].name, "mem");
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let c = ctx();
+        assert!(Workload::from_specs("empty", &[], &c).is_err());
+    }
+}

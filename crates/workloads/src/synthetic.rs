@@ -1,0 +1,163 @@
+//! Seeded synthetic workload generation.
+//!
+//! Property tests and stress benches need arbitrary-but-valid workloads:
+//! random phase counts, intensities spanning all four paper classes, and
+//! durations in a configurable band. Generation is fully deterministic in
+//! the seed.
+
+use crate::spec::{Boundness, MaterializeCtx, PhaseSpec, Workload};
+use dufp_types::Result;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Minimum number of phases.
+    pub min_phases: usize,
+    /// Maximum number of phases (inclusive).
+    pub max_phases: usize,
+    /// Phase duration band at the default operating point, seconds.
+    pub phase_seconds: (f64, f64),
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_phases: 2,
+            max_phases: 24,
+            phase_seconds: (0.3, 4.0),
+        }
+    }
+}
+
+/// Deterministic random workload generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    rng: ChaCha8Rng,
+    config: GeneratorConfig,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64, config: GeneratorConfig) -> Self {
+        WorkloadGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Generates the next workload.
+    pub fn generate(&mut self, ctx: &MaterializeCtx) -> Result<Workload> {
+        let n = self
+            .rng
+            .gen_range(self.config.min_phases..=self.config.max_phases);
+        let specs: Vec<PhaseSpec> = (0..n).map(|i| self.random_phase(i)).collect();
+        Workload::from_specs(format!("synthetic-{n}"), &specs, ctx)
+    }
+
+    fn random_phase(&mut self, index: usize) -> PhaseSpec {
+        let (lo, hi) = self.config.phase_seconds;
+        let secs = self.rng.gen_range(lo..hi);
+        // Sample an intensity class first so all four paper classes appear.
+        let class = self.rng.gen_range(0..4u8);
+        let (oi, boundness, util) = match class {
+            0 => (
+                self.rng.gen_range(0.002..0.019),
+                Boundness::MemoryBound {
+                    headroom: self.rng.gen_range(1.3..2.5),
+                },
+                self.rng.gen_range(0.2..0.5),
+            ),
+            1 => (
+                self.rng.gen_range(0.02..0.9),
+                Boundness::MemoryBound {
+                    headroom: self.rng.gen_range(1.05..1.8),
+                },
+                self.rng.gen_range(0.4..0.7),
+            ),
+            2 => (
+                self.rng.gen_range(1.0..80.0),
+                Boundness::ComputeBound {
+                    mem_frac: self.rng.gen_range(0.2..0.8),
+                },
+                self.rng.gen_range(0.6..0.95),
+            ),
+            _ => (
+                self.rng.gen_range(101.0..500.0),
+                Boundness::ComputeBound {
+                    mem_frac: self.rng.gen_range(0.005..0.08),
+                },
+                self.rng.gen_range(0.8..1.0),
+            ),
+        };
+        PhaseSpec {
+            name: format!("phase{index}"),
+            seconds_at_default: secs,
+            oi,
+            boundness,
+            core_util: util,
+            overlap_penalty: self.rng.gen_range(0.0..0.3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::ArchSpec;
+
+    fn ctx() -> MaterializeCtx {
+        MaterializeCtx::from_arch(&ArchSpec::yeti())
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let c = ctx();
+        let mut a = WorkloadGenerator::new(7, GeneratorConfig::default());
+        let mut b = WorkloadGenerator::new(7, GeneratorConfig::default());
+        let wa = a.generate(&c).unwrap();
+        let wb = b.generate(&c).unwrap();
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = ctx();
+        let mut a = WorkloadGenerator::new(1, GeneratorConfig::default());
+        let mut b = WorkloadGenerator::new(2, GeneratorConfig::default());
+        assert_ne!(a.generate(&c).unwrap(), b.generate(&c).unwrap());
+    }
+
+    #[test]
+    fn generated_workloads_are_valid_and_bounded() {
+        let c = ctx();
+        let cfg = GeneratorConfig::default();
+        let mut g = WorkloadGenerator::new(42, cfg);
+        for _ in 0..50 {
+            let w = g.generate(&c).unwrap();
+            assert!(w.phases.len() >= cfg.min_phases);
+            assert!(w.phases.len() <= cfg.max_phases);
+            for p in &w.phases {
+                assert!(p.work_units > 0.0);
+                assert!(p.rates.flops_per_unit > 0.0);
+                assert!((0.0..=1.0).contains(&p.core_util));
+            }
+        }
+    }
+
+    #[test]
+    fn all_intensity_classes_eventually_appear() {
+        use dufp_model::perf::PhaseKind;
+        use dufp_model::RooflineModel;
+        let c = ctx();
+        let mut g = WorkloadGenerator::new(3, GeneratorConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..40 {
+            for p in g.generate(&c).unwrap().phases {
+                seen.insert(PhaseKind::classify(RooflineModel::intensity(&p.rates)));
+            }
+        }
+        assert_eq!(seen.len(), 4, "saw classes {seen:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Find the best tolerated-slowdown setting for an application — the
+//! operational question the paper's conclusion answers: *"it is possible to
+//! find a tolerated slowdown configuration which reaches power savings with
+//! no energy loss"* (§V-H).
+//!
+//! For each tolerance in {0, 5, 10, 20} % this sweeps DUFP, then reports
+//! the configuration with the largest package power savings whose total
+//! energy did not regress.
+//!
+//! ```sh
+//! cargo run --release --example find_best_slowdown -- CG
+//! ```
+
+use dufp::prelude::*;
+use dufp::{ratios_vs_default, run_repeated, ControllerKind, ExperimentSpec, Ratios};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "CG".to_string());
+    let runs = 6;
+    let sim = SimConfig::yeti(42);
+
+    let spec = |controller| ExperimentSpec {
+        sim: sim.clone(),
+        app: app.clone(),
+        controller,
+        trace: None,
+        interval_ms: None,
+    };
+
+    println!("sweeping {app} under DUFP, {runs} runs per tolerance...\n");
+    let default_run = run_repeated(&spec(ControllerKind::Default), runs, 9).unwrap();
+
+    let mut table: Vec<(f64, Ratios)> = Vec::new();
+    for pct in [0.0, 5.0, 10.0, 20.0] {
+        let r = run_repeated(
+            &spec(ControllerKind::Dufp {
+                slowdown: Ratio::from_percent(pct),
+            }),
+            runs,
+            9,
+        )
+        .unwrap();
+        table.push((pct, ratios_vs_default(&default_run, &r)));
+    }
+
+    println!("| tolerance | overhead | pkg power savings | energy savings |");
+    println!("|-----------|----------|-------------------|----------------|");
+    for (pct, r) in &table {
+        println!(
+            "| {pct:>6.0} %  | {:+6.2} % | {:+9.2} %        | {:+7.2} %      |",
+            r.overhead_pct, r.pkg_power_savings_pct, r.energy_savings_pct
+        );
+    }
+
+    // The paper's rule: best power savings subject to no energy loss.
+    let best = table
+        .iter()
+        .filter(|(_, r)| r.energy_savings_pct >= 0.0)
+        .max_by(|a, b| {
+            a.1.pkg_power_savings_pct
+                .total_cmp(&b.1.pkg_power_savings_pct)
+        });
+
+    match best {
+        Some((pct, r)) => println!(
+            "\nbest setting for {app}: {pct:.0} % tolerated slowdown — \
+             {:+.2} % power savings at {:+.2} % energy \
+             (paper §V-H: 10 % is the sweet spot for most applications)",
+            r.pkg_power_savings_pct, r.energy_savings_pct
+        ),
+        None => println!("\nno energy-neutral setting found for {app}"),
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: run NPB CG under DUFP at 10 % tolerated slowdown on the
+//! simulated YETI node and compare against the default configuration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dufp::prelude::*;
+use dufp::{ratios_vs_default, run_repeated, ControllerKind, ExperimentSpec};
+
+fn main() {
+    // The paper's platform: four Xeon Gold 6130 packages (Table I).
+    let sim = SimConfig::yeti(42);
+
+    let spec = |controller| ExperimentSpec {
+        sim: sim.clone(),
+        app: "CG".into(),
+        controller,
+        trace: None,
+        interval_ms: None,
+    };
+
+    // Paper protocol: 10 runs, drop best and worst, average the rest.
+    println!("running CG: default configuration (10 runs)...");
+    let default_run = run_repeated(&spec(ControllerKind::Default), 10, 1).unwrap();
+    println!("running CG: DUFP @ 10% tolerated slowdown (10 runs)...");
+    let dufp_run = run_repeated(
+        &spec(ControllerKind::Dufp {
+            slowdown: Ratio::from_percent(10.0),
+        }),
+        10,
+        1,
+    )
+    .unwrap();
+
+    let r = ratios_vs_default(&default_run, &dufp_run);
+    println!();
+    println!(
+        "default : {:7.2} s, {:7.2} W package, {:7.2} W DRAM",
+        default_run.exec_time.mean, default_run.pkg_power.mean, default_run.dram_power.mean
+    );
+    println!(
+        "DUFP@10%: {:7.2} s, {:7.2} W package, {:7.2} W DRAM",
+        dufp_run.exec_time.mean, dufp_run.pkg_power.mean, dufp_run.dram_power.mean
+    );
+    println!();
+    println!("execution-time overhead : {:+.2} % (tolerance: 10 %)", r.overhead_pct);
+    println!("package power savings   : {:+.2} %", r.pkg_power_savings_pct);
+    println!("DRAM power savings      : {:+.2} %", r.dram_power_savings_pct);
+    println!("total energy savings    : {:+.2} %", r.energy_savings_pct);
+    println!();
+    println!(
+        "The paper's CG @ 10 %: 13.98 % package power savings with 4.7 % \
+         energy savings and the slowdown respected (§V-B, §V-D)."
+    );
+
+    assert!(r.overhead_pct < 11.0, "DUFP must respect the tolerance");
+    assert!(r.pkg_power_savings_pct > 0.0, "DUFP must save power");
+}

@@ -1,0 +1,214 @@
+//! Cross-crate property tests: random-but-valid workloads and
+//! configurations must never break the controllers' invariants.
+
+use dufp_control::{Actuators, ControlConfig, Controller, Duf, Dufp};
+use dufp_counters::{Sampler, Telemetry};
+use dufp_rapl::MsrRapl;
+use dufp_sim::{Machine, SimConfig};
+use dufp_types::{Ratio, SocketId};
+use dufp_workloads::synthetic::{GeneratorConfig, WorkloadGenerator};
+use dufp_workloads::MaterializeCtx;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Runs a synthetic workload under a controller, checking actuator bounds
+/// every interval; returns (exec seconds, nominal seconds).
+fn run_synthetic(seed: u64, slowdown_pct: f64, use_dufp: bool) -> (f64, f64) {
+    let mut sim = SimConfig::deterministic(seed);
+    sim.noise = dufp_sim::NoiseConfig::default();
+    let arch = sim.arch.clone();
+    let ctx = MaterializeCtx::from_arch(&arch);
+
+    let mut generator = WorkloadGenerator::new(
+        seed,
+        GeneratorConfig {
+            min_phases: 2,
+            max_phases: 8,
+            phase_seconds: (0.3, 2.0),
+        },
+    );
+    let workload = generator.generate(&ctx).unwrap();
+    let nominal = workload.nominal_duration(&ctx).value();
+
+    let machine = Arc::new(Machine::new(sim));
+    machine.load_all(&workload);
+    let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(slowdown_pct)).unwrap();
+    let capper = Arc::new(
+        MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap(),
+    );
+    let mut act = dufp_control::HwActuators::new(
+        Arc::clone(&machine),
+        capper,
+        SocketId(0),
+        0,
+        cfg.clone(),
+    )
+    .unwrap();
+    let mut controller: Box<dyn Controller> = if use_dufp {
+        Box::new(Dufp::new(cfg.clone()))
+    } else {
+        Box::new(Duf::new(cfg.clone()))
+    };
+    let mut sampler = Sampler::new();
+    sampler.sample(machine.as_ref(), SocketId(0)).unwrap();
+
+    let ticks = cfg.interval.as_micros() / machine.config().tick.as_micros();
+    let max_intervals = (nominal * 10.0 / 0.2) as usize + 500;
+    let mut intervals = 0;
+    while !machine.done() {
+        for _ in 0..ticks {
+            machine.tick();
+            if machine.done() {
+                break;
+            }
+        }
+        if let Some(m) = sampler.sample(machine.as_ref(), SocketId(0)).unwrap() {
+            controller.on_interval(&m, &mut act).unwrap();
+        }
+        // Invariants: actuators always inside their legal ranges.
+        let u = act.uncore();
+        assert!(u >= cfg.uncore_min && u <= cfg.uncore_max, "uncore {u:?}");
+        let cap = act.cap_long();
+        assert!(
+            cap >= cfg.cap_floor && cap <= act.cap_defaults().1,
+            "cap {cap:?}"
+        );
+        assert!(act.cap_short() >= act.cap_long(), "short < long");
+        intervals += 1;
+        assert!(
+            intervals < max_intervals,
+            "workload stuck: {intervals} intervals for nominal {nominal}s"
+        );
+    }
+    (machine.now().as_seconds().value(), nominal)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dufp_never_leaves_actuator_bounds_and_always_terminates(
+        seed in 0u64..1_000,
+        slowdown in prop::sample::select(vec![0.0, 5.0, 10.0, 20.0]),
+    ) {
+        let (t, nominal) = run_synthetic(seed, slowdown, true);
+        // Even a pathological phase mix must stay within 2x nominal
+        // (the tolerance is at most 20 %; the rest is transients).
+        prop_assert!(t < nominal * 2.0, "{t}s vs nominal {nominal}s");
+    }
+
+    #[test]
+    fn duf_never_leaves_actuator_bounds_and_always_terminates(
+        seed in 0u64..1_000,
+        slowdown in prop::sample::select(vec![0.0, 10.0]),
+    ) {
+        let (t, nominal) = run_synthetic(seed, slowdown, false);
+        prop_assert!(t < nominal * 2.0, "{t}s vs nominal {nominal}s");
+    }
+
+    #[test]
+    fn simulation_is_bit_deterministic(seed in 0u64..500) {
+        let a = run_synthetic(seed, 10.0, true);
+        let b = run_synthetic(seed, 10.0, true);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn soak_ten_simulated_minutes_of_phase_thrash() {
+    // A long phase-rich run: DUFP must stay stable (no wedged actuators,
+    // no drift in the cap range, bounded actuation rate) over 10 simulated
+    // minutes of continuous phase alternation.
+    let mut sim = SimConfig::yeti_single_socket(123);
+    sim.noise = dufp_sim::NoiseConfig::default();
+    let arch = sim.arch.clone();
+    let ctx = MaterializeCtx::from_arch(&arch);
+    // 150 alternating compute/memory rounds ≈ 600 s nominal.
+    let body = [
+        dufp_workloads::PhaseSpec {
+            name: "c".into(),
+            seconds_at_default: 2.5,
+            oi: 6.0,
+            boundness: dufp_workloads::Boundness::ComputeBound { mem_frac: 0.4 },
+            core_util: 0.85,
+            overlap_penalty: 0.1,
+        },
+        dufp_workloads::PhaseSpec {
+            name: "m".into(),
+            seconds_at_default: 1.5,
+            oi: 0.2,
+            boundness: dufp_workloads::Boundness::MemoryBound { headroom: 1.3 },
+            core_util: 0.5,
+            overlap_penalty: 0.05,
+        },
+    ];
+    let specs = dufp_workloads::spec::repeat(&body, 150);
+    let workload = dufp_workloads::Workload::from_specs("soak", &specs, &ctx).unwrap();
+    let nominal = workload.nominal_duration(&ctx).value();
+
+    let machine = Arc::new(Machine::new(sim));
+    machine.load_all(&workload);
+    machine.enable_trace(SocketId(0), 200).unwrap();
+    let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(10.0)).unwrap();
+    let capper = Arc::new(
+        MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap(),
+    );
+    let mut act = dufp_control::HwActuators::new(
+        Arc::clone(&machine),
+        capper,
+        SocketId(0),
+        0,
+        cfg.clone(),
+    )
+    .unwrap();
+    let mut controller = Dufp::new(cfg.clone());
+    let mut sampler = Sampler::new();
+    sampler.sample(machine.as_ref(), SocketId(0)).unwrap();
+    let ticks = cfg.interval.as_micros() / machine.config().tick.as_micros();
+    while !machine.done() {
+        for _ in 0..ticks {
+            machine.tick();
+        }
+        if let Some(m) = sampler.sample(machine.as_ref(), SocketId(0)).unwrap() {
+            controller.on_interval(&m, &mut act).unwrap();
+        }
+    }
+    let t = machine.now().as_seconds().value();
+    assert!(
+        t < nominal * 1.12,
+        "soak run drifted: {t:.1}s vs nominal {nominal:.1}s"
+    );
+    let trace = machine.take_trace(SocketId(0)).unwrap().unwrap();
+    // The controller must still be actuating at the end (not wedged) and
+    // not thrashing (bounded writes per interval).
+    let cap_writes = trace.cap_transitions();
+    let intervals = (t / 0.2) as usize;
+    assert!(cap_writes > 50, "cap never moved in a 10-minute phase thrash");
+    assert!(
+        cap_writes < intervals,
+        "more cap writes ({cap_writes}) than intervals ({intervals})"
+    );
+}
+
+#[test]
+fn telemetry_counters_are_monotonic_under_control() {
+    let sim = SimConfig::yeti_single_socket(5);
+    let arch = sim.arch.clone();
+    let ctx = MaterializeCtx::from_arch(&arch);
+    let machine = Arc::new(Machine::new(sim));
+    machine.load_all(&dufp_workloads::apps::cg(&ctx).unwrap());
+
+    let mut prev = machine.sample(SocketId(0)).unwrap();
+    for _ in 0..200 {
+        for _ in 0..50 {
+            machine.tick();
+        }
+        let cur = machine.sample(SocketId(0)).unwrap();
+        assert!(cur.flops >= prev.flops);
+        assert!(cur.bytes >= prev.bytes);
+        assert!(cur.pkg_energy >= prev.pkg_energy);
+        assert!(cur.dram_energy >= prev.dram_energy);
+        assert!(cur.at > prev.at);
+        prev = cur;
+    }
+}
