@@ -15,21 +15,27 @@ fn bench_run_once(c: &mut Criterion) {
     let mut g = c.benchmark_group("run_once");
     g.sample_size(10);
     for app in ["EP", "CG"] {
-        g.bench_with_input(BenchmarkId::new("dufp10_single_socket", app), app, |b, app| {
-            let spec = ExperimentSpec {
-                sim: SimConfig::yeti_single_socket(1),
-                app: (*app).into(),
-                controller: ControllerKind::Dufp {
-                    slowdown: Ratio::from_percent(10.0),
-                },
-                trace: None, interval_ms: None,
-            };
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                run_once(&spec, seed).unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dufp10_single_socket", app),
+            app,
+            |b, app| {
+                let spec = ExperimentSpec {
+                    sim: SimConfig::yeti_single_socket(1),
+                    app: (*app).into(),
+                    controller: ControllerKind::Dufp {
+                        slowdown: Ratio::from_percent(10.0),
+                    },
+                    trace: None,
+                    interval_ms: None,
+                    telemetry: false,
+                };
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    run_once(&spec, seed).unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -53,6 +59,7 @@ fn bench_interval_tradeoff(c: &mut Criterion) {
                     },
                     trace: None,
                     interval_ms: Some(ms),
+                    telemetry: false,
                 };
                 let mut seed = 100;
                 b.iter(|| {

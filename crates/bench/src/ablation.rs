@@ -91,7 +91,12 @@ pub struct AblationRow {
 
 /// Runs one app under one DUFP variant on a single socket; returns
 /// (exec seconds, avg package watts).
-fn run_variant(app: &str, variant: Option<Variant>, slowdown_pct: f64, seed: u64) -> Result<(f64, f64)> {
+fn run_variant(
+    app: &str,
+    variant: Option<Variant>,
+    slowdown_pct: f64,
+    seed: u64,
+) -> Result<(f64, f64)> {
     let sim = SimConfig::yeti_single_socket(seed);
     let arch = sim.arch.clone();
     let ctx = MaterializeCtx::from_arch(&arch);
@@ -108,13 +113,7 @@ fn run_variant(app: &str, variant: Option<Variant>, slowdown_pct: f64, seed: u64
                 1,
                 arch.cores_per_socket as usize,
             )?);
-            let act = HwActuators::new(
-                Arc::clone(&machine),
-                capper,
-                SocketId(0),
-                0,
-                cfg.clone(),
-            )?;
+            let act = HwActuators::new(Arc::clone(&machine), capper, SocketId(0), 0, cfg.clone())?;
             Some((Dufp::new(cfg.clone()), act))
         }
     };

@@ -12,9 +12,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--slowdown" => {
-                slowdown = args.next().expect("--slowdown PCT").parse().expect("float")
-            }
+            "--slowdown" => slowdown = args.next().expect("--slowdown PCT").parse().expect("float"),
             "--seed" => seed = args.next().expect("--seed S").parse().expect("int"),
             other => apps.push(other.to_string()),
         }

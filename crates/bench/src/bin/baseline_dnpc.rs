@@ -39,6 +39,7 @@ fn main() {
             controller,
             trace: None,
             interval_ms: None,
+            telemetry: false,
         };
         let base = run_repeated(&spec(ControllerKind::Default), runs, 1).expect(app);
         let dnpc = ratios_vs_default(
@@ -51,8 +52,16 @@ fn main() {
         );
         rows.push(vec![
             app.to_string(),
-            format!("{} / {}", fmt_pct(dnpc.overhead_pct), fmt_pct(dnpc.pkg_power_savings_pct)),
-            format!("{} / {}", fmt_pct(dufp.overhead_pct), fmt_pct(dufp.pkg_power_savings_pct)),
+            format!(
+                "{} / {}",
+                fmt_pct(dnpc.overhead_pct),
+                fmt_pct(dnpc.pkg_power_savings_pct)
+            ),
+            format!(
+                "{} / {}",
+                fmt_pct(dufp.overhead_pct),
+                fmt_pct(dufp.pkg_power_savings_pct)
+            ),
         ]);
     }
     print!(

@@ -41,10 +41,7 @@ fn main() {
         }
     }
     eprintln!("characterize: probing {} applications...", APPS.len());
-    let rows: Vec<Row> = APPS
-        .par_iter()
-        .map(|app| characterize(app, seed))
-        .collect();
+    let rows: Vec<Row> = APPS.par_iter().map(|app| characterize(app, seed)).collect();
 
     println!("\n## Application characterization (§V-F)\n");
     let table: Vec<Vec<String>> = rows
@@ -87,17 +84,14 @@ fn characterize(app: &str, seed: u64) -> Row {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
     let base = run_once(&spec(ControllerKind::Default), seed).unwrap();
     let base_t = base.exec_time.value();
     let base_p = base.avg_pkg_power.value();
 
     // Cap probe: static 100 W.
-    let capped = run_once(
-        &spec(ControllerKind::StaticCap { cap: Watts(100.0) }),
-        seed,
-    )
-    .unwrap();
+    let capped = run_once(&spec(ControllerKind::StaticCap { cap: Watts(100.0) }), seed).unwrap();
     let removed_w = (base_p - capped.avg_pkg_power.value()).max(1.0);
     let cap_sens = ((capped.exec_time.value() / base_t - 1.0) * 100.0) / removed_w * 10.0;
 

@@ -58,7 +58,10 @@ fn main() {
             .collect();
         print!(
             "{}",
-            markdown_table(&["node", "time (s)", "avg power (W)", "final ceiling (W)"], &rows)
+            markdown_table(
+                &["node", "time (s)", "avg power (W)", "final ceiling (W)"],
+                &rows
+            )
         );
         println!(
             "makespan {:.1} s, peak cluster power {:.1} W (budget {budget:.0} W)\n",

@@ -26,7 +26,9 @@ fn main() {
         trace: Some(TraceSpec {
             socket: SocketId(0),
             stride: 50,
-        }), interval_ms: None,
+        }),
+        interval_ms: None,
+        telemetry: false,
     };
     let r = run_once(&spec, 7).unwrap();
     let tr = r.trace.unwrap();
@@ -40,7 +42,7 @@ fn main() {
         r.avg_dram_power.value()
     );
     let n = tr.points.len() as f64;
-    let avg = |f: &dyn Fn(&dufp_sim::TracePoint) -> f64| tr.points.iter().map(|p| f(p)).sum::<f64>() / n;
+    let avg = |f: &dyn Fn(&dufp_sim::TracePoint) -> f64| tr.points.iter().map(f).sum::<f64>() / n;
     println!(
         "avg core {:.2} GHz | avg uncore {:.2} GHz | avg pl1 {:.1} W | avg allowance {:.1} W",
         avg(&|p| p.core_freq.as_ghz()),
@@ -60,7 +62,8 @@ fn main() {
     println!();
     let mut uh = std::collections::BTreeMap::new();
     for p in &tr.points {
-        *uh.entry((p.uncore_freq.as_ghz() * 10.0).round() as i64).or_insert(0usize) += 1;
+        *uh.entry((p.uncore_freq.as_ghz() * 10.0).round() as i64)
+            .or_insert(0usize) += 1;
     }
     print!("uncore histogram:");
     for (u, c) in uh {

@@ -135,9 +135,11 @@ fn probe(cfg: &ControlConfig, class: OiClass, case: DropCase) -> CapAction {
     let f = base_flops * case.factor(cfg.slowdown.value());
     // Two intervals: the first may be attributed to the uncore's own probe;
     // the second is the cap's decision.
-    dufp.on_interval(&metrics(t, class.oi(), f, 95.0), &mut act).unwrap();
+    dufp.on_interval(&metrics(t, class.oi(), f, 95.0), &mut act)
+        .unwrap();
     t += 1;
-    dufp.on_interval(&metrics(t, class.oi(), f, 95.0), &mut act).unwrap();
+    dufp.on_interval(&metrics(t, class.oi(), f, 95.0), &mut act)
+        .unwrap();
     dufp.last_cap_action()
 }
 
@@ -162,7 +164,9 @@ fn main() {
     }
     let cfg = ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(pct)).unwrap();
 
-    println!("## Fig 2 — DUFP cap decisions, derived from the implementation ({pct:.0}% tolerance)\n");
+    println!(
+        "## Fig 2 — DUFP cap decisions, derived from the implementation ({pct:.0}% tolerance)\n"
+    );
     let mut rows = Vec::new();
     for class in OiClass::ALL {
         for case in DropCase::ALL {
@@ -176,7 +180,10 @@ fn main() {
     }
     print!(
         "{}",
-        markdown_table(&["phase class", "FLOPS/s vs phase max", "cap action"], &rows)
+        markdown_table(
+            &["phase class", "FLOPS/s vs phase max", "cap action"],
+            &rows
+        )
     );
 
     // Machine-check the canonical §III rows.

@@ -42,14 +42,18 @@ fn main() {
     }
 
     if which == "time" || which == "all" {
-        print_panel(&sweeps, "Fig 3a — execution time overhead (% over default)", |v| {
-            v.ratios.overhead_pct
-        });
+        print_panel(
+            &sweeps,
+            "Fig 3a — execution time overhead (% over default)",
+            |v| v.ratios.overhead_pct,
+        );
     }
     if which == "power" || which == "all" {
-        print_panel(&sweeps, "Fig 3b — package power savings (% over default)", |v| {
-            v.ratios.pkg_power_savings_pct
-        });
+        print_panel(
+            &sweeps,
+            "Fig 3b — package power savings (% over default)",
+            |v| v.ratios.pkg_power_savings_pct,
+        );
     }
     if which == "energy" || which == "all" {
         print_panel(
@@ -78,7 +82,11 @@ fn main() {
         "\nDUFP respects the tolerated slowdown in {respected}/{total} configurations \
          (paper: 34/40); max excess {:.2}% on {} (paper: 3.17% on LAMMPS @ 20%)",
         max_excess.0.max(0.0),
-        if max_excess.1.is_empty() { "-" } else { &max_excess.1 },
+        if max_excess.1.is_empty() {
+            "-"
+        } else {
+            &max_excess.1
+        },
     );
     std::io::stdout().flush().ok();
 }

@@ -18,7 +18,10 @@ fn main() {
         }
     }
 
-    eprintln!("fig4: sweeping DRAM power, {} runs per configuration...", cfg.runs);
+    eprintln!(
+        "fig4: sweeping DRAM power, {} runs per configuration...",
+        cfg.runs
+    );
     let sweeps: Vec<AppSweep> = APPS
         .par_iter()
         .map(|app| sweep_app(app, &cfg).unwrap_or_else(|e| panic!("{app}: {e}")))

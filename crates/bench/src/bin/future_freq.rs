@@ -27,7 +27,10 @@ fn main() {
     sim.arch.sockets = sockets;
     let slowdown = Ratio::from_percent(pct);
 
-    eprintln!("future_freq: DUFP vs DUFP-F on {} apps at {pct:.0}%...", APPS.len());
+    eprintln!(
+        "future_freq: DUFP vs DUFP-F on {} apps at {pct:.0}%...",
+        APPS.len()
+    );
     let rows: Vec<Vec<String>> = APPS
         .par_iter()
         .map(|app| {
@@ -37,6 +40,7 @@ fn main() {
                 controller,
                 trace: None,
                 interval_ms: None,
+                telemetry: false,
             };
             let base = run_repeated(&spec(ControllerKind::Default), runs, 1).expect(app);
             let dufp = ratios_vs_default(
@@ -49,9 +53,20 @@ fn main() {
             );
             vec![
                 (*app).to_string(),
-                format!("{} / {}", fmt_pct(dufp.overhead_pct), fmt_pct(dufp.pkg_power_savings_pct)),
-                format!("{} / {}", fmt_pct(dufpf.overhead_pct), fmt_pct(dufpf.pkg_power_savings_pct)),
-                format!("{}", fmt_pct(dufpf.pkg_power_savings_pct - dufp.pkg_power_savings_pct)),
+                format!(
+                    "{} / {}",
+                    fmt_pct(dufp.overhead_pct),
+                    fmt_pct(dufp.pkg_power_savings_pct)
+                ),
+                format!(
+                    "{} / {}",
+                    fmt_pct(dufpf.overhead_pct),
+                    fmt_pct(dufpf.pkg_power_savings_pct)
+                ),
+                format!(
+                    "{}",
+                    fmt_pct(dufpf.pkg_power_savings_pct - dufp.pkg_power_savings_pct)
+                ),
             ]
         })
         .collect();

@@ -38,6 +38,7 @@ fn main() {
             controller,
             trace: None,
             interval_ms: None,
+            telemetry: false,
         };
         run_repeated(&spec, runs, seed).expect("run")
     };
@@ -55,19 +56,22 @@ fn main() {
                     (r.exec_time.mean / base.exec_time.mean - 1.0) * 100.0
                 )
             };
-            let psave = cell(app, Governor::Powersave { bias: 0.25 }, ControllerKind::Default);
-            let dufp = cell(app, Governor::Performance, ControllerKind::Dufp { slowdown });
+            let psave = cell(
+                app,
+                Governor::Powersave { bias: 0.25 },
+                ControllerKind::Default,
+            );
+            let dufp = cell(
+                app,
+                Governor::Performance,
+                ControllerKind::Dufp { slowdown },
+            );
             let both = cell(
                 app,
                 Governor::Powersave { bias: 0.25 },
                 ControllerKind::Dufp { slowdown },
             );
-            vec![
-                app.to_string(),
-                fmt(&psave),
-                fmt(&dufp),
-                fmt(&both),
-            ]
+            vec![app.to_string(), fmt(&psave), fmt(&dufp), fmt(&both)]
         })
         .collect();
     print!(

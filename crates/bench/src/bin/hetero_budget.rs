@@ -20,7 +20,11 @@ fn main() {
                 cfg.budget = Watts(args.next().expect("--budget W").parse().expect("float"))
             }
             "--gpu-work" => {
-                cfg.gpu_work = args.next().expect("--gpu-work UNITS").parse().expect("float")
+                cfg.gpu_work = args
+                    .next()
+                    .expect("--gpu-work UNITS")
+                    .parse()
+                    .expect("float")
             }
             "--app" => cfg.cpu_app = args.next().expect("--app APP"),
             "--seed" => cfg.seed = args.next().expect("--seed S").parse().expect("int"),

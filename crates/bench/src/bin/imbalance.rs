@@ -44,9 +44,8 @@ fn main() {
     machine.load_imbalanced(&workload, &factors).expect("load");
 
     let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(10.0)).unwrap();
-    let capper = Arc::new(
-        MsrRapl::new(Arc::clone(&machine), 4, arch.cores_per_socket as usize).unwrap(),
-    );
+    let capper =
+        Arc::new(MsrRapl::new(Arc::clone(&machine), 4, arch.cores_per_socket as usize).unwrap());
     let mut per_socket: Vec<(Dufp, Sampler, _)> = (0..4u16)
         .map(|i| {
             let act = HwActuators::new(
@@ -83,7 +82,10 @@ fn main() {
                     .pkg_energy
                     .value();
             }
-            if let Some(m) = sampler.sample(machine.as_ref(), SocketId(i as u16)).unwrap() {
+            if let Some(m) = sampler
+                .sample(machine.as_ref(), SocketId(i as u16))
+                .unwrap()
+            {
                 if !done {
                     controller.on_interval(&m, act).unwrap();
                 }
@@ -122,7 +124,12 @@ fn main() {
     print!(
         "{}",
         markdown_table(
-            &["socket", "finish (s)", "idle-tail power (W)", "final cap (W)"],
+            &[
+                "socket",
+                "finish (s)",
+                "idle-tail power (W)",
+                "final cap (W)"
+            ],
             &rows
         )
     );

@@ -64,7 +64,11 @@ fn main() {
         rows.push(vec![
             app.to_string(),
             format!("{}", free.observable_truth),
-            format!("{:.0}% / {:.0}%", free.recall() * 100.0, free.precision() * 100.0),
+            format!(
+                "{:.0}% / {:.0}%",
+                free.recall() * 100.0,
+                free.precision() * 100.0
+            ),
             format!(
                 "{:.0}% / {:.0}%",
                 capped.recall() * 100.0,
@@ -103,7 +107,11 @@ fn score(app: &str, seed: u64, static_cap: Option<Watts>) -> Score {
         let units = RaplPowerUnit::skylake_sp();
         let reg = PkgPowerLimit::defaults(w, Seconds(1.0), w, Seconds(0.01));
         machine
-            .write(0, dufp_msr::registers::MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap())
+            .write(
+                0,
+                dufp_msr::registers::MSR_PKG_POWER_LIMIT,
+                reg.encode(&units).unwrap(),
+            )
             .unwrap();
     }
 

@@ -53,7 +53,9 @@ fn run_one(
         trace: Some(TraceSpec {
             socket: SocketId(0),
             stride: 20,
-        }), interval_ms: None,
+        }),
+        interval_ms: None,
+        telemetry: false,
     };
     let r = run_once(&spec, seed)?;
     let budget_per_socket = sim.arch.pl1_default.value();
@@ -75,9 +77,7 @@ fn run_one(
     };
     Ok(Fig1Row {
         label: label.to_owned(),
-        time_ratio: default_time
-            .map(|d| r.exec_time.value() / d)
-            .unwrap_or(1.0),
+        time_ratio: default_time.map(|d| r.exec_time.value() / d).unwrap_or(1.0),
         power_over_budget,
         window_power_over_budget: window_power / budget_per_socket,
     })
@@ -95,7 +95,9 @@ pub fn run_fig1(sockets: u16, seed: u64) -> Result<Fig1Results> {
             sim: sim.clone(),
             app: "CG".into(),
             controller: ControllerKind::Default,
-            trace: None, interval_ms: None,
+            trace: None,
+            interval_ms: None,
+            telemetry: false,
         };
         run_once(&spec, seed)?.exec_time.value()
     };
@@ -112,7 +114,13 @@ pub fn run_fig1(sockets: u16, seed: u64) -> Result<Fig1Results> {
     // On the real platform "UFS" is the hardware's default uncore scaling —
     // already active in the default configuration; the pair quantifies that
     // it "provides limited power savings" (§II-A).
-    let ufs = run_one(&sim, ControllerKind::Default, "UFS", seed ^ 1, Some(base_time))?;
+    let ufs = run_one(
+        &sim,
+        ControllerKind::Default,
+        "UFS",
+        seed ^ 1,
+        Some(base_time),
+    )?;
 
     let windowed = |cap: f64, label: &str| {
         run_one(

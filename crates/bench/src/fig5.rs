@@ -37,13 +37,18 @@ pub fn trace_cg(controller: ControllerKind, sockets: u16, seed: u64) -> Result<F
         trace: Some(TraceSpec {
             socket: SocketId(0),
             stride: 100, // one point per 100 ms
-        }), interval_ms: None,
+        }),
+        interval_ms: None,
+        telemetry: false,
     };
     let r = run_once(&spec, seed)?;
     let trace = r.trace.expect("trace requested");
     Ok(FreqTrace {
         label: controller.label(),
-        avg_core_ghz: trace.avg_core_freq().map(|f| f.as_ghz()).unwrap_or(f64::NAN),
+        avg_core_ghz: trace
+            .avg_core_freq()
+            .map(|f| f.as_ghz())
+            .unwrap_or(f64::NAN),
         avg_pkg_power: trace.avg_pkg_power().map(|p| p.value()).unwrap_or(f64::NAN),
         trace,
     })

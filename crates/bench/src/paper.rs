@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn every_artifact_is_covered() {
         let cs = claims();
-        for artifact in ["Fig 1a", "Fig 1b", "Fig 1c", "Fig 3a", "Fig 3b", "Fig 3c", "Fig 4", "Fig 5"] {
+        for artifact in [
+            "Fig 1a", "Fig 1b", "Fig 1c", "Fig 3a", "Fig 3b", "Fig 3c", "Fig 4", "Fig 5",
+        ] {
             assert!(
                 cs.iter().any(|c| c.artifact == artifact),
                 "no claim for {artifact}"

@@ -71,6 +71,7 @@ pub fn sweep_app(app: &str, cfg: &SweepConfig) -> Result<AppSweep> {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
 
     let default_run = dufp::run_repeated(&spec(ControllerKind::Default), cfg.runs, cfg.seed)?;

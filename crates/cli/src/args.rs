@@ -9,8 +9,14 @@ dufp — dynamic uncore frequency scaling and power capping
 USAGE:
     dufp run <APP> [--controller default|duf|dufp|dufpf|dnpc|cap:<W>] [--slowdown PCT]
                    [--sockets N] [--runs N] [--seed S] [--json]
+                   [--trace-out FILE.jsonl]
                    <APP> is a modeled application (see `dufp apps`) or a
                    path to a workload spec file ending in .json
+                   --trace-out records every controller decision (with its
+                   reason code) as JSON Lines; requires --runs 1
+    dufp trace <FILE.jsonl> [--summary]
+                             inspect a decision trace written by --trace-out;
+                             --summary tallies events per reason code
     dufp timeline <APP> [--controller ...] [--slowdown PCT] [--seed S]
                              render frequency/power/cap timelines (Fig 5 style)
     dufp machine-template    print the default platform as editable JSON
@@ -30,6 +36,7 @@ EXAMPLES:
     dufp run CG --controller dufp --slowdown 10
     dufp run EP --controller duf --slowdown 5 --runs 10 --json
     dufp run HPL --controller cap:100
+    dufp run CG --trace-out /tmp/cg.jsonl && dufp trace /tmp/cg.jsonl --summary
 ";
 
 /// A parsed `run` invocation.
@@ -51,6 +58,9 @@ pub struct RunSpec {
     pub json: bool,
     /// Optional path to a machine description (serialized `SimConfig`).
     pub machine: Option<String>,
+    /// Optional JSONL output path for the decision trace (enables
+    /// telemetry for the run).
+    pub trace_out: Option<String>,
 }
 
 /// Which controller to run.
@@ -88,6 +98,15 @@ pub struct RecordSpec {
     pub seed: u64,
 }
 
+/// A parsed `trace` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCmd {
+    /// Path to a decision-trace JSONL file (from `run --trace-out`).
+    pub file: String,
+    /// Tally events per reason instead of listing them.
+    pub summary: bool,
+}
+
 /// Subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -97,6 +116,8 @@ pub enum Command {
     Timeline(RunSpec),
     /// Capture a counter trace into a workload spec file.
     Record(RecordSpec),
+    /// Inspect a decision-trace JSONL file.
+    Trace(TraceCmd),
     /// Recommend a tolerated-slowdown setting (§V-H).
     Plan(RunSpec),
     /// Print the default platform as editable JSON.
@@ -117,11 +138,40 @@ impl Cli {
         let mut it = argv.iter();
         let sub = it.next().map(String::as_str).unwrap_or("help");
         match sub {
-            "platform" => Ok(Cli { command: Command::Platform }),
-            "machine-template" => Ok(Cli { command: Command::MachineTemplate }),
-            "apps" => Ok(Cli { command: Command::Apps }),
-            "probe" => Ok(Cli { command: Command::Probe }),
-            "help" | "--help" | "-h" => Ok(Cli { command: Command::Help }),
+            "platform" => Ok(Cli {
+                command: Command::Platform,
+            }),
+            "machine-template" => Ok(Cli {
+                command: Command::MachineTemplate,
+            }),
+            "apps" => Ok(Cli {
+                command: Command::Apps,
+            }),
+            "probe" => Ok(Cli {
+                command: Command::Probe,
+            }),
+            "help" | "--help" | "-h" => Ok(Cli {
+                command: Command::Help,
+            }),
+            "trace" => {
+                let file = it
+                    .next()
+                    .ok_or_else(|| format!("trace: missing <FILE.jsonl>\n\n{USAGE}"))?
+                    .clone();
+                let mut cmd = TraceCmd {
+                    file,
+                    summary: false,
+                };
+                for flag in it {
+                    match flag.as_str() {
+                        "--summary" => cmd.summary = true,
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                Ok(Cli {
+                    command: Command::Trace(cmd),
+                })
+            }
             "record" => {
                 let app = it
                     .next()
@@ -163,6 +213,7 @@ impl Cli {
                     seed: 42,
                     json: false,
                     machine: None,
+                    trace_out: None,
                 };
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -172,8 +223,7 @@ impl Cli {
                         }
                         "--slowdown" => {
                             let v = it.next().ok_or("--slowdown needs a value")?;
-                            let pct: f64 =
-                                v.parse().map_err(|_| format!("bad slowdown {v}"))?;
+                            let pct: f64 = v.parse().map_err(|_| format!("bad slowdown {v}"))?;
                             if !(0.0..100.0).contains(&pct) {
                                 return Err(format!("slowdown {pct} outside [0, 100)"));
                             }
@@ -200,8 +250,11 @@ impl Cli {
                         }
                         "--json" => spec.json = true,
                         "--machine" => {
-                            spec.machine =
-                                Some(it.next().ok_or("--machine needs a path")?.clone())
+                            spec.machine = Some(it.next().ok_or("--machine needs a path")?.clone())
+                        }
+                        "--trace-out" => {
+                            spec.trace_out =
+                                Some(it.next().ok_or("--trace-out needs a path")?.clone())
                         }
                         other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
                     }
@@ -259,8 +312,19 @@ mod tests {
     #[test]
     fn run_with_all_flags() {
         let cli = parse(&[
-            "run", "CG", "--controller", "dufp", "--slowdown", "10", "--sockets", "2",
-            "--runs", "5", "--seed", "7", "--json",
+            "run",
+            "CG",
+            "--controller",
+            "dufp",
+            "--slowdown",
+            "10",
+            "--sockets",
+            "2",
+            "--runs",
+            "5",
+            "--seed",
+            "7",
+            "--json",
         ])
         .unwrap();
         let Command::Run(spec) = cli.command else {
@@ -278,7 +342,9 @@ mod tests {
     #[test]
     fn record_and_plan_parse() {
         let cli = parse(&["record", "CG", "--out", "/tmp/cg.json", "--seed", "9"]).unwrap();
-        let Command::Record(spec) = cli.command else { panic!() };
+        let Command::Record(spec) = cli.command else {
+            panic!()
+        };
         assert_eq!(spec.app, "CG");
         assert_eq!(spec.out, "/tmp/cg.json");
         assert_eq!(spec.seed, 9);
@@ -296,9 +362,35 @@ mod tests {
             ("dnpc", ControllerArg::Dnpc),
         ] {
             let cli = parse(&["run", "CG", "--controller", name]).unwrap();
-            let Command::Run(spec) = cli.command else { panic!() };
+            let Command::Run(spec) = cli.command else {
+                panic!()
+            };
             assert_eq!(spec.controller, want, "{name}");
         }
+    }
+
+    #[test]
+    fn trace_subcommand_parses() {
+        let cli = parse(&["trace", "/tmp/t.jsonl", "--summary"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace(TraceCmd {
+                file: "/tmp/t.jsonl".into(),
+                summary: true,
+            })
+        );
+        let cli = parse(&["trace", "/tmp/t.jsonl"]).unwrap();
+        let Command::Trace(cmd) = cli.command else {
+            panic!()
+        };
+        assert!(!cmd.summary);
+        assert!(parse(&["trace"]).unwrap_err().contains("missing <FILE"));
+
+        let cli = parse(&["run", "CG", "--trace-out", "/tmp/t.jsonl"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.trace_out.as_deref(), Some("/tmp/t.jsonl"));
     }
 
     #[test]
@@ -332,7 +424,9 @@ mod tests {
             .contains("unknown controller"));
         assert!(parse(&["run", "CG", "--sockets", "0"]).is_err());
         assert!(parse(&["run", "CG", "--runs", "0"]).is_err());
-        assert!(parse(&["frobnicate"]).unwrap_err().contains("unknown subcommand"));
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown subcommand"));
         assert!(parse(&["run", "CG", "--controller", "cap:0"]).is_err());
     }
 }

@@ -1,10 +1,11 @@
 //! Subcommand implementations.
 
-use crate::args::{ControllerArg, RecordSpec, RunSpec};
+use crate::args::{ControllerArg, RecordSpec, RunSpec, TraceCmd};
 use crate::plot::{chart, Series};
 use dufp::{run_once, run_repeated, ControllerKind, ExperimentSpec, TraceSpec};
-use dufp_types::SocketId;
+use dufp_telemetry::{read_jsonl, write_jsonl, Actuator, DecisionEvent, Reason};
 use dufp_types::ArchSpec;
+use dufp_types::SocketId;
 use dufp_workloads::{apps, MaterializeCtx};
 use std::fmt::Write as _;
 
@@ -14,8 +15,8 @@ fn resolve_sim(spec: &RunSpec) -> Result<dufp_sim::SimConfig, String> {
     let mut sim = match &spec.machine {
         None => dufp_sim::SimConfig::yeti(spec.seed),
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("machine file {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("machine file {path}: {e}"))?;
             serde_json::from_str(&text).map_err(|e| format!("machine file {path}: {e}"))?
         }
     };
@@ -51,6 +52,9 @@ fn controller_kind(spec: &RunSpec) -> ControllerKind {
 
 /// `dufp run <APP> ...`
 pub fn run_app(spec: &RunSpec) -> Result<String, String> {
+    if spec.trace_out.is_some() && spec.runs != 1 {
+        return Err("--trace-out records a single run; use --runs 1".into());
+    }
     let sim = resolve_sim(spec)?;
     let kind = controller_kind(spec);
     let exp = ExperimentSpec {
@@ -59,19 +63,50 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
         controller: kind,
         trace: None,
         interval_ms: None,
+        telemetry: spec.trace_out.is_some(),
     };
 
     if spec.runs == 1 {
-        let r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
+        let mut r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
+        let mut trace_note = String::new();
+        if let Some(path) = &spec.trace_out {
+            // The trace goes to the file; keep stdout (human or JSON)
+            // unchanged apart from a one-line pointer.
+            let report = r.telemetry.take().ok_or("telemetry report missing")?;
+            let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(f);
+            write_jsonl(&mut w, &report.decisions).map_err(|e| format!("{path}: {e}"))?;
+            trace_note = format!(
+                "  decision trace : {:>10} events -> {path} ({} dropped)\n",
+                report.decisions.len(),
+                report.dropped
+            );
+        }
         if spec.json {
             return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
         }
         let mut out = String::new();
         writeln!(out, "{} under {}", spec.app, kind.label()).unwrap();
         writeln!(out, "  execution time : {:>10.2} s", r.exec_time.value()).unwrap();
-        writeln!(out, "  package power  : {:>10.2} W", r.avg_pkg_power.value()).unwrap();
-        writeln!(out, "  DRAM power     : {:>10.2} W", r.avg_dram_power.value()).unwrap();
-        writeln!(out, "  total energy   : {:>10.1} J", r.total_energy().value()).unwrap();
+        writeln!(
+            out,
+            "  package power  : {:>10.2} W",
+            r.avg_pkg_power.value()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  DRAM power     : {:>10.2} W",
+            r.avg_dram_power.value()
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  total energy   : {:>10.1} J",
+            r.total_energy().value()
+        )
+        .unwrap();
+        out.push_str(&trace_note);
         Ok(out)
     } else {
         let r = run_repeated(&exp, spec.runs, spec.seed).map_err(|e| e.to_string())?;
@@ -115,12 +150,13 @@ pub fn timeline(spec: &RunSpec) -> Result<String, String> {
             stride: 100, // one point per 100 ms
         }),
         interval_ms: None,
+        telemetry: false,
     };
     let r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
     let trace = r.trace.as_ref().ok_or("trace missing")?;
 
     let pick = |f: &dyn Fn(&dufp_sim::TracePoint) -> f64| -> Vec<f64> {
-        trace.points.iter().map(|p| f(p)).collect()
+        trace.points.iter().map(f).collect()
     };
     let mut out = String::new();
     writeln!(
@@ -199,7 +235,11 @@ pub fn timeline(spec: &RunSpec) -> Result<String, String> {
         "{}",
         residency(
             "cap (W)",
-            trace.cap_residency().iter().map(|(w, f)| (w.value(), *f)).collect()
+            trace
+                .cap_residency()
+                .iter()
+                .map(|(w, f)| (w.value(), *f))
+                .collect()
         )
     )
     .unwrap();
@@ -219,15 +259,86 @@ pub fn timeline(spec: &RunSpec) -> Result<String, String> {
     Ok(out)
 }
 
+fn fmt_actuator_value(actuator: Actuator, v: f64) -> String {
+    match actuator {
+        Actuator::Uncore | Actuator::CoreFreq => format!("{:.2} GHz", v / 1e9),
+        Actuator::PowerCap | Actuator::PowerCapShort => format!("{v:.0} W"),
+    }
+}
+
+/// `dufp trace <FILE.jsonl> [--summary]` — inspect a decision trace.
+pub fn trace(cmd: &TraceCmd) -> Result<String, String> {
+    let f = std::fs::File::open(&cmd.file).map_err(|e| format!("trace file {}: {e}", cmd.file))?;
+    let events: Vec<DecisionEvent> = read_jsonl(std::io::BufReader::new(f))
+        .map_err(|e| format!("trace file {}: {e}", cmd.file))?;
+
+    let mut out = String::new();
+    if cmd.summary {
+        writeln!(out, "{}: {} decision events", cmd.file, events.len()).unwrap();
+        writeln!(out, "\nby reason:").unwrap();
+        for r in Reason::ALL {
+            let n = events.iter().filter(|e| e.reason == r).count();
+            writeln!(out, "  {:<20} {n:>6}", r.to_string()).unwrap();
+        }
+        writeln!(out, "\nby actuator:").unwrap();
+        for a in [
+            Actuator::Uncore,
+            Actuator::PowerCap,
+            Actuator::PowerCapShort,
+            Actuator::CoreFreq,
+        ] {
+            let n = events.iter().filter(|e| e.actuator == a).count();
+            writeln!(out, "  {:<20} {n:>6}", a.to_string()).unwrap();
+        }
+        let sockets: std::collections::BTreeSet<u16> = events.iter().map(|e| e.socket).collect();
+        let phases: std::collections::BTreeSet<(u16, u64)> =
+            events.iter().map(|e| (e.socket, e.phase)).collect();
+        writeln!(
+            out,
+            "\n{} socket(s), {} phase change(s) observed",
+            sockets.len(),
+            phases.len().saturating_sub(sockets.len())
+        )
+        .unwrap();
+    } else {
+        for e in &events {
+            let ratio = e
+                .flops_ratio
+                .map(|r| format!(" flops={:>3.0}%", r * 100.0))
+                .unwrap_or_default();
+            let class = e
+                .oi_class
+                .as_deref()
+                .map(|c| format!(" [{c}]"))
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "tick {:>5}  s{}  p{:<3} {:<14} {:>9} -> {:<9} {}{ratio}{class}",
+                e.tick,
+                e.socket,
+                e.phase,
+                e.actuator.to_string(),
+                fmt_actuator_value(e.actuator, e.old),
+                fmt_actuator_value(e.actuator, e.new),
+                e.reason,
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "{} events (use --summary for per-reason counts)",
+            events.len()
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 /// `dufp record <APP> --out FILE.json` — capture a workload spec.
 pub fn record(spec: &RecordSpec) -> Result<String, String> {
     let sim = dufp_sim::SimConfig::yeti_single_socket(spec.seed);
-    let file = dufp::record_workload(
-        &sim,
-        &spec.app,
-        &dufp_workloads::SegmentConfig::default(),
-    )
-    .map_err(|e| e.to_string())?;
+    let file = dufp::record_workload(&sim, &spec.app, &dufp_workloads::SegmentConfig::default())
+        .map_err(|e| e.to_string())?;
     file.save(&spec.out).map_err(|e| e.to_string())?;
     let ctx = dufp_workloads::MaterializeCtx::from_arch(&sim.arch);
     let w = file.materialize(&ctx).map_err(|e| e.to_string())?;
@@ -253,9 +364,10 @@ pub fn plan(spec: &RunSpec) -> Result<String, String> {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
-    let base = run_repeated(&exp(ControllerKind::Default), runs, spec.seed)
-        .map_err(|e| e.to_string())?;
+    let base =
+        run_repeated(&exp(ControllerKind::Default), runs, spec.seed).map_err(|e| e.to_string())?;
 
     let mut out = String::new();
     writeln!(
@@ -264,8 +376,16 @@ pub fn plan(spec: &RunSpec) -> Result<String, String> {
         spec.app, runs
     )
     .unwrap();
-    writeln!(out, "| tolerance | overhead | power savings | energy savings |").unwrap();
-    writeln!(out, "|-----------|----------|---------------|----------------|").unwrap();
+    writeln!(
+        out,
+        "| tolerance | overhead | power savings | energy savings |"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "|-----------|----------|---------------|----------------|"
+    )
+    .unwrap();
     let mut table: Vec<(f64, Ratios)> = Vec::new();
     for pct in [0.0, 5.0, 10.0, 20.0] {
         let r = run_repeated(
@@ -399,6 +519,7 @@ mod tests {
             seed: 3,
             json: false,
             machine: None,
+            trace_out: None,
         }
     }
 
@@ -469,8 +590,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("machine.json");
         // Edit the template: a smaller 95 W PL1 platform.
-        let mut sim: dufp_sim::SimConfig =
-            serde_json::from_str(&machine_template()).unwrap();
+        let mut sim: dufp_sim::SimConfig = serde_json::from_str(&machine_template()).unwrap();
         sim.arch.pl1_default = dufp_types::Watts(95.0);
         sim.arch.name = "custom-95w".into();
         std::fs::write(&path, serde_json::to_string(&sim).unwrap()).unwrap();
@@ -494,6 +614,61 @@ mod tests {
     }
 
     #[test]
+    fn trace_out_then_trace_summary_round_trips() {
+        let dir = std::env::temp_dir().join(format!("dufp-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cg.jsonl");
+
+        let mut s = spec("CG", 1);
+        s.trace_out = Some(path.to_str().unwrap().to_string());
+        let out = run_app(&s).unwrap();
+        assert!(out.contains("decision trace"), "{out}");
+
+        // Every line of the file is a decision event carrying a reason.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.trim().is_empty(), "DUFP on CG must actuate");
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["reason"].as_str().is_some(), "reason missing: {line}");
+            assert!(v["actuator"].as_str().is_some(), "actuator missing: {line}");
+        }
+
+        let listing = trace(&TraceCmd {
+            file: path.to_str().unwrap().to_string(),
+            summary: false,
+        })
+        .unwrap();
+        assert!(listing.contains("tick"), "{listing}");
+
+        let summary = trace(&TraceCmd {
+            file: path.to_str().unwrap().to_string(),
+            summary: true,
+        })
+        .unwrap();
+        assert!(summary.contains("by reason:"), "{summary}");
+        assert!(summary.contains("phase-reset"), "{summary}");
+        assert!(summary.contains("by actuator:"), "{summary}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_out_with_repeats_is_rejected() {
+        let mut s = spec("EP", 3);
+        s.trace_out = Some("/tmp/never-written.jsonl".into());
+        assert!(run_app(&s).unwrap_err().contains("--runs 1"));
+    }
+
+    #[test]
+    fn trace_on_missing_file_is_a_clean_error() {
+        let err = trace(&TraceCmd {
+            file: "/nonexistent/x.jsonl".into(),
+            summary: true,
+        })
+        .unwrap_err();
+        assert!(err.contains("trace file"), "{err}");
+    }
+
+    #[test]
     fn platform_prints_table1() {
         let out = platform();
         assert!(out.contains("| 64 | [1.2-2.4] | 125 | 150 |"));
@@ -503,8 +678,8 @@ mod tests {
     fn apps_lists_all_ten_plus_kernels() {
         let out = apps();
         for name in [
-            "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS", "STREAM",
-            "DGEMM", "CHASE",
+            "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS", "STREAM", "DGEMM",
+            "CHASE",
         ] {
             assert!(out.contains(name), "missing {name} in {out}");
         }

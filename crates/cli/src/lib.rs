@@ -14,7 +14,9 @@
 //! * `probe` — check real-hardware access paths (MSR device files,
 //!   powercap sysfs) and report what a bare-metal deployment would use,
 //! * `timeline` — run once with tracing and render the Fig. 5-style
-//!   frequency/power/cap timelines as ASCII charts.
+//!   frequency/power/cap timelines as ASCII charts,
+//! * `trace` — inspect a decision-trace JSONL file written by
+//!   `run --trace-out` (per-reason summaries with `--summary`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +34,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Run(ref spec) => commands::run_app(spec),
         Command::Timeline(ref spec) => commands::timeline(spec),
         Command::Record(ref spec) => commands::record(spec),
+        Command::Trace(ref cmd) => commands::trace(cmd),
         Command::Plan(ref spec) => commands::plan(spec),
         Command::MachineTemplate => Ok(commands::machine_template()),
         Command::Platform => Ok(commands::platform()),

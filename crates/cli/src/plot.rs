@@ -42,6 +42,9 @@ pub fn chart(title: &str, series: &[Series], width: usize, height: usize) -> Str
         if s.values.is_empty() {
             continue;
         }
+        // `col` drives both the downsampling window and the grid column, so
+        // an index loop reads better than iterating rows here.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             // Downsample: average the bucket this column covers.
             let start = col * s.values.len() / width;
@@ -101,7 +104,10 @@ mod tests {
         assert!(out.contains("* power (W)"));
         // Rising ramp: the last column's glyph is above the first column's.
         let rows: Vec<&str> = out.lines().collect();
-        assert!(rows[1].contains('*') || rows[2].contains('*'), "top rows hold the max");
+        assert!(
+            rows[1].contains('*') || rows[2].contains('*'),
+            "top rows hold the max"
+        );
     }
 
     #[test]

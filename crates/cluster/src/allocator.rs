@@ -114,10 +114,7 @@ impl AllocatorPolicy for DemandBased {
         // …then scale into the budget while respecting the floor.
         let floor_total: f64 = self.floor.value() * nodes.len() as f64;
         let budget_above_floor = (budget.value() - floor_total).max(0.0);
-        let want_above_floor: f64 = want
-            .iter()
-            .map(|w| (w - self.floor.value()).max(0.0))
-            .sum();
+        let want_above_floor: f64 = want.iter().map(|w| (w - self.floor.value()).max(0.0)).sum();
         if want_above_floor > 0.0 {
             let scale = (budget_above_floor / want_above_floor).min(1.0);
             for w in &mut want {
@@ -133,8 +130,7 @@ impl AllocatorPolicy for DemandBased {
                 .iter()
                 .enumerate()
                 .filter(|(_, n)| {
-                    n.active
-                        && n.consumption.value() >= (n.ceiling - self.riding_margin).value()
+                    n.active && n.consumption.value() >= (n.ceiling - self.riding_margin).value()
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -191,7 +187,10 @@ mod tests {
         assert!(out[0] <= Watts(125.0), "never above the silicon PL1");
         assert!(out[2] > Watts(100.0));
         assert!(out[1] < Watts(100.0), "donor should shrink: {:?}", out[1]);
-        assert!(out[3] >= Watts(65.0) && out[3] <= Watts(80.0), "finished node near floor");
+        assert!(
+            out[3] >= Watts(65.0) && out[3] <= Watts(80.0),
+            "finished node near floor"
+        );
     }
 
     #[test]

@@ -55,10 +55,12 @@ impl<C: PowerCapper> BudgetedCapper<C> {
     pub fn enforce_ceiling(&self, socket: SocketId) -> Result<()> {
         let ceiling = self.budget.ceiling();
         if self.inner.limit(socket, Constraint::LongTerm)? > ceiling {
-            self.inner.set_limit(socket, Constraint::LongTerm, ceiling)?;
+            self.inner
+                .set_limit(socket, Constraint::LongTerm, ceiling)?;
         }
         if self.inner.limit(socket, Constraint::ShortTerm)? > ceiling {
-            self.inner.set_limit(socket, Constraint::ShortTerm, ceiling)?;
+            self.inner
+                .set_limit(socket, Constraint::ShortTerm, ceiling)?;
         }
         Ok(())
     }
@@ -106,8 +108,7 @@ mod tests {
         let m = FakeMsr::new(16);
         m.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
         let units = RaplPowerUnit::skylake_sp();
-        let reg =
-            PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+        let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
         m.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
         let budget = NodeBudget::new(Watts(ceiling));
         let capper = BudgetedCapper::new(MsrRapl::new(m, 1, 16).unwrap(), Arc::clone(&budget));
@@ -117,29 +118,49 @@ mod tests {
     #[test]
     fn limits_clamp_to_the_ceiling() {
         let (_, c) = rig(100.0);
-        c.set_limit(SocketId(0), Constraint::LongTerm, Watts(120.0)).unwrap();
-        assert_eq!(c.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(100.0));
-        c.set_limit(SocketId(0), Constraint::LongTerm, Watts(80.0)).unwrap();
-        assert_eq!(c.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(80.0));
+        c.set_limit(SocketId(0), Constraint::LongTerm, Watts(120.0))
+            .unwrap();
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::LongTerm).unwrap(),
+            Watts(100.0)
+        );
+        c.set_limit(SocketId(0), Constraint::LongTerm, Watts(80.0))
+            .unwrap();
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::LongTerm).unwrap(),
+            Watts(80.0)
+        );
     }
 
     #[test]
     fn defaults_are_the_allocation_not_the_silicon() {
         let (_, c) = rig(100.0);
-        assert_eq!(c.defaults(SocketId(0)).unwrap(), (Watts(100.0), Watts(100.0)));
+        assert_eq!(
+            c.defaults(SocketId(0)).unwrap(),
+            (Watts(100.0), Watts(100.0))
+        );
         // A DUFP reset therefore lands on the allocation.
         c.reset(SocketId(0)).unwrap();
-        assert_eq!(c.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(100.0));
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::LongTerm).unwrap(),
+            Watts(100.0)
+        );
     }
 
     #[test]
     fn raising_the_ceiling_raises_defaults() {
         let (b, c) = rig(100.0);
         b.set_ceiling(Watts(120.0));
-        assert_eq!(c.defaults(SocketId(0)).unwrap(), (Watts(120.0), Watts(120.0)));
+        assert_eq!(
+            c.defaults(SocketId(0)).unwrap(),
+            (Watts(120.0), Watts(120.0))
+        );
         // Above the silicon limit the silicon wins.
         b.set_ceiling(Watts(500.0));
-        assert_eq!(c.defaults(SocketId(0)).unwrap(), (Watts(125.0), Watts(150.0)));
+        assert_eq!(
+            c.defaults(SocketId(0)).unwrap(),
+            (Watts(125.0), Watts(150.0))
+        );
     }
 
     #[test]
@@ -148,7 +169,13 @@ mod tests {
         c.set_both(SocketId(0), Watts(115.0)).unwrap();
         b.set_ceiling(Watts(90.0));
         c.enforce_ceiling(SocketId(0)).unwrap();
-        assert_eq!(c.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(90.0));
-        assert_eq!(c.limit(SocketId(0), Constraint::ShortTerm).unwrap(), Watts(90.0));
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::LongTerm).unwrap(),
+            Watts(90.0)
+        );
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::ShortTerm).unwrap(),
+            Watts(90.0)
+        );
     }
 }

@@ -87,6 +87,9 @@ pub struct ClusterOutcome {
     pub peak_cluster_power: Watts,
 }
 
+/// The budget-enforcing RAPL stack shared by a node's actuators.
+type NodeCapper = Arc<BudgetedCapper<MsrRapl<Arc<Machine>>>>;
+
 struct Node {
     app: String,
     /// Jobs not yet started.
@@ -94,10 +97,9 @@ struct Node {
     machine: Arc<Machine>,
     controller: Dufp,
     sampler: Sampler,
-    actuators:
-        HwActuators<Arc<Machine>, Arc<BudgetedCapper<MsrRapl<Arc<Machine>>>>>,
+    actuators: HwActuators<Arc<Machine>, NodeCapper>,
     budget: Arc<NodeBudget>,
-    capper: Arc<BudgetedCapper<MsrRapl<Arc<Machine>>>>,
+    capper: NodeCapper,
     epoch_start_energy: f64,
     finished_at: Option<Seconds>,
     power_sum: f64,
@@ -116,7 +118,9 @@ impl Cluster {
     /// even initial split of the budget.
     pub fn new(cfg: ClusterConfig, policy: Box<dyn AllocatorPolicy>) -> Result<Self> {
         if cfg.nodes.is_empty() {
-            return Err(Error::Precondition("cluster needs at least one node".into()));
+            return Err(Error::Precondition(
+                "cluster needs at least one node".into(),
+            ));
         }
         let initial = cfg.budget / cfg.nodes.len() as f64;
         let mut nodes = Vec::with_capacity(cfg.nodes.len());
@@ -176,8 +180,7 @@ impl Cluster {
         let interval = Duration::from_millis(200);
         let tick = self.nodes[0].machine.config().tick;
         let ticks_per_interval = (interval.as_micros() / tick.as_micros()).max(1);
-        let intervals_per_epoch =
-            (self.cfg.epoch.as_micros() / interval.as_micros()).max(1);
+        let intervals_per_epoch = (self.cfg.epoch.as_micros() / interval.as_micros()).max(1);
 
         let mut elapsed = Seconds(0.0);
         let mut interval_count: u64 = 0;
@@ -216,7 +219,7 @@ impl Cluster {
             }
 
             // Allocator epoch.
-            if interval_count % intervals_per_epoch == 0 {
+            if interval_count.is_multiple_of(intervals_per_epoch) {
                 let epoch_secs = self.cfg.epoch.as_seconds().value();
                 let observations: Vec<NodeObservation> = self
                     .nodes
@@ -233,8 +236,7 @@ impl Cluster {
                     })
                     .collect::<Result<Vec<_>>>()?;
 
-                let cluster_power: f64 =
-                    observations.iter().map(|o| o.consumption.value()).sum();
+                let cluster_power: f64 = observations.iter().map(|o| o.consumption.value()).sum();
                 peak_cluster_power = peak_cluster_power.max(cluster_power);
 
                 let ceilings = self.policy.allocate(self.cfg.budget, &observations);

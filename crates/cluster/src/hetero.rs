@@ -94,8 +94,7 @@ pub fn run_hetero(cfg: &HeteroConfig, policy: SharePolicy) -> Result<HeteroOutco
 
     // Static split: CPU gets PL1's share of the budget (or everything the
     // GPU cannot use).
-    let gpu_static = (cfg.budget - arch.pl1_default)
-        .clamp(cfg.gpu.min_limit, cfg.gpu.tdp);
+    let gpu_static = (cfg.budget - arch.pl1_default).clamp(cfg.gpu.min_limit, cfg.gpu.tdp);
     let cpu_initial = cfg.budget - gpu_static;
 
     let budget = NodeBudget::new(cpu_initial);
@@ -162,7 +161,7 @@ pub fn run_hetero(cfg: &HeteroConfig, policy: SharePolicy) -> Result<HeteroOutco
         }
 
         // Coordinator epoch.
-        if intervals % intervals_per_epoch == 0 {
+        if intervals.is_multiple_of(intervals_per_epoch) {
             let snap = machine.sample(SocketId(0))?;
             let epoch_secs = cfg.epoch.as_seconds().value();
             let cpu_power = (snap.pkg_energy.value() - epoch_energy_start) / epoch_secs;

@@ -146,8 +146,7 @@ impl<M: MsrIo, C: PowerCapper> Actuators for HwActuators<M, C> {
     }
 
     fn read_uncore(&mut self) -> Result<Hertz> {
-        let raw =
-            UncoreRatioLimit::decode(self.msr.read(self.lead_cpu, MSR_UNCORE_RATIO_LIMIT)?);
+        let raw = UncoreRatioLimit::decode(self.msr.read(self.lead_cpu, MSR_UNCORE_RATIO_LIMIT)?);
         let (_, hi) = raw.band();
         self.cached_uncore = hi;
         Ok(hi)
@@ -163,13 +162,15 @@ impl<M: MsrIo, C: PowerCapper> Actuators for HwActuators<M, C> {
     }
 
     fn set_cap_long(&mut self, w: Watts) -> Result<()> {
-        self.capper.set_limit(self.socket, Constraint::LongTerm, w)?;
+        self.capper
+            .set_limit(self.socket, Constraint::LongTerm, w)?;
         self.cached_long = self.capper.limit(self.socket, Constraint::LongTerm)?;
         Ok(())
     }
 
     fn set_cap_short(&mut self, w: Watts) -> Result<()> {
-        self.capper.set_limit(self.socket, Constraint::ShortTerm, w)?;
+        self.capper
+            .set_limit(self.socket, Constraint::ShortTerm, w)?;
         self.cached_short = self.capper.limit(self.socket, Constraint::ShortTerm)?;
         Ok(())
     }
@@ -197,10 +198,10 @@ impl<M: MsrIo, C: PowerCapper> Actuators for HwActuators<M, C> {
     }
 
     fn set_core_freq_cap(&mut self, f: Hertz) -> Result<()> {
-        let f = Hertz(
-            f.value()
-                .clamp(self.cfg.core_freq_min.value(), self.cfg.core_freq_max.value()),
-        );
+        let f = Hertz(f.value().clamp(
+            self.cfg.core_freq_min.value(),
+            self.cfg.core_freq_max.value(),
+        ));
         self.msr
             .write(self.lead_cpu, IA32_PERF_CTL, PerfCtl::capped_at(f).encode())?;
         self.cached_freq_cap = f;
@@ -271,7 +272,9 @@ pub(crate) mod test_support {
             self.uncore_now
         }
         fn read_uncore(&mut self) -> Result<Hertz> {
-            let v = self.uncore_readback_override.unwrap_or(self.hardware_uncore);
+            let v = self
+                .uncore_readback_override
+                .unwrap_or(self.hardware_uncore);
             self.uncore_now = v;
             Ok(v)
         }
@@ -312,7 +315,8 @@ pub(crate) mod test_support {
                 self.cfg.core_freq_min.value(),
                 self.cfg.core_freq_max.value(),
             ));
-            self.log.push(format!("freq_cap={:.1}", self.freq_cap.as_ghz()));
+            self.log
+                .push(format!("freq_cap={:.1}", self.freq_cap.as_ghz()));
             Ok(())
         }
         fn reset_core_freq_cap(&mut self) -> Result<()> {
@@ -329,7 +333,10 @@ pub(crate) mod test_support {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dufp_msr::registers::{PkgPowerLimit, RaplPowerUnit, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW};
+    use dufp_msr::registers::{
+        PkgPowerLimit, RaplPowerUnit, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
+        SKYLAKE_SP_POWER_UNIT_RAW,
+    };
     use dufp_msr::FakeMsr;
     use dufp_rapl::MsrRapl;
     use dufp_types::{ArchSpec, Ratio, Seconds};

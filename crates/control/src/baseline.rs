@@ -90,9 +90,7 @@ mod tests {
     use super::*;
     use crate::actuators::test_support::MemActuators;
     use crate::config::ControlConfig;
-    use dufp_types::{
-        ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio,
-    };
+    use dufp_types::{ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio};
 
     fn cfg() -> ControlConfig {
         ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(5.0)).unwrap()

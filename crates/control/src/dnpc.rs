@@ -16,8 +16,10 @@
 
 use crate::actuators::Actuators;
 use crate::config::ControlConfig;
+use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
+use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::Result;
 
 /// The DNPC-style controller: cap only, frequency-linear degradation model.
@@ -25,6 +27,7 @@ use dufp_types::Result;
 pub struct Dnpc {
     cfg: ControlConfig,
     last_action: DnpcAction,
+    tel: TelState,
 }
 
 /// What DNPC did this interval.
@@ -46,7 +49,14 @@ impl Dnpc {
         Dnpc {
             cfg,
             last_action: DnpcAction::None,
+            tel: TelState::default(),
         }
+    }
+
+    /// Attaches a decision-trace recorder (builder style).
+    pub fn with_telemetry(mut self, tel: SocketTelemetry) -> Self {
+        self.tel.tel = tel;
+        self
     }
 
     /// The most recent action.
@@ -66,6 +76,7 @@ impl Controller for Dnpc {
     }
 
     fn on_interval(&mut self, m: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()> {
+        let cap_before = act.cap_long();
         let s = self.cfg.slowdown.value();
         let e = self.cfg.epsilon.value();
         let est = self.estimated_degradation(m);
@@ -96,6 +107,26 @@ impl Controller for Dnpc {
                 DnpcAction::Hold
             }
         };
+
+        if self.tel.is_enabled() {
+            // Every DNPC move comes from the frequency-linear model; raises
+            // are the model declaring the budget exceeded, drops are probes
+            // into the headroom it predicts.
+            let why = match self.last_action {
+                DnpcAction::Increased => Reason::ModelEstimate,
+                DnpcAction::Decreased => Reason::Probe,
+                DnpcAction::None | DnpcAction::Hold => Reason::Probe,
+            };
+            self.tel.emit(
+                None,
+                m,
+                Actuator::PowerCap,
+                cap_before.value(),
+                act.cap_long().value(),
+                why,
+            );
+        }
+        self.tel.tick += 1;
         Ok(())
     }
 }

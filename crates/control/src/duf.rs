@@ -12,8 +12,10 @@
 use crate::actuators::Actuators;
 use crate::config::ControlConfig;
 use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
+use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::{Hertz, Result};
 
 /// What the uncore logic did this interval.
@@ -149,11 +151,39 @@ pub(crate) fn relative_drop(value: f64, max: f64) -> f64 {
     }
 }
 
+/// Why the uncore logic moved (trace reason for an [`UncoreAction`]).
+///
+/// `Increased` means a violation: slowdown when the FLOPS/s drop crossed
+/// the threshold (the same comparison `decide` made), bandwidth otherwise.
+pub(crate) fn uncore_trace_reason(
+    action: UncoreAction,
+    m: &IntervalMetrics,
+    tracker: &PhaseTracker,
+    cfg: &ControlConfig,
+) -> Option<Reason> {
+    match action {
+        UncoreAction::Reset => Some(Reason::PhaseReset),
+        UncoreAction::Increased => {
+            let s = cfg.slowdown.value();
+            let threshold = if s > 0.0 { s } else { cfg.epsilon.value() };
+            let drop_f = relative_drop(m.flops.value(), tracker.max_flops);
+            Some(if drop_f > threshold {
+                Reason::SlowdownViolation
+            } else {
+                Reason::BandwidthViolation
+            })
+        }
+        UncoreAction::Decreased => Some(Reason::Probe),
+        UncoreAction::None | UncoreAction::Hold => None,
+    }
+}
+
 /// The DUF controller: phase tracking + uncore logic, nothing else.
 #[derive(Debug)]
 pub struct Duf {
     tracker: PhaseTracker,
     logic: UncoreLogic,
+    tel: TelState,
 }
 
 impl Duf {
@@ -162,7 +192,14 @@ impl Duf {
         Duf {
             tracker: PhaseTracker::new(),
             logic: UncoreLogic::new(cfg),
+            tel: TelState::default(),
         }
+    }
+
+    /// Attaches a decision-trace recorder (builder style).
+    pub fn with_telemetry(mut self, tel: SocketTelemetry) -> Self {
+        self.tel.tel = tel;
+        self
     }
 
     /// The most recent uncore action (for tests and traces).
@@ -177,8 +214,25 @@ impl Controller for Duf {
     }
 
     fn on_interval(&mut self, m: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()> {
+        let uncore_before = act.uncore();
         let event = self.tracker.observe(m);
-        self.logic.decide(event, &self.tracker, m, act, false)?;
+        if event == PhaseEvent::Changed {
+            self.tel.phase_seq += 1;
+        }
+        let action = self.logic.decide(event, &self.tracker, m, act, false)?;
+        if self.tel.is_enabled() {
+            if let Some(reason) = uncore_trace_reason(action, m, &self.tracker, &self.logic.cfg) {
+                self.tel.emit(
+                    Some(&self.tracker),
+                    m,
+                    Actuator::Uncore,
+                    uncore_before.value(),
+                    act.uncore().value(),
+                    reason,
+                );
+            }
+        }
+        self.tel.tick += 1;
         Ok(())
     }
 }

@@ -28,10 +28,12 @@
 
 use crate::actuators::Actuators;
 use crate::config::ControlConfig;
-use crate::duf::{relative_drop, UncoreAction, UncoreLogic};
+use crate::duf::{relative_drop, uncore_trace_reason, UncoreAction, UncoreLogic};
 use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
+use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::{Result, Watts};
 
 /// What the cap logic did this interval (trace/test visibility).
@@ -66,6 +68,7 @@ pub struct Dufp {
     cumulative_flops: f64,
     /// Cumulative FLOPs a run at each phase's maximum would have retired.
     cumulative_reference: f64,
+    tel: TelState,
 }
 
 impl Dufp {
@@ -82,7 +85,14 @@ impl Dufp {
             intervals_since_cap_violation: 0,
             cumulative_flops: 0.0,
             cumulative_reference: 0.0,
+            tel: TelState::default(),
         }
+    }
+
+    /// Attaches a decision-trace recorder (builder style).
+    pub fn with_telemetry(mut self, tel: SocketTelemetry) -> Self {
+        self.tel.tel = tel;
+        self
     }
 
     /// The cumulative progress deficit, `1 − observed / reference`, used by
@@ -123,12 +133,17 @@ impl Dufp {
             return Ok(CapAction::Hold);
         }
         let next = (cur - self.cfg.cap_step).max(self.cfg.cap_floor);
-        let blocked = self.cap_probe_floor.is_some_and(|fl| next.value() < fl - 0.1)
+        let blocked = self
+            .cap_probe_floor
+            .is_some_and(|fl| next.value() < fl - 0.1)
             && self.intervals_since_cap_violation < self.cfg.reprobe_intervals;
         if blocked {
             return Ok(CapAction::Hold);
         }
-        if self.cap_probe_floor.is_some_and(|fl| next.value() < fl - 0.1) {
+        if self
+            .cap_probe_floor
+            .is_some_and(|fl| next.value() < fl - 0.1)
+        {
             // Re-probe window reached: feel for the boundary again.
             self.cap_probe_floor = None;
         }
@@ -159,7 +174,13 @@ impl Controller for Dufp {
     }
 
     fn on_interval(&mut self, m: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()> {
+        let uncore_before = act.uncore();
+        let cap_long_before = act.cap_long();
+        let cap_short_before = act.cap_short();
         let event = self.tracker.observe(m);
+        if event == PhaseEvent::Changed {
+            self.tel.phase_seq += 1;
+        }
         // §V-G cumulative guard bookkeeping (cheap even when disabled).
         self.cumulative_flops += m.flops.value() * m.interval.value();
         self.cumulative_reference += self.tracker.max_flops * m.interval.value();
@@ -181,120 +202,162 @@ impl Controller for Dufp {
         self.uncore
             .decide(event, &self.tracker, m, act, cap_binding || cap_recovering)?;
 
-        let cap_action = match event {
-            PhaseEvent::First => CapAction::None,
-            PhaseEvent::Changed => {
-                self.reset_both_coupling(act)?;
-                self.cap_probe_floor = None;
-                self.intervals_since_cap_violation = 0;
-                CapAction::Reset
-            }
-            PhaseEvent::Continued => {
-                self.intervals_since_cap_violation =
-                    self.intervals_since_cap_violation.saturating_add(1);
-                let s = self.cfg.slowdown.value();
-                // §V-G: reserve part of the slowdown budget for hidden,
-                // counter-invisible slowdown (LAMMPS' aliased bursts): once
-                // the *cumulative* FLOPS deficit eats 75 % of the
-                // tolerance, stop capping deeper and step back up.
-                let guard_threshold = (s * 0.75).max(self.cfg.epsilon.value());
-                if self.cfg.cumulative_guard
-                    && self.cumulative_deficit() > guard_threshold
-                    && act.cap_long() < act.cap_defaults().0
-                {
-                    let action = self.cap_increase(act)?;
-                    self.last_cap_action = action;
-                    self.prev_uncore_action = uncore_action_before;
-                    self.prev_flops = Some(m.flops.value());
-                    return Ok(());
+        // Each branch pairs its action with the trace reason for it; the
+        // reason only reaches the recorder when the cap actually moved.
+        let (cap_action, cap_reason) = 'cap: {
+            match event {
+                PhaseEvent::First => (CapAction::None, Reason::Probe),
+                PhaseEvent::Changed => {
+                    self.reset_both_coupling(act)?;
+                    self.cap_probe_floor = None;
+                    self.intervals_since_cap_violation = 0;
+                    (CapAction::Reset, Reason::PhaseReset)
                 }
-                let e = self.cfg.epsilon.value();
-                let drop_f = relative_drop(m.flops.value(), self.tracker.max_flops);
-                let drop_b =
-                    relative_drop(m.bandwidth.value(), self.tracker.max_bandwidth);
-                let oi = self.tracker.last_oi;
+                PhaseEvent::Continued => {
+                    self.intervals_since_cap_violation =
+                        self.intervals_since_cap_violation.saturating_add(1);
+                    let s = self.cfg.slowdown.value();
+                    // §V-G: reserve part of the slowdown budget for hidden,
+                    // counter-invisible slowdown (LAMMPS' aliased bursts): once
+                    // the *cumulative* FLOPS deficit eats 75 % of the
+                    // tolerance, stop capping deeper and step back up.
+                    let guard_threshold = (s * 0.75).max(self.cfg.epsilon.value());
+                    if self.cfg.cumulative_guard
+                        && self.cumulative_deficit() > guard_threshold
+                        && act.cap_long() < act.cap_defaults().0
+                    {
+                        let action = self.cap_increase(act)?;
+                        break 'cap (action, Reason::CumulativeGuard);
+                    }
+                    let e = self.cfg.epsilon.value();
+                    let drop_f = relative_drop(m.flops.value(), self.tracker.max_flops);
+                    let drop_b = relative_drop(m.bandwidth.value(), self.tracker.max_bandwidth);
+                    let oi = self.tracker.last_oi;
 
-                // §IV-D: a just-written cap needs time to bite; if measured
-                // power still exceeds the programmed cap, reset it.
-                if self.cfg.overshoot_reset
-                    && m.pkg_power > act.cap_long() + self.cfg.overshoot_margin
-                    && act.cap_long() < act.cap_defaults().0
-                {
-                    act.reset_cap()?;
-                    CapAction::Reset
-                } else if self.last_cap_action == CapAction::Reset
-                    && m.pkg_power < act.cap_long()
-                    && act.cap_short() > act.cap_long()
-                {
-                    // Post-reset bookkeeping: power already under the cap →
-                    // pull the short-term constraint down to the long-term
-                    // value (§III, last paragraph). This is the interval's
-                    // whole cap action.
-                    act.set_cap_short(act.cap_long())?;
-                    CapAction::Hold
-                } else {
-                    // Coupling 1: the uncore went up last interval but
-                    // FLOPS/s did not improve → the cap was the bottleneck.
-                    // Applies "even if the FLOPS/s are still within the
-                    // tolerated slowdown" (§III) — i.e. only there; outright
-                    // violations go through the regular paths below.
-                    let within = drop_f <= if s > 0.0 { s } else { e };
-                    let uncore_increase_failed = self.cfg.coupling1
-                        && uncore_action_before == UncoreAction::Increased
-                        && within
-                        && self
-                            .prev_flops
-                            .is_some_and(|p| m.flops.value() <= p * (1.0 + e));
+                    // §IV-D: a just-written cap needs time to bite; if measured
+                    // power still exceeds the programmed cap, reset it.
+                    if self.cfg.overshoot_reset
+                        && m.pkg_power > act.cap_long() + self.cfg.overshoot_margin
+                        && act.cap_long() < act.cap_defaults().0
+                    {
+                        act.reset_cap()?;
+                        (CapAction::Reset, Reason::Overshoot)
+                    } else if self.last_cap_action == CapAction::Reset
+                        && m.pkg_power < act.cap_long()
+                        && act.cap_short() > act.cap_long()
+                    {
+                        // Post-reset bookkeeping: power already under the cap →
+                        // pull the short-term constraint down to the long-term
+                        // value (§III, last paragraph). This is the interval's
+                        // whole cap action.
+                        act.set_cap_short(act.cap_long())?;
+                        (CapAction::Hold, Reason::PostResetTrim)
+                    } else {
+                        // Coupling 1: the uncore went up last interval but
+                        // FLOPS/s did not improve → the cap was the bottleneck.
+                        // Applies "even if the FLOPS/s are still within the
+                        // tolerated slowdown" (§III) — i.e. only there; outright
+                        // violations go through the regular paths below.
+                        let within = drop_f <= if s > 0.0 { s } else { e };
+                        let uncore_increase_failed = self.cfg.coupling1
+                            && uncore_action_before == UncoreAction::Increased
+                            && within
+                            && self
+                                .prev_flops
+                                .is_some_and(|p| m.flops.value() <= p * (1.0 + e));
 
-                    // Reverse attribution: if the *uncore* stepped down
-                    // last interval (its periodic probe below the recorded
-                    // boundary), a FLOPS/s dip this interval is the
-                    // uncore's doing — the uncore logic will raise it back
-                    // itself; the cap must not react.
-                    let uncore_probed =
-                        uncore_action_before == UncoreAction::Decreased;
+                        // Reverse attribution: if the *uncore* stepped down
+                        // last interval (its periodic probe below the recorded
+                        // boundary), a FLOPS/s dip this interval is the
+                        // uncore's doing — the uncore logic will raise it back
+                        // itself; the cap must not react.
+                        let uncore_probed = uncore_action_before == UncoreAction::Decreased;
 
-                    if uncore_increase_failed && act.cap_long() < act.cap_defaults().0 {
-                        self.cap_increase(act)?
-                    } else if oi > self.cfg.oi_highly_compute {
-                        // Highly compute-intensive: reset on any violation
-                        // of FLOPS/s or bandwidth, else keep decreasing.
-                        // Only the cap resets here — the uncore keeps its
-                        // own state (decisions are taken separately, §III).
-                        let threshold = if s > 0.0 { s } else { e };
-                        if drop_f > threshold || drop_b > threshold {
-                            if uncore_probed {
-                                CapAction::Hold
-                            } else if act.cap_long() < act.cap_defaults().0 {
-                                act.reset_cap()?;
-                                CapAction::Reset
+                        if uncore_increase_failed && act.cap_long() < act.cap_defaults().0 {
+                            (self.cap_increase(act)?, Reason::CrossCoupling)
+                        } else if oi > self.cfg.oi_highly_compute {
+                            // Highly compute-intensive: reset on any violation
+                            // of FLOPS/s or bandwidth, else keep decreasing.
+                            // Only the cap resets here — the uncore keeps its
+                            // own state (decisions are taken separately, §III).
+                            let threshold = if s > 0.0 { s } else { e };
+                            if drop_f > threshold || drop_b > threshold {
+                                let why = if drop_f > threshold {
+                                    Reason::SlowdownViolation
+                                } else {
+                                    Reason::BandwidthViolation
+                                };
+                                if uncore_probed {
+                                    (CapAction::Hold, why)
+                                } else if act.cap_long() < act.cap_defaults().0 {
+                                    act.reset_cap()?;
+                                    (CapAction::Reset, why)
+                                } else {
+                                    (CapAction::Hold, why)
+                                }
+                            } else if s > 0.0 && drop_f >= s - e {
+                                (CapAction::Hold, Reason::Probe)
                             } else {
-                                CapAction::Hold
+                                (self.cap_decrease(act)?, Reason::Probe)
+                            }
+                        } else if oi < self.cfg.oi_highly_memory {
+                            // Highly memory-intensive: free to cap to the floor.
+                            (self.cap_decrease(act)?, Reason::Probe)
+                        } else if drop_f > if s > 0.0 { s } else { e } {
+                            if uncore_probed {
+                                (CapAction::Hold, Reason::SlowdownViolation)
+                            } else if act.cap_long() < act.cap_defaults().0 {
+                                (self.cap_increase(act)?, Reason::SlowdownViolation)
+                            } else {
+                                (CapAction::Hold, Reason::SlowdownViolation)
                             }
                         } else if s > 0.0 && drop_f >= s - e {
-                            CapAction::Hold
+                            (CapAction::Hold, Reason::Probe)
                         } else {
-                            self.cap_decrease(act)?
+                            (self.cap_decrease(act)?, Reason::Probe)
                         }
-                    } else if oi < self.cfg.oi_highly_memory {
-                        // Highly memory-intensive: free to cap to the floor.
-                        self.cap_decrease(act)?
-                    } else if drop_f > if s > 0.0 { s } else { e } {
-                        if uncore_probed {
-                            CapAction::Hold
-                        } else if act.cap_long() < act.cap_defaults().0 {
-                            self.cap_increase(act)?
-                        } else {
-                            CapAction::Hold
-                        }
-                    } else if s > 0.0 && drop_f >= s - e {
-                        CapAction::Hold
-                    } else {
-                        self.cap_decrease(act)?
                     }
                 }
             }
         };
+
+        if self.tel.is_enabled() {
+            if let Some(why) =
+                uncore_trace_reason(self.uncore.last_action, m, &self.tracker, &self.cfg)
+            {
+                self.tel.emit(
+                    Some(&self.tracker),
+                    m,
+                    Actuator::Uncore,
+                    uncore_before.value(),
+                    act.uncore().value(),
+                    why,
+                );
+            }
+            let long_now = act.cap_long();
+            let short_now = act.cap_short();
+            self.tel.emit(
+                Some(&self.tracker),
+                m,
+                Actuator::PowerCap,
+                cap_long_before.value(),
+                long_now.value(),
+                cap_reason,
+            );
+            // The short constraint gets its own event only when it moved
+            // alone (the post-reset trim); joint writes are one decision.
+            if long_now.value() == cap_long_before.value() {
+                self.tel.emit(
+                    Some(&self.tracker),
+                    m,
+                    Actuator::PowerCapShort,
+                    cap_short_before.value(),
+                    short_now.value(),
+                    cap_reason,
+                );
+            }
+        }
+        self.tel.tick += 1;
 
         self.last_cap_action = cap_action;
         self.prev_uncore_action = uncore_action_before;
@@ -479,7 +542,7 @@ mod tests {
         // Make the hardware report a lingering low uncore on read-back.
         a.uncore_readback_override = Some(Hertz::from_ghz(1.8));
         d.on_interval(&m(3e11, 5e10, 120.0), &mut a).unwrap(); // phase change
-        // The retry must have issued a second uncore reset.
+                                                               // The retry must have issued a second uncore reset.
         let resets = a.log.iter().filter(|l| *l == "uncore=reset").count();
         assert!(resets >= 2, "log: {:?}", a.log);
     }
@@ -560,7 +623,7 @@ mod tests {
         // Measured power (60 W) stays under every cap the controllers set,
         // so the §IV-D overshoot reset stays out of the picture.
         let mut stream = vec![1.0, 1.0];
-        stream.extend(std::iter::repeat(0.915).take(28));
+        stream.extend(std::iter::repeat_n(0.915, 28));
         for d in stream {
             let m = mixed(1e11 * d, 60.0);
             guarded.on_interval(&m, &mut a_guarded).unwrap();
@@ -571,7 +634,11 @@ mod tests {
             "deficit {:.4}",
             guarded.cumulative_deficit()
         );
-        assert_eq!(a_vanilla.cap_long(), Watts(65.0), "vanilla runs to the floor");
+        assert_eq!(
+            a_vanilla.cap_long(),
+            Watts(65.0),
+            "vanilla runs to the floor"
+        );
         assert!(
             a_guarded.cap_long() > a_vanilla.cap_long() + Watts(10.0),
             "guarded cap {:?} must hold back",

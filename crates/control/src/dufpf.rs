@@ -22,10 +22,12 @@
 
 use crate::actuators::Actuators;
 use crate::config::ControlConfig;
-use crate::duf::{relative_drop, UncoreAction, UncoreLogic};
+use crate::duf::{relative_drop, uncore_trace_reason, UncoreAction, UncoreLogic};
 use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
+use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::{Hertz, Result, Watts};
 
 /// What the frequency logic did this interval.
@@ -52,6 +54,7 @@ pub struct DufpF {
     last_freq_action: FreqAction,
     probe_floor: Option<f64>,
     intervals_since_violation: u32,
+    tel: TelState,
 }
 
 impl DufpF {
@@ -64,7 +67,14 @@ impl DufpF {
             last_freq_action: FreqAction::None,
             probe_floor: None,
             intervals_since_violation: 0,
+            tel: TelState::default(),
         }
+    }
+
+    /// Attaches a decision-trace recorder (builder style).
+    pub fn with_telemetry(mut self, tel: SocketTelemetry) -> Self {
+        self.tel.tel = tel;
+        self
     }
 
     /// The most recent frequency action.
@@ -81,11 +91,7 @@ impl DufpF {
         Watts(quantized.clamp(self.cfg.cap_floor.value(), default_long.value()))
     }
 
-    fn freq_decide(
-        &mut self,
-        drop_f: f64,
-        act: &mut dyn Actuators,
-    ) -> Result<FreqAction> {
+    fn freq_decide(&mut self, drop_f: f64, act: &mut dyn Actuators) -> Result<FreqAction> {
         let s = self.cfg.slowdown.value();
         let e = self.cfg.epsilon.value();
         let threshold = if s > 0.0 { s } else { e };
@@ -129,7 +135,13 @@ impl Controller for DufpF {
     }
 
     fn on_interval(&mut self, m: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()> {
+        let uncore_before = act.uncore();
+        let cap_before = act.cap_long();
+        let freq_before = act.core_freq_cap();
         let event = self.tracker.observe(m);
+        if event == PhaseEvent::Changed {
+            self.tel.phase_seq += 1;
+        }
 
         // Attribution mirror of DUFP: while we hold the frequency below the
         // maximum, FLOPS dips are (potentially) our own doing — the uncore
@@ -160,14 +172,61 @@ impl Controller for DufpF {
                 // The cap trails measured power instead of leading it.
                 let (default_long, _) = act.cap_defaults();
                 let want = self.trailing_cap(m.pkg_power, default_long);
-                if (want.value() - act.cap_long().value()).abs()
-                    >= self.cfg.cap_step.value() - 1e-9
+                if (want.value() - act.cap_long().value()).abs() >= self.cfg.cap_step.value() - 1e-9
                 {
                     act.set_cap_both(want)?;
                 }
                 action
             }
         };
+
+        if self.tel.is_enabled() {
+            if let Some(why) =
+                uncore_trace_reason(self.uncore.last_action, m, &self.tracker, &self.cfg)
+            {
+                self.tel.emit(
+                    Some(&self.tracker),
+                    m,
+                    Actuator::Uncore,
+                    uncore_before.value(),
+                    act.uncore().value(),
+                    why,
+                );
+            }
+            // `freq_decide` raises only on a FLOPS/s violation, so an
+            // Increased action is always a slowdown event.
+            let freq_reason = match freq_action {
+                FreqAction::Reset => Some(Reason::PhaseReset),
+                FreqAction::Increased => Some(Reason::SlowdownViolation),
+                FreqAction::Decreased => Some(Reason::Probe),
+                FreqAction::None | FreqAction::Hold => None,
+            };
+            if let Some(why) = freq_reason {
+                self.tel.emit(
+                    Some(&self.tracker),
+                    m,
+                    Actuator::CoreFreq,
+                    freq_before.value(),
+                    act.core_freq_cap().value(),
+                    why,
+                );
+            }
+            let cap_reason = if event == PhaseEvent::Changed {
+                Reason::PhaseReset
+            } else {
+                Reason::TrailingCap
+            };
+            self.tel.emit(
+                Some(&self.tracker),
+                m,
+                Actuator::PowerCap,
+                cap_before.value(),
+                act.cap_long().value(),
+                cap_reason,
+            );
+        }
+        self.tel.tick += 1;
+
         self.last_freq_action = freq_action;
         Ok(())
     }
@@ -177,9 +236,7 @@ impl Controller for DufpF {
 mod tests {
     use super::*;
     use crate::actuators::test_support::MemActuators;
-    use dufp_types::{
-        ArchSpec, BytesPerSec, FlopsPerSec, Instant, OpIntensity, Ratio, Seconds,
-    };
+    use dufp_types::{ArchSpec, BytesPerSec, FlopsPerSec, Instant, OpIntensity, Ratio, Seconds};
 
     fn cfg(pct: f64) -> ControlConfig {
         ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(pct)).unwrap()
@@ -234,7 +291,8 @@ mod tests {
         assert!(a.core_freq_cap() > low);
         // Further decreases are blocked by the probe floor.
         let at = a.core_freq_cap();
-        d.on_interval(&m(1e10, 8e10, 98.0, at.as_ghz()), &mut a).unwrap();
+        d.on_interval(&m(1e10, 8e10, 98.0, at.as_ghz()), &mut a)
+            .unwrap();
         assert_eq!(a.core_freq_cap(), at, "probe floor must hold");
     }
 

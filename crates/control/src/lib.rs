@@ -25,6 +25,13 @@
 //! * [`dufpf`] — DUFP-F, the §VII future-work extension: core frequency is
 //!   managed directly through `IA32_PERF_CTL` and the cap merely trails
 //!   the measured power.
+//!
+//! Every controller accepts a `with_telemetry` recorder
+//! ([`dufp_telemetry::SocketTelemetry`]); when attached, each actuator
+//! move is emitted as a typed [`dufp_telemetry::DecisionEvent`] carrying
+//! the reason for the move (slowdown violation, phase reset, overshoot,
+//! cross-coupling, ...). Without it the controllers record nothing and the
+//! instrumentation costs one branch per interval.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +44,7 @@ pub mod duf;
 pub mod dufp;
 pub mod dufpf;
 pub mod phase;
+mod trace;
 
 pub use actuators::{Actuators, HwActuators};
 pub use baseline::{NoOp, StaticCap};

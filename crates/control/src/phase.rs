@@ -76,9 +76,7 @@ impl PhaseTracker {
         let event = match self.class {
             None => PhaseEvent::First,
             Some(prev) if prev != class => PhaseEvent::Changed,
-            Some(_) if self.max_flops > 0.0 && flops >= 2.0 * self.max_flops => {
-                PhaseEvent::Changed
-            }
+            Some(_) if self.max_flops > 0.0 && flops >= 2.0 * self.max_flops => PhaseEvent::Changed,
             Some(_) => PhaseEvent::Continued,
         };
 
@@ -100,9 +98,7 @@ impl PhaseTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dufp_types::{
-        BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Seconds, Watts,
-    };
+    use dufp_types::{BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Seconds, Watts};
 
     pub(crate) fn metrics(flops: f64, bw: f64) -> IntervalMetrics {
         IntervalMetrics {

@@ -1,0 +1,53 @@
+//! Shared decision-trace plumbing for the controllers.
+//!
+//! Every controller owns a [`TelState`]: the socket-bound telemetry handle
+//! plus the tick and phase-sequence counters its events carry. All methods
+//! are no-ops on a disabled handle, so controllers built without
+//! `with_telemetry` pay one branch per interval and allocate nothing.
+
+use crate::phase::PhaseTracker;
+use dufp_counters::IntervalMetrics;
+use dufp_telemetry::{Actuator, DecisionCtx, Reason, SocketTelemetry};
+
+/// Telemetry state embedded in each controller.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TelState {
+    /// The socket-bound recorder (disabled by default).
+    pub tel: SocketTelemetry,
+    /// Monitoring intervals seen so far (event timestamp).
+    pub tick: u64,
+    /// Phase changes seen so far (monotonic per-socket sequence).
+    pub phase_seq: u64,
+}
+
+impl TelState {
+    /// Whether events are being recorded at all.
+    pub fn is_enabled(&self) -> bool {
+        self.tel.is_enabled()
+    }
+
+    /// Records that `actuator` moved `old` → `new` because of `reason`.
+    /// `tracker` (when the controller has one) supplies the OI class and
+    /// the FLOPS ratio against the per-phase maximum.
+    pub fn emit(
+        &self,
+        tracker: Option<&PhaseTracker>,
+        m: &IntervalMetrics,
+        actuator: Actuator,
+        old: f64,
+        new: f64,
+        reason: Reason,
+    ) {
+        if !self.tel.is_enabled() || old == new {
+            return;
+        }
+        let ctx = DecisionCtx {
+            tick: self.tick,
+            phase: self.phase_seq,
+            oi_class: tracker.and_then(|t| t.class()).map(|c| format!("{c:?}")),
+            flops_ratio: tracker
+                .and_then(|t| (t.max_flops > 0.0).then(|| m.flops.value() / t.max_flops)),
+        };
+        self.tel.decision(ctx, actuator, old, new, reason);
+    }
+}

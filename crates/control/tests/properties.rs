@@ -17,11 +17,13 @@ use dufp_types::{
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn rig(slowdown_pct: f64) -> (
+type Rig = (
     Arc<FakeMsr>,
     ControlConfig,
     dufp_control::HwActuators<Arc<FakeMsr>, MsrRapl<Arc<FakeMsr>>>,
-) {
+);
+
+fn rig(slowdown_pct: f64) -> Rig {
     let msr = Arc::new(FakeMsr::new(16));
     msr.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
     let units = RaplPowerUnit::skylake_sp();
@@ -119,6 +121,54 @@ fuzz_controller!(duf_survives_arbitrary_metric_streams, Duf::new);
 fuzz_controller!(dufp_survives_arbitrary_metric_streams, Dufp::new);
 fuzz_controller!(dufpf_survives_arbitrary_metric_streams, DufpF::new);
 fuzz_controller!(dnpc_survives_arbitrary_metric_streams, Dnpc::new);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A `SlowdownViolation` decision event is a claim that measured
+    /// FLOPS/s fell below `(1 - slowdown)` of the running per-phase
+    /// maximum — the emitted `flops_ratio` must back it up. The phase
+    /// tracker observes the interval *before* the controller decides, so
+    /// the ratio and the decision share the same maximum and the bound is
+    /// exact (modulo float rounding).
+    #[test]
+    fn slowdown_violation_events_imply_flops_below_budget(
+        slowdown in prop::sample::select(vec![5.0, 10.0, 20.0]),
+        stream in prop::collection::vec(arb_metrics(), 1..120),
+    ) {
+        use dufp_telemetry::{Reason, SocketTelemetry, Telemetry};
+        let budget = 1.0 - slowdown / 100.0;
+        type Make = fn(ControlConfig, SocketTelemetry) -> Box<dyn Controller>;
+        let makes: [Make; 3] = [
+            |cfg, t| Box::new(Duf::new(cfg).with_telemetry(t)),
+            |cfg, t| Box::new(Dufp::new(cfg).with_telemetry(t)),
+            |cfg, t| Box::new(DufpF::new(cfg).with_telemetry(t)),
+        ];
+        for make in makes {
+            let tel = Telemetry::new(8192);
+            let (_msr, cfg, mut act) = rig(slowdown);
+            let mut controller = make(cfg, tel.for_socket(0));
+            for (t, &(flops, bw, power, freq)) in stream.iter().enumerate() {
+                controller
+                    .on_interval(&metrics(t as u64, flops, bw, power, freq), &mut act)
+                    .unwrap();
+            }
+            for e in tel.drain_events() {
+                if e.reason == Reason::SlowdownViolation {
+                    let ratio = e
+                        .flops_ratio
+                        .expect("slowdown violations must carry a flops ratio");
+                    prop_assert!(
+                        ratio < budget + 1e-9,
+                        "{}: flops ratio {ratio} does not violate the {budget} budget (tick {})",
+                        controller.name(),
+                        e.tick
+                    );
+                }
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -225,5 +275,9 @@ fn actuator_cache_follows_external_clamping() {
     act.set_cap_both(Watts(115.0)).unwrap();
     assert_eq!(act.cap_long(), Watts(100.0), "cache reflects the clamp");
     act.reset_cap().unwrap();
-    assert_eq!(act.cap_long(), Watts(100.0), "reset lands on the clamped default");
+    assert_eq!(
+        act.cap_long(),
+        Watts(100.0),
+        "reset lands on the clamped default"
+    );
 }

@@ -58,11 +58,7 @@ pub fn record_trace(sim: &SimConfig, app: &str) -> Result<Vec<CounterSample>> {
 }
 
 /// Records `app` and segments the trace into a saveable workload file.
-pub fn record_workload(
-    sim: &SimConfig,
-    app: &str,
-    cfg: &SegmentConfig,
-) -> Result<WorkloadFile> {
+pub fn record_workload(sim: &SimConfig, app: &str, cfg: &SegmentConfig) -> Result<WorkloadFile> {
     let trace = record_trace(sim, app)?;
     let ctx = MaterializeCtx::from_arch(&sim.arch);
     let phases = segment_with_power(&trace, &ctx, cfg, &sim.power, sim.arch.uncore_freq_max)?;
@@ -117,6 +113,7 @@ mod tests {
             },
             trace: None,
             interval_ms: None,
+            telemetry: false,
         };
         let orig = run_once(&spec("CG".into()), 3).unwrap();
         let capt = run_once(&spec(path.to_str().unwrap().into()), 3).unwrap();

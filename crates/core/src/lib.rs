@@ -19,7 +19,7 @@
 //!         slowdown: Ratio::from_percent(10.0),
 //!     },
 //!     trace: None,
-//!     interval_ms: None, // the paper's 200 ms
+//!     interval_ms: None, telemetry: false, // the paper's 200 ms
 //! };
 //! let result = run_once(&spec, 1).unwrap();
 //! assert!(result.exec_time.value() > 0.0);

@@ -7,15 +7,12 @@
 //! total energy are reported for the whole node.
 
 use crate::stats::{trimmed, RepeatedResult};
-use dufp_control::{
-    Actuators, ControlConfig, Controller, Duf, Dufp, HwActuators, NoOp, StaticCap,
-};
+use dufp_control::{Actuators, ControlConfig, Controller, Duf, Dufp, HwActuators, NoOp, StaticCap};
 use dufp_counters::{Sampler, Telemetry};
 use dufp_rapl::MsrRapl;
 use dufp_sim::{Machine, SimConfig, Trace};
-use dufp_types::{
-    Duration, Error, Joules, Ratio, Result, Seconds, SocketId, Watts,
-};
+use dufp_telemetry::{SocketTelemetry, Telemetry as TelemetryHandle, TelemetryReport};
+use dufp_types::{Duration, Error, Joules, Ratio, Result, Seconds, SocketId, Watts};
 use dufp_workloads::{apps, MaterializeCtx};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -64,13 +61,17 @@ pub enum ControllerKind {
 }
 
 impl ControllerKind {
-    fn build(&self, cfg: &ControlConfig) -> Box<dyn Controller> {
+    fn build(&self, cfg: &ControlConfig, tel: SocketTelemetry) -> Box<dyn Controller> {
         match *self {
             ControllerKind::Default => Box::new(NoOp),
-            ControllerKind::Duf { .. } => Box::new(Duf::new(cfg.clone())),
-            ControllerKind::Dufp { .. } => Box::new(Dufp::new(cfg.clone())),
-            ControllerKind::Dnpc { .. } => Box::new(dufp_control::Dnpc::new(cfg.clone())),
-            ControllerKind::DufpF { .. } => Box::new(dufp_control::DufpF::new(cfg.clone())),
+            ControllerKind::Duf { .. } => Box::new(Duf::new(cfg.clone()).with_telemetry(tel)),
+            ControllerKind::Dufp { .. } => Box::new(Dufp::new(cfg.clone()).with_telemetry(tel)),
+            ControllerKind::Dnpc { .. } => {
+                Box::new(dufp_control::Dnpc::new(cfg.clone()).with_telemetry(tel))
+            }
+            ControllerKind::DufpF { .. } => {
+                Box::new(dufp_control::DufpF::new(cfg.clone()).with_telemetry(tel))
+            }
             ControllerKind::StaticCap { cap } => Box::new(StaticCap::whole_run(cap)),
             ControllerKind::WindowedCap { cap, start, end } => {
                 Box::new(StaticCap::windowed(cap, start, end))
@@ -138,6 +139,12 @@ pub struct ExperimentSpec {
     /// 200 ms). Shorter intervals react faster but cost more controller
     /// work and actuate on noisier samples (§IV-D).
     pub interval_ms: Option<u64>,
+    /// When `true`, records decision events, simulator gauges and
+    /// pipeline-stage timings, returned in [`RunResult::telemetry`].
+    /// Defaults to off: the disabled path costs one branch per record
+    /// site, so benchmarks are unaffected.
+    #[serde(default)]
+    pub telemetry: bool,
 }
 
 /// Whole-node measurements of one run.
@@ -155,6 +162,9 @@ pub struct RunResult {
     pub avg_dram_power: Watts,
     /// The recorded trace, if requested.
     pub trace: Option<Trace>,
+    /// Decision events + metrics, when [`ExperimentSpec::telemetry`] is on.
+    #[serde(default)]
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunResult {
@@ -183,6 +193,21 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
         machine.enable_trace(t.socket, t.stride)?;
     }
 
+    let tel = if spec.telemetry {
+        TelemetryHandle::enabled()
+    } else {
+        TelemetryHandle::disabled()
+    };
+    machine.attach_telemetry(&tel);
+    // Stage-timing histograms (µs); detached no-ops when telemetry is off.
+    let stage_bounds = [
+        1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+    ];
+    let tick_us = tel.histogram("runner.tick_us", &stage_bounds);
+    let sample_us = tel.histogram("runner.sample_us", &stage_bounds);
+    let control_us = tel.histogram("runner.control_us", &stage_bounds);
+    let timed = tel.is_enabled();
+
     let mut cfg = ControlConfig::from_arch(&arch, spec.controller.slowdown())?;
     if let Some(ms) = spec.interval_ms {
         if ms == 0 {
@@ -207,7 +232,11 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
                 usize::from(s) * usize::from(arch.cores_per_socket),
                 cfg.clone(),
             )?;
-            Ok((spec.controller.build(&cfg), Sampler::new(), act))
+            Ok((
+                spec.controller.build(&cfg, tel.for_socket(s)),
+                Sampler::new(),
+                act,
+            ))
         })
         .collect::<Result<Vec<_>>>()?;
 
@@ -220,11 +249,11 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
         .collect::<Result<Vec<_>>>()?;
     let started = machine.now();
 
-    let ticks_per_interval =
-        (cfg.interval.as_micros() / machine.config().tick.as_micros()).max(1);
+    let ticks_per_interval = (cfg.interval.as_micros() / machine.config().tick.as_micros()).max(1);
     let max_duration = Duration::from_seconds(Seconds(nominal.value() * 10.0 + 30.0));
 
     'outer: loop {
+        let t0 = timed.then(std::time::Instant::now);
         for _ in 0..ticks_per_interval {
             machine.tick();
             if machine.done() {
@@ -238,9 +267,21 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
                 )));
             }
         }
+        if let Some(t0) = t0 {
+            tick_us.observe(t0.elapsed().as_secs_f64() * 1e6);
+        }
         for (idx, (controller, sampler, act)) in per_socket.iter_mut().enumerate() {
-            if let Some(metrics) = sampler.sample(machine.as_ref(), SocketId(idx as u16))? {
+            let t1 = timed.then(std::time::Instant::now);
+            let sampled = sampler.sample(machine.as_ref(), SocketId(idx as u16))?;
+            if let Some(t1) = t1 {
+                sample_us.observe(t1.elapsed().as_secs_f64() * 1e6);
+            }
+            if let Some(metrics) = sampled {
+                let t2 = timed.then(std::time::Instant::now);
                 controller.on_interval(&metrics, act as &mut dyn Actuators)?;
+                if let Some(t2) = t2 {
+                    control_us.observe(t2.elapsed().as_secs_f64() * 1e6);
+                }
             }
         }
     }
@@ -266,6 +307,7 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
         pkg_energy: pkg,
         dram_energy: dram,
         trace,
+        telemetry: spec.telemetry.then(|| tel.report()),
     })
 }
 
@@ -301,14 +343,20 @@ mod tests {
             sim: SimConfig::yeti_single_socket(0),
             app: app.into(),
             controller,
-            trace: None, interval_ms: None,
+            trace: None,
+            interval_ms: None,
+            telemetry: false,
         }
     }
 
     #[test]
     fn default_run_produces_sane_numbers() {
         let r = run_once(&spec("EP", ControllerKind::Default), 1).unwrap();
-        assert!((25.0..40.0).contains(&r.exec_time.value()), "{:?}", r.exec_time);
+        assert!(
+            (25.0..40.0).contains(&r.exec_time.value()),
+            "{:?}",
+            r.exec_time
+        );
         assert!(
             (100.0..135.0).contains(&r.avg_pkg_power.value()),
             "pkg {:?}",
@@ -327,12 +375,7 @@ mod tests {
     fn static_cap_reduces_power_and_slows_compute() {
         let free = run_once(&spec("EP", ControllerKind::Default), 1).unwrap();
         let capped = run_once(
-            &spec(
-                "EP",
-                ControllerKind::StaticCap {
-                    cap: Watts(100.0),
-                },
-            ),
+            &spec("EP", ControllerKind::StaticCap { cap: Watts(100.0) }),
             1,
         )
         .unwrap();
@@ -371,6 +414,46 @@ mod tests {
         let r = run_once(&s, 3).unwrap();
         let trace = r.trace.expect("trace requested");
         assert!(!trace.points.is_empty());
+    }
+
+    #[test]
+    fn telemetry_off_by_default_and_absent_from_results() {
+        let r = run_once(&spec("EP", ControllerKind::Default), 1).unwrap();
+        assert!(r.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_run_reports_decisions_and_stage_timings() {
+        let mut s = spec(
+            "CG",
+            ControllerKind::Dufp {
+                slowdown: Ratio::from_percent(10.0),
+            },
+        );
+        s.telemetry = true;
+        let r = run_once(&s, 4).unwrap();
+        let report = r.telemetry.expect("telemetry requested");
+        assert!(!report.decisions.is_empty(), "DUFP on CG must actuate");
+        assert_eq!(report.dropped, 0);
+        // Every event carries a typed reason; the per-reason tally must
+        // account for every decision.
+        let total: usize = report.counts_by_reason().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, report.decisions.len());
+        // Stage timings and simulator gauges all made it into the snapshot.
+        for h in ["runner.tick_us", "runner.sample_us", "runner.control_us"] {
+            let hist = report
+                .metrics
+                .histograms
+                .iter()
+                .find(|s| s.name == h)
+                .unwrap_or_else(|| panic!("missing histogram {h}"));
+            assert!(hist.count > 0, "{h} never observed");
+        }
+        assert!(report
+            .metrics
+            .gauges
+            .iter()
+            .any(|g| g.name == "sim.socket0.pkg_power_w" && g.value > 0.0));
     }
 
     #[test]

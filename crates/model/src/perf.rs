@@ -93,8 +93,7 @@ impl RooflineModel {
     /// Computes the progress rate of `phase` at core frequency `f` with
     /// `bw` of achievable memory bandwidth.
     pub fn progress(&self, phase: &PhaseRates, f: Hertz, bw: BytesPerSec) -> PhaseProgress {
-        let compute_rate =
-            phase.flops_per_core_cycle * f64::from(self.cores) * f.value().max(1.0);
+        let compute_rate = phase.flops_per_core_cycle * f64::from(self.cores) * f.value().max(1.0);
         let t_c = if phase.flops_per_unit > 0.0 {
             phase.flops_per_unit / compute_rate
         } else {
@@ -197,8 +196,16 @@ mod tests {
     #[test]
     fn memory_phase_scales_with_bandwidth() {
         let m = RooflineModel { cores: 16 };
-        let hi = m.progress(&memory_phase(), Hertz::from_ghz(2.0), BytesPerSec::from_gib(100.0));
-        let lo = m.progress(&memory_phase(), Hertz::from_ghz(2.0), BytesPerSec::from_gib(50.0));
+        let hi = m.progress(
+            &memory_phase(),
+            Hertz::from_ghz(2.0),
+            BytesPerSec::from_gib(100.0),
+        );
+        let lo = m.progress(
+            &memory_phase(),
+            Hertz::from_ghz(2.0),
+            BytesPerSec::from_gib(50.0),
+        );
         let ratio = hi.bandwidth.value() / lo.bandwidth.value();
         assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
     }

@@ -143,9 +143,7 @@ impl PowerModel {
                 active * self.core_cdyn * core_freq.as_ghz() * v_core * v_core * eff_act,
             ),
             uncore_leak: Watts(self.uncore_leak_per_volt * v_unc),
-            uncore_dyn: Watts(
-                self.uncore_cdyn * uncore_freq.as_ghz() * v_unc * v_unc * unc_act,
-            ),
+            uncore_dyn: Watts(self.uncore_cdyn * uncore_freq.as_ghz() * v_unc * v_unc * unc_act),
         }
     }
 
@@ -173,7 +171,9 @@ impl PowerModel {
         activity: &SocketActivity,
         allowance: Watts,
     ) -> Hertz {
-        let steps = ((max.value() - min.value()) / step.value()).round().max(0.0) as i64;
+        let steps = ((max.value() - min.value()) / step.value())
+            .round()
+            .max(0.0) as i64;
         for i in (0..=steps).rev() {
             let f = Hertz(min.value() + i as f64 * step.value());
             if self.package_total(f, uncore_freq, activity) <= allowance {
@@ -279,7 +279,11 @@ mod tests {
     fn core_throttling_saves_superlinearly() {
         let m = PowerModel::xeon_gold_6130();
         let hi = m.package_total(Hertz::from_ghz(2.8), Hertz::from_ghz(2.4), &compute_bound());
-        let lo = m.package_total(Hertz::from_ghz(2.24), Hertz::from_ghz(2.4), &compute_bound());
+        let lo = m.package_total(
+            Hertz::from_ghz(2.24),
+            Hertz::from_ghz(2.4),
+            &compute_bound(),
+        );
         // 20 % frequency cut must save clearly more than 20 % of the core
         // dynamic share (voltage rides down too).
         let b_hi = m.package_power(Hertz::from_ghz(2.8), Hertz::from_ghz(2.4), &compute_bound());
@@ -348,7 +352,11 @@ mod tests {
     #[test]
     fn idle_socket_power_is_floor_plus_leakage() {
         let m = PowerModel::xeon_gold_6130();
-        let p = m.package_power(Hertz::from_ghz(1.0), Hertz::from_ghz(1.2), &SocketActivity::idle());
+        let p = m.package_power(
+            Hertz::from_ghz(1.0),
+            Hertz::from_ghz(1.2),
+            &SocketActivity::idle(),
+        );
         assert_eq!(p.core_dyn, Watts::ZERO);
         assert!(p.total().value() > 20.0 && p.total().value() < 60.0);
     }

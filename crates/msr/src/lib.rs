@@ -25,9 +25,9 @@ pub mod linux;
 pub mod registers;
 
 pub use io::{FakeMsr, MsrIo};
+pub use registers::IA32_PERF_CTL;
 pub use registers::{
     PerfCtl, PkgPowerLimit, PowerLimit, RaplPowerUnit, UncoreRatioLimit, MSR_DRAM_ENERGY_STATUS,
     MSR_DRAM_POWER_LIMIT, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_INFO, MSR_PKG_POWER_LIMIT,
     MSR_PLATFORM_INFO, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
 };
-pub use registers::IA32_PERF_CTL;

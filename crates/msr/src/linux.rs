@@ -59,14 +59,14 @@ impl LinuxMsr {
             return Err(Error::NoSuchComponent(format!("cpu{cpu}")));
         }
         let mut handles = self.handles.lock();
-        if !handles.contains_key(&cpu) {
+        if let std::collections::hash_map::Entry::Vacant(e) = handles.entry(cpu) {
             let path = self.root.join(cpu.to_string()).join("msr");
             let file = OpenOptions::new()
                 .read(true)
                 .write(true)
                 .open(&path)
                 .map_err(Error::Io)?;
-            handles.insert(cpu, file);
+            e.insert(file);
         }
         f(handles.get(&cpu).expect("just inserted")).map_err(Error::Io)
     }

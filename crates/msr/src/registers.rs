@@ -120,9 +120,7 @@ impl PowerLimit {
             power: Watts(ticks * units.power_unit.value()),
             enabled: slice & (1 << 15) != 0,
             clamp: slice & (1 << 16) != 0,
-            window: Seconds(
-                (1u64 << y.min(31)) as f64 * (1.0 + z / 4.0) * units.time_unit.value(),
-            ),
+            window: Seconds((1u64 << y.min(31)) as f64 * (1.0 + z / 4.0) * units.time_unit.value()),
         }
     }
 }
@@ -196,12 +194,7 @@ impl PkgPowerLimit {
     /// The default register content for an architecture: PL1 = `pl1` over
     /// `pl1_window`, PL2 = `pl2` over `pl2_window`, both enabled and
     /// clamped, unlocked.
-    pub fn defaults(
-        pl1: Watts,
-        pl1_window: Seconds,
-        pl2: Watts,
-        pl2_window: Seconds,
-    ) -> Self {
+    pub fn defaults(pl1: Watts, pl1_window: Seconds, pl2: Watts, pl2_window: Seconds) -> Self {
         PkgPowerLimit {
             pl1: PowerLimit {
                 power: pl1,
@@ -336,12 +329,7 @@ mod tests {
     #[test]
     fn pkg_power_limit_yeti_defaults_round_trip() {
         let units = RaplPowerUnit::skylake_sp();
-        let reg = PkgPowerLimit::defaults(
-            Watts(125.0),
-            Seconds(1.0),
-            Watts(150.0),
-            Seconds(0.01),
-        );
+        let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
         let raw = reg.encode(&units).unwrap();
         let back = PkgPowerLimit::decode(raw, &units);
         assert_eq!(back.pl1.power, Watts(125.0));

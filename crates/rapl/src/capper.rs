@@ -105,8 +105,14 @@ mod tests {
             limits: Mutex::new(HashMap::new()),
         };
         c.set_both(SocketId(0), Watts(90.0)).unwrap();
-        assert_eq!(c.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(90.0));
-        assert_eq!(c.limit(SocketId(0), Constraint::ShortTerm).unwrap(), Watts(90.0));
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::LongTerm).unwrap(),
+            Watts(90.0)
+        );
+        assert_eq!(
+            c.limit(SocketId(0), Constraint::ShortTerm).unwrap(),
+            Watts(90.0)
+        );
     }
 
     #[test]
@@ -116,7 +122,13 @@ mod tests {
         };
         c.set_both(SocketId(1), Watts(70.0)).unwrap();
         c.reset(SocketId(1)).unwrap();
-        assert_eq!(c.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(125.0));
-        assert_eq!(c.limit(SocketId(1), Constraint::ShortTerm).unwrap(), Watts(150.0));
+        assert_eq!(
+            c.limit(SocketId(1), Constraint::LongTerm).unwrap(),
+            Watts(125.0)
+        );
+        assert_eq!(
+            c.limit(SocketId(1), Constraint::ShortTerm).unwrap(),
+            Watts(150.0)
+        );
     }
 }

@@ -64,8 +64,12 @@ impl<M: MsrIo> MsrRapl<M> {
             cores_per_socket,
             units,
             defaults,
-            pkg_track: (0..sockets).map(|_| Mutex::new(EnergyTrack::default())).collect(),
-            dram_track: (0..sockets).map(|_| Mutex::new(EnergyTrack::default())).collect(),
+            pkg_track: (0..sockets)
+                .map(|_| Mutex::new(EnergyTrack::default()))
+                .collect(),
+            dram_track: (0..sockets)
+                .map(|_| Mutex::new(EnergyTrack::default()))
+                .collect(),
         })
     }
 
@@ -91,7 +95,8 @@ impl<M: MsrIo> MsrRapl<M> {
 
     fn write_reg(&self, socket: SocketId, reg: &PkgPowerLimit) -> Result<()> {
         let raw = reg.encode(&self.units)?;
-        self.msr.write(self.lead_cpu(socket), MSR_PKG_POWER_LIMIT, raw)
+        self.msr
+            .write(self.lead_cpu(socket), MSR_PKG_POWER_LIMIT, raw)
     }
 }
 
@@ -126,21 +131,29 @@ impl<M: MsrIo> PowerCapper for MsrRapl<M> {
     }
 
     fn package_energy(&self, socket: SocketId) -> Result<Joules> {
-        let raw = self.msr.read(self.lead_cpu(socket), MSR_PKG_ENERGY_STATUS)?;
+        let raw = self
+            .msr
+            .read(self.lead_cpu(socket), MSR_PKG_ENERGY_STATUS)?;
         let track = self
             .pkg_track
             .get(socket.as_usize())
             .ok_or_else(|| dufp_types::Error::NoSuchComponent(socket.to_string()))?;
-        Ok(track.lock().update(raw & 0xFFFF_FFFF, self.units.energy_unit))
+        Ok(track
+            .lock()
+            .update(raw & 0xFFFF_FFFF, self.units.energy_unit))
     }
 
     fn dram_energy(&self, socket: SocketId) -> Result<Joules> {
-        let raw = self.msr.read(self.lead_cpu(socket), MSR_DRAM_ENERGY_STATUS)?;
+        let raw = self
+            .msr
+            .read(self.lead_cpu(socket), MSR_DRAM_ENERGY_STATUS)?;
         let track = self
             .dram_track
             .get(socket.as_usize())
             .ok_or_else(|| dufp_types::Error::NoSuchComponent(socket.to_string()))?;
-        Ok(track.lock().update(raw & 0xFFFF_FFFF, self.units.energy_unit))
+        Ok(track
+            .lock()
+            .update(raw & 0xFFFF_FFFF, self.units.energy_unit))
     }
 }
 
@@ -154,12 +167,7 @@ mod tests {
         let m = FakeMsr::new(32); // 2 sockets × 16 cores
         m.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
         let units = RaplPowerUnit::skylake_sp();
-        let reg = PkgPowerLimit::defaults(
-            Watts(125.0),
-            Seconds(1.0),
-            Watts(150.0),
-            Seconds(0.01),
-        );
+        let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
         m.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
         m.seed(MSR_PKG_POWER_INFO, 1000);
         m
@@ -168,29 +176,54 @@ mod tests {
     #[test]
     fn captures_boot_defaults() {
         let r = MsrRapl::new(fake(), 2, 16).unwrap();
-        assert_eq!(r.defaults(SocketId(0)).unwrap(), (Watts(125.0), Watts(150.0)));
+        assert_eq!(
+            r.defaults(SocketId(0)).unwrap(),
+            (Watts(125.0), Watts(150.0))
+        );
         assert_eq!(r.tdp(SocketId(1)).unwrap(), Watts(125.0));
     }
 
     #[test]
     fn set_limit_touches_only_selected_constraint() {
         let r = MsrRapl::new(fake(), 2, 16).unwrap();
-        r.set_limit(SocketId(0), Constraint::LongTerm, Watts(100.0)).unwrap();
-        assert_eq!(r.limit(SocketId(0), Constraint::LongTerm).unwrap(), Watts(100.0));
-        assert_eq!(r.limit(SocketId(0), Constraint::ShortTerm).unwrap(), Watts(150.0));
+        r.set_limit(SocketId(0), Constraint::LongTerm, Watts(100.0))
+            .unwrap();
+        assert_eq!(
+            r.limit(SocketId(0), Constraint::LongTerm).unwrap(),
+            Watts(100.0)
+        );
+        assert_eq!(
+            r.limit(SocketId(0), Constraint::ShortTerm).unwrap(),
+            Watts(150.0)
+        );
         // Other socket untouched.
-        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(125.0));
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::LongTerm).unwrap(),
+            Watts(125.0)
+        );
     }
 
     #[test]
     fn set_both_then_reset_round_trips() {
         let r = MsrRapl::new(fake(), 2, 16).unwrap();
         r.set_both(SocketId(1), Watts(80.0)).unwrap();
-        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(80.0));
-        assert_eq!(r.limit(SocketId(1), Constraint::ShortTerm).unwrap(), Watts(80.0));
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::LongTerm).unwrap(),
+            Watts(80.0)
+        );
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::ShortTerm).unwrap(),
+            Watts(80.0)
+        );
         r.reset(SocketId(1)).unwrap();
-        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(125.0));
-        assert_eq!(r.limit(SocketId(1), Constraint::ShortTerm).unwrap(), Watts(150.0));
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::LongTerm).unwrap(),
+            Watts(125.0)
+        );
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::ShortTerm).unwrap(),
+            Watts(150.0)
+        );
     }
 
     #[test]

@@ -137,15 +137,15 @@ impl SysfsRapl {
             Constraint::LongTerm => 0,
             Constraint::ShortTerm => 1,
         };
-        Ok(zone_path(&self.root, socket, false)
-            .join(format!("constraint_{idx}_power_limit_uw")))
+        Ok(zone_path(&self.root, socket, false).join(format!("constraint_{idx}_power_limit_uw")))
     }
 }
 
 fn zone_path(root: &Path, socket: SocketId, dram: bool) -> PathBuf {
     let s = socket.0;
     if dram {
-        root.join(format!("intel-rapl:{s}")).join(format!("intel-rapl:{s}:0"))
+        root.join(format!("intel-rapl:{s}"))
+            .join(format!("intel-rapl:{s}:0"))
     } else {
         root.join(format!("intel-rapl:{s}"))
     }
@@ -209,7 +209,10 @@ mod tests {
     fn discovers_zones_and_defaults() {
         let (dir, r) = fixture();
         assert_eq!(r.sockets(), 2);
-        assert_eq!(r.defaults(SocketId(0)).unwrap(), (Watts(125.0), Watts(150.0)));
+        assert_eq!(
+            r.defaults(SocketId(0)).unwrap(),
+            (Watts(125.0), Watts(150.0))
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -223,16 +226,24 @@ mod tests {
     fn limits_round_trip_through_files() {
         let (dir, r) = fixture();
         r.set_both(SocketId(1), Watts(85.0)).unwrap();
-        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(85.0));
-        assert_eq!(r.limit(SocketId(1), Constraint::ShortTerm).unwrap(), Watts(85.0));
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::LongTerm).unwrap(),
+            Watts(85.0)
+        );
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::ShortTerm).unwrap(),
+            Watts(85.0)
+        );
         // The file itself holds microwatts.
-        let raw = std::fs::read_to_string(
-            dir.join("intel-rapl:1").join("constraint_0_power_limit_uw"),
-        )
-        .unwrap();
+        let raw =
+            std::fs::read_to_string(dir.join("intel-rapl:1").join("constraint_0_power_limit_uw"))
+                .unwrap();
         assert_eq!(raw.trim(), "85000000");
         r.reset(SocketId(1)).unwrap();
-        assert_eq!(r.limit(SocketId(1), Constraint::LongTerm).unwrap(), Watts(125.0));
+        assert_eq!(
+            r.limit(SocketId(1), Constraint::LongTerm).unwrap(),
+            Watts(125.0)
+        );
         std::fs::remove_dir_all(dir).unwrap();
     }
 
@@ -252,13 +263,17 @@ mod tests {
     fn dram_subzone_is_separate() {
         let (dir, r) = fixture();
         std::fs::write(
-            dir.join("intel-rapl:0").join("intel-rapl:0:0").join("energy_uj"),
+            dir.join("intel-rapl:0")
+                .join("intel-rapl:0:0")
+                .join("energy_uj"),
             "1000000\n",
         )
         .unwrap();
         let _ = r.dram_energy(SocketId(0)).unwrap();
         std::fs::write(
-            dir.join("intel-rapl:0").join("intel-rapl:0:0").join("energy_uj"),
+            dir.join("intel-rapl:0")
+                .join("intel-rapl:0:0")
+                .join("energy_uj"),
             "3000000\n",
         )
         .unwrap();
@@ -273,7 +288,9 @@ mod tests {
     #[test]
     fn invalid_limit_rejected() {
         let (dir, r) = fixture();
-        assert!(r.set_limit(SocketId(0), Constraint::LongTerm, Watts(-5.0)).is_err());
+        assert!(r
+            .set_limit(SocketId(0), Constraint::LongTerm, Watts(-5.0))
+            .is_err());
         assert!(r
             .set_limit(SocketId(0), Constraint::LongTerm, Watts(f64::NAN))
             .is_err());

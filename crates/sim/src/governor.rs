@@ -17,9 +17,10 @@ use dufp_types::Hertz;
 use serde::{Deserialize, Serialize};
 
 /// The frequency-request policy of the simulated OS driver.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Governor {
     /// Always request the maximum (intel_pstate + performance).
+    #[default]
     Performance,
     /// Request tracks the workload's compute share with a headroom bias in
     /// `[0, 1]` (0 = exactly the compute share, 1 = always maximum).
@@ -29,12 +30,6 @@ pub enum Governor {
     },
     /// Userspace-pinned request.
     Fixed(Hertz),
-}
-
-impl Default for Governor {
-    fn default() -> Self {
-        Governor::Performance
-    }
 }
 
 impl Governor {

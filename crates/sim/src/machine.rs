@@ -6,9 +6,9 @@ use crate::trace::Trace;
 use dufp_counters::{CounterSnapshot, Telemetry};
 use dufp_msr::registers::{
     PerfCtl, RaplPowerUnit, UncoreRatioLimit, IA32_APERF, IA32_MPERF, IA32_PERF_CTL,
-    MSR_DRAM_ENERGY_STATUS,
-    MSR_DRAM_POWER_LIMIT, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_INFO, MSR_PKG_POWER_LIMIT,
-    MSR_PLATFORM_INFO, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT, SKYLAKE_SP_POWER_UNIT_RAW,
+    MSR_DRAM_ENERGY_STATUS, MSR_DRAM_POWER_LIMIT, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_INFO,
+    MSR_PKG_POWER_LIMIT, MSR_PLATFORM_INFO, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
+    SKYLAKE_SP_POWER_UNIT_RAW,
 };
 use dufp_msr::MsrIo;
 use dufp_types::{Duration, Error, Instant, Joules, Result, SocketId};
@@ -60,6 +60,15 @@ impl Machine {
     /// The configuration this machine runs.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Publishes every socket's per-tick state (power, FLOPS/s, bandwidth,
+    /// frequencies) as gauges on `tel`; see
+    /// [`crate::socket::SocketSim::attach_telemetry`].
+    pub fn attach_telemetry(&self, tel: &dufp_telemetry::Telemetry) {
+        for (i, s) in self.sockets.iter().enumerate() {
+            s.lock().attach_telemetry(tel, i as u16);
+        }
     }
 
     /// Loads a copy of `workload` onto every socket (the paper runs each
@@ -152,7 +161,11 @@ impl Machine {
     }
 
     /// Runs `f` with the socket simulation locked (test/diagnostic hook).
-    pub fn with_socket<T>(&self, socket: SocketId, f: impl FnOnce(&mut SocketSim) -> T) -> Result<T> {
+    pub fn with_socket<T>(
+        &self,
+        socket: SocketId,
+        f: impl FnOnce(&mut SocketSim) -> T,
+    ) -> Result<T> {
         Ok(f(&mut self.socket(socket)?.lock()))
     }
 
@@ -195,9 +208,7 @@ impl MsrIo for Machine {
                     (self.cfg.arch.pl1_default.value() / units.power_unit.value()).round() as u64;
                 Ok(ticks & 0x7FFF)
             }
-            MSR_PLATFORM_INFO => {
-                Ok(u64::from(self.cfg.arch.core_freq_base.as_ratio_100mhz()) << 8)
-            }
+            MSR_PLATFORM_INFO => Ok(u64::from(self.cfg.arch.core_freq_base.as_ratio_100mhz()) << 8),
             IA32_PERF_CTL => Ok(s.perf_ctl().encode()),
             IA32_APERF => Ok(s.accumulators().aperf as u64),
             IA32_MPERF => Ok(s.accumulators().mperf as u64),
@@ -268,7 +279,10 @@ mod tests {
     #[test]
     fn msr_surface_defaults() {
         let m = machine();
-        assert_eq!(m.read(0, MSR_RAPL_POWER_UNIT).unwrap(), SKYLAKE_SP_POWER_UNIT_RAW);
+        assert_eq!(
+            m.read(0, MSR_RAPL_POWER_UNIT).unwrap(),
+            SKYLAKE_SP_POWER_UNIT_RAW
+        );
         let unc = UncoreRatioLimit::decode(m.read(0, MSR_UNCORE_RATIO_LIMIT).unwrap());
         assert_eq!(unc.max_ratio, 24);
         assert_eq!(unc.min_ratio, 12);
@@ -301,8 +315,12 @@ mod tests {
         // 64 CPUs over 4 sockets.
         assert_eq!(m.cpu_count(), 64);
         // Pin socket 2's uncore via cpu 37 (37/16 = 2).
-        m.write(37, MSR_UNCORE_RATIO_LIMIT, UncoreRatioLimit::pinned(Hertz::from_ghz(1.5)).encode())
-            .unwrap();
+        m.write(
+            37,
+            MSR_UNCORE_RATIO_LIMIT,
+            UncoreRatioLimit::pinned(Hertz::from_ghz(1.5)).encode(),
+        )
+        .unwrap();
         let s2 = UncoreRatioLimit::decode(m.read(32, MSR_UNCORE_RATIO_LIMIT).unwrap());
         assert_eq!(s2.max_ratio, 15);
         let s0 = UncoreRatioLimit::decode(m.read(0, MSR_UNCORE_RATIO_LIMIT).unwrap());
@@ -324,7 +342,10 @@ mod tests {
         assert!(after.bytes > before.bytes);
         assert!(after.pkg_energy > before.pkg_energy);
         assert!(after.dram_energy > before.dram_energy);
-        assert_eq!(after.at.duration_since(before.at), Duration::from_millis(500));
+        assert_eq!(
+            after.at.duration_since(before.at),
+            Duration::from_millis(500)
+        );
     }
 
     #[test]
@@ -379,7 +400,8 @@ mod tests {
             },
             lock: false,
         };
-        m.write(0, MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap()).unwrap();
+        m.write(0, MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap())
+            .unwrap();
         for _ in 0..2000 {
             m.tick();
         }

@@ -2,14 +2,42 @@
 
 use crate::config::SimConfig;
 use crate::trace::{Trace, TracePoint};
-use dufp_model::{
-    CapEnforcer, PowerModel, RooflineModel, SocketActivity,
-};
+use dufp_model::{CapEnforcer, PowerModel, RooflineModel, SocketActivity};
 use dufp_msr::registers::{PerfCtl, PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit};
+use dufp_telemetry::{Counter, Gauge, Telemetry};
 use dufp_types::{Hertz, Instant, Seconds, Watts};
 use dufp_workloads::Workload;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Pre-registered per-socket instruments, resolved once at attach time so
+/// the tick path never touches the registry's name map.
+#[derive(Debug)]
+struct SocketGauges {
+    pkg_power: Arc<Gauge>,
+    dram_power: Arc<Gauge>,
+    flops: Arc<Gauge>,
+    bandwidth: Arc<Gauge>,
+    core_freq: Arc<Gauge>,
+    uncore_freq: Arc<Gauge>,
+    ticks: Arc<Counter>,
+}
+
+impl SocketGauges {
+    fn new(tel: &Telemetry, socket_index: u16) -> Self {
+        let name = |metric: &str| format!("sim.socket{socket_index}.{metric}");
+        SocketGauges {
+            pkg_power: tel.gauge(&name("pkg_power_w")),
+            dram_power: tel.gauge(&name("dram_power_w")),
+            flops: tel.gauge(&name("flops_per_sec")),
+            bandwidth: tel.gauge(&name("bytes_per_sec")),
+            core_freq: tel.gauge(&name("core_freq_hz")),
+            uncore_freq: tel.gauge(&name("uncore_freq_hz")),
+            ticks: tel.counter(&name("ticks")),
+        }
+    }
+}
 
 /// Monotonic counters a socket accumulates (telemetry surface).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -57,6 +85,7 @@ pub struct SocketSim {
     ticks: u64,
     /// Ground-truth workload phase transitions: `(time, new_phase_index)`.
     phase_log: Vec<(Instant, usize)>,
+    gauges: Option<SocketGauges>,
 }
 
 impl SocketSim {
@@ -85,8 +114,9 @@ impl SocketSim {
             arch.pl2_window,
             cfg.cap,
         );
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(socket_index) + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            cfg.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(socket_index) + 1)),
+        );
         let run_perf_factor = 1.0 + cfg.noise.run_sigma * sym(&mut rng);
         let run_power_factor = 1.0 + cfg.noise.run_sigma * sym(&mut rng);
         let core_freq = arch.core_freq_max;
@@ -111,7 +141,16 @@ impl SocketSim {
             trace_stride: 1,
             ticks: 0,
             phase_log: Vec::new(),
+            gauges: None,
         }
+    }
+
+    /// Publishes this socket's per-tick state (power, FLOPS/s, bandwidth,
+    /// frequencies) as gauges on `tel`. A disabled handle detaches.
+    pub fn attach_telemetry(&mut self, tel: &Telemetry, socket_index: u16) {
+        self.gauges = tel
+            .is_enabled()
+            .then(|| SocketGauges::new(tel, socket_index));
     }
 
     /// Assigns a workload; counters keep accumulating across assignments.
@@ -263,18 +302,20 @@ impl SocketSim {
             let n = f64::from(self.cfg.arch.cores_per_socket);
             let fmax = self.cfg.arch.core_freq_max;
             let tc = if phase.rates.flops_per_core_cycle > 0.0 {
-                phase.rates.flops_per_unit
-                    / (phase.rates.flops_per_core_cycle * n * fmax.value())
+                phase.rates.flops_per_unit / (phase.rates.flops_per_core_cycle * n * fmax.value())
             } else {
                 0.0
             };
             let tm = phase.rates.bytes_per_unit / bw.value().max(1.0);
-            let compute_share = if tc.max(tm) > 0.0 { tc / tc.max(tm) } else { 1.0 };
-            let requested = self.cfg.governor.request(
-                self.cfg.arch.core_freq_min,
-                fmax,
-                compute_share,
-            );
+            let compute_share = if tc.max(tm) > 0.0 {
+                tc / tc.max(tm)
+            } else {
+                1.0
+            };
+            let requested =
+                self.cfg
+                    .governor
+                    .request(self.cfg.arch.core_freq_min, fmax, compute_share);
             let ceiling = self
                 .cfg
                 .arch
@@ -325,8 +366,18 @@ impl SocketSim {
         // RAPL firmware reacts to the measured power.
         self.enforcer.step(dt, pkg_power);
 
+        if let Some(g) = &self.gauges {
+            g.pkg_power.set(pkg_power.value());
+            g.dram_power.set(dram_power.value());
+            g.flops.set(flops_rate * perf_noise);
+            g.bandwidth.set(progress_bw * perf_noise);
+            g.core_freq.set(self.core_freq.value());
+            g.uncore_freq.set(uncore.value());
+            g.ticks.inc();
+        }
+
         // Trace.
-        if self.ticks % u64::from(self.trace_stride) == 0 {
+        if self.ticks.is_multiple_of(u64::from(self.trace_stride)) {
             let pl1 = self.enforcer.pl1();
             if let Some(tr) = self.trace.as_mut() {
                 tr.points.push(TracePoint {
@@ -481,12 +532,7 @@ mod tests {
             let mut s = SocketSim::new(c.clone(), 0);
             s.load(apps::ep(&ctx).unwrap());
             if let Some(w) = cap {
-                let reg = PkgPowerLimit::defaults(
-                    Watts(w),
-                    Seconds(1.0),
-                    Watts(w),
-                    Seconds(0.01),
-                );
+                let reg = PkgPowerLimit::defaults(Watts(w), Seconds(1.0), Watts(w), Seconds(0.01));
                 s.write_limit(reg.encode(&units).unwrap());
             }
             s.enable_trace(10);
@@ -503,7 +549,10 @@ mod tests {
         let (f_free, p_free) = run(None);
         let (f_cap, p_cap) = run(Some(100.0));
         assert!(f_cap < f_free - 0.1, "capped freq {f_cap} vs free {f_free}");
-        assert!(p_cap < p_free - 10.0, "capped power {p_cap} vs free {p_free}");
+        assert!(
+            p_cap < p_free - 10.0,
+            "capped power {p_cap} vs free {p_free}"
+        );
         // The long-run average under a 100 W cap must respect it closely.
         assert!(p_cap <= 103.0, "avg power {p_cap} exceeds 100 W cap");
     }
@@ -534,12 +583,8 @@ mod tests {
             // with DUF managing the uncore; park it at the bandwidth knee.
             s.write_uncore(UncoreRatioLimit::pinned(Hertz::from_ghz(2.0)));
             if let Some(wc) = cap {
-                let reg = PkgPowerLimit::defaults(
-                    Watts(wc),
-                    Seconds(1.0),
-                    Watts(wc),
-                    Seconds(0.01),
-                );
+                let reg =
+                    PkgPowerLimit::defaults(Watts(wc), Seconds(1.0), Watts(wc), Seconds(0.01));
                 s.write_limit(reg.encode(&units).unwrap());
             }
             run_to_completion(&mut SocketSim::clone_for_test(&s), c.tick, 100.0)
@@ -653,8 +698,14 @@ mod tests {
         // CG's compute headroom is thin (≈1.1), so the schedutil-style
         // estimate only trims ~100-150 MHz on the main phase (plus deeper
         // cuts on the prologue) — but it must trim.
-        assert!(f_save < f_perf - 0.08, "powersave {f_save} vs performance {f_perf}");
-        assert!(p_save < p_perf - 2.0, "powersave power {p_save} vs {p_perf}");
+        assert!(
+            f_save < f_perf - 0.08,
+            "powersave {f_save} vs performance {f_perf}"
+        );
+        assert!(
+            p_save < p_perf - 2.0,
+            "powersave power {p_save} vs {p_perf}"
+        );
         // CG is memory-bound: the clock cut must cost little time.
         assert!(
             t_save < t_perf * 1.10,
@@ -710,6 +761,7 @@ mod tests {
                 trace_stride: other.trace_stride,
                 ticks: other.ticks,
                 phase_log: other.phase_log.clone(),
+                gauges: None,
             }
         }
     }

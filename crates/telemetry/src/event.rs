@@ -1,0 +1,210 @@
+//! Typed decision events: what a controller changed, when, and why.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The knob a decision acted on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Actuator {
+    /// Uncore frequency (reported in Hz).
+    Uncore,
+    /// RAPL long-window power cap (reported in W).
+    PowerCap,
+    /// RAPL short-window power cap (reported in W).
+    PowerCapShort,
+    /// Core frequency via the scaling governor (reported in Hz).
+    CoreFreq,
+}
+
+impl fmt::Display for Actuator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Actuator::Uncore => "uncore",
+            Actuator::PowerCap => "power_cap",
+            Actuator::PowerCapShort => "power_cap_short",
+            Actuator::CoreFreq => "core_freq",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a controller moved an actuator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reason {
+    /// A phase change reset the actuator to its maximum before re-probing.
+    PhaseReset,
+    /// Measured FLOPS fell below the allowed slowdown of the phase max.
+    SlowdownViolation,
+    /// Measured memory bandwidth fell below the allowed slowdown.
+    BandwidthViolation,
+    /// §IV-D: power overshot the cap after an uncore reset; caps re-armed.
+    Overshoot,
+    /// Cross-coupling: raising the uncore did not restore FLOPS, so the
+    /// power cap backs off instead.
+    CrossCoupling,
+    /// §V-G: cumulative-degradation guard froze further decreases.
+    CumulativeGuard,
+    /// Post-reset trim of the short-window cap toward observed power.
+    PostResetTrim,
+    /// Routine downward probe step while performance holds.
+    Probe,
+    /// DUFP-F trailing cap following observed package power.
+    TrailingCap,
+    /// DNPC model-based estimate chose this setting.
+    ModelEstimate,
+}
+
+impl Reason {
+    /// Every reason, in a stable order (used for summary tables).
+    pub const ALL: [Reason; 10] = [
+        Reason::PhaseReset,
+        Reason::SlowdownViolation,
+        Reason::BandwidthViolation,
+        Reason::Overshoot,
+        Reason::CrossCoupling,
+        Reason::CumulativeGuard,
+        Reason::PostResetTrim,
+        Reason::Probe,
+        Reason::TrailingCap,
+        Reason::ModelEstimate,
+    ];
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // CamelCase variant name -> kebab-case label.
+        for (i, c) in format!("{self:?}").chars().enumerate() {
+            if c.is_ascii_uppercase() {
+                if i > 0 {
+                    f.write_str("-")?;
+                }
+                write!(f, "{}", c.to_ascii_lowercase())?;
+            } else {
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One controller decision: an actuator moved from `old` to `new`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionEvent {
+    /// Simulator tick (or wall-clock interval index) of the decision.
+    pub tick: u64,
+    /// Microseconds since the run started, when known (0 otherwise).
+    #[serde(default)]
+    pub at_us: u64,
+    /// Socket the controller instance manages.
+    pub socket: u16,
+    /// Monotonic per-socket phase sequence number at decision time.
+    pub phase: u64,
+    /// Operational-intensity class of the current phase, when classified.
+    #[serde(default)]
+    pub oi_class: Option<String>,
+    /// Measured FLOPS over the per-phase maximum (1.0 = at phase max).
+    #[serde(default)]
+    pub flops_ratio: Option<f64>,
+    /// Which knob moved.
+    pub actuator: Actuator,
+    /// Value before the decision, in the actuator's native unit.
+    pub old: f64,
+    /// Value after the decision, in the actuator's native unit.
+    pub new: f64,
+    /// Why the controller moved it.
+    pub reason: Reason,
+}
+
+/// Writes events as JSON Lines (one compact object per line).
+pub fn write_jsonl<W: Write>(mut w: W, events: &[DecisionEvent]) -> io::Result<()> {
+    for event in events {
+        let line = serde_json::to_string(event)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads events back from JSON Lines, skipping blank lines.
+pub fn read_jsonl<R: BufRead>(r: R) -> io::Result<Vec<DecisionEvent>> {
+    let mut events = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: DecisionEvent = serde_json::from_str(&line).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", idx + 1))
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionEvent {
+        DecisionEvent {
+            tick: 42,
+            at_us: 8_400_000,
+            socket: 1,
+            phase: 3,
+            oi_class: Some("MemoryBound".to_string()),
+            flops_ratio: Some(0.93),
+            actuator: Actuator::Uncore,
+            old: 2.4e9,
+            new: 2.2e9,
+            reason: Reason::Probe,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let events = vec![
+            sample(),
+            DecisionEvent {
+                reason: Reason::SlowdownViolation,
+                actuator: Actuator::PowerCap,
+                oi_class: None,
+                flops_ratio: None,
+                ..sample()
+            },
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = read_jsonl(io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn read_skips_blank_lines_and_reports_bad_ones() {
+        let good = serde_json::to_string(&sample()).unwrap();
+        let text = format!("{good}\n\n{good}\n");
+        let back = read_jsonl(io::Cursor::new(text.into_bytes())).unwrap();
+        assert_eq!(back.len(), 2);
+
+        let err = read_jsonl(io::Cursor::new(b"not json\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn reason_display_is_kebab() {
+        assert_eq!(Reason::SlowdownViolation.to_string(), "slowdown-violation");
+        assert_eq!(Reason::PhaseReset.to_string(), "phase-reset");
+        assert_eq!(Actuator::PowerCapShort.to_string(), "power_cap_short");
+    }
+
+    #[test]
+    fn every_reason_listed_once_in_all() {
+        let mut seen = std::collections::HashSet::new();
+        for r in Reason::ALL {
+            assert!(seen.insert(format!("{r:?}")));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+}

@@ -130,12 +130,22 @@ impl ArchSpec {
 
     /// Snaps a frequency onto the core DVFS ladder (clamped to range).
     pub fn snap_core_freq(&self, f: Hertz) -> Hertz {
-        snap(f, self.core_freq_min, self.core_freq_max, self.core_freq_step)
+        snap(
+            f,
+            self.core_freq_min,
+            self.core_freq_max,
+            self.core_freq_step,
+        )
     }
 
     /// Snaps a frequency onto the uncore ladder (clamped to range).
     pub fn snap_uncore_freq(&self, f: Hertz) -> Hertz {
-        snap(f, self.uncore_freq_min, self.uncore_freq_max, self.uncore_freq_step)
+        snap(
+            f,
+            self.uncore_freq_min,
+            self.uncore_freq_max,
+            self.uncore_freq_step,
+        )
     }
 
     /// Renders the paper's Table I row for this architecture.
@@ -187,10 +197,7 @@ mod tests {
         assert_eq!(a.uncore_freq_max, Hertz::from_ghz(2.4));
         assert_eq!(a.pl1_default, Watts(125.0));
         assert_eq!(a.pl2_default, Watts(150.0));
-        assert_eq!(
-            a.table1_row(),
-            "| 64 | [1.2-2.4] | 125 | 150 |"
-        );
+        assert_eq!(a.table1_row(), "| 64 | [1.2-2.4] | 125 | 150 |");
     }
 
     #[test]
@@ -208,8 +215,14 @@ mod tests {
     #[test]
     fn snapping_clamps_and_rounds() {
         let a = ArchSpec::yeti();
-        assert_eq!(a.snap_uncore_freq(Hertz::from_ghz(5.0)), Hertz::from_ghz(2.4));
-        assert_eq!(a.snap_uncore_freq(Hertz::from_ghz(0.1)), Hertz::from_ghz(1.2));
+        assert_eq!(
+            a.snap_uncore_freq(Hertz::from_ghz(5.0)),
+            Hertz::from_ghz(2.4)
+        );
+        assert_eq!(
+            a.snap_uncore_freq(Hertz::from_ghz(0.1)),
+            Hertz::from_ghz(1.2)
+        );
         assert_eq!(
             a.snap_uncore_freq(Hertz::from_mhz(1849.0)),
             Hertz::from_mhz(1800.0)

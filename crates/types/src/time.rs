@@ -171,7 +171,10 @@ mod tests {
     fn duration_conversions() {
         assert_eq!(Duration::from_secs(2).as_millis(), 2000);
         assert_eq!(Duration::from_millis(200).as_seconds(), Seconds(0.2));
-        assert_eq!(Duration::from_seconds(Seconds(0.05)), Duration::from_millis(50));
+        assert_eq!(
+            Duration::from_seconds(Seconds(0.05)),
+            Duration::from_millis(50)
+        );
     }
 
     #[test]

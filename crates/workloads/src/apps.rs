@@ -28,7 +28,6 @@
 use crate::spec::{repeat, Boundness, MaterializeCtx, PhaseSpec, Workload};
 use dufp_types::Result;
 
-
 fn mem(name: &str, secs: f64, oi: f64, headroom: f64, util: f64, overlap: f64) -> PhaseSpec {
     PhaseSpec {
         name: name.into(),
@@ -145,11 +144,7 @@ pub fn lammps(ctx: &MaterializeCtx) -> Result<Workload> {
 /// control-theory capping study the paper cites ([8], Cerf et al.) models
 /// exactly. Useful as the extreme memory-bound reference point.
 pub fn stream(ctx: &MaterializeCtx) -> Result<Workload> {
-    Workload::from_specs(
-        "STREAM",
-        &[mem("triad", 30.0, 0.06, 1.8, 0.45, 0.0)],
-        ctx,
-    )
+    Workload::from_specs("STREAM", &[mem("triad", 30.0, 0.06, 1.8, 0.45, 0.0)], ctx)
 }
 
 /// Blocked DGEMM kernel: pure compute, the extreme CPU-bound reference
@@ -284,7 +279,11 @@ mod tests {
         let c = ctx();
         let w = lammps(&c).unwrap();
         let m = RooflineModel { cores: c.cores };
-        let rebuild = w.phases.iter().find(|p| p.name == "neighbor_rebuild").unwrap();
+        let rebuild = w
+            .phases
+            .iter()
+            .find(|p| p.name == "neighbor_rebuild")
+            .unwrap();
         let pr = m.progress(&rebuild.rates, c.core_freq_max, c.peak_bandwidth);
         let dur = rebuild.work_units / pr.units_per_sec;
         assert!(dur < 0.2, "rebuild lasts {dur}s, must alias under 200 ms");
@@ -300,8 +299,16 @@ mod tests {
             p.work_units / pr.units_per_sec
         };
         let compute = w.phases.iter().find(|p| p.name == "adapt_compute").unwrap();
-        let memory = w.phases.iter().find(|p| p.name == "residual_smooth").unwrap();
-        assert!(dur(compute) < 2.0 * 0.2 + 1e-9, "compute iter {}s", dur(compute));
+        let memory = w
+            .phases
+            .iter()
+            .find(|p| p.name == "residual_smooth")
+            .unwrap();
+        assert!(
+            dur(compute) < 2.0 * 0.2 + 1e-9,
+            "compute iter {}s",
+            dur(compute)
+        );
         assert!(dur(memory) > 5.0 * 0.2, "memory stretch {}s", dur(memory));
     }
 
@@ -309,8 +316,8 @@ mod tests {
     fn by_name_round_trips_and_rejects_unknown() {
         let c = ctx();
         for name in [
-            "BT", "cg", "Ep", "FT", "LU", "MG", "SP", "UA", "HPL", "lammps", "stream",
-            "DGEMM", "chase",
+            "BT", "cg", "Ep", "FT", "LU", "MG", "SP", "UA", "HPL", "lammps", "stream", "DGEMM",
+            "chase",
         ] {
             assert!(by_name(name, &c).is_ok(), "{name}");
         }

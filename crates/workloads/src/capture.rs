@@ -298,7 +298,10 @@ mod tests {
         trace.push(sample(400.0, 40.0)); // one-sample spike
         trace.extend(vec![sample(30.0, 100.0); 10]);
         let specs = segment(&trace, &ctx(), &SegmentConfig::default()).unwrap();
-        assert!(specs.len() <= 2, "spike must not become a phase: {specs:#?}");
+        assert!(
+            specs.len() <= 2,
+            "spike must not become a phase: {specs:#?}"
+        );
         let total: f64 = specs.iter().map(|s| s.seconds_at_default).sum();
         assert!((total - 21.0 * 0.2).abs() < 1e-9, "no time lost");
     }

@@ -132,7 +132,10 @@ impl PhaseSpec {
         let (fpc, rate_default) = match self.boundness {
             Boundness::MemoryBound { headroom } => {
                 if headroom <= 1.0 {
-                    return Err(Error::invalid("headroom", format!("{headroom} must be > 1")));
+                    return Err(Error::invalid(
+                        "headroom",
+                        format!("{headroom} must be > 1"),
+                    ));
                 }
                 let fpc = headroom * self.oi * peak / (n * f);
                 // T_m = 1/peak, T_c = 1/(headroom·peak)
@@ -189,7 +192,9 @@ impl Workload {
             .map(|s| s.materialize(ctx))
             .collect::<Result<Vec<_>>>()?;
         if phases.is_empty() {
-            return Err(Error::Precondition("workload needs at least one phase".into()));
+            return Err(Error::Precondition(
+                "workload needs at least one phase".into(),
+            ));
         }
         Ok(Workload {
             name: name.into(),
@@ -340,7 +345,10 @@ mod tests {
             c.peak_bandwidth,
         );
         let ratio = throttled.units_per_sec / full.units_per_sec;
-        assert!(ratio > 0.999, "memory phase slowed by core throttle: {ratio}");
+        assert!(
+            ratio > 0.999,
+            "memory phase slowed by core throttle: {ratio}"
+        );
     }
 
     #[test]
@@ -373,8 +381,7 @@ mod tests {
     #[test]
     fn workload_nominal_duration_sums_phases() {
         let c = ctx();
-        let w =
-            Workload::from_specs("test", &[mem_spec(), cpu_spec()], &c).unwrap();
+        let w = Workload::from_specs("test", &[mem_spec(), cpu_spec()], &c).unwrap();
         assert!((w.nominal_duration(&c).value() - 20.0).abs() < 1e-6);
     }
 

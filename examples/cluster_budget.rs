@@ -57,8 +57,7 @@ fn main() {
         );
     }
 
-    let gain =
-        (1.0 - demand_out.makespan.value() / static_out.makespan.value()) * 100.0;
+    let gain = (1.0 - demand_out.makespan.value() / static_out.makespan.value()) * 100.0;
     println!(
         "demand-based allocation shortened the makespan by {gain:.1} % under the \
          same budget — the watts came from nodes whose DUFP instances had \

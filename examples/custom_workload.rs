@@ -11,9 +11,9 @@
 //! ```
 
 use dufp::prelude::*;
+use dufp_control::{ControlConfig, Controller, Dufp, HwActuators};
 use dufp_model::perf::PhaseKind;
 use dufp_model::RooflineModel;
-use dufp_control::{ControlConfig, Controller, Dufp, HwActuators};
 use dufp_rapl::MsrRapl;
 use dufp_workloads::{spec::repeat, Boundness, PhaseSpec, Workload};
 use std::sync::Arc;
@@ -53,8 +53,11 @@ fn main() {
     });
     let workload = Workload::from_specs("stencil-app", &phases, &ctx).unwrap();
 
-    println!("workload: {} phases, ≈{:.1} s at default", workload.phases.len(),
-        workload.nominal_duration(&ctx).value());
+    println!(
+        "workload: {} phases, ≈{:.1} s at default",
+        workload.phases.len(),
+        workload.nominal_duration(&ctx).value()
+    );
     for p in workload.phases.iter().take(3) {
         let oi = RooflineModel::intensity(&p.rates);
         println!(
@@ -70,7 +73,8 @@ fn main() {
     machine.load_all(&workload);
 
     let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(10.0)).unwrap();
-    let capper = Arc::new(MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap());
+    let capper =
+        Arc::new(MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap());
     let mut actuators =
         HwActuators::new(Arc::clone(&machine), capper, SocketId(0), 0, cfg.clone()).unwrap();
     let mut controller = Dufp::new(cfg.clone());

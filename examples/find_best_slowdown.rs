@@ -25,6 +25,7 @@ fn main() {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
 
     println!("sweeping {app} under DUFP, {runs} runs per tolerance...\n");

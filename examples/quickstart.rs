@@ -18,6 +18,7 @@ fn main() {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
 
     // Paper protocol: 10 runs, drop best and worst, average the rest.
@@ -44,9 +45,18 @@ fn main() {
         dufp_run.exec_time.mean, dufp_run.pkg_power.mean, dufp_run.dram_power.mean
     );
     println!();
-    println!("execution-time overhead : {:+.2} % (tolerance: 10 %)", r.overhead_pct);
-    println!("package power savings   : {:+.2} %", r.pkg_power_savings_pct);
-    println!("DRAM power savings      : {:+.2} %", r.dram_power_savings_pct);
+    println!(
+        "execution-time overhead : {:+.2} % (tolerance: 10 %)",
+        r.overhead_pct
+    );
+    println!(
+        "package power savings   : {:+.2} %",
+        r.pkg_power_savings_pct
+    );
+    println!(
+        "DRAM power savings      : {:+.2} %",
+        r.dram_power_savings_pct
+    );
     println!("total energy savings    : {:+.2} %", r.energy_savings_pct);
     println!();
     println!(

@@ -53,6 +53,7 @@ fn main() {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
     let base = run_repeated(&spec(ControllerKind::Default), 4, 1).unwrap();
     println!("\nwhat-if on the captured model:");

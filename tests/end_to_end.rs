@@ -10,6 +10,7 @@ fn spec(app: &str, controller: ControllerKind) -> ExperimentSpec {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     }
 }
 
@@ -40,7 +41,9 @@ fn different_seeds_vary_within_error_bars() {
 
 #[test]
 fn every_app_completes_under_every_controller() {
-    for app in ["BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS"] {
+    for app in [
+        "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS",
+    ] {
         for controller in [
             ControllerKind::Default,
             ControllerKind::Duf {
@@ -62,7 +65,9 @@ fn every_app_completes_under_every_controller() {
 fn dufp_saves_power_on_every_app_at_10pct() {
     // Paper: "DUFP manages to reduce the power consumption of all
     // applications" (§V-H).
-    for app in ["BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS"] {
+    for app in [
+        "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS",
+    ] {
         let d = run_repeated(&spec(app, ControllerKind::Default), 3, 7).unwrap();
         let p = run_repeated(
             &spec(
@@ -117,8 +122,13 @@ fn default_runtimes_match_the_analytic_nominal_for_every_app() {
     use dufp_workloads::{apps, MaterializeCtx};
     let sim = SimConfig::yeti_single_socket(8);
     let ctx = MaterializeCtx::from_arch(&sim.arch);
-    for app in ["BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS"] {
-        let nominal = apps::by_name(app, &ctx).unwrap().nominal_duration(&ctx).value();
+    for app in [
+        "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS",
+    ] {
+        let nominal = apps::by_name(app, &ctx)
+            .unwrap()
+            .nominal_duration(&ctx)
+            .value();
         let r = run_once(&spec(app, ControllerKind::Default), 8).unwrap();
         let t = r.exec_time.value();
         let err = (t - nominal).abs() / nominal;

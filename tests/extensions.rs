@@ -12,6 +12,7 @@ fn spec(app: &str, controller: ControllerKind) -> ExperimentSpec {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     }
 }
 
@@ -54,7 +55,9 @@ fn dnpc_cannot_touch_the_uncore_so_ep_suffers() {
 #[test]
 fn dufpf_completes_every_app_within_tolerance_margin() {
     let slowdown = Ratio::from_percent(10.0);
-    for app in ["BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS"] {
+    for app in [
+        "BT", "CG", "EP", "FT", "LU", "MG", "SP", "UA", "HPL", "LAMMPS",
+    ] {
         let r = compare(app, ControllerKind::DufpF { slowdown }, 9);
         assert!(
             r.overhead_pct <= 10.0 + 1.5,
@@ -104,7 +107,10 @@ fn dufpf_trace_shows_direct_frequency_descent() {
         .iter()
         .map(|p| p.core_freq.as_ghz())
         .fold(f64::MAX, f64::min);
-    assert!(min_f < 2.7, "DUFP-F should have lowered the frequency: {min_f}");
+    assert!(
+        min_f < 2.7,
+        "DUFP-F should have lowered the frequency: {min_f}"
+    );
     // …and the trailing cap should sit close above the measured power for
     // the throttled stretch.
     let close = trace

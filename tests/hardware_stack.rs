@@ -76,7 +76,8 @@ fn sysfs_and_msr_backends_agree_through_the_trait() {
 fn uncore_writes_through_machine_register_surface() {
     let sim = Arc::new(Machine::new(SimConfig::deterministic(2)));
     let pinned = UncoreRatioLimit::pinned(dufp_types::Hertz::from_ghz(1.6));
-    sim.write(0, MSR_UNCORE_RATIO_LIMIT, pinned.encode()).unwrap();
+    sim.write(0, MSR_UNCORE_RATIO_LIMIT, pinned.encode())
+        .unwrap();
     let back = UncoreRatioLimit::decode(sim.read(0, MSR_UNCORE_RATIO_LIMIT).unwrap());
     assert_eq!(back, pinned);
 }
@@ -96,10 +97,7 @@ fn energy_counter_flows_from_simulation_to_rapl_joules() {
     }
     let e1 = rapl.package_energy(SocketId(0)).unwrap();
     // 1 s of EP at ~120 W.
-    assert!(
-        (80.0..160.0).contains(&e1.value()),
-        "1s of EP gave {e1:?}"
-    );
+    assert!((80.0..160.0).contains(&e1.value()), "1s of EP gave {e1:?}");
     let d = rapl.dram_energy(SocketId(0)).unwrap();
     assert!(d.value() > 5.0, "DRAM energy {d:?}");
 }

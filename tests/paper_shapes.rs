@@ -16,6 +16,7 @@ fn measure(app: &str, controller: ControllerKind, seed: u64) -> RepeatedResult {
         controller,
         trace: None,
         interval_ms: None,
+        telemetry: false,
     };
     run_repeated(&spec, RUNS, seed).unwrap()
 }
@@ -52,8 +53,7 @@ fn ep_is_the_biggest_winner_and_uncore_dominates() {
     );
     // Uncore's share (DUF alone) exceeds the cap's increment.
     assert!(
-        duf_r.pkg_power_savings_pct
-            > dufp_r.pkg_power_savings_pct - duf_r.pkg_power_savings_pct,
+        duf_r.pkg_power_savings_pct > dufp_r.pkg_power_savings_pct - duf_r.pkg_power_savings_pct,
         "uncore share {:.2} vs cap increment {:.2}",
         duf_r.pkg_power_savings_pct,
         dufp_r.pkg_power_savings_pct - duf_r.pkg_power_savings_pct
@@ -140,7 +140,11 @@ fn ten_pct_is_energy_neutral_or_better_for_most_apps() {
             ok += 1;
         }
     }
-    assert!(ok >= apps.len() - 1, "only {ok}/{} apps energy-neutral at 10 %", apps.len());
+    assert!(
+        ok >= apps.len() - 1,
+        "only {ok}/{} apps energy-neutral at 10 %",
+        apps.len()
+    );
 }
 
 #[test]

@@ -33,17 +33,11 @@ fn run_synthetic(seed: u64, slowdown_pct: f64, use_dufp: bool) -> (f64, f64) {
     let machine = Arc::new(Machine::new(sim));
     machine.load_all(&workload);
     let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(slowdown_pct)).unwrap();
-    let capper = Arc::new(
-        MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap(),
-    );
-    let mut act = dufp_control::HwActuators::new(
-        Arc::clone(&machine),
-        capper,
-        SocketId(0),
-        0,
-        cfg.clone(),
-    )
-    .unwrap();
+    let capper =
+        Arc::new(MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap());
+    let mut act =
+        dufp_control::HwActuators::new(Arc::clone(&machine), capper, SocketId(0), 0, cfg.clone())
+            .unwrap();
     let mut controller: Box<dyn Controller> = if use_dufp {
         Box::new(Dufp::new(cfg.clone()))
     } else {
@@ -150,17 +144,11 @@ fn soak_ten_simulated_minutes_of_phase_thrash() {
     machine.load_all(&workload);
     machine.enable_trace(SocketId(0), 200).unwrap();
     let cfg = ControlConfig::from_arch(&arch, Ratio::from_percent(10.0)).unwrap();
-    let capper = Arc::new(
-        MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap(),
-    );
-    let mut act = dufp_control::HwActuators::new(
-        Arc::clone(&machine),
-        capper,
-        SocketId(0),
-        0,
-        cfg.clone(),
-    )
-    .unwrap();
+    let capper =
+        Arc::new(MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize).unwrap());
+    let mut act =
+        dufp_control::HwActuators::new(Arc::clone(&machine), capper, SocketId(0), 0, cfg.clone())
+            .unwrap();
     let mut controller = Dufp::new(cfg.clone());
     let mut sampler = Sampler::new();
     sampler.sample(machine.as_ref(), SocketId(0)).unwrap();
@@ -183,7 +171,10 @@ fn soak_ten_simulated_minutes_of_phase_thrash() {
     // not thrashing (bounded writes per interval).
     let cap_writes = trace.cap_transitions();
     let intervals = (t / 0.2) as usize;
-    assert!(cap_writes > 50, "cap never moved in a 10-minute phase thrash");
+    assert!(
+        cap_writes > 50,
+        "cap never moved in a 10-minute phase thrash"
+    );
     assert!(
         cap_writes < intervals,
         "more cap writes ({cap_writes}) than intervals ({intervals})"

@@ -1,0 +1,303 @@
+//! Offline shim for `criterion`.
+//!
+//! Keeps the workspace's benchmarks compiling and runnable without the
+//! registry: same macro/entry-point surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion`, groups, `black_box`, `BatchSize`,
+//! `Throughput`, `BenchmarkId`), but measurement is a simple
+//! warmup-then-timed loop printing mean time per iteration. Good enough to
+//! spot order-of-magnitude regressions; not a statistics engine.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value pass-through.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How `iter_batched` hands inputs to the routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many per measurement.
+    SmallInput,
+    /// Large per-iteration inputs: one per measurement.
+    LargeInput,
+    /// Inputs too large to keep more than one alive.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives one benchmark routine.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by `iter*`.
+    elapsed_per_iter: Duration,
+    iters_done: u64,
+    measure_iters: u64,
+}
+
+impl Bencher {
+    fn new(measure_iters: u64) -> Self {
+        Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters_done: 0,
+            measure_iters,
+        }
+    }
+
+    /// Times `routine` over a fixed iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: let caches/branch predictors settle.
+        for _ in 0..self.measure_iters.div_ceil(10).max(1) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.measure_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters_done = self.measure_iters;
+        self.elapsed_per_iter = elapsed / self.measure_iters.max(1) as u32;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.measure_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.iters_done = self.measure_iters;
+        self.elapsed_per_iter = total / self.measure_iters.max(1) as u32;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<&Throughput>) {
+    let per_iter = b.elapsed_per_iter;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!(" ({:.1} Melem/s)", *n as f64 / per_iter.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!(
+                " ({:.1} MiB/s)",
+                *n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench: {name:<50} {per_iter:>12.3?}/iter over {} iters{rate}",
+        b.iters_done
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    fn measure_iters(&self) -> u64 {
+        self.sample_size.max(10) as u64
+    }
+
+    /// Sets the per-benchmark iteration budget (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_iters());
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Finalize-hook parity with the real crate (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn measure_iters(&self) -> u64 {
+        self.sample_size.unwrap_or(self._parent.sample_size).max(10) as u64
+    }
+
+    /// Overrides the iteration budget for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares the work done per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.measure_iters());
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b, self.throughput.as_ref());
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.measure_iters());
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b, self.throughput.as_ref());
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    criterion_group!(shim_benches, quick);
+
+    #[test]
+    fn bench_function_runs_routine() {
+        shim_benches();
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .throughput(Throughput::Elements(4))
+            .bench_function("sum", |b| b.iter(|| (0..4u64).map(black_box).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(10);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.iters_done, 10);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,509 @@
+//! Offline shim for `proptest`.
+//!
+//! Provides the macro surface this workspace uses — `proptest!` with
+//! `#![proptest_config(...)]`, `prop_assert!`, `prop_assert_eq!`, range and
+//! tuple strategies, `prop::sample::select`, `prop::collection::vec`, and
+//! `any::<T>()` — over a deterministic SplitMix64 case generator. No
+//! shrinking: a failing case panics with the offending input, which is
+//! reproducible because the seed is fixed.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration. Only the case count matters here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// `test_runner` path compatibility with the real crate.
+pub mod test_runner {
+    pub use crate::{ProptestConfig, TestRunner};
+}
+
+/// Deterministic SplitMix64 source feeding every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A source of test-case values.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct JustValue<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for JustValue<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Real-proptest-compatible constructor for a constant strategy.
+#[allow(non_snake_case)]
+pub fn Just<T: Clone>(value: T) -> JustValue<T> {
+    JustValue(value)
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start() as i128, *self.end() as i128);
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start + 1) as u64;
+                if span == 0 {
+                    // Full-width range (e.g. 0u64..=u64::MAX): raw draw.
+                    return rng.next_u64() as $t;
+                }
+                (start + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite spread over a wide magnitude range; degenerate values get
+        // dedicated tests rather than random draws.
+        (rng.unit_f64() - 0.5) * 2e18
+    }
+}
+
+/// Strategy wrapper for [`Arbitrary`] types.
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// `prop::sample` — choice strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select from empty list");
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Strategy drawing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// `prop::collection` — container strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for [`vec`], inclusive on both ends.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Vector-of-elements strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Executes a strategy against a test closure for the configured number of
+/// deterministic cases.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `test` for each generated input; panics on the first failure
+    /// with the offending input attached.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: Debug + Clone,
+        F: FnMut(S::Value) -> Result<(), String>,
+    {
+        let mut rng = TestRng::new(0xD1F_BEEF);
+        for case in 0..self.config.cases {
+            let input = strategy.sample(&mut rng);
+            if let Err(msg) = test(input.clone()) {
+                panic!("proptest case {case} failed: {msg}\ninput: {input:?}");
+            }
+        }
+    }
+}
+
+/// The import surface of `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supports an optional leading `#![proptest_config(expr)]` followed by any
+/// number of `fn name(binding in strategy, ...) { body }` items carrying
+/// arbitrary attributes (including `#[test]` and doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $crate::__proptest_fn!{ @munch [($cfg) $(#[$meta])* fn $name $body] () $($args)* }
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+}
+
+// Normalizes the two binding forms — `name in strategy` and the
+// `name: Type` sugar for `any::<Type>()` — into `(name)(strategy)` pairs,
+// then emits the test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    ( @munch $fixed:tt ($($acc:tt)*) $arg:ident in $strat:expr, $($rest:tt)* ) => {
+        $crate::__proptest_fn!{ @munch $fixed ($($acc)* ($arg)($strat)) $($rest)* }
+    };
+    ( @munch $fixed:tt ($($acc:tt)*) $arg:ident in $strat:expr ) => {
+        $crate::__proptest_fn!{ @emit $fixed ($($acc)* ($arg)($strat)) }
+    };
+    ( @munch $fixed:tt ($($acc:tt)*) $arg:ident : $ty:ty, $($rest:tt)* ) => {
+        $crate::__proptest_fn!{ @munch $fixed ($($acc)* ($arg)($crate::any::<$ty>())) $($rest)* }
+    };
+    ( @munch $fixed:tt ($($acc:tt)*) $arg:ident : $ty:ty ) => {
+        $crate::__proptest_fn!{ @emit $fixed ($($acc)* ($arg)($crate::any::<$ty>())) }
+    };
+    ( @munch $fixed:tt ($($acc:tt)*) ) => {
+        $crate::__proptest_fn!{ @emit $fixed ($($acc)*) }
+    };
+    ( @emit [($cfg:expr) $(#[$meta:meta])* fn $name:ident $body:block]
+      ($(($arg:ident)($strat:expr))+) ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __runner = $crate::TestRunner::new(__config);
+            let __strategy = ( $($strat,)+ );
+            __runner.run(&__strategy, |($($arg,)+)| {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+    };
+}
+
+/// Fails the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current proptest case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: `{:?}` == `{:?}`", __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Fails the current proptest case unless the operands compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l != __r) {
+            return Err(format!("assertion failed: `{:?}` != `{:?}`", __l, __r));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(5u8..10), &mut rng);
+            assert!((5..10).contains(&v));
+            let f = crate::Strategy::sample(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let i = crate::Strategy::sample(&(0u8..=255), &mut rng);
+            let _ = i; // full domain: any draw is legal
+        }
+    }
+
+    #[test]
+    fn select_and_vec_compose() {
+        let mut rng = crate::TestRng::new(2);
+        let strat = prop::collection::vec(prop::sample::select(vec![1u32, 2, 3]), 2..5);
+        for _ in 0..200 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| [1, 2, 3].contains(x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_binds_multiple_args(a in 0u64..100, b in 0.5f64..2.0) {
+            prop_assert!(a < 100);
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn any_u64_draws(raw in any::<u64>()) {
+            let _ = raw;
+            prop_assert!(true);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0usize..4) {
+            prop_assert!(x < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_input() {
+        let mut runner = crate::TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(10u32..20,), |(x,)| {
+            prop_assert!(x < 15, "x was {x}");
+            Ok(())
+        });
+    }
+}

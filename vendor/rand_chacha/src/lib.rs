@@ -1,0 +1,157 @@
+//! Offline shim for `rand_chacha`: a genuine ChaCha8 block function driving
+//! the `ChaCha8Rng` type the simulator seeds its noise streams from.
+//!
+//! The keystream is real ChaCha with 8 rounds (RFC 7539 block layout, zero
+//! stream id), so draws are high-quality and fully deterministic, though the
+//! word-consumption order is not bit-identical to upstream `rand_chacha`.
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic generator over the ChaCha8 stream cipher keystream.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    index: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] stay zero (stream id).
+        let initial = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..5 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_floats_cover_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo |= v < 0.25;
+            hi |= v > 0.75;
+        }
+        assert!(lo && hi, "draws must spread across [0, 1)");
+    }
+
+    #[test]
+    fn keystream_matches_reference_block_structure() {
+        // The first block of ChaCha8 with an all-zero key must differ from
+        // the raw constants (sanity check that rounds actually ran) and be
+        // stable across calls.
+        let mut a = ChaCha8Rng::from_seed([0u8; 32]);
+        let first: Vec<u32> = (0..16).map(|_| a.next_u32()).collect();
+        let mut b = ChaCha8Rng::from_seed([0u8; 32]);
+        let again: Vec<u32> = (0..16).map(|_| b.next_u32()).collect();
+        assert_eq!(first, again);
+        assert_ne!(first[0], CHACHA_CONST[0]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Implements the `par_iter().map(..).collect()` shape the workspace uses
+//! with std scoped threads and an atomic work-stealing cursor. Not a general
+//! parallel-iterator library: stages before `map` are captured eagerly, and
+//! the only combinators are the ones this repository calls.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A materialized parallel iterator: the items plus a deferred pipeline.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel map stage, executed at `collect`/`for_each` time.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts into the parallel pipeline entry point.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `.par_iter()` sugar on collections yielding references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type produced.
+    type Item: Send + 'a;
+    /// Borrowing counterpart of [`IntoParallelIterator::into_par_iter`].
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The combinators shared by every pipeline stage.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing out of this stage.
+    type Item: Send;
+
+    /// Runs the pipeline and returns the outputs in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> ParMap<Self::Item, F> {
+        ParMap {
+            items: self.run_lazy(),
+            f,
+        }
+    }
+
+    /// Collects the outputs, preserving input order. Works for any
+    /// `FromIterator` target, including `Result<Vec<_>, E>`.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Calls `f` on every item (parallel side-effect stage).
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+    where
+        Self::Item: Send,
+    {
+        self.map(f).run();
+    }
+
+    #[doc(hidden)]
+    fn run_lazy(self) -> Vec<Self::Item> {
+        self.run()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParallelIterator for ParMap<T, F> {
+    type Item = U;
+
+    fn run(self) -> Vec<U> {
+        parallel_map(self.items, &self.f)
+    }
+}
+
+/// Applies `f` to every item on a small thread pool, preserving order.
+fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+
+    // Hand out items through a cursor; workers push (index, output) pairs.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let item = slots[idx].lock().unwrap().take().expect("item taken once");
+                    local.push((idx, f(item)));
+                }
+                out.lock().unwrap().append(&mut local);
+            });
+        }
+    });
+
+    let mut pairs = out.into_inner().unwrap();
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i64> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| i as i64 * 2)
+            .collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, x)| *x == i as i64 * 2));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let squared: Vec<u32> = data.par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, vec![1, 4, 9, 16]);
+        assert_eq!(data.len(), 4, "data still owned here");
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let r: Result<Vec<usize>, String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "seven");
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect::<Vec<_>>();
+        // On any multi-core runner at least two workers participate.
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(ids.into_inner().unwrap().len() > 1);
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Offline shim for `serde`.
+//!
+//! The registry is unreachable from the build container, so the workspace
+//! vendors a compact serialization framework with the same import surface
+//! the code already uses: `serde::{Serialize, Deserialize}` as traits *and*
+//! derive macros, driven through a JSON-shaped [`Value`] tree instead of
+//! serde's visitor machinery. The vendored `serde_json` renders/parses that
+//! tree.
+//!
+//! Externally-tagged enum encoding, `#[serde(default)]`,
+//! `#[serde(default = "path")]` and `#[serde(transparent)]` match upstream
+//! semantics for the shapes this repository serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON-shaped value tree: the wire format of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// An integer number (renders without a decimal point).
+    Int(i64),
+    /// A floating-point number (renders with a decimal point).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved for stable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value under `key` if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field list, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric view. Accepts the `"inf"`/`"-inf"`/`"nan"` escape strings
+    /// this shim writes for non-finite floats.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Num(n) => Some(*n),
+            Value::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Integer view (exact numbers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed integer view (exact numbers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Exact integer view used by the integer `Deserialize` impls:
+    /// accepts `Int` directly and `Num` with zero fraction.
+    fn exact_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i as i128),
+            Value::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i128),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short type name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Deserialization error: a plain message with optional field context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// Prefixes the message with a field path segment.
+    pub fn in_field(self, field: &str) -> Self {
+        DeError(format!("{field}: {}", self.0))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Owned-deserialization alias for bound compatibility with real serde.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Num(*self)
+        } else if self.is_nan() {
+            Value::Str("nan".into())
+        } else if *self > 0.0 {
+            Value::Str("inf".into())
+        } else {
+            Value::Str("-inf".into())
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    // Only u64/usize above i64::MAX land here; precision loss
+                    // starts at 2⁶³, far beyond anything this repo counts.
+                    Err(_) => Value::Num(*self as f64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .exact_int()
+                    .ok_or_else(|| DeError::custom(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+// Real serde deserializes `&str` by borrowing from the input; a value-tree
+// shim has nothing to borrow from, so we leak. Only cold paths (config and
+// claim tables) deserialize static strings, so the leak is bounded.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| DeError::custom(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::custom(format!("expected char, got {}", v.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {}", v.kind())))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| e.in_field(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected {N} elements, got {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| DeError::custom(format!("expected tuple array, got {}", v.kind())))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected {want}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx]).map_err(|e| e.in_field(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {}", v.kind())))?;
+        fields
+            .iter()
+            .map(|(k, v)| {
+                V::from_value(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("expected object, got {}", v.kind())))?;
+        fields
+            .iter()
+            .map(|(k, v)| {
+                V::from_value(v)
+                    .map(|v| (k.clone(), v))
+                    .map_err(|e| e.in_field(k))
+            })
+            .collect()
+    }
+}
+
+/// Derive-internal helper: object field lookup by name.
+#[doc(hidden)]
+pub fn __find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Derive-internal helper: behaviour for a field absent from the input.
+///
+/// Mirrors real serde: `Option<T>` fields fall back to `None` (because
+/// `Option::from_value(Null)` succeeds); everything else reports a missing
+/// field.
+#[doc(hidden)]
+pub fn __missing<T: Deserialize>(container: &str, field: &str) -> Result<T, DeError> {
+    T::from_value(&Value::Null)
+        .map_err(|_| DeError::custom(format!("missing field `{field}` in {container}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_indexing_and_views() {
+        let v = Value::Object(vec![
+            ("x".into(), Value::Num(3.5)),
+            ("s".into(), Value::Str("hi".into())),
+            ("a".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v["x"].as_f64(), Some(3.5));
+        assert_eq!(v["s"].as_str(), Some("hi"));
+        assert_eq!(v["a"][0].as_bool(), Some(true));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(f64::from_value(&1.25f64.to_value()).unwrap(), 1.25);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert_eq!(String::from_value(&"x".to_value()).unwrap(), "x");
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<u8> = Deserialize::from_value(&vec![1u8, 2, 3].to_value()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (f64, bool) = Deserialize::from_value(&(2.0, true).to_value()).unwrap();
+        assert_eq!(t, (2.0, true));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_via_strings() {
+        assert_eq!(
+            f64::from_value(&f64::INFINITY.to_value()).unwrap(),
+            f64::INFINITY
+        );
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+    }
+
+    #[test]
+    fn integer_bounds_enforced() {
+        assert!(u8::from_value(&Value::Num(256.0)).is_err());
+        assert!(u8::from_value(&Value::Num(1.5)).is_err());
+        assert!(i8::from_value(&Value::Num(-128.0)).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_field_context() {
+        let v = Value::Array(vec![Value::Num(1.0), Value::Str("no".into())]);
+        let err = Vec::<f64>::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
+    }
+}

@@ -1,0 +1,543 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates the value-tree `Serialize`/`Deserialize` impls of the vendored
+//! `serde` crate. The input item is parsed directly from the
+//! `proc_macro::TokenStream` (no `syn`/`quote` — the registry is
+//! unreachable), and the impls are emitted as source strings parsed back
+//! into a token stream.
+//!
+//! Supported shapes: named structs, tuple structs, unit structs, and enums
+//! with unit / newtype / tuple / struct variants (externally tagged).
+//! Supported attributes: `#[serde(transparent)]` on containers,
+//! `#[serde(default)]` and `#[serde(default = "path")]` on named fields.
+//! Generics are not supported — no derived type in this workspace uses them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+/// Per-field `#[serde(...)]` configuration.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`; `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+}
+
+/// One named field.
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut transparent = false;
+    while let Some(attrs) = take_attr(&tokens, &mut i) {
+        if serde_attr_words(&attrs).iter().any(|w| w == "transparent") {
+            transparent = true;
+        }
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive shim does not support generic type `{name}`");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for `{other} {name}`"),
+    };
+
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// If `tokens[*i]` starts an attribute (`# [ ... ]`), consumes it and
+/// returns its bracket-group tokens.
+fn take_attr(tokens: &[TokenTree], i: &mut usize) -> Option<Vec<TokenTree>> {
+    match (tokens.get(*i), tokens.get(*i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            *i += 2;
+            Some(g.stream().into_iter().collect())
+        }
+        _ => None,
+    }
+}
+
+/// Extracts the comma-separated words of a `serde(...)` attribute, with
+/// `name = "literal"` pairs flattened to `name=literal` (quotes stripped).
+/// Returns an empty list for non-serde attributes (doc comments, repr, ...).
+fn serde_attr_words(attr: &[TokenTree]) -> Vec<String> {
+    match (attr.first(), attr.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut words = Vec::new();
+            let mut current = String::new();
+            for tok in g.stream() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == ',' => {
+                        if !current.is_empty() {
+                            words.push(std::mem::take(&mut current));
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '=' => current.push('='),
+                    TokenTree::Literal(lit) => {
+                        current.push_str(lit.to_string().trim_matches('"'));
+                    }
+                    TokenTree::Ident(id) => current.push_str(&id.to_string()),
+                    other => current.push_str(&other.to_string()),
+                }
+            }
+            if !current.is_empty() {
+                words.push(current);
+            }
+            words
+        }
+        _ => Vec::new(),
+    }
+}
+
+fn field_attrs(words: &[String], attrs: &mut FieldAttrs) {
+    for word in words {
+        if word == "default" {
+            attrs.default = Some(None);
+        } else if let Some(path) = word.strip_prefix("default=") {
+            attrs.default = Some(Some(path.to_string()));
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1; // pub(crate) / pub(super)
+        }
+    }
+}
+
+/// Skips a type expression: everything up to a top-level `,`, tracking angle
+/// bracket depth so `HashMap<String, V>` stays atomic. Parens/brackets are
+/// already single `Group` tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        while let Some(attr) = take_attr(&tokens, &mut i) {
+            field_attrs(&serde_attr_words(&attr), &mut attrs);
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        i += 1; // the comma (or one past the end)
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        while take_attr(&tokens, &mut i).is_some() {}
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while take_attr(&tokens, &mut i).is_some() {}
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::Named(fields) => {
+            if item.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "#[serde(transparent)] needs exactly one field"
+                );
+                let _ = write!(
+                    body,
+                    "::serde::Serialize::to_value(&self.{})",
+                    fields[0].name
+                );
+            } else {
+                body.push_str("::serde::Value::Object(vec![");
+                for f in fields {
+                    let _ = write!(
+                        body,
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    );
+                }
+                body.push_str("])");
+            }
+        }
+        Kind::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)"),
+        Kind::Tuple(n) => {
+            body.push_str("::serde::Value::Array(vec![");
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Serialize::to_value(&self.{idx}),");
+            }
+            body.push_str("])");
+        }
+        Kind::Unit => body.push_str("::serde::Value::Null"),
+        Kind::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        );
+                    }
+                    VariantShape::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(__f0))]),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Array(vec![",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            let _ = write!(body, "::serde::Serialize::to_value({b}),");
+                        }
+                        body.push_str("]))]),");
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Object(vec![",
+                            binds.join(", ")
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                body,
+                                "(\"{0}\".to_string(), ::serde::Serialize::to_value({0})),",
+                                f.name
+                            );
+                        }
+                        body.push_str("]))]),");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emits the expression deserializing one named field from object `__f` of
+/// container `container`.
+fn named_field_expr(container: &str, f: &Field) -> String {
+    let fname = &f.name;
+    let missing = match &f.attrs.default {
+        None => format!("::serde::__missing(\"{container}\", \"{fname}\")?"),
+        Some(None) => "::core::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+    };
+    format!(
+        "match ::serde::__find(__f, \"{fname}\") {{\n\
+         Some(__v) => ::serde::Deserialize::from_value(__v)\
+         .map_err(|__e| __e.in_field(\"{fname}\"))?,\n\
+         None => {missing},\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::Named(fields) => {
+            if item.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "#[serde(transparent)] needs exactly one field"
+                );
+                let _ = write!(
+                    body,
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0].name
+                );
+            } else {
+                let _ = write!(
+                    body,
+                    "let __f = __v.as_object().ok_or_else(|| ::serde::DeError::custom(\
+                     format!(\"{name}: expected object\")))?;\nOk({name} {{"
+                );
+                for f in fields {
+                    let _ = write!(body, "{}: {},", f.name, named_field_expr(name, f));
+                }
+                body.push_str("})");
+            }
+        }
+        Kind::Tuple(1) => {
+            let _ = write!(body, "Ok({name}(::serde::Deserialize::from_value(__v)?))");
+        }
+        Kind::Tuple(n) => {
+            let _ = write!(
+                body,
+                "let __a = __v.as_array().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"{name}: expected array\")))?;\n\
+                 if __a.len() != {n} {{ return Err(::serde::DeError::custom(format!(\
+                 \"{name}: expected {n} elements, got {{}}\", __a.len()))); }}\n\
+                 Ok({name}("
+            );
+            for idx in 0..*n {
+                let _ = write!(body, "::serde::Deserialize::from_value(&__a[{idx}])?,");
+            }
+            body.push_str("))");
+        }
+        Kind::Unit => {
+            let _ = write!(body, "let _ = __v; Ok({name})");
+        }
+        Kind::Enum(variants) => {
+            // String tag → unit variant.
+            body.push_str("if let Some(__tag) = __v.as_str() {\nreturn match __tag {");
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    let _ = write!(body, "\"{0}\" => Ok({name}::{0}),", v.name);
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}};\n}}\n"
+            );
+            // Single-key object → data variant.
+            body.push_str(
+                "if let Some(__obj) = __v.as_object() {\nif __obj.len() == 1 {\n\
+                 let (__tag, __inner) = &__obj[0];\nreturn match __tag.as_str() {",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)\
+                             .map_err(|__e| __e.in_field(\"{vname}\"))?)),"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => {{\n\
+                             let __a = __inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::custom(format!(\"{name}::{vname}: expected array\")))?;\n\
+                             if __a.len() != {n} {{ return Err(::serde::DeError::custom(format!(\
+                             \"{name}::{vname}: expected {n} elements, got {{}}\", __a.len()))); }}\n\
+                             Ok({name}::{vname}("
+                        );
+                        for idx in 0..*n {
+                            let _ = write!(body, "::serde::Deserialize::from_value(&__a[{idx}])?,");
+                        }
+                        body.push_str("))\n},");
+                    }
+                    VariantShape::Named(fields) => {
+                        let _ = write!(
+                            body,
+                            "\"{vname}\" => {{\n\
+                             let __f = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(format!(\"{name}::{vname}: expected object\")))?;\n\
+                             Ok({name}::{vname} {{"
+                        );
+                        let container = format!("{name}::{vname}");
+                        for f in fields {
+                            let _ =
+                                write!(body, "{}: {},", f.name, named_field_expr(&container, f));
+                        }
+                        body.push_str("})\n},");
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "__other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}};\n}}\n}}\n\
+                 Err(::serde::DeError::custom(\
+                 \"{name}: expected variant tag (string or single-key object)\".to_string()))"
+            );
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
