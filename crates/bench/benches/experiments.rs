@@ -28,6 +28,7 @@ fn bench_run_once(c: &mut Criterion) {
                     trace: None,
                     interval_ms: None,
                     telemetry: false,
+                    fault_plan: None,
                 };
                 let mut seed = 0;
                 b.iter(|| {
@@ -60,6 +61,7 @@ fn bench_interval_tradeoff(c: &mut Criterion) {
                     trace: None,
                     interval_ms: Some(ms),
                     telemetry: false,
+                    fault_plan: None,
                 };
                 let mut seed = 100;
                 b.iter(|| {

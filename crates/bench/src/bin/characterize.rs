@@ -85,6 +85,7 @@ fn characterize(app: &str, seed: u64) -> Row {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
     let base = run_once(&spec(ControllerKind::Default), seed).unwrap();
     let base_t = base.exec_time.value();

@@ -29,6 +29,7 @@ fn main() {
         }),
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
     let r = run_once(&spec, 7).unwrap();
     let tr = r.trace.unwrap();

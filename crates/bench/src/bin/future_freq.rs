@@ -41,6 +41,7 @@ fn main() {
                 trace: None,
                 interval_ms: None,
                 telemetry: false,
+                fault_plan: None,
             };
             let base = run_repeated(&spec(ControllerKind::Default), runs, 1).expect(app);
             let dufp = ratios_vs_default(

@@ -39,6 +39,7 @@ fn main() {
             trace: None,
             interval_ms: None,
             telemetry: false,
+            fault_plan: None,
         };
         run_repeated(&spec, runs, seed).expect("run")
     };

@@ -56,6 +56,7 @@ fn run_one(
         }),
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
     let r = run_once(&spec, seed)?;
     let budget_per_socket = sim.arch.pl1_default.value();
@@ -98,6 +99,7 @@ pub fn run_fig1(sockets: u16, seed: u64) -> Result<Fig1Results> {
             trace: None,
             interval_ms: None,
             telemetry: false,
+            fault_plan: None,
         };
         run_once(&spec, seed)?.exec_time.value()
     };

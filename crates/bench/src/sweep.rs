@@ -72,6 +72,7 @@ pub fn sweep_app(app: &str, cfg: &SweepConfig) -> Result<AppSweep> {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
 
     let default_run = dufp::run_repeated(&spec(ControllerKind::Default), cfg.runs, cfg.seed)?;

@@ -9,11 +9,15 @@ dufp — dynamic uncore frequency scaling and power capping
 USAGE:
     dufp run <APP> [--controller default|duf|dufp|dufpf|dnpc|cap:<W>] [--slowdown PCT]
                    [--sockets N] [--runs N] [--seed S] [--json]
-                   [--trace-out FILE.jsonl]
+                   [--trace-out FILE.jsonl] [--fault-plan PLAN|FILE.json]
                    <APP> is a modeled application (see `dufp apps`) or a
                    path to a workload spec file ending in .json
                    --trace-out records every controller decision (with its
                    reason code) as JSON Lines; requires --runs 1
+                   --fault-plan injects seeded faults into the simulated
+                   hardware (chaos run); PLAN is either a path to a JSON
+                   fault plan or an inline rule list like
+                   \"seed=42;write,reg=cap,p=0.01\"
     dufp trace <FILE.jsonl> [--summary]
                              inspect a decision trace written by --trace-out;
                              --summary tallies events per reason code
@@ -37,6 +41,7 @@ EXAMPLES:
     dufp run EP --controller duf --slowdown 5 --runs 10 --json
     dufp run HPL --controller cap:100
     dufp run CG --trace-out /tmp/cg.jsonl && dufp trace /tmp/cg.jsonl --summary
+    dufp run CG --fault-plan \"seed=7;write,reg=cap,p=0.01\" --trace-out /tmp/chaos.jsonl
 ";
 
 /// A parsed `run` invocation.
@@ -61,6 +66,10 @@ pub struct RunSpec {
     /// Optional JSONL output path for the decision trace (enables
     /// telemetry for the run).
     pub trace_out: Option<String>,
+    /// Optional fault plan: a path to a JSON plan file or an inline DSL
+    /// string (see `dufp_msr::FaultPlan::parse`). Enables telemetry so the
+    /// resilience events land in the decision trace.
+    pub fault_plan: Option<String>,
 }
 
 /// Which controller to run.
@@ -214,6 +223,7 @@ impl Cli {
                     json: false,
                     machine: None,
                     trace_out: None,
+                    fault_plan: None,
                 };
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -255,6 +265,13 @@ impl Cli {
                         "--trace-out" => {
                             spec.trace_out =
                                 Some(it.next().ok_or("--trace-out needs a path")?.clone())
+                        }
+                        "--fault-plan" => {
+                            spec.fault_plan = Some(
+                                it.next()
+                                    .ok_or("--fault-plan needs a plan string or file")?
+                                    .clone(),
+                            )
                         }
                         other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
                     }
@@ -391,6 +408,21 @@ mod tests {
             panic!()
         };
         assert_eq!(spec.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+    }
+
+    #[test]
+    fn fault_plan_flag_parses() {
+        let cli = parse(&["run", "CG", "--fault-plan", "seed=7;write,reg=cap,p=0.01"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(
+            spec.fault_plan.as_deref(),
+            Some("seed=7;write,reg=cap,p=0.01")
+        );
+        assert!(parse(&["run", "CG", "--fault-plan"])
+            .unwrap_err()
+            .contains("--fault-plan"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::{ControllerArg, RecordSpec, RunSpec, TraceCmd};
 use crate::plot::{chart, Series};
 use dufp::{run_once, run_repeated, ControllerKind, ExperimentSpec, TraceSpec};
+use dufp_msr::FaultPlan;
 use dufp_telemetry::{read_jsonl, write_jsonl, Actuator, DecisionEvent, Reason};
 use dufp_types::ArchSpec;
 use dufp_types::SocketId;
@@ -23,6 +24,22 @@ fn resolve_sim(spec: &RunSpec) -> Result<dufp_sim::SimConfig, String> {
     sim.arch.sockets = spec.sockets;
     sim.seed = spec.seed;
     Ok(sim)
+}
+
+/// Resolves `--fault-plan`: a path to a JSON plan file (when the value
+/// ends in `.json`) or an inline DSL string like
+/// `seed=42;write,reg=cap,p=0.01`.
+fn resolve_fault_plan(spec: &RunSpec) -> Result<Option<FaultPlan>, String> {
+    let Some(arg) = &spec.fault_plan else {
+        return Ok(None);
+    };
+    let plan = if arg.ends_with(".json") {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("fault plan {arg}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("fault plan {arg}: {e}"))?
+    } else {
+        FaultPlan::parse(arg).map_err(|e| format!("fault plan: {e}"))?
+    };
+    Ok(Some(plan))
 }
 
 /// `dufp machine-template` — the default platform as editable JSON.
@@ -57,22 +74,32 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
     }
     let sim = resolve_sim(spec)?;
     let kind = controller_kind(spec);
+    let fault_plan = resolve_fault_plan(spec)?;
     let exp = ExperimentSpec {
         sim,
         app: spec.app.clone(),
         controller: kind,
         trace: None,
         interval_ms: None,
-        telemetry: spec.trace_out.is_some(),
+        // A chaos run needs telemetry: the degradation/restore events are
+        // the observable record of how the run survived its faults.
+        telemetry: spec.trace_out.is_some() || fault_plan.is_some(),
+        fault_plan: fault_plan.clone(),
     };
 
     if spec.runs == 1 {
         let mut r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
         let mut trace_note = String::new();
+        let mut resilience_note = String::new();
+        // The trace goes to the file; keep stdout (human or JSON)
+        // unchanged apart from a one-line pointer.
+        let report = if spec.trace_out.is_some() || (fault_plan.is_some() && !spec.json) {
+            r.telemetry.take()
+        } else {
+            None
+        };
         if let Some(path) = &spec.trace_out {
-            // The trace goes to the file; keep stdout (human or JSON)
-            // unchanged apart from a one-line pointer.
-            let report = r.telemetry.take().ok_or("telemetry report missing")?;
+            let report = report.as_ref().ok_or("telemetry report missing")?;
             let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
             let mut w = std::io::BufWriter::new(f);
             write_jsonl(&mut w, &report.decisions).map_err(|e| format!("{path}: {e}"))?;
@@ -81,6 +108,26 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
                 report.decisions.len(),
                 report.dropped
             );
+        }
+        if fault_plan.is_some() {
+            if let Some(report) = &report {
+                let count = |name: &str| {
+                    report
+                        .metrics
+                        .counters
+                        .iter()
+                        .find(|c| c.name == name)
+                        .map(|c| c.value)
+                        .unwrap_or(0)
+                };
+                resilience_note = format!(
+                    "  resilience     : {} actuation retries, {} degradations, {} watchdog resets, {} sample failures\n",
+                    count("actuation_retries_total"),
+                    count("degradations_total"),
+                    count("watchdog_resets_total"),
+                    count("sample_failures_total"),
+                );
+            }
         }
         if spec.json {
             return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
@@ -107,6 +154,7 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
         )
         .unwrap();
         out.push_str(&trace_note);
+        out.push_str(&resilience_note);
         Ok(out)
     } else {
         let r = run_repeated(&exp, spec.runs, spec.seed).map_err(|e| e.to_string())?;
@@ -151,6 +199,7 @@ pub fn timeline(spec: &RunSpec) -> Result<String, String> {
         }),
         interval_ms: None,
         telemetry: false,
+        fault_plan: resolve_fault_plan(spec)?,
     };
     let r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
     let trace = r.trace.as_ref().ok_or("trace missing")?;
@@ -290,6 +339,16 @@ pub fn trace(cmd: &TraceCmd) -> Result<String, String> {
             let n = events.iter().filter(|e| e.actuator == a).count();
             writeln!(out, "  {:<20} {n:>6}", a.to_string()).unwrap();
         }
+        let by_reason = |r: Reason| events.iter().filter(|e| e.reason == r).count();
+        writeln!(
+            out,
+            "\nresilience: {} actuation retries, {} degradations, {} watchdog resets, {} safe-state restores",
+            by_reason(Reason::ActuationRetry),
+            by_reason(Reason::Degraded),
+            by_reason(Reason::WatchdogReset),
+            by_reason(Reason::SafeStateRestore),
+        )
+        .unwrap();
         let sockets: std::collections::BTreeSet<u16> = events.iter().map(|e| e.socket).collect();
         let phases: std::collections::BTreeSet<(u16, u64)> =
             events.iter().map(|e| (e.socket, e.phase)).collect();
@@ -365,6 +424,7 @@ pub fn plan(spec: &RunSpec) -> Result<String, String> {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
     let base =
         run_repeated(&exp(ControllerKind::Default), runs, spec.seed).map_err(|e| e.to_string())?;
@@ -520,6 +580,7 @@ mod tests {
             json: false,
             machine: None,
             trace_out: None,
+            fault_plan: None,
         }
     }
 
@@ -649,6 +710,36 @@ mod tests {
         assert!(summary.contains("phase-reset"), "{summary}");
         assert!(summary.contains("by actuator:"), "{summary}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_run_survives_and_reports_resilience() {
+        let dir = std::env::temp_dir().join(format!("dufp-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos.jsonl");
+
+        let mut s = spec("EP", 1);
+        s.fault_plan = Some("seed=42;write,p=0.01;write,reg=cap,cpu=0-15,window=200+5000".into());
+        s.trace_out = Some(path.to_str().unwrap().to_string());
+        let out = run_app(&s).unwrap();
+        assert!(out.contains("resilience"), "{out}");
+        assert!(out.contains("degradations"), "{out}");
+
+        let summary = trace(&TraceCmd {
+            file: path.to_str().unwrap().to_string(),
+            summary: true,
+        })
+        .unwrap();
+        assert!(summary.contains("resilience:"), "{summary}");
+        assert!(summary.contains("degraded"), "{summary}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_clean_error() {
+        let mut s = spec("EP", 1);
+        s.fault_plan = Some("seed=nope".into());
+        assert!(run_app(&s).unwrap_err().contains("fault plan"));
     }
 
     #[test]

@@ -1,6 +1,45 @@
 //! The `dufp` binary.
+//!
+//! Installs a SIGINT handler before dispatching: Ctrl-C sets the
+//! process-wide shutdown flag ([`dufp_types::shutdown`]) instead of killing
+//! the process, so the runner's safe-state guards restore the platform's
+//! default power caps and uncore limits on the way out. A second Ctrl-C
+//! falls back to the default disposition (immediate termination) in case
+//! the run is wedged.
+
+/// Installs the Ctrl-C → shutdown-flag handler. Signal handlers may only
+/// do async-signal-safe work; a relaxed atomic store qualifies, `signal(2)`
+/// re-arming to `SIG_DFL` makes the second Ctrl-C lethal.
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+    extern "C" fn on_sigint(_signum: i32) {
+        dufp_types::shutdown::request();
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        // SAFETY: signal(2) is async-signal-safe; re-arming to the default
+        // disposition only touches process signal state.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+    // SAFETY: the handler does only async-signal-safe work (an atomic
+    // store and a signal(2) call).
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
 
 fn main() {
+    install_sigint_handler();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match dufp_cli::run(&argv) {
         Ok(out) => print!("{out}"),

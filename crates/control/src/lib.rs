@@ -44,6 +44,7 @@ pub mod duf;
 pub mod dufp;
 pub mod dufpf;
 pub mod phase;
+pub mod resilient;
 mod trace;
 
 pub use actuators::{Actuators, HwActuators};
@@ -54,6 +55,9 @@ pub use duf::Duf;
 pub use dufp::Dufp;
 pub use dufpf::DufpF;
 pub use phase::{PhaseClass, PhaseEvent, PhaseTracker};
+pub use resilient::{
+    classify, DegradationLevel, ErrorClass, ResilientActuators, RetryPolicy, SafeStateGuard,
+};
 
 use dufp_counters::IntervalMetrics;
 use dufp_types::Result;

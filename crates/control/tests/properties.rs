@@ -2,13 +2,16 @@
 //! streams must never drive the actuators outside their legal ranges, and
 //! the actuator caches must always agree with the hardware registers.
 
-use dufp_control::{Actuators, ControlConfig, Controller, Dnpc, Duf, Dufp, DufpF};
+use dufp_control::{
+    Actuators, ControlConfig, Controller, Dnpc, Duf, Dufp, DufpF, ResilientActuators,
+    SafeStateGuard,
+};
 use dufp_counters::IntervalMetrics;
 use dufp_msr::registers::{
     PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit, MSR_PKG_POWER_LIMIT, MSR_RAPL_POWER_UNIT,
     MSR_UNCORE_RATIO_LIMIT, SKYLAKE_SP_POWER_UNIT_RAW,
 };
-use dufp_msr::{FakeMsr, MsrIo};
+use dufp_msr::{FakeMsr, FaultOp, FaultPlan, FaultRule, FaultWhen, MsrIo};
 use dufp_rapl::{Constraint, MsrRapl, PowerCapper};
 use dufp_types::{
     ArchSpec, BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity, Ratio, Seconds, SocketId,
@@ -196,6 +199,94 @@ proptest! {
             controller.on_interval(&m, &mut act).unwrap();
             check_invariants(&cfg, &act, &msr);
         }
+    }
+}
+
+/// Arbitrary fault rules against the cap and uncore registers: random
+/// probabilistic noise, one-shot faults and bursts, on reads and writes.
+/// (The vendored proptest shim has no `prop_map`, so rules are drawn as
+/// raw selector tuples and decoded here.)
+type RuleTuple = (u8, u8, u8, f64, u64, u64);
+
+fn arb_fault_rule() -> impl Strategy<Value = RuleTuple> {
+    (
+        0u8..3,       // op selector
+        0u8..3,       // register selector
+        0u8..3,       // schedule selector
+        0.0f64..0.25, // probability
+        0u64..40,     // window start / one-shot index
+        1u64..25,     // window length
+    )
+}
+
+fn decode_rule((op, reg, when, p, from, count): RuleTuple) -> FaultRule {
+    FaultRule {
+        op: match op {
+            0 => FaultOp::Read,
+            1 => FaultOp::Write,
+            _ => FaultOp::Any,
+        },
+        register: match reg {
+            0 => None,
+            1 => Some(MSR_PKG_POWER_LIMIT),
+            _ => Some(MSR_UNCORE_RATIO_LIMIT),
+        },
+        cpus: None,
+        when: match when {
+            0 => FaultWhen::Probability { p },
+            1 => FaultWhen::At { at: from },
+            _ => FaultWhen::Window { from, count },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline resilience property: under *any* fault plan, a DUFP
+    /// run through the retry/degrade wrapper (a) never rests the power cap
+    /// below the floor — degraded or not — and (b) leaves the register
+    /// file at platform defaults once the safe-state guard lets go.
+    #[test]
+    fn any_fault_plan_leaves_defaults_restored_and_floor_respected(
+        seed in 0u64..1_000,
+        rules in prop::collection::vec(arb_fault_rule(), 0..4),
+        stream in prop::collection::vec(arb_metrics(), 1..60),
+    ) {
+        let (msr, cfg, act) = rig(10.0);
+        let resilient = ResilientActuators::new(act, cfg.cap_floor);
+        let mut guard = SafeStateGuard::new(resilient);
+        let mut controller = Dufp::new(cfg.clone());
+        let rules = rules.into_iter().map(decode_rule).collect();
+        msr.inject_plan(FaultPlan { seed, rules });
+        for (t, (flops, bw, power, freq)) in stream.into_iter().enumerate() {
+            controller
+                .on_interval(&metrics(t as u64, flops, bw, power, freq), &mut *guard)
+                .unwrap();
+            // Injected faults are transient/persistent, never fatal: the
+            // run keeps going and the resting cap honors the floor.
+            prop_assert!(
+                guard.cap_long() >= cfg.cap_floor,
+                "cap {:?} rests below floor {:?} (degradation {:?})",
+                guard.cap_long(),
+                cfg.cap_floor,
+                guard.degradation()
+            );
+        }
+        // The fault plan ends with the workload (a chaos plan models the
+        // run, not the teardown); the guard must then restore defaults
+        // even if knobs were degraded mid-run.
+        msr.clear_faults();
+        drop(guard.restore_now());
+
+        let units = RaplPowerUnit::skylake_sp();
+        let reg = PkgPowerLimit::decode(msr.read(0, MSR_PKG_POWER_LIMIT).unwrap(), &units);
+        prop_assert!((reg.pl1.power.value() - 125.0).abs() < 0.25, "PL1 {:?}", reg.pl1.power);
+        prop_assert!((reg.pl2.power.value() - 150.0).abs() < 0.25, "PL2 {:?}", reg.pl2.power);
+        let arch = ArchSpec::yeti();
+        let band = UncoreRatioLimit::decode(msr.read(0, MSR_UNCORE_RATIO_LIMIT).unwrap());
+        prop_assert_eq!(band.max_ratio, arch.uncore_freq_max.as_ratio_100mhz());
+        prop_assert_eq!(band.min_ratio, arch.uncore_freq_min.as_ratio_100mhz());
     }
 }
 

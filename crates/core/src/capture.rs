@@ -114,6 +114,7 @@ mod tests {
             trace: None,
             interval_ms: None,
             telemetry: false,
+            fault_plan: None,
         };
         let orig = run_once(&spec("CG".into()), 3).unwrap();
         let capt = run_once(&spec(path.to_str().unwrap().into()), 3).unwrap();

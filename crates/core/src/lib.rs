@@ -20,6 +20,7 @@
 //!     },
 //!     trace: None,
 //!     interval_ms: None, telemetry: false, // the paper's 200 ms
+//!     fault_plan: None,
 //! };
 //! let result = run_once(&spec, 1).unwrap();
 //! assert!(result.exec_time.value() > 0.0);
@@ -50,11 +51,13 @@ pub mod capture;
 pub mod compare;
 pub mod runner;
 pub mod stats;
+pub mod watchdog;
 
 pub use capture::{record_trace, record_workload};
 pub use compare::{ratios_vs_default, Ratios};
 pub use runner::{run_once, run_repeated, ControllerKind, ExperimentSpec, RunResult, TraceSpec};
 pub use stats::{trimmed, RepeatedResult, Summary};
+pub use watchdog::{Watchdog, WatchdogTrip};
 
 /// One-stop imports for examples and tools.
 pub mod prelude {

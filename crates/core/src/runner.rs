@@ -7,12 +7,19 @@
 //! total energy are reported for the whole node.
 
 use crate::stats::{trimmed, RepeatedResult};
-use dufp_control::{Actuators, ControlConfig, Controller, Duf, Dufp, HwActuators, NoOp, StaticCap};
-use dufp_counters::{Sampler, Telemetry};
+use crate::watchdog::Watchdog;
+use dufp_control::{
+    classify, Actuators, ControlConfig, Controller, Duf, Dufp, ErrorClass, HwActuators, NoOp,
+    ResilientActuators, SafeStateGuard, StaticCap,
+};
+use dufp_counters::{CounterSnapshot, Sampler, Telemetry};
+use dufp_msr::FaultPlan;
 use dufp_rapl::MsrRapl;
 use dufp_sim::{Machine, SimConfig, Trace};
-use dufp_telemetry::{SocketTelemetry, Telemetry as TelemetryHandle, TelemetryReport};
-use dufp_types::{Duration, Error, Joules, Ratio, Result, Seconds, SocketId, Watts};
+use dufp_telemetry::{
+    Actuator, DecisionEvent, Reason, SocketTelemetry, Telemetry as TelemetryHandle, TelemetryReport,
+};
+use dufp_types::{shutdown, Duration, Error, Joules, Ratio, Result, Seconds, SocketId, Watts};
 use dufp_workloads::{apps, MaterializeCtx};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -145,6 +152,13 @@ pub struct ExperimentSpec {
     /// site, so benchmarks are unaffected.
     #[serde(default)]
     pub telemetry: bool,
+    /// Optional fault plan armed against the simulated hardware (chaos
+    /// run). Armed after initialization — controller construction and
+    /// sampler priming — so scheduled rules are relative to the control
+    /// loop's start. The run survives injected faults through the
+    /// resilience layer instead of aborting.
+    #[serde(default)]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Whole-node measurements of one run.
@@ -172,6 +186,19 @@ impl RunResult {
     pub fn total_energy(&self) -> Joules {
         self.pkg_energy + self.dram_energy
     }
+}
+
+/// Takes the end-of-run counter snapshot, riding out injected transient
+/// sampler faults with a few retries.
+fn sample_end(machine: &Machine, socket: SocketId) -> Result<CounterSnapshot> {
+    let mut last = None;
+    for _ in 0..4 {
+        match machine.sample(socket) {
+            Ok(snap) => return Ok(snap),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| Error::Precondition("unreachable: no sample error".into())))
 }
 
 /// Executes one run with the given seed.
@@ -222,8 +249,14 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
     )?;
     let capper = Arc::new(capper);
 
-    // One controller + sampler + actuator set per socket.
-    let mut per_socket: Vec<(Box<dyn Controller>, Sampler, _)> = (0..arch.sockets)
+    // One controller + sampler + watchdog + guarded actuator set per
+    // socket. The resilience stack (retry → degrade) absorbs non-fatal
+    // actuation failures, and the safe-state guard restores platform
+    // defaults however the run ends — normal completion, error return,
+    // panic unwind or a shutdown request.
+    type Guarded<M, C> = SafeStateGuard<ResilientActuators<HwActuators<M, C>>>;
+    let mut per_socket: Vec<(Box<dyn Controller>, Sampler, Watchdog, Guarded<_, _>)> = (0..arch
+        .sockets)
         .map(|s| {
             let act = HwActuators::new(
                 Arc::clone(&machine),
@@ -232,16 +265,26 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
                 usize::from(s) * usize::from(arch.cores_per_socket),
                 cfg.clone(),
             )?;
+            let stel = tel.for_socket(s);
+            let resilient =
+                ResilientActuators::new(act, cfg.cap_floor).with_telemetry(stel.clone());
+            // A plausibility ceiling for per-socket power: PL2 plus ample
+            // headroom — anything beyond it is a glitched energy counter.
+            let watchdog = Watchdog::new(
+                cfg.interval.as_seconds(),
+                Watts(arch.pl2_default.value() * 4.0),
+            );
             Ok((
-                spec.controller.build(&cfg, tel.for_socket(s)),
+                spec.controller.build(&cfg, stel.clone()),
                 Sampler::new(),
-                act,
+                watchdog,
+                SafeStateGuard::new(resilient).with_telemetry(stel),
             ))
         })
         .collect::<Result<Vec<_>>>()?;
 
     // Prime all samplers at t = 0.
-    for (idx, (_, sampler, _)) in per_socket.iter_mut().enumerate() {
+    for (idx, (_, sampler, _, _)) in per_socket.iter_mut().enumerate() {
         sampler.sample(machine.as_ref(), SocketId(idx as u16))?;
     }
     let start_snaps: Vec<_> = (0..arch.sockets)
@@ -249,10 +292,25 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
         .collect::<Result<Vec<_>>>()?;
     let started = machine.now();
 
+    // Arm the fault plan only now: initialization is done, so scheduled
+    // rules count from the first control interval and a chaos plan cannot
+    // fail the setup path it is not meant to model.
+    if let Some(plan) = &spec.fault_plan {
+        machine.inject_faults(plan.clone());
+    }
+    let watchdog_resets = tel.counter("watchdog_resets_total");
+    let sample_failures = tel.counter("sample_failures_total");
+
     let ticks_per_interval = (cfg.interval.as_micros() / machine.config().tick.as_micros()).max(1);
     let max_duration = Duration::from_seconds(Seconds(nominal.value() * 10.0 + 30.0));
 
     'outer: loop {
+        if shutdown::requested() {
+            // Early return drops the guards, which restore the hardware.
+            return Err(Error::Precondition(
+                "run interrupted by shutdown request".into(),
+            ));
+        }
         let t0 = timed.then(std::time::Instant::now);
         for _ in 0..ticks_per_interval {
             machine.tick();
@@ -270,15 +328,49 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
         if let Some(t0) = t0 {
             tick_us.observe(t0.elapsed().as_secs_f64() * 1e6);
         }
-        for (idx, (controller, sampler, act)) in per_socket.iter_mut().enumerate() {
+        let tick_now = machine.now().0 / machine.config().tick.as_micros();
+        for (idx, (controller, sampler, watchdog, act)) in per_socket.iter_mut().enumerate() {
             let t1 = timed.then(std::time::Instant::now);
-            let sampled = sampler.sample(machine.as_ref(), SocketId(idx as u16))?;
+            let sampled = match sampler.sample(machine.as_ref(), SocketId(idx as u16)) {
+                Ok(sampled) => sampled,
+                // A failed counter read is a sensor fault, not a reason to
+                // abort: drop the baseline (the next good sample re-primes)
+                // and skip this interval.
+                Err(e) if classify(&e) != ErrorClass::Fatal => {
+                    sample_failures.inc();
+                    sampler.reset();
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if let Some(t1) = t1 {
                 sample_us.observe(t1.elapsed().as_secs_f64() * 1e6);
             }
             if let Some(metrics) = sampled {
+                if let Some(trip) = watchdog.check(&metrics) {
+                    // Corrupted interval: never show it to the controller.
+                    // Re-prime the sampler and park the cap at its default
+                    // (the §IV-D overshoot reset, generalized).
+                    sampler.reset();
+                    let cap_before = act.cap_long().value();
+                    let _ = act.reset_cap();
+                    watchdog_resets.inc();
+                    tel.record_decision(DecisionEvent {
+                        tick: tick_now,
+                        at_us: machine.now().0,
+                        socket: idx as u16,
+                        phase: 0,
+                        oi_class: Some(trip.label().to_string()),
+                        flops_ratio: None,
+                        actuator: Actuator::PowerCap,
+                        old: cap_before,
+                        new: act.cap_long().value(),
+                        reason: Reason::WatchdogReset,
+                    });
+                    continue;
+                }
                 let t2 = timed.then(std::time::Instant::now);
-                controller.on_interval(&metrics, act as &mut dyn Actuators)?;
+                controller.on_interval(&metrics, &mut **act as &mut dyn Actuators)?;
                 if let Some(t2) = t2 {
                     control_us.observe(t2.elapsed().as_secs_f64() * 1e6);
                 }
@@ -290,9 +382,16 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
     let mut pkg = Joules(0.0);
     let mut dram = Joules(0.0);
     for (s, start) in start_snaps.iter().enumerate() {
-        let end = machine.sample(SocketId(s as u16))?;
+        let end = sample_end(machine.as_ref(), SocketId(s as u16))?;
         pkg += end.pkg_energy - start.pkg_energy;
         dram += end.dram_energy - start.dram_energy;
+    }
+
+    // Restore platform defaults through the guards *before* draining the
+    // report, so the restore (and any pending degradation) events are part
+    // of the trace the caller sees.
+    for (_, _, _, guard) in per_socket {
+        drop(guard.restore_now());
     }
 
     let trace = match spec.trace {
@@ -346,6 +445,7 @@ mod tests {
             trace: None,
             interval_ms: None,
             telemetry: false,
+            fault_plan: None,
         }
     }
 
@@ -454,6 +554,48 @@ mod tests {
             .gauges
             .iter()
             .any(|g| g.name == "sim.socket0.pkg_power_w" && g.value > 0.0));
+    }
+
+    #[test]
+    fn chaos_run_degrades_and_restores_without_aborting() {
+        // ~1 % of all actuator writes fail transiently, and every cap write
+        // fails for 25 consecutive intervals (ticks 200..5200): the retry
+        // layer must ride out the noise, the burst must degrade DUFP to
+        // uncore-only, and the run must still finish with a safe-state
+        // restore on record.
+        let mut s = spec(
+            "EP",
+            ControllerKind::Dufp {
+                slowdown: Ratio::from_percent(10.0),
+            },
+        );
+        s.telemetry = true;
+        s.fault_plan = Some(
+            FaultPlan::parse("seed=42;write,p=0.01;write,reg=cap,cpu=0-15,window=200+5000")
+                .expect("valid plan"),
+        );
+        let r = run_once(&s, 4).expect("chaos run must survive its faults");
+        assert!(r.exec_time.value() > 0.0);
+        let report = r.telemetry.expect("telemetry requested");
+        let count = |reason| {
+            report
+                .decisions
+                .iter()
+                .filter(|e| e.reason == reason)
+                .count()
+        };
+        assert!(
+            count(Reason::ActuationRetry) > 0,
+            "transient faults must be retried"
+        );
+        assert!(
+            count(Reason::Degraded) > 0,
+            "a persistent cap-write burst must degrade DUFP to uncore-only"
+        );
+        assert!(
+            count(Reason::SafeStateRestore) > 0,
+            "the guard must log the end-of-run restore"
+        );
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Sensor-fault watchdog for the experiment runner.
+//!
+//! The paper already resets the caps when measured power overshoots after
+//! an uncore reset (§IV-D); this module generalizes that reflex to sensor
+//! faults. Each monitoring interval is vetted before the controller sees
+//! it: non-finite values, missed ticks (an interval much longer than the
+//! configured monitoring period) and energy-counter anomalies (absurd
+//! implied power) all trip the watchdog. The runner reacts by re-priming
+//! the sampler and resetting the power cap — a controller must never act
+//! on a corrupted sample, and a cap chosen from one must not linger.
+
+use dufp_counters::IntervalMetrics;
+use dufp_types::{Seconds, Watts};
+
+/// Why the watchdog tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogTrip {
+    /// A metric was NaN or infinite (stale/corrupted counter sample).
+    NonFiniteSample,
+    /// The interval was far longer than the monitoring period — ticks were
+    /// missed, so the derived rates average over unknown conditions.
+    MissedTicks,
+    /// The energy counters implied an impossible package power.
+    EnergyAnomaly,
+}
+
+impl WatchdogTrip {
+    /// Stable label used in traces and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            WatchdogTrip::NonFiniteSample => "non-finite-sample",
+            WatchdogTrip::MissedTicks => "missed-ticks",
+            WatchdogTrip::EnergyAnomaly => "energy-anomaly",
+        }
+    }
+}
+
+/// Per-socket watchdog over the derived interval metrics.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    /// The nominal monitoring interval.
+    expected: Seconds,
+    /// Trip when `interval > stretch × expected`.
+    stretch: f64,
+    /// Trip when implied package power exceeds this.
+    max_power: Watts,
+    trips: u64,
+}
+
+impl Watchdog {
+    /// Interval-stretch factor: two consecutive intervals can legitimately
+    /// merge (scheduling jitter), three cannot.
+    const DEFAULT_STRETCH: f64 = 3.0;
+
+    /// A watchdog for a monitoring interval of `expected` seconds.
+    /// `max_power` bounds plausible per-socket package power — a Skylake-SP
+    /// package under PL2 stays far below it, so anything above means the
+    /// energy counter glitched (dropped wrap, counter reset mid-interval).
+    pub fn new(expected: Seconds, max_power: Watts) -> Self {
+        Watchdog {
+            expected,
+            stretch: Self::DEFAULT_STRETCH,
+            max_power,
+            trips: 0,
+        }
+    }
+
+    /// Vets one interval; `Some(trip)` means the sample must be discarded
+    /// and the sampler re-primed.
+    pub fn check(&mut self, m: &IntervalMetrics) -> Option<WatchdogTrip> {
+        let trip = self.vet(m);
+        if trip.is_some() {
+            self.trips += 1;
+        }
+        trip
+    }
+
+    fn vet(&self, m: &IntervalMetrics) -> Option<WatchdogTrip> {
+        let finite = m.interval.value().is_finite()
+            && m.flops.value().is_finite()
+            && m.bandwidth.value().is_finite()
+            && m.pkg_power.value().is_finite()
+            && m.dram_power.value().is_finite()
+            && m.core_freq.value().is_finite();
+        if !finite {
+            return Some(WatchdogTrip::NonFiniteSample);
+        }
+        if m.interval.value() > self.expected.value() * self.stretch {
+            return Some(WatchdogTrip::MissedTicks);
+        }
+        if m.pkg_power.value() < 0.0
+            || m.pkg_power.value() > self.max_power.value()
+            || m.dram_power.value() < 0.0
+            || m.dram_power.value() > self.max_power.value()
+        {
+            return Some(WatchdogTrip::EnergyAnomaly);
+        }
+        None
+    }
+
+    /// Total trips so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::{BytesPerSec, FlopsPerSec, Hertz, Instant, OpIntensity};
+
+    fn metrics() -> IntervalMetrics {
+        IntervalMetrics {
+            at: Instant(200_000),
+            interval: Seconds(0.2),
+            flops: FlopsPerSec(1e10),
+            bandwidth: BytesPerSec(2e10),
+            oi: OpIntensity(0.5),
+            pkg_power: Watts(110.0),
+            dram_power: Watts(25.0),
+            core_freq: Hertz::from_ghz(2.6),
+        }
+    }
+
+    fn dog() -> Watchdog {
+        Watchdog::new(Seconds(0.2), Watts(400.0))
+    }
+
+    #[test]
+    fn clean_interval_passes() {
+        let mut d = dog();
+        assert_eq!(d.check(&metrics()), None);
+        assert_eq!(d.trips(), 0);
+    }
+
+    #[test]
+    fn nan_metrics_trip() {
+        let mut d = dog();
+        let mut m = metrics();
+        m.flops = FlopsPerSec(f64::NAN);
+        assert_eq!(d.check(&m), Some(WatchdogTrip::NonFiniteSample));
+        let mut m = metrics();
+        m.core_freq = Hertz(f64::INFINITY);
+        assert_eq!(d.check(&m), Some(WatchdogTrip::NonFiniteSample));
+        assert_eq!(d.trips(), 2);
+    }
+
+    #[test]
+    fn stretched_interval_trips_as_missed_ticks() {
+        let mut d = dog();
+        let mut m = metrics();
+        m.interval = Seconds(0.5);
+        assert_eq!(d.check(&m), None, "2.5x is tolerated jitter");
+        m.interval = Seconds(0.7);
+        assert_eq!(d.check(&m), Some(WatchdogTrip::MissedTicks));
+    }
+
+    #[test]
+    fn absurd_power_trips_as_energy_anomaly() {
+        let mut d = dog();
+        let mut m = metrics();
+        m.pkg_power = Watts(2500.0);
+        assert_eq!(d.check(&m), Some(WatchdogTrip::EnergyAnomaly));
+        let mut m = metrics();
+        m.dram_power = Watts(-1.0);
+        assert_eq!(d.check(&m), Some(WatchdogTrip::EnergyAnomaly));
+    }
+
+    #[test]
+    fn saturated_oi_does_not_trip() {
+        // oi is intentionally exempt: the sampler clamps it, and a
+        // CPU-bound interval legitimately saturates it.
+        let mut d = dog();
+        let mut m = metrics();
+        m.oi = OpIntensity(dufp_counters::OI_SATURATED);
+        assert_eq!(d.check(&m), None);
+    }
+}

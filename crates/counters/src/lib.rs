@@ -21,5 +21,5 @@ pub mod sampler;
 pub mod telemetry;
 
 pub use events::{Event, EventSet};
-pub use sampler::{IntervalMetrics, Sampler};
+pub use sampler::{IntervalMetrics, Sampler, OI_SATURATED};
 pub use telemetry::{CounterSnapshot, Telemetry};

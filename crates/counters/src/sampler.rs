@@ -34,10 +34,18 @@ pub struct IntervalMetrics {
     pub core_freq: Hertz,
 }
 
+/// Operational intensity reported when the interval moved zero bytes but
+/// a nonzero FLOP count — finite (instead of `inf`) so downstream ratio
+/// arithmetic stays well-defined, and far above any class boundary so the
+/// phase detector still classifies the interval as CPU-intensive.
+pub const OI_SATURATED: f64 = 1e6;
+
 /// Differencing sampler for one socket.
 ///
 /// Call [`Sampler::sample`] once per monitoring interval; the first call
-/// only primes the baseline and yields `None`.
+/// only primes the baseline and yields `None`. Degenerate intervals —
+/// non-advancing clocks, non-finite counter values — yield `None` rather
+/// than NaN/inf metrics that would poison the phase detector.
 #[derive(Debug, Default)]
 pub struct Sampler {
     prev: Option<CounterSnapshot>,
@@ -70,7 +78,20 @@ impl Sampler {
 
     fn derive(prev: &CounterSnapshot, cur: &CounterSnapshot) -> Option<IntervalMetrics> {
         let dt = cur.at.duration_since(prev.at).as_seconds();
-        if dt.value() <= 0.0 {
+        if !dt.value().is_finite() || dt.value() <= 0.0 {
+            return None;
+        }
+        // A stale or corrupted snapshot (NaN/inf counter, non-finite
+        // frequency) cannot be differenced meaningfully; drop the interval.
+        let finite = [prev.flops, prev.bytes, cur.flops, cur.bytes]
+            .iter()
+            .all(|v| v.is_finite())
+            && prev.pkg_energy.value().is_finite()
+            && cur.pkg_energy.value().is_finite()
+            && prev.dram_energy.value().is_finite()
+            && cur.dram_energy.value().is_finite()
+            && cur.avg_core_freq.value().is_finite();
+        if !finite {
             return None;
         }
         let d_flops = (cur.flops - prev.flops).max(0.0);
@@ -79,17 +100,23 @@ impl Sampler {
         let bandwidth = BytesPerSec(d_bytes / dt.value());
         let oi = if bandwidth.value() > 0.0 {
             flops / bandwidth
+        } else if flops.value() > 0.0 {
+            OpIntensity(OI_SATURATED)
         } else {
-            OpIntensity(f64::INFINITY)
+            OpIntensity(0.0)
         };
+        // Energy counters only move forward; a negative delta (wrap missed
+        // by a lower layer, counter reset) clamps to zero power.
+        let pkg_power = Watts(((cur.pkg_energy - prev.pkg_energy) / dt).value().max(0.0));
+        let dram_power = Watts(((cur.dram_energy - prev.dram_energy) / dt).value().max(0.0));
         Some(IntervalMetrics {
             at: cur.at,
             interval: dt,
             flops,
             bandwidth,
             oi,
-            pkg_power: (cur.pkg_energy - prev.pkg_energy) / dt,
-            dram_power: (cur.dram_energy - prev.dram_energy) / dt,
+            pkg_power,
+            dram_power,
             core_freq: cur.avg_core_freq,
         })
     }
@@ -137,7 +164,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_bandwidth_gives_infinite_oi() {
+    fn zero_bandwidth_gives_saturated_finite_oi() {
         let t = Scripted::new(vec![
             snap(0, 0.0, 0.0, 0.0, 0.0),
             snap(200, 1e9, 0.0, 10.0, 1.0),
@@ -145,7 +172,51 @@ mod tests {
         let mut s = Sampler::new();
         s.sample(&t, SocketId(0)).unwrap();
         let m = s.sample(&t, SocketId(0)).unwrap().unwrap();
-        assert!(m.oi.value().is_infinite());
+        assert!(m.oi.value().is_finite(), "no inf OI: {:?}", m.oi);
+        assert_eq!(m.oi.value(), OI_SATURATED);
+        assert!(m.oi.value() >= 1.0, "still classifies as CPU-intensive");
+    }
+
+    #[test]
+    fn fully_idle_interval_has_zero_oi() {
+        let t = Scripted::new(vec![
+            snap(0, 1e9, 1e9, 0.0, 0.0),
+            snap(200, 1e9, 1e9, 1.0, 0.1),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        let m = s.sample(&t, SocketId(0)).unwrap().unwrap();
+        assert_eq!(m.oi.value(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_counters_yield_none() {
+        for bad in [
+            snap(200, f64::NAN, 1e9, 10.0, 1.0),
+            snap(200, 1e9, f64::INFINITY, 10.0, 1.0),
+            snap(200, 1e9, 1e9, f64::NAN, 1.0),
+        ] {
+            let t = Scripted::new(vec![snap(0, 0.0, 0.0, 0.0, 0.0), bad]);
+            let mut s = Sampler::new();
+            s.sample(&t, SocketId(0)).unwrap();
+            assert!(
+                s.sample(&t, SocketId(0)).unwrap().is_none(),
+                "corrupted snapshot must not derive metrics"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_energy_delta_clamps_power_to_zero() {
+        let t = Scripted::new(vec![
+            snap(0, 0.0, 0.0, 100.0, 10.0),
+            snap(200, 1e9, 1e9, 50.0, 5.0),
+        ]);
+        let mut s = Sampler::new();
+        s.sample(&t, SocketId(0)).unwrap();
+        let m = s.sample(&t, SocketId(0)).unwrap().unwrap();
+        assert_eq!(m.pkg_power.value(), 0.0);
+        assert_eq!(m.dram_power.value(), 0.0);
     }
 
     #[test]

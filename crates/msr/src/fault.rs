@@ -1,0 +1,484 @@
+//! Declarative fault plans for chaos testing the actuation path.
+//!
+//! [`crate::io::Fault`] arms exactly one failure mode at a time; real
+//! deployments see richer patterns: a flaky `/dev/cpu/N/msr` that fails 1 %
+//! of writes, a core that goes offline for two seconds mid-run, an energy
+//! counter that stops advancing. A [`FaultPlan`] describes such a scenario
+//! as a list of [`FaultRule`]s, each scoping *what* fails (access kind,
+//! register, CPU range) and *when* (always, with a seeded probability, at
+//! the Nth access, or over a window). Plans are fully deterministic given
+//! their seed, so a chaos run is reproducible from the command line.
+//!
+//! The plan is compiled into a [`FaultInjector`], which the backends
+//! consult on every access: [`crate::FakeMsr`] counts matching accesses
+//! per rule, while clocked backends (the simulator) pass their tick so
+//! `at=`/`window=` rules align with simulated time.
+
+use dufp_types::{Error, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The kind of hardware access a rule can match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOp {
+    /// MSR (or capper) reads.
+    Read,
+    /// MSR (or capper) writes.
+    Write,
+    /// Performance-counter sampling (the simulator's telemetry path).
+    Sample,
+    /// Any access kind.
+    Any,
+}
+
+/// When a structurally matching access actually fails.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultWhen {
+    /// Every matching access fails.
+    Always,
+    /// Each matching access fails independently with this probability,
+    /// drawn from the plan's seeded generator.
+    Probability {
+        /// Failure probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Exactly the access at this clock value fails (the backend's tick
+    /// when it has a clock, the per-rule match index otherwise).
+    At {
+        /// Clock value of the single failing access.
+        at: u64,
+    },
+    /// All matching accesses in `[from, from + count)` fail — a burst, or
+    /// a "persistent for K ticks" outage.
+    Window {
+        /// First failing clock value.
+        from: u64,
+        /// Length of the failure window.
+        count: u64,
+    },
+}
+
+/// One scoped failure rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRule {
+    /// Which access kind fails.
+    pub op: FaultOp,
+    /// Restrict to one register address (`None` = any register).
+    #[serde(default)]
+    pub register: Option<u32>,
+    /// Restrict to an inclusive CPU range (`None` = any CPU). Socket-
+    /// scoped faults are expressed as that socket's CPU range.
+    #[serde(default)]
+    pub cpus: Option<(usize, usize)>,
+    /// The failure schedule.
+    pub when: FaultWhen,
+}
+
+impl FaultRule {
+    fn matches(&self, op: FaultOp, cpu: usize, register: u32) -> bool {
+        let op_ok = matches!(self.op, FaultOp::Any) || self.op == op;
+        let reg_ok = self.register.is_none_or(|r| r == register);
+        let cpu_ok = self.cpus.is_none_or(|(lo, hi)| (lo..=hi).contains(&cpu));
+        op_ok && reg_ok && cpu_ok
+    }
+}
+
+/// A reproducible failure scenario: a seed plus scoped rules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic rules (`p=`): same seed, same failures.
+    #[serde(default)]
+    pub seed: u64,
+    /// The rules; every structurally matching rule is evaluated and the
+    /// access fails if any rule fires.
+    #[serde(default)]
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules (nothing ever fails).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Parses the compact command-line syntax:
+    ///
+    /// ```text
+    /// seed=42;write,reg=cap,p=0.01;write,reg=cap,cpu=16-31,window=100+400
+    /// ```
+    ///
+    /// Segments are separated by `;`. A `seed=N` segment sets the seed;
+    /// every other segment is one rule of comma-separated items: an access
+    /// kind (`read`/`write`/`sample`/`any`), an optional `reg=` (`cap`,
+    /// `uncore`, `energy`, `dram-energy`, `perf` or a raw `0x..`/decimal
+    /// address), an optional `cpu=N` or `cpu=A-B` range, and a schedule
+    /// (`always`, `p=0.01`, `at=N`, `window=FROM+COUNT`; default `always`).
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut plan = FaultPlan::default();
+        for segment in text.split(';') {
+            let segment = segment.trim();
+            if segment.is_empty() {
+                continue;
+            }
+            if let Some(seed) = segment.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::invalid("fault plan seed", seed.to_string()))?;
+                continue;
+            }
+            plan.rules.push(Self::parse_rule(segment)?);
+        }
+        Ok(plan)
+    }
+
+    fn parse_rule(segment: &str) -> Result<FaultRule> {
+        let bad = |detail: String| Error::invalid("fault plan rule", detail);
+        let mut items = segment.split(',').map(str::trim);
+        let op = match items.next() {
+            Some("read") => FaultOp::Read,
+            Some("write") => FaultOp::Write,
+            Some("sample") => FaultOp::Sample,
+            Some("any") => FaultOp::Any,
+            other => {
+                return Err(bad(format!(
+                    "rule must start with read|write|sample|any, got {other:?}"
+                )))
+            }
+        };
+        let mut rule = FaultRule {
+            op,
+            register: None,
+            cpus: None,
+            when: FaultWhen::Always,
+        };
+        for item in items {
+            if let Some(reg) = item.strip_prefix("reg=") {
+                rule.register = Some(Self::parse_register(reg)?);
+            } else if let Some(range) = item.strip_prefix("cpu=") {
+                let (lo, hi) = match range.split_once('-') {
+                    Some((lo, hi)) => (
+                        lo.parse()
+                            .map_err(|_| bad(format!("bad cpu range {range}")))?,
+                        hi.parse()
+                            .map_err(|_| bad(format!("bad cpu range {range}")))?,
+                    ),
+                    None => {
+                        let cpu = range.parse().map_err(|_| bad(format!("bad cpu {range}")))?;
+                        (cpu, cpu)
+                    }
+                };
+                if lo > hi {
+                    return Err(bad(format!("empty cpu range {range}")));
+                }
+                rule.cpus = Some((lo, hi));
+            } else if let Some(p) = item.strip_prefix("p=") {
+                let p: f64 = p.parse().map_err(|_| bad(format!("bad probability {p}")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(bad(format!("probability {p} outside [0, 1]")));
+                }
+                rule.when = FaultWhen::Probability { p };
+            } else if let Some(at) = item.strip_prefix("at=") {
+                rule.when = FaultWhen::At {
+                    at: at.parse().map_err(|_| bad(format!("bad at={at}")))?,
+                };
+            } else if let Some(window) = item.strip_prefix("window=") {
+                let (from, count) = window
+                    .split_once('+')
+                    .ok_or_else(|| bad(format!("window wants FROM+COUNT, got {window}")))?;
+                let count: u64 = count
+                    .parse()
+                    .map_err(|_| bad(format!("bad window length {count}")))?;
+                if count == 0 {
+                    return Err(bad("window length must be positive".into()));
+                }
+                rule.when = FaultWhen::Window {
+                    from: from
+                        .parse()
+                        .map_err(|_| bad(format!("bad window start {from}")))?,
+                    count,
+                };
+            } else if item == "always" {
+                rule.when = FaultWhen::Always;
+            } else {
+                return Err(bad(format!("unknown item {item}")));
+            }
+        }
+        Ok(rule)
+    }
+
+    fn parse_register(text: &str) -> Result<u32> {
+        use crate::registers::*;
+        Ok(match text {
+            "cap" => MSR_PKG_POWER_LIMIT,
+            "uncore" => MSR_UNCORE_RATIO_LIMIT,
+            "energy" => MSR_PKG_ENERGY_STATUS,
+            "dram-energy" => MSR_DRAM_ENERGY_STATUS,
+            "perf" => IA32_PERF_CTL,
+            raw => {
+                let parsed = match raw.strip_prefix("0x") {
+                    Some(hex) => u32::from_str_radix(hex, 16),
+                    None => raw.parse(),
+                };
+                parsed.map_err(|_| Error::invalid("fault plan register", raw.to_string()))?
+            }
+        })
+    }
+}
+
+/// Per-rule match counters plus the probabilistic draw state.
+#[derive(Debug)]
+struct InjectorState {
+    /// SplitMix64 state for `Probability` rules.
+    rng: u64,
+    /// How many structurally matching accesses each rule has seen; stands
+    /// in for the clock on backends without one.
+    hits: Vec<u64>,
+}
+
+/// A compiled, thread-safe [`FaultPlan`] that backends consult per access.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rules: Vec<FaultRule>,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// Compiles a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let hits = vec![0; plan.rules.len()];
+        FaultInjector {
+            rules: plan.rules,
+            state: Mutex::new(InjectorState {
+                // Offset so seed 0 still produces a scrambled stream.
+                rng: plan.seed ^ 0x9E37_79B9_7F4A_7C15,
+                hits,
+            }),
+        }
+    }
+
+    /// Whether the given access should fail, using per-rule match counts
+    /// as the clock (un-clocked backends like [`crate::FakeMsr`]).
+    pub fn should_fail(&self, op: FaultOp, cpu: usize, register: u32) -> bool {
+        self.should_fail_at(op, cpu, register, None)
+    }
+
+    /// Whether the given access should fail. `clock` is the backend's
+    /// notion of time (e.g. the simulator tick); when `None`, each rule's
+    /// own match counter is used instead.
+    pub fn should_fail_at(
+        &self,
+        op: FaultOp,
+        cpu: usize,
+        register: u32,
+        clock: Option<u64>,
+    ) -> bool {
+        if self.rules.is_empty() {
+            return false;
+        }
+        let mut state = self.state.lock();
+        let mut fail = false;
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if !rule.matches(op, cpu, register) {
+                continue;
+            }
+            let now = clock.unwrap_or(state.hits[idx]);
+            state.hits[idx] += 1;
+            fail |= match rule.when {
+                FaultWhen::Always => true,
+                FaultWhen::Probability { p } => next_uniform(&mut state.rng) < p,
+                FaultWhen::At { at } => now == at,
+                FaultWhen::Window { from, count } => now >= from && now - from < count,
+            };
+        }
+        fail
+    }
+
+    /// Convenience: `should_fail` wrapped into the standard error for a
+    /// failed MSR access.
+    pub fn check_msr(&self, op: FaultOp, cpu: usize, register: u32) -> Result<()> {
+        if self.should_fail(op, cpu, register) {
+            Err(Error::msr(
+                register,
+                format!("injected {op:?} fault (plan)"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// One SplitMix64 step mapped to a uniform draw in `[0, 1)`.
+fn next_uniform(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registers::{MSR_PKG_POWER_LIMIT, MSR_UNCORE_RATIO_LIMIT};
+
+    #[test]
+    fn empty_plan_never_fails() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        for _ in 0..100 {
+            assert!(!inj.should_fail(FaultOp::Write, 0, MSR_PKG_POWER_LIMIT));
+        }
+    }
+
+    #[test]
+    fn always_rule_scopes_to_op_register_and_cpu() {
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                op: FaultOp::Write,
+                register: Some(MSR_PKG_POWER_LIMIT),
+                cpus: Some((16, 31)),
+                when: FaultWhen::Always,
+            }],
+        };
+        let inj = FaultInjector::new(plan);
+        assert!(inj.should_fail(FaultOp::Write, 16, MSR_PKG_POWER_LIMIT));
+        assert!(inj.should_fail(FaultOp::Write, 31, MSR_PKG_POWER_LIMIT));
+        assert!(
+            !inj.should_fail(FaultOp::Write, 0, MSR_PKG_POWER_LIMIT),
+            "cpu out of range"
+        );
+        assert!(
+            !inj.should_fail(FaultOp::Read, 16, MSR_PKG_POWER_LIMIT),
+            "reads unaffected"
+        );
+        assert!(
+            !inj.should_fail(FaultOp::Write, 16, MSR_UNCORE_RATIO_LIMIT),
+            "other registers unaffected"
+        );
+    }
+
+    #[test]
+    fn window_counts_matching_accesses_when_unclocked() {
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                op: FaultOp::Write,
+                register: None,
+                cpus: None,
+                when: FaultWhen::Window { from: 2, count: 3 },
+            }],
+        };
+        let inj = FaultInjector::new(plan);
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| inj.should_fail(FaultOp::Write, 0, 0x610))
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, true, true, false, false, false]
+        );
+        // Non-matching reads do not advance the rule's counter.
+        assert!(!inj.should_fail(FaultOp::Read, 0, 0x610));
+    }
+
+    #[test]
+    fn window_follows_external_clock_when_given() {
+        let plan = FaultPlan {
+            seed: 0,
+            rules: vec![FaultRule {
+                op: FaultOp::Any,
+                register: None,
+                cpus: None,
+                when: FaultWhen::Window {
+                    from: 100,
+                    count: 10,
+                },
+            }],
+        };
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.should_fail_at(FaultOp::Write, 0, 0x610, Some(99)));
+        assert!(inj.should_fail_at(FaultOp::Write, 0, 0x610, Some(100)));
+        assert!(inj.should_fail_at(FaultOp::Write, 0, 0x610, Some(109)));
+        assert!(!inj.should_fail_at(FaultOp::Write, 0, 0x610, Some(110)));
+    }
+
+    #[test]
+    fn probability_is_deterministic_per_seed_and_roughly_calibrated() {
+        let plan = |seed| FaultPlan {
+            seed,
+            rules: vec![FaultRule {
+                op: FaultOp::Any,
+                register: None,
+                cpus: None,
+                when: FaultWhen::Probability { p: 0.25 },
+            }],
+        };
+        let draw = |seed| -> Vec<bool> {
+            let inj = FaultInjector::new(plan(seed));
+            (0..4000)
+                .map(|_| inj.should_fail(FaultOp::Read, 0, 0))
+                .collect()
+        };
+        let a = draw(7);
+        assert_eq!(a, draw(7), "same seed, same failures");
+        assert_ne!(a, draw(8), "different seed, different failures");
+        let rate = a.iter().filter(|&&f| f).count() as f64 / a.len() as f64;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan =
+            FaultPlan::parse("seed=42;write,reg=cap,p=0.01;write,reg=cap,cpu=16-31,window=100+400")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].register, Some(MSR_PKG_POWER_LIMIT));
+        assert_eq!(plan.rules[0].when, FaultWhen::Probability { p: 0.01 });
+        assert_eq!(plan.rules[1].cpus, Some((16, 31)));
+        assert_eq!(
+            plan.rules[1].when,
+            FaultWhen::Window {
+                from: 100,
+                count: 400
+            }
+        );
+        // And through serde, for --fault-plan FILE.json.
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn parse_accepts_registers_names_hex_and_single_cpu() {
+        let plan = FaultPlan::parse("read,reg=0x611,at=5;sample,cpu=3;any,reg=1553").unwrap();
+        assert_eq!(plan.rules[0].register, Some(0x611));
+        assert_eq!(plan.rules[0].when, FaultWhen::At { at: 5 });
+        assert_eq!(plan.rules[1].op, FaultOp::Sample);
+        assert_eq!(plan.rules[1].cpus, Some((3, 3)));
+        assert_eq!(plan.rules[1].when, FaultWhen::Always);
+        assert_eq!(plan.rules[2].register, Some(1553));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for bad in [
+            "frob,reg=cap",
+            "write,reg=nope",
+            "write,p=1.5",
+            "write,window=5",
+            "write,window=5+0",
+            "write,cpu=9-3",
+            "seed=abc",
+            "write,wat=1",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! simulator glue) talks to hardware exclusively through [`MsrIo`], so a
 //! test, a simulation and a real Skylake-SP node are interchangeable.
 
+use crate::fault::{FaultInjector, FaultOp, FaultPlan};
 use dufp_types::{Error, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -60,6 +61,7 @@ pub struct FakeMsr {
     cpus: usize,
     regs: Mutex<HashMap<(usize, u32), u64>>,
     fault: Mutex<Fault>,
+    injector: Mutex<Option<Arc<FaultInjector>>>,
     writes: Mutex<Vec<(usize, u32, u64)>>,
 }
 
@@ -70,6 +72,7 @@ impl FakeMsr {
             cpus,
             regs: Mutex::new(HashMap::new()),
             fault: Mutex::new(Fault::None),
+            injector: Mutex::new(None),
             writes: Mutex::new(Vec::new()),
         }
     }
@@ -92,6 +95,24 @@ impl FakeMsr {
         *self.fault.lock() = fault;
     }
 
+    /// Arms a [`FaultPlan`] (replaces any previous plan). The plan is
+    /// evaluated on every access, in addition to the legacy [`Fault`]
+    /// switch; with no backend clock, `at=`/`window=` schedules count each
+    /// rule's structurally matching accesses.
+    pub fn inject_plan(&self, plan: FaultPlan) {
+        *self.injector.lock() = if plan.is_empty() {
+            None
+        } else {
+            Some(Arc::new(FaultInjector::new(plan)))
+        };
+    }
+
+    /// Disarms both the legacy [`Fault`] switch and any [`FaultPlan`].
+    pub fn clear_faults(&self) {
+        *self.fault.lock() = Fault::None;
+        *self.injector.lock() = None;
+    }
+
     /// All writes observed so far, in order: `(cpu, address, value)`.
     pub fn write_log(&self) -> Vec<(usize, u32, u64)> {
         self.writes.lock().clone()
@@ -105,6 +126,15 @@ impl FakeMsr {
     fn check(&self, cpu: usize, address: u32, is_write: bool) -> Result<()> {
         if cpu >= self.cpus {
             return Err(Error::NoSuchComponent(format!("cpu{cpu}")));
+        }
+        let injector = self.injector.lock().clone();
+        if let Some(injector) = injector {
+            let op = if is_write {
+                FaultOp::Write
+            } else {
+                FaultOp::Read
+            };
+            injector.check_msr(op, cpu, address)?;
         }
         match *self.fault.lock() {
             Fault::None => Ok(()),
@@ -188,6 +218,25 @@ mod tests {
 
         m.inject(Fault::None);
         assert!(m.write(0, MSR_PKG_POWER_LIMIT, 1).is_ok());
+    }
+
+    #[test]
+    fn fault_plans_layer_over_the_legacy_switch() {
+        let m = FakeMsr::new(2);
+        m.inject_plan(crate::FaultPlan::parse("write,reg=cap,window=1+2").expect("plan parses"));
+        assert!(m.write(0, MSR_PKG_POWER_LIMIT, 1).is_ok(), "before window");
+        assert!(m.write(0, MSR_PKG_POWER_LIMIT, 2).is_err());
+        assert!(m.write(0, MSR_PKG_POWER_LIMIT, 3).is_err());
+        assert!(m.write(0, MSR_PKG_POWER_LIMIT, 4).is_ok(), "after window");
+        assert_eq!(
+            m.read(0, MSR_PKG_POWER_LIMIT).unwrap(),
+            4,
+            "failed writes must not land"
+        );
+
+        m.clear_faults();
+        m.inject_plan(crate::FaultPlan::none());
+        assert!(m.write(0, MSR_PKG_POWER_LIMIT, 5).is_ok());
     }
 
     #[test]

@@ -14,16 +14,20 @@
 //!   each register's fields (including RAPL's `2^y · (1 + z/4)` time-window
 //!   encoding),
 //! * [`io`] — the [`io::MsrIo`] backend trait, an in-memory fake with
-//!   failure injection for tests and the simulator, and
+//!   failure injection for tests and the simulator,
+//! * [`fault`] — seeded, declarative [`fault::FaultPlan`]s for reproducible
+//!   chaos runs against the fake backends, and
 //! * [`linux`] — the real `/dev/cpu/N/msr` backend (Linux only).
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod io;
 #[cfg(target_os = "linux")]
 pub mod linux;
 pub mod registers;
 
+pub use fault::{FaultInjector, FaultOp, FaultPlan, FaultRule, FaultWhen};
 pub use io::{FakeMsr, MsrIo};
 pub use registers::IA32_PERF_CTL;
 pub use registers::{

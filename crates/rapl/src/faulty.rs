@@ -1,0 +1,120 @@
+//! A fault-injecting [`PowerCapper`] decorator for chaos tests.
+//!
+//! Wraps any capper and consults a [`FaultInjector`] before every
+//! operation, mapping the capper API onto the MSR-level fault vocabulary
+//! so one [`FaultPlan`](dufp_msr::FaultPlan) can drive both the raw MSR
+//! fakes and a capper-level fake: limit writes count as writes of
+//! `MSR_PKG_POWER_LIMIT`, energy reads as reads of the energy-status
+//! registers, all attributed to the socket's lead CPU.
+
+use crate::capper::{Constraint, PowerCapper};
+use dufp_msr::registers::{MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS, MSR_PKG_POWER_LIMIT};
+use dufp_msr::{FaultInjector, FaultOp, FaultPlan};
+use dufp_types::{Joules, Result, SocketId, Watts};
+use std::sync::Arc;
+
+/// [`PowerCapper`] decorator that injects faults from a plan.
+pub struct FaultyCapper<C> {
+    inner: C,
+    injector: Arc<FaultInjector>,
+    cpus_per_socket: usize,
+}
+
+impl<C: PowerCapper> FaultyCapper<C> {
+    /// Wraps `inner`. `cpus_per_socket` maps a socket id to its lead CPU
+    /// so `cpu=A-B` rules scope capper faults exactly like MSR faults.
+    pub fn new(inner: C, plan: FaultPlan, cpus_per_socket: usize) -> Self {
+        FaultyCapper {
+            inner,
+            injector: Arc::new(FaultInjector::new(plan)),
+            cpus_per_socket: cpus_per_socket.max(1),
+        }
+    }
+
+    /// The wrapped capper.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    fn check(&self, op: FaultOp, socket: SocketId, register: u32) -> Result<()> {
+        self.injector
+            .check_msr(op, socket.as_usize() * self.cpus_per_socket, register)
+    }
+}
+
+impl<C: PowerCapper> PowerCapper for FaultyCapper<C> {
+    fn set_limit(&self, socket: SocketId, which: Constraint, limit: Watts) -> Result<()> {
+        self.check(FaultOp::Write, socket, MSR_PKG_POWER_LIMIT)?;
+        self.inner.set_limit(socket, which, limit)
+    }
+
+    fn limit(&self, socket: SocketId, which: Constraint) -> Result<Watts> {
+        self.check(FaultOp::Read, socket, MSR_PKG_POWER_LIMIT)?;
+        self.inner.limit(socket, which)
+    }
+
+    fn defaults(&self, socket: SocketId) -> Result<(Watts, Watts)> {
+        self.inner.defaults(socket)
+    }
+
+    fn package_energy(&self, socket: SocketId) -> Result<Joules> {
+        self.check(FaultOp::Read, socket, MSR_PKG_ENERGY_STATUS)?;
+        self.inner.package_energy(socket)
+    }
+
+    fn dram_energy(&self, socket: SocketId) -> Result<Joules> {
+        self.check(FaultOp::Read, socket, MSR_DRAM_ENERGY_STATUS)?;
+        self.inner.dram_energy(socket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msr::MsrRapl;
+    use dufp_msr::registers::{PkgPowerLimit, RaplPowerUnit, SKYLAKE_SP_POWER_UNIT_RAW};
+    use dufp_msr::{registers::MSR_RAPL_POWER_UNIT, FakeMsr};
+    use dufp_types::Seconds;
+
+    fn rig(plan: &str) -> FaultyCapper<MsrRapl<Arc<FakeMsr>>> {
+        let msr = Arc::new(FakeMsr::new(32));
+        msr.seed(MSR_RAPL_POWER_UNIT, SKYLAKE_SP_POWER_UNIT_RAW);
+        let units = RaplPowerUnit::skylake_sp();
+        let reg = PkgPowerLimit::defaults(Watts(125.0), Seconds(1.0), Watts(150.0), Seconds(0.01));
+        msr.seed(MSR_PKG_POWER_LIMIT, reg.encode(&units).unwrap());
+        let capper = MsrRapl::new(Arc::clone(&msr), 2, 16).unwrap();
+        FaultyCapper::new(capper, FaultPlan::parse(plan).unwrap(), 16)
+    }
+
+    #[test]
+    fn scoped_write_faults_hit_only_the_target_socket() {
+        let c = rig("write,reg=cap,cpu=16-31");
+        assert!(c
+            .set_limit(SocketId(1), Constraint::LongTerm, Watts(90.0))
+            .is_err());
+        assert!(c
+            .set_limit(SocketId(0), Constraint::LongTerm, Watts(90.0))
+            .is_ok());
+        assert!(
+            c.limit(SocketId(1), Constraint::LongTerm).is_ok(),
+            "reads pass"
+        );
+    }
+
+    #[test]
+    fn energy_read_faults_are_separate_from_cap_faults() {
+        let c = rig("read,reg=energy");
+        assert!(c.package_energy(SocketId(0)).is_err());
+        assert!(c.dram_energy(SocketId(0)).is_ok());
+        assert!(c.limit(SocketId(0), Constraint::LongTerm).is_ok());
+    }
+
+    #[test]
+    fn default_reset_path_goes_through_checked_writes() {
+        let c = rig("write,reg=cap,window=0+100");
+        assert!(
+            c.reset(SocketId(0)).is_err(),
+            "reset uses set_limit, which faults"
+        );
+    }
+}

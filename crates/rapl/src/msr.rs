@@ -243,6 +243,68 @@ mod tests {
     }
 
     #[test]
+    fn double_wrap_across_a_long_gap_accumulates_both_wraps() {
+        // The 32-bit counter wraps twice over a long run; as long as each
+        // wrap is straddled by at least one read (at ~250 W a full lap of
+        // the counter takes ≈ 260 s against a 200 ms sampling interval),
+        // both laps land in the accumulator.
+        let m = fake();
+        let unit = RaplPowerUnit::skylake_sp().energy_unit;
+        let near_wrap = (1u64 << 32) - 100;
+        m.seed(MSR_PKG_ENERGY_STATUS, near_wrap);
+        let r = MsrRapl::new(m, 2, 16).unwrap();
+        assert_eq!(r.package_energy(SocketId(0)).unwrap(), Joules(0.0));
+
+        // First wrap: 100 units up to the wrap, 400 past it.
+        r.msr.seed_cpu(0, MSR_PKG_ENERGY_STATUS, 400);
+        let e1 = r.package_energy(SocketId(0)).unwrap();
+        // Long quiet stretch climbing back toward the wrap point...
+        r.msr.seed_cpu(0, MSR_PKG_ENERGY_STATUS, near_wrap);
+        let e2 = r.package_energy(SocketId(0)).unwrap();
+        // ...then the second wrap: another 100 up to it, 300 past it.
+        r.msr.seed_cpu(0, MSR_PKG_ENERGY_STATUS, 300);
+        let e3 = r.package_energy(SocketId(0)).unwrap();
+
+        let expect1 = 500.0 * unit;
+        let expect2 = (near_wrap - 400) as f64 * unit + expect1;
+        let expect3 = 400.0 * unit + expect2;
+        assert!((e1.value() - expect1).abs() < 1e-9, "{e1:?} vs {expect1}");
+        assert!((e2.value() - expect2).abs() < 1e-6, "{e2:?} vs {expect2}");
+        assert!((e3.value() - expect3).abs() < 1e-6, "{e3:?} vs {expect3}");
+        // Monotone despite the raw counter going backwards twice.
+        assert!(e3 > e2 && e2 > e1);
+    }
+
+    #[test]
+    fn wrap_state_is_tracked_per_counter_and_per_socket() {
+        // A wrap on socket 0's package counter must not leak phantom
+        // energy into its DRAM counter or into socket 1: each counter
+        // carries its own EnergyTrack.
+        let m = fake();
+        let unit = RaplPowerUnit::skylake_sp().energy_unit;
+        m.seed_cpu(0, MSR_PKG_ENERGY_STATUS, (1u64 << 32) - 50);
+        m.seed_cpu(0, MSR_DRAM_ENERGY_STATUS, 1_000);
+        m.seed_cpu(16, MSR_PKG_ENERGY_STATUS, 2_000);
+        let r = MsrRapl::new(m, 2, 16).unwrap();
+        // Prime all three counters.
+        assert_eq!(r.package_energy(SocketId(0)).unwrap(), Joules(0.0));
+        assert_eq!(r.dram_energy(SocketId(0)).unwrap(), Joules(0.0));
+        assert_eq!(r.package_energy(SocketId(1)).unwrap(), Joules(0.0));
+
+        // Socket 0's package counter wraps; the others advance modestly.
+        r.msr.seed_cpu(0, MSR_PKG_ENERGY_STATUS, 150);
+        r.msr.seed_cpu(0, MSR_DRAM_ENERGY_STATUS, 1_250);
+        r.msr.seed_cpu(16, MSR_PKG_ENERGY_STATUS, 2_400);
+
+        let pkg0 = r.package_energy(SocketId(0)).unwrap();
+        let dram0 = r.dram_energy(SocketId(0)).unwrap();
+        let pkg1 = r.package_energy(SocketId(1)).unwrap();
+        assert!((pkg0.value() - 200.0 * unit).abs() < 1e-9, "{pkg0:?}");
+        assert!((dram0.value() - 250.0 * unit).abs() < 1e-9, "{dram0:?}");
+        assert!((pkg1.value() - 400.0 * unit).abs() < 1e-9, "{pkg1:?}");
+    }
+
+    #[test]
     fn msr_fault_propagates() {
         let m = fake();
         m.inject(dufp_msr::io::Fault::WriteOf(MSR_PKG_POWER_LIMIT));

@@ -10,11 +10,12 @@ use dufp_msr::registers::{
     MSR_PKG_POWER_LIMIT, MSR_PLATFORM_INFO, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
     SKYLAKE_SP_POWER_UNIT_RAW,
 };
-use dufp_msr::MsrIo;
+use dufp_msr::{FaultInjector, FaultOp, FaultPlan, MsrIo};
 use dufp_types::{Duration, Error, Instant, Joules, Result, SocketId};
 use dufp_workloads::Workload;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A simulated multi-socket node.
 ///
@@ -42,6 +43,9 @@ pub struct Machine {
     sockets: Vec<Mutex<SocketSim>>,
     /// Microseconds since simulation start.
     now_us: AtomicU64,
+    /// Armed fault plan, if any; consulted on every MSR access and
+    /// telemetry sample with the simulator tick as the clock.
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl Machine {
@@ -54,7 +58,35 @@ impl Machine {
             cfg,
             sockets,
             now_us: AtomicU64::new(0),
+            injector: Mutex::new(None),
         }
+    }
+
+    /// Arms a [`FaultPlan`] against this machine's hardware surfaces: MSR
+    /// reads/writes and the counter-sampling path. Scheduled rules
+    /// (`at=`, `window=`) are evaluated against the simulator tick, so a
+    /// plan plus a seed reproduces the exact same chaos run.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.injector.lock() = if plan.is_empty() {
+            None
+        } else {
+            Some(Arc::new(FaultInjector::new(plan)))
+        };
+    }
+
+    /// Current tick index (the fault clock).
+    fn tick_index(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed) / self.cfg.tick.as_micros()
+    }
+
+    fn check_fault(&self, op: FaultOp, cpu: usize, address: u32) -> Result<()> {
+        let injector = self.injector.lock().clone();
+        if let Some(inj) = injector {
+            if inj.should_fail_at(op, cpu, address, Some(self.tick_index())) {
+                return Err(Error::msr(address, format!("injected {op:?} fault (plan)")));
+            }
+        }
+        Ok(())
     }
 
     /// The configuration this machine runs.
@@ -188,6 +220,7 @@ impl Machine {
 impl MsrIo for Machine {
     fn read(&self, cpu: usize, address: u32) -> Result<u64> {
         let sock = self.socket_of_cpu(cpu)?;
+        self.check_fault(FaultOp::Read, cpu, address)?;
         let units = RaplPowerUnit::skylake_sp();
         let s = sock.lock();
         match address {
@@ -218,6 +251,7 @@ impl MsrIo for Machine {
 
     fn write(&self, cpu: usize, address: u32, value: u64) -> Result<()> {
         let sock = self.socket_of_cpu(cpu)?;
+        self.check_fault(FaultOp::Write, cpu, address)?;
         let mut s = sock.lock();
         match address {
             MSR_UNCORE_RATIO_LIMIT => {
@@ -248,6 +282,8 @@ impl MsrIo for Machine {
 
 impl Telemetry for Machine {
     fn sample(&self, socket: SocketId) -> Result<CounterSnapshot> {
+        let lead_cpu = socket.as_usize() * usize::from(self.cfg.arch.cores_per_socket);
+        self.check_fault(FaultOp::Sample, lead_cpu, 0)?;
         let s = self.socket(socket)?.lock();
         let acc = s.accumulators();
         Ok(CounterSnapshot {
@@ -442,6 +478,31 @@ mod tests {
         // Wrong factor counts and bad factors are rejected.
         assert!(m.load_imbalanced(&w, &[1.0, 1.0]).is_err());
         assert!(m.load_imbalanced(&w, &[1.0, 0.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn fault_plan_follows_the_simulated_clock() {
+        let m = Machine::new(SimConfig::yeti(11));
+        // Cap writes on socket 0 (cpus 0-15) fail during ticks [5, 8).
+        m.inject_faults(FaultPlan::parse("write,reg=cap,cpu=0-15,window=5+3;sample,at=5").unwrap());
+        let write_cap = |m: &Machine| m.write(0, MSR_PKG_POWER_LIMIT, 0x00DD_8000);
+        assert!(write_cap(&m).is_ok(), "tick 0: before the window");
+        for _ in 0..5 {
+            m.tick();
+        }
+        assert!(write_cap(&m).is_err(), "tick 5: inside the window");
+        assert!(m.sample(SocketId(0)).is_err(), "sampler path also faulted");
+        assert!(
+            m.write(16, MSR_PKG_POWER_LIMIT, 0x00DD_8000).is_ok(),
+            "socket 1 unaffected"
+        );
+        for _ in 0..3 {
+            m.tick();
+        }
+        assert!(write_cap(&m).is_ok(), "tick 8: window over");
+        assert!(m.sample(SocketId(0)).is_ok());
+        m.inject_faults(FaultPlan::none());
+        assert!(write_cap(&m).is_ok());
     }
 
     #[test]

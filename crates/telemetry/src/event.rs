@@ -53,11 +53,23 @@ pub enum Reason {
     TrailingCap,
     /// DNPC model-based estimate chose this setting.
     ModelEstimate,
+    /// A transient actuation failure was retried (old = attempt number,
+    /// new = the value being written).
+    ActuationRetry,
+    /// Persistent actuation failure degraded the controller's authority
+    /// over a knob (old/new are degradation-ladder ordinals: 0 = full,
+    /// 1 = uncore-only, 2 = passive).
+    Degraded,
+    /// The watchdog tripped (missed ticks, stale/NaN samples or an energy
+    /// anomaly) and forced a sampler re-prime plus cap reset.
+    WatchdogReset,
+    /// The safe-state guard restored platform defaults at end of run.
+    SafeStateRestore,
 }
 
 impl Reason {
     /// Every reason, in a stable order (used for summary tables).
-    pub const ALL: [Reason; 10] = [
+    pub const ALL: [Reason; 14] = [
         Reason::PhaseReset,
         Reason::SlowdownViolation,
         Reason::BandwidthViolation,
@@ -68,6 +80,10 @@ impl Reason {
         Reason::Probe,
         Reason::TrailingCap,
         Reason::ModelEstimate,
+        Reason::ActuationRetry,
+        Reason::Degraded,
+        Reason::WatchdogReset,
+        Reason::SafeStateRestore,
     ];
 }
 
@@ -205,6 +221,6 @@ mod tests {
         for r in Reason::ALL {
             assert!(seen.insert(format!("{r:?}")));
         }
-        assert_eq!(seen.len(), 10);
+        assert_eq!(seen.len(), 14);
     }
 }

@@ -16,6 +16,7 @@
 pub mod arch;
 pub mod error;
 pub mod ids;
+pub mod shutdown;
 pub mod time;
 pub mod units;
 

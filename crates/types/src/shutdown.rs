@@ -1,0 +1,43 @@
+//! Process-wide cooperative shutdown flag.
+//!
+//! The CLI's signal handler sets the flag from Ctrl-C; long-running loops
+//! (the experiment runner, cluster drivers) poll it between intervals and
+//! unwind cleanly, which lets the RAII safe-state guards restore hardware
+//! defaults on the way out. Signal handlers may only do async-signal-safe
+//! work, and a relaxed atomic store is exactly that.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Requests shutdown (async-signal-safe; callable from a signal handler).
+pub fn request() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Whether shutdown has been requested.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Clears the flag (start of a new run, or tests).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        request();
+        assert!(requested(), "idempotent");
+        reset();
+        assert!(!requested());
+    }
+}

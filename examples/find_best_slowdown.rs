@@ -26,6 +26,7 @@ fn main() {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
 
     println!("sweeping {app} under DUFP, {runs} runs per tolerance...\n");

@@ -19,6 +19,7 @@ fn main() {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
 
     // Paper protocol: 10 runs, drop best and worst, average the rest.

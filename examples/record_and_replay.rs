@@ -54,6 +54,7 @@ fn main() {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
     let base = run_repeated(&spec(ControllerKind::Default), 4, 1).unwrap();
     println!("\nwhat-if on the captured model:");

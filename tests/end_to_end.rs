@@ -11,6 +11,7 @@ fn spec(app: &str, controller: ControllerKind) -> ExperimentSpec {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     }
 }
 

@@ -17,6 +17,7 @@ fn measure(app: &str, controller: ControllerKind, seed: u64) -> RepeatedResult {
         trace: None,
         interval_ms: None,
         telemetry: false,
+        fault_plan: None,
     };
     run_repeated(&spec, RUNS, seed).unwrap()
 }

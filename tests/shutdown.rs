@@ -1,0 +1,34 @@
+//! Cooperative-shutdown behavior of the experiment runner.
+//!
+//! Lives in its own integration-test binary on purpose: the shutdown flag
+//! is process-wide, so flipping it next to concurrently running `run_once`
+//! tests would abort them spuriously. As a separate binary this test owns
+//! the whole process.
+
+use dufp::{run_once, ControllerKind, ExperimentSpec};
+use dufp_sim::SimConfig;
+use dufp_types::shutdown;
+
+#[test]
+fn shutdown_request_aborts_the_run_cleanly() {
+    shutdown::reset();
+    shutdown::request();
+    let spec = ExperimentSpec {
+        sim: SimConfig::yeti_single_socket(0),
+        app: "EP".into(),
+        controller: ControllerKind::Default,
+        trace: None,
+        interval_ms: None,
+        telemetry: false,
+        fault_plan: None,
+    };
+    // The guards drop on the early return, restoring hardware defaults;
+    // the caller sees a clean, typed error rather than a dead process.
+    let err = run_once(&spec, 1).expect_err("a pending shutdown must abort the run");
+    shutdown::reset();
+    assert!(err.to_string().contains("shutdown"), "{err}");
+
+    // With the flag cleared the same spec runs to completion.
+    let r = run_once(&spec, 1).expect("cleared flag must not abort");
+    assert!(r.exec_time.value() > 0.0);
+}
