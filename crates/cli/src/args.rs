@@ -10,6 +10,7 @@ USAGE:
     dufp run <APP> [--controller default|duf|dufp|dufpf|dnpc|cap:<W>] [--slowdown PCT]
                    [--sockets N] [--runs N] [--seed S] [--json]
                    [--trace-out FILE.jsonl] [--fault-plan PLAN|FILE.json]
+                   [--journal-dir DIR] [--fsync always|never|every:N]
                    <APP> is a modeled application (see `dufp apps`) or a
                    path to a workload spec file ending in .json
                    --trace-out records every controller decision (with its
@@ -18,6 +19,16 @@ USAGE:
                    hardware (chaos run); PLAN is either a path to a JSON
                    fault plan or an inline rule list like
                    \"seed=42;write,reg=cap,p=0.01\"
+                   --journal-dir makes the run crash-safe: every control
+                   interval is appended to a write-ahead journal in DIR
+                   and the control state is checkpointed periodically;
+                   requires --runs 1. --fsync picks the durability policy
+                   for journal appends (default every:8)
+    dufp resume <DIR> [--json]
+                             resume a crashed journaled run from its
+                             journal directory and finish it
+    dufp journal <DIR>       inspect a journal directory: metadata,
+                             recorded intervals, checkpoints, completion
     dufp trace <FILE.jsonl> [--summary]
                              inspect a decision trace written by --trace-out;
                              --summary tallies events per reason code
@@ -42,6 +53,8 @@ EXAMPLES:
     dufp run HPL --controller cap:100
     dufp run CG --trace-out /tmp/cg.jsonl && dufp trace /tmp/cg.jsonl --summary
     dufp run CG --fault-plan \"seed=7;write,reg=cap,p=0.01\" --trace-out /tmp/chaos.jsonl
+    dufp run CG --journal-dir /tmp/cg-journal && dufp journal /tmp/cg-journal
+    dufp resume /tmp/cg-journal
 ";
 
 /// A parsed `run` invocation.
@@ -70,6 +83,39 @@ pub struct RunSpec {
     /// string (see `dufp_msr::FaultPlan::parse`). Enables telemetry so the
     /// resilience events land in the decision trace.
     pub fault_plan: Option<String>,
+    /// Optional journal directory: makes the run crash-safe (write-ahead
+    /// journal + periodic checkpoints, resumable with `dufp resume`).
+    pub journal_dir: Option<String>,
+    /// Fsync policy for journal appends (`always`, `never`, `every:N`).
+    pub fsync: Option<FsyncArg>,
+}
+
+/// Parsed `--fsync` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncArg {
+    /// fsync after every record.
+    Always,
+    /// Never fsync (the OS decides).
+    Never,
+    /// fsync after every N records.
+    EveryN(u32),
+}
+
+fn parse_fsync(v: &str) -> Result<FsyncArg, String> {
+    match v {
+        "always" => Ok(FsyncArg::Always),
+        "never" => Ok(FsyncArg::Never),
+        other => {
+            let n = other
+                .strip_prefix("every:")
+                .ok_or_else(|| format!("bad fsync policy {other} (always|never|every:N)"))?;
+            let n: u32 = n.parse().map_err(|_| format!("bad fsync interval {n}"))?;
+            if n == 0 {
+                return Err("fsync every:0 makes no sense; use never".into());
+            }
+            Ok(FsyncArg::EveryN(n))
+        }
+    }
 }
 
 /// Which controller to run.
@@ -116,11 +162,31 @@ pub struct TraceCmd {
     pub summary: bool,
 }
 
+/// A parsed `resume` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeCmd {
+    /// Journal directory of the crashed run.
+    pub dir: String,
+    /// Emit machine-readable JSON instead of a human summary.
+    pub json: bool,
+}
+
+/// A parsed `journal` (inspection) invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalCmd {
+    /// Journal directory to inspect.
+    pub dir: String,
+}
+
 /// Subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run an application under a controller.
     Run(RunSpec),
+    /// Resume a crashed journaled run.
+    Resume(ResumeCmd),
+    /// Inspect a journal directory.
+    Journal(JournalCmd),
     /// Run once with tracing and render ASCII timelines.
     Timeline(RunSpec),
     /// Capture a counter trace into a workload spec file.
@@ -181,6 +247,34 @@ impl Cli {
                     command: Command::Trace(cmd),
                 })
             }
+            "resume" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| format!("resume: missing <DIR>\n\n{USAGE}"))?
+                    .clone();
+                let mut cmd = ResumeCmd { dir, json: false };
+                for flag in it {
+                    match flag.as_str() {
+                        "--json" => cmd.json = true,
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                Ok(Cli {
+                    command: Command::Resume(cmd),
+                })
+            }
+            "journal" => {
+                let dir = it
+                    .next()
+                    .ok_or_else(|| format!("journal: missing <DIR>\n\n{USAGE}"))?
+                    .clone();
+                if let Some(other) = it.next() {
+                    return Err(format!("unknown flag {other}\n\n{USAGE}"));
+                }
+                Ok(Cli {
+                    command: Command::Journal(JournalCmd { dir }),
+                })
+            }
             "record" => {
                 let app = it
                     .next()
@@ -224,6 +318,8 @@ impl Cli {
                     machine: None,
                     trace_out: None,
                     fault_plan: None,
+                    journal_dir: None,
+                    fsync: None,
                 };
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -273,8 +369,24 @@ impl Cli {
                                     .clone(),
                             )
                         }
+                        "--journal-dir" => {
+                            spec.journal_dir =
+                                Some(it.next().ok_or("--journal-dir needs a path")?.clone())
+                        }
+                        "--fsync" => {
+                            let v = it.next().ok_or("--fsync needs a policy")?;
+                            spec.fsync = Some(parse_fsync(v)?);
+                        }
                         other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
                     }
+                }
+                if spec.fsync.is_some() && spec.journal_dir.is_none() {
+                    return Err("--fsync only applies to journaled runs; add --journal-dir".into());
+                }
+                if spec.journal_dir.is_some() && sub != "run" {
+                    return Err(format!(
+                        "--journal-dir is only valid with `run`, not `{sub}`"
+                    ));
                 }
                 Ok(Cli {
                     command: match sub {
@@ -423,6 +535,64 @@ mod tests {
         assert!(parse(&["run", "CG", "--fault-plan"])
             .unwrap_err()
             .contains("--fault-plan"));
+    }
+
+    #[test]
+    fn journal_flags_parse() {
+        let cli = parse(&["run", "EP", "--journal-dir", "/tmp/j", "--fsync", "every:4"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.journal_dir.as_deref(), Some("/tmp/j"));
+        assert_eq!(spec.fsync, Some(FsyncArg::EveryN(4)));
+
+        for (v, want) in [("always", FsyncArg::Always), ("never", FsyncArg::Never)] {
+            let cli = parse(&["run", "EP", "--journal-dir", "/tmp/j", "--fsync", v]).unwrap();
+            let Command::Run(spec) = cli.command else {
+                panic!()
+            };
+            assert_eq!(spec.fsync, Some(want), "{v}");
+        }
+
+        assert!(parse(&["run", "EP", "--fsync", "always"])
+            .unwrap_err()
+            .contains("--journal-dir"));
+        assert!(parse(&["run", "EP", "--journal-dir", "/tmp/j", "--fsync", "every:0"]).is_err());
+        assert!(parse(&[
+            "run",
+            "EP",
+            "--journal-dir",
+            "/tmp/j",
+            "--fsync",
+            "sometimes"
+        ])
+        .is_err());
+        assert!(parse(&["timeline", "EP", "--journal-dir", "/tmp/j"])
+            .unwrap_err()
+            .contains("only valid with `run`"));
+    }
+
+    #[test]
+    fn resume_and_journal_subcommands_parse() {
+        let cli = parse(&["resume", "/tmp/j", "--json"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Resume(ResumeCmd {
+                dir: "/tmp/j".into(),
+                json: true,
+            })
+        );
+        assert!(parse(&["resume"]).unwrap_err().contains("missing <DIR>"));
+
+        let cli = parse(&["journal", "/tmp/j"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Journal(JournalCmd {
+                dir: "/tmp/j".into(),
+            })
+        );
+        assert!(parse(&["journal"]).unwrap_err().contains("missing <DIR>"));
+        assert!(parse(&["journal", "/tmp/j", "--extra"]).is_err());
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Subcommand implementations.
 
-use crate::args::{ControllerArg, RecordSpec, RunSpec, TraceCmd};
+use crate::args::{ControllerArg, FsyncArg, JournalCmd, RecordSpec, ResumeCmd, RunSpec, TraceCmd};
 use crate::plot::{chart, Series};
-use dufp::{run_once, run_repeated, ControllerKind, ExperimentSpec, TraceSpec};
+use dufp::{
+    run_journaled, run_once, run_repeated, ControllerKind, ExperimentSpec, JournalOptions,
+    TraceSpec,
+};
+use dufp_journal::{list_checkpoints, FsyncPolicy};
 use dufp_msr::FaultPlan;
 use dufp_telemetry::{read_jsonl, write_jsonl, Actuator, DecisionEvent, Reason};
 use dufp_types::ArchSpec;
@@ -23,6 +27,10 @@ fn resolve_sim(spec: &RunSpec) -> Result<dufp_sim::SimConfig, String> {
     };
     sim.arch.sockets = spec.sockets;
     sim.seed = spec.seed;
+    sim.validate().map_err(|e| match &spec.machine {
+        Some(path) => format!("machine file {path}: {e}"),
+        None => e.to_string(),
+    })?;
     Ok(sim)
 }
 
@@ -67,10 +75,27 @@ fn controller_kind(spec: &RunSpec) -> ControllerKind {
     }
 }
 
+/// Resolves `--journal-dir`/`--fsync` into [`JournalOptions`].
+fn journal_options(spec: &RunSpec) -> Option<JournalOptions> {
+    let dir = spec.journal_dir.as_ref()?;
+    let mut opts = JournalOptions::new(dir);
+    if let Some(fsync) = spec.fsync {
+        opts.fsync = match fsync {
+            FsyncArg::Always => FsyncPolicy::Always,
+            FsyncArg::Never => FsyncPolicy::Never,
+            FsyncArg::EveryN(n) => FsyncPolicy::EveryN(n),
+        };
+    }
+    Some(opts)
+}
+
 /// `dufp run <APP> ...`
 pub fn run_app(spec: &RunSpec) -> Result<String, String> {
     if spec.trace_out.is_some() && spec.runs != 1 {
         return Err("--trace-out records a single run; use --runs 1".into());
+    }
+    if spec.journal_dir.is_some() && spec.runs != 1 {
+        return Err("--journal-dir journals a single run; use --runs 1".into());
     }
     let sim = resolve_sim(spec)?;
     let kind = controller_kind(spec);
@@ -88,7 +113,10 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
     };
 
     if spec.runs == 1 {
-        let mut r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
+        let mut r = match journal_options(spec) {
+            Some(opts) => run_journaled(&exp, spec.seed, &opts).map_err(|e| e.to_string())?,
+            None => run_once(&exp, spec.seed).map_err(|e| e.to_string())?,
+        };
         let mut trace_note = String::new();
         let mut resilience_note = String::new();
         // The trace goes to the file; keep stdout (human or JSON)
@@ -155,6 +183,9 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
         .unwrap();
         out.push_str(&trace_note);
         out.push_str(&resilience_note);
+        if let Some(dir) = &spec.journal_dir {
+            writeln!(out, "  journal        : sealed in {dir}").unwrap();
+        }
         Ok(out)
     } else {
         let r = run_repeated(&exp, spec.runs, spec.seed).map_err(|e| e.to_string())?;
@@ -183,6 +214,81 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
         writeln!(out, "{}", line("total energy", &r.total_energy, "J")).unwrap();
         Ok(out)
     }
+}
+
+/// `dufp resume <DIR>` — finish a crashed journaled run.
+pub fn resume(cmd: &ResumeCmd) -> Result<String, String> {
+    let dir = std::path::Path::new(&cmd.dir);
+    let summary = dufp::summarize(dir).map_err(|e| format!("journal {}: {e}", cmd.dir))?;
+    let replayed = summary.intervals.len();
+    let r = dufp::resume(dir).map_err(|e| format!("journal {}: {e}", cmd.dir))?;
+    if cmd.json {
+        return serde_json::to_string_pretty(&r).map_err(|e| e.to_string());
+    }
+    let meta = &summary.meta;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "resumed {} under {} from {} journaled interval(s)",
+        meta.spec.app,
+        meta.spec.controller.label(),
+        replayed,
+    )
+    .unwrap();
+    writeln!(out, "  execution time : {:>10.2} s", r.exec_time.value()).unwrap();
+    writeln!(
+        out,
+        "  package power  : {:>10.2} W",
+        r.avg_pkg_power.value()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  total energy   : {:>10.1} J",
+        r.total_energy().value()
+    )
+    .unwrap();
+    writeln!(out, "  journal        : sealed in {}", cmd.dir).unwrap();
+    Ok(out)
+}
+
+/// `dufp journal <DIR>` — inspect a journal directory without running.
+pub fn journal(cmd: &JournalCmd) -> Result<String, String> {
+    let dir = std::path::Path::new(&cmd.dir);
+    let summary = dufp::summarize(dir).map_err(|e| format!("journal {}: {e}", cmd.dir))?;
+    let checkpoints = list_checkpoints(dir).map_err(|e| format!("journal {}: {e}", cmd.dir))?;
+    let meta = &summary.meta;
+    let mut out = String::new();
+    writeln!(out, "journal {}", cmd.dir).unwrap();
+    writeln!(
+        out,
+        "  experiment     : {} under {} ({} socket(s), seed {})",
+        meta.spec.app,
+        meta.spec.controller.label(),
+        meta.spec.sim.arch.sockets,
+        meta.seed,
+    )
+    .unwrap();
+    writeln!(out, "  intervals      : {:>10}", summary.intervals.len()).unwrap();
+    let cps: Vec<String> = checkpoints.iter().map(|(seq, _)| seq.to_string()).collect();
+    writeln!(
+        out,
+        "  checkpoints    : {:>10}  [{}]",
+        checkpoints.len(),
+        cps.join(", "),
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  status         : {}",
+        match (summary.complete, summary.truncated) {
+            (true, _) => "complete (sealed)",
+            (false, true) => "crashed (torn tail dropped) — resumable with `dufp resume`",
+            (false, false) => "crashed or in progress — resumable with `dufp resume`",
+        }
+    )
+    .unwrap();
+    Ok(out)
 }
 
 /// `dufp timeline <APP> ...` — one traced run rendered as ASCII charts.
@@ -312,6 +418,7 @@ fn fmt_actuator_value(actuator: Actuator, v: f64) -> String {
     match actuator {
         Actuator::Uncore | Actuator::CoreFreq => format!("{:.2} GHz", v / 1e9),
         Actuator::PowerCap | Actuator::PowerCapShort => format!("{v:.0} W"),
+        Actuator::Journal => format!("{v:.0} intervals"),
     }
 }
 
@@ -335,6 +442,7 @@ pub fn trace(cmd: &TraceCmd) -> Result<String, String> {
             Actuator::PowerCap,
             Actuator::PowerCapShort,
             Actuator::CoreFreq,
+            Actuator::Journal,
         ] {
             let n = events.iter().filter(|e| e.actuator == a).count();
             writeln!(out, "  {:<20} {n:>6}", a.to_string()).unwrap();
@@ -581,6 +689,8 @@ mod tests {
             machine: None,
             trace_out: None,
             fault_plan: None,
+            journal_dir: None,
+            fsync: None,
         }
     }
 
@@ -740,6 +850,60 @@ mod tests {
         let mut s = spec("EP", 1);
         s.fault_plan = Some("seed=nope".into());
         assert!(run_app(&s).unwrap_err().contains("fault plan"));
+    }
+
+    #[test]
+    fn journaled_run_inspects_seals_and_refuses_rerun() {
+        let dir = std::env::temp_dir().join(format!("dufp-cli-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = spec("EP", 1);
+        s.journal_dir = Some(dir.to_str().unwrap().to_string());
+        let out = run_app(&s).unwrap();
+        assert!(out.contains("journal"), "{out}");
+
+        let inspect = journal(&JournalCmd {
+            dir: dir.to_str().unwrap().into(),
+        })
+        .unwrap();
+        assert!(inspect.contains("EP under DUFP@10%"), "{inspect}");
+        assert!(inspect.contains("complete (sealed)"), "{inspect}");
+        assert!(inspect.contains("checkpoints"), "{inspect}");
+
+        // A sealed journal has nothing to resume.
+        let err = resume(&ResumeCmd {
+            dir: dir.to_str().unwrap().into(),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("completed run"), "{err}");
+
+        // And a second run must not clobber it.
+        let err = run_app(&s).unwrap_err();
+        assert!(err.contains("already contains segments"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_dir_with_repeats_is_rejected() {
+        let mut s = spec("EP", 3);
+        s.journal_dir = Some("/tmp/never-created".into());
+        assert!(run_app(&s).unwrap_err().contains("--runs 1"));
+    }
+
+    #[test]
+    fn journal_inspect_on_missing_dir_is_a_clean_error() {
+        let err = journal(&JournalCmd {
+            dir: "/nonexistent/journal".into(),
+        })
+        .unwrap_err();
+        assert!(err.contains("journal"), "{err}");
+        let err = resume(&ResumeCmd {
+            dir: "/nonexistent/journal".into(),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("journal"), "{err}");
     }
 
     #[test]

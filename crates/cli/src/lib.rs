@@ -16,7 +16,11 @@
 //! * `timeline` — run once with tracing and render the Fig. 5-style
 //!   frequency/power/cap timelines as ASCII charts,
 //! * `trace` — inspect a decision-trace JSONL file written by
-//!   `run --trace-out` (per-reason summaries with `--summary`).
+//!   `run --trace-out` (per-reason summaries with `--summary`),
+//! * `resume` — finish a crashed journaled run (`run --journal-dir`)
+//!   from its write-ahead journal and last checkpoint,
+//! * `journal` — inspect a journal directory: metadata, recorded
+//!   intervals, checkpoints, completion status.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
     let cli = Cli::parse(argv)?;
     match cli.command {
         Command::Run(ref spec) => commands::run_app(spec),
+        Command::Resume(ref cmd) => commands::resume(cmd),
+        Command::Journal(ref cmd) => commands::journal(cmd),
         Command::Timeline(ref spec) => commands::timeline(spec),
         Command::Record(ref spec) => commands::record(spec),
         Command::Trace(ref cmd) => commands::trace(cmd),

@@ -111,6 +111,39 @@ impl<M: MsrIo, C: PowerCapper> HwActuators<M, C> {
     pub fn socket(&self) -> SocketId {
         self.socket
     }
+
+    /// Whether the uncore band is currently pinned (vs. hardware UFS).
+    pub fn uncore_pinned(&self) -> bool {
+        self.pinned
+    }
+
+    /// The core-frequency ceiling this instance last requested (for
+    /// checkpoints; see [`HwActuators::restore_cached`]).
+    pub fn cached_freq_cap(&self) -> Hertz {
+        self.cached_freq_cap
+    }
+
+    /// Restores the cached register views from a checkpoint. A fresh
+    /// construction reads the *default* register state, not the state the
+    /// checkpointed run had driven the hardware to, so every cached value
+    /// a controller's getters can observe — uncore frequency and pin
+    /// flag, both cap constraints, the core-frequency ceiling — must come
+    /// from the checkpoint. Platform defaults need no restore: they are
+    /// invariant across the run.
+    pub fn restore_cached(
+        &mut self,
+        pinned: bool,
+        uncore: Hertz,
+        long: Watts,
+        short: Watts,
+        freq_cap: Hertz,
+    ) {
+        self.pinned = pinned;
+        self.cached_uncore = uncore;
+        self.cached_long = long;
+        self.cached_short = short;
+        self.cached_freq_cap = freq_cap;
+    }
 }
 
 impl<M: MsrIo, C: PowerCapper> Actuators for HwActuators<M, C> {

@@ -1,6 +1,7 @@
 //! Baseline controllers: the default configuration and static power caps.
 
 use crate::actuators::Actuators;
+use crate::state::ControllerState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
 use dufp_types::{Result, Seconds, Watts};
@@ -17,6 +18,17 @@ impl Controller for NoOp {
 
     fn on_interval(&mut self, _m: &IntervalMetrics, _act: &mut dyn Actuators) -> Result<()> {
         Ok(())
+    }
+
+    fn state(&self) -> ControllerState {
+        ControllerState::NoOp
+    }
+
+    fn restore(&mut self, state: &ControllerState) -> Result<()> {
+        match state {
+            ControllerState::NoOp => Ok(()),
+            other => Err(other.mismatch("default")),
+        }
     }
 }
 
@@ -82,6 +94,27 @@ impl Controller for StaticCap {
             }
         }
         Ok(())
+    }
+
+    fn state(&self) -> ControllerState {
+        ControllerState::StaticCap {
+            applied: self.applied,
+            reset_done: self.reset_done,
+        }
+    }
+
+    fn restore(&mut self, state: &ControllerState) -> Result<()> {
+        match state {
+            ControllerState::StaticCap {
+                applied,
+                reset_done,
+            } => {
+                self.applied = *applied;
+                self.reset_done = *reset_done;
+                Ok(())
+            }
+            other => Err(other.mismatch("static-cap")),
+        }
     }
 }
 

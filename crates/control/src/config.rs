@@ -65,17 +65,36 @@ pub struct ControlConfig {
     pub cumulative_guard: bool,
 }
 
+/// A finite `f64`, or a typed error naming the offending field.
+fn finite(name: &'static str, v: f64) -> Result<()> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(Error::invalid(name, format!("{v} is not finite")))
+    }
+}
+
+/// A finite, strictly positive `f64`.
+fn positive(name: &'static str, v: f64) -> Result<()> {
+    finite(name, v)?;
+    if v > 0.0 {
+        Ok(())
+    } else {
+        Err(Error::invalid(name, format!("{v} must be positive")))
+    }
+}
+
 impl ControlConfig {
     /// The paper's configuration for `arch` at the given tolerated
     /// slowdown.
     pub fn from_arch(arch: &ArchSpec, slowdown: Ratio) -> Result<Self> {
-        if !(0.0..1.0).contains(&slowdown.value()) {
-            return Err(Error::invalid(
-                "slowdown",
-                format!("{} must be within [0, 1)", slowdown.value()),
-            ));
-        }
-        Ok(ControlConfig {
+        let cfg = Self::from_arch_unchecked(arch, slowdown);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn from_arch_unchecked(arch: &ArchSpec, slowdown: Ratio) -> Self {
+        ControlConfig {
             slowdown,
             interval: Duration::from_millis(200),
             epsilon: Ratio(0.01),
@@ -95,7 +114,79 @@ impl ControlConfig {
             coupling2: true,
             overshoot_reset: true,
             cumulative_guard: false,
-        })
+        }
+    }
+
+    /// Rejects configurations no controller can act on — NaN/negative
+    /// magnitudes, inverted ladders, a zero monitoring interval — with a
+    /// typed [`Error::InvalidValue`] naming the offending field. Called by
+    /// [`ControlConfig::from_arch`] and by anything deserializing a config
+    /// from user input.
+    pub fn validate(&self) -> Result<()> {
+        finite("slowdown", self.slowdown.value())?;
+        if !(0.0..1.0).contains(&self.slowdown.value()) {
+            return Err(Error::invalid(
+                "slowdown",
+                format!("{} must be within [0, 1)", self.slowdown.value()),
+            ));
+        }
+        finite("epsilon", self.epsilon.value())?;
+        if !(0.0..1.0).contains(&self.epsilon.value()) {
+            return Err(Error::invalid(
+                "epsilon",
+                format!("{} must be within [0, 1)", self.epsilon.value()),
+            ));
+        }
+        if self.interval.as_micros() == 0 {
+            return Err(Error::invalid("interval", "zero monitoring interval"));
+        }
+        positive("core_freq_min", self.core_freq_min.value())?;
+        positive("core_freq_max", self.core_freq_max.value())?;
+        positive("core_freq_step", self.core_freq_step.value())?;
+        if self.core_freq_min > self.core_freq_max {
+            return Err(Error::invalid(
+                "core_freq_min",
+                format!(
+                    "{:.2} GHz above core_freq_max {:.2} GHz",
+                    self.core_freq_min.as_ghz(),
+                    self.core_freq_max.as_ghz()
+                ),
+            ));
+        }
+        positive("uncore_min", self.uncore_min.value())?;
+        positive("uncore_max", self.uncore_max.value())?;
+        positive("uncore_step", self.uncore_step.value())?;
+        if self.uncore_min > self.uncore_max {
+            return Err(Error::invalid(
+                "uncore_min",
+                format!(
+                    "{:.2} GHz above uncore_max {:.2} GHz",
+                    self.uncore_min.as_ghz(),
+                    self.uncore_max.as_ghz()
+                ),
+            ));
+        }
+        positive("cap_step", self.cap_step.value())?;
+        positive("cap_floor", self.cap_floor.value())?;
+        finite("overshoot_margin", self.overshoot_margin.value())?;
+        if self.overshoot_margin.value() < 0.0 {
+            return Err(Error::invalid(
+                "overshoot_margin",
+                format!("{} W is negative", self.overshoot_margin.value()),
+            ));
+        }
+        positive("oi_highly_memory", self.oi_highly_memory)?;
+        positive("oi_highly_compute", self.oi_highly_compute)?;
+        if self.oi_highly_memory >= self.oi_highly_compute {
+            return Err(Error::invalid(
+                "oi_highly_memory",
+                format!(
+                    "{} not below oi_highly_compute {}",
+                    self.oi_highly_memory, self.oi_highly_compute
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// The FLOPS/s floor implied by the tolerated slowdown for a per-phase
@@ -132,6 +223,29 @@ mod tests {
         assert!(ControlConfig::from_arch(&ArchSpec::yeti(), Ratio(1.0)).is_err());
         assert!(ControlConfig::from_arch(&ArchSpec::yeti(), Ratio(-0.1)).is_err());
         assert!(ControlConfig::from_arch(&ArchSpec::yeti(), Ratio(0.0)).is_ok());
+    }
+
+    #[test]
+    fn broken_configs_are_rejected_with_the_offending_field() {
+        let base = ControlConfig::from_arch(&ArchSpec::yeti(), Ratio::from_percent(5.0)).unwrap();
+        let check = |mutate: &dyn Fn(&mut ControlConfig), field: &str| {
+            let mut c = base.clone();
+            mutate(&mut c);
+            let err = c.validate().unwrap_err().to_string();
+            assert!(err.contains(field), "expected {field} in: {err}");
+        };
+        check(&|c| c.slowdown = Ratio(f64::NAN), "slowdown");
+        check(&|c| c.slowdown = Ratio(1.5), "slowdown");
+        check(&|c| c.epsilon = Ratio(-0.01), "epsilon");
+        check(&|c| c.interval = Duration::ZERO, "interval");
+        check(&|c| c.core_freq_step = Hertz(0.0), "core_freq_step");
+        check(&|c| c.uncore_min = Hertz::from_ghz(3.0), "uncore_min");
+        check(&|c| c.uncore_max = Hertz(f64::INFINITY), "uncore_max");
+        check(&|c| c.cap_step = Watts(-5.0), "cap_step");
+        check(&|c| c.cap_floor = Watts(0.0), "cap_floor");
+        check(&|c| c.overshoot_margin = Watts(-1.0), "overshoot_margin");
+        check(&|c| c.oi_highly_memory = 200.0, "oi_highly_memory");
+        check(&|c| c.oi_highly_compute = f64::NAN, "oi_highly_compute");
     }
 
     #[test]

@@ -16,11 +16,13 @@
 
 use crate::actuators::Actuators;
 use crate::config::ControlConfig;
+use crate::state::ControllerState;
 use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
 use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::Result;
+use serde::{Deserialize, Serialize};
 
 /// The DNPC-style controller: cap only, frequency-linear degradation model.
 #[derive(Debug)]
@@ -31,7 +33,7 @@ pub struct Dnpc {
 }
 
 /// What DNPC did this interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DnpcAction {
     /// No decision yet.
     None,
@@ -128,6 +130,24 @@ impl Controller for Dnpc {
         }
         self.tel.tick += 1;
         Ok(())
+    }
+
+    fn state(&self) -> ControllerState {
+        ControllerState::Dnpc {
+            last_action: self.last_action,
+            tel: self.tel.counters(),
+        }
+    }
+
+    fn restore(&mut self, state: &ControllerState) -> Result<()> {
+        match state {
+            ControllerState::Dnpc { last_action, tel } => {
+                self.last_action = *last_action;
+                self.tel.restore_counters(tel);
+                Ok(())
+            }
+            other => Err(other.mismatch("DNPC")),
+        }
     }
 }
 

@@ -12,14 +12,16 @@
 use crate::actuators::Actuators;
 use crate::config::ControlConfig;
 use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::state::{ControllerState, UncoreLogicState};
 use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
 use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::{Hertz, Result};
+use serde::{Deserialize, Serialize};
 
 /// What the uncore logic did this interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum UncoreAction {
     /// No decision yet (first interval) or nothing to do.
     None,
@@ -56,6 +58,22 @@ impl UncoreLogic {
             probe_floor: None,
             intervals_since_violation: 0,
         }
+    }
+
+    /// Snapshot of the engine's decision state (for checkpoints).
+    pub fn state(&self) -> UncoreLogicState {
+        UncoreLogicState {
+            last_action: self.last_action,
+            probe_floor: self.probe_floor,
+            intervals_since_violation: self.intervals_since_violation,
+        }
+    }
+
+    /// Restores a snapshot taken by [`UncoreLogic::state`].
+    pub fn restore(&mut self, s: &UncoreLogicState) {
+        self.last_action = s.last_action;
+        self.probe_floor = s.probe_floor;
+        self.intervals_since_violation = s.intervals_since_violation;
     }
 
     /// Decides and actuates for one interval. `event` must come from the
@@ -234,6 +252,30 @@ impl Controller for Duf {
         }
         self.tel.tick += 1;
         Ok(())
+    }
+
+    fn state(&self) -> ControllerState {
+        ControllerState::Duf {
+            tracker: self.tracker.clone(),
+            uncore: self.logic.state(),
+            tel: self.tel.counters(),
+        }
+    }
+
+    fn restore(&mut self, state: &ControllerState) -> Result<()> {
+        match state {
+            ControllerState::Duf {
+                tracker,
+                uncore,
+                tel,
+            } => {
+                self.tracker = tracker.clone();
+                self.logic.restore(uncore);
+                self.tel.restore_counters(tel);
+                Ok(())
+            }
+            other => Err(other.mismatch("DUF")),
+        }
     }
 }
 

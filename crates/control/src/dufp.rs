@@ -30,14 +30,16 @@ use crate::actuators::Actuators;
 use crate::config::ControlConfig;
 use crate::duf::{relative_drop, uncore_trace_reason, UncoreAction, UncoreLogic};
 use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::state::ControllerState;
 use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
 use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::{Result, Watts};
+use serde::{Deserialize, Serialize};
 
 /// What the cap logic did this interval (trace/test visibility).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CapAction {
     /// No decision yet.
     None,
@@ -363,6 +365,51 @@ impl Controller for Dufp {
         self.prev_uncore_action = uncore_action_before;
         self.prev_flops = Some(m.flops.value());
         Ok(())
+    }
+
+    fn state(&self) -> ControllerState {
+        ControllerState::Dufp {
+            tracker: self.tracker.clone(),
+            uncore: self.uncore.state(),
+            last_cap_action: self.last_cap_action,
+            prev_flops: self.prev_flops,
+            prev_uncore_action: self.prev_uncore_action,
+            cap_probe_floor: self.cap_probe_floor,
+            intervals_since_cap_violation: self.intervals_since_cap_violation,
+            cumulative_flops: self.cumulative_flops,
+            cumulative_reference: self.cumulative_reference,
+            tel: self.tel.counters(),
+        }
+    }
+
+    fn restore(&mut self, state: &ControllerState) -> Result<()> {
+        match state {
+            ControllerState::Dufp {
+                tracker,
+                uncore,
+                last_cap_action,
+                prev_flops,
+                prev_uncore_action,
+                cap_probe_floor,
+                intervals_since_cap_violation,
+                cumulative_flops,
+                cumulative_reference,
+                tel,
+            } => {
+                self.tracker = tracker.clone();
+                self.uncore.restore(uncore);
+                self.last_cap_action = *last_cap_action;
+                self.prev_flops = *prev_flops;
+                self.prev_uncore_action = *prev_uncore_action;
+                self.cap_probe_floor = *cap_probe_floor;
+                self.intervals_since_cap_violation = *intervals_since_cap_violation;
+                self.cumulative_flops = *cumulative_flops;
+                self.cumulative_reference = *cumulative_reference;
+                self.tel.restore_counters(tel);
+                Ok(())
+            }
+            other => Err(other.mismatch("DUFP")),
+        }
     }
 }
 

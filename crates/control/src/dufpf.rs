@@ -24,14 +24,16 @@ use crate::actuators::Actuators;
 use crate::config::ControlConfig;
 use crate::duf::{relative_drop, uncore_trace_reason, UncoreAction, UncoreLogic};
 use crate::phase::{PhaseEvent, PhaseTracker};
+use crate::state::ControllerState;
 use crate::trace::TelState;
 use crate::Controller;
 use dufp_counters::IntervalMetrics;
 use dufp_telemetry::{Actuator, Reason, SocketTelemetry};
 use dufp_types::{Hertz, Result, Watts};
+use serde::{Deserialize, Serialize};
 
 /// What the frequency logic did this interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FreqAction {
     /// No decision yet.
     None,
@@ -229,6 +231,39 @@ impl Controller for DufpF {
 
         self.last_freq_action = freq_action;
         Ok(())
+    }
+
+    fn state(&self) -> ControllerState {
+        ControllerState::DufpF {
+            tracker: self.tracker.clone(),
+            uncore: self.uncore.state(),
+            last_freq_action: self.last_freq_action,
+            probe_floor: self.probe_floor,
+            intervals_since_violation: self.intervals_since_violation,
+            tel: self.tel.counters(),
+        }
+    }
+
+    fn restore(&mut self, state: &ControllerState) -> Result<()> {
+        match state {
+            ControllerState::DufpF {
+                tracker,
+                uncore,
+                last_freq_action,
+                probe_floor,
+                intervals_since_violation,
+                tel,
+            } => {
+                self.tracker = tracker.clone();
+                self.uncore.restore(uncore);
+                self.last_freq_action = *last_freq_action;
+                self.probe_floor = *probe_floor;
+                self.intervals_since_violation = *intervals_since_violation;
+                self.tel.restore_counters(tel);
+                Ok(())
+            }
+            other => Err(other.mismatch("DUFP-F")),
+        }
     }
 }
 

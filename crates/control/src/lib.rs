@@ -45,6 +45,7 @@ pub mod dufp;
 pub mod dufpf;
 pub mod phase;
 pub mod resilient;
+pub mod state;
 mod trace;
 
 pub use actuators::{Actuators, HwActuators};
@@ -56,8 +57,10 @@ pub use dufp::Dufp;
 pub use dufpf::DufpF;
 pub use phase::{PhaseClass, PhaseEvent, PhaseTracker};
 pub use resilient::{
-    classify, DegradationLevel, ErrorClass, ResilientActuators, RetryPolicy, SafeStateGuard,
+    classify, DegradationLevel, ErrorClass, KnobSnapshot, ResilienceState, ResilientActuators,
+    RetryPolicy, SafeStateGuard,
 };
+pub use state::{ControllerState, TelCounters, UncoreLogicState};
 
 use dufp_counters::IntervalMetrics;
 use dufp_types::Result;
@@ -69,4 +72,12 @@ pub trait Controller: Send {
 
     /// One monitoring-interval decision step.
     fn on_interval(&mut self, metrics: &IntervalMetrics, act: &mut dyn Actuators) -> Result<()>;
+
+    /// Serializable snapshot of the full decision state, stored in
+    /// checkpoints so a crashed run can resume mid-experiment.
+    fn state(&self) -> ControllerState;
+
+    /// Restores a snapshot taken from the same controller kind; a
+    /// mismatched snapshot fails with a typed error.
+    fn restore(&mut self, state: &ControllerState) -> Result<()>;
 }

@@ -43,7 +43,7 @@ pub enum PhaseEvent {
 }
 
 /// Tracks the current phase and its performance maxima.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PhaseTracker {
     class: Option<PhaseClass>,
     /// Highest FLOPS/s seen in the current phase.

@@ -27,6 +27,7 @@
 use crate::actuators::Actuators;
 use dufp_telemetry::{Actuator as TelActuator, Counter, DecisionEvent, Reason, SocketTelemetry};
 use dufp_types::{Error, Hertz, Result, Watts};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -53,7 +54,10 @@ pub fn classify(e: &Error) -> ErrorClass {
     match e {
         Error::Msr { .. } | Error::Io(_) => ErrorClass::Transient,
         Error::Unsupported(_) | Error::NoSuchComponent(_) => ErrorClass::Persistent,
-        Error::InvalidValue { .. } | Error::Precondition(_) => ErrorClass::Fatal,
+        Error::InvalidValue { .. }
+        | Error::Precondition(_)
+        | Error::Timeout { .. }
+        | Error::Corruption(_) => ErrorClass::Fatal,
     }
 }
 
@@ -144,6 +148,27 @@ struct KnobState {
     disabled: bool,
 }
 
+/// Checkpointable view of one knob's ladder position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnobSnapshot {
+    /// Consecutive absorbed failures at checkpoint time.
+    pub streak: u32,
+    /// Whether the knob had been abandoned.
+    pub disabled: bool,
+}
+
+/// Checkpointable state of the resilience layer: the op counter (used as
+/// the tick stand-in for events) plus each knob's ladder position, in
+/// uncore / cap / core-frequency order. Restoring it on resume keeps the
+/// degradation ladder exactly where the crashed run left it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceState {
+    /// Actuation ops performed before the checkpoint.
+    pub ops: u64,
+    /// Per-knob ladder state (uncore, cap, core-freq).
+    pub knobs: Vec<KnobSnapshot>,
+}
+
 /// Retrying, degrading wrapper around any [`Actuators`] implementation.
 ///
 /// See the [module docs](self) for the failure model. Getters always
@@ -226,6 +251,31 @@ impl<A: Actuators> ResilientActuators<A> {
         self.degradations_total.get()
     }
 
+    /// Captures the checkpointable resilience state.
+    pub fn state(&self) -> ResilienceState {
+        ResilienceState {
+            ops: self.ops,
+            knobs: self
+                .knobs
+                .iter()
+                .map(|k| KnobSnapshot {
+                    streak: k.streak,
+                    disabled: k.disabled,
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores a previously captured resilience state (extra entries are
+    /// ignored, missing ones leave the knob at its default).
+    pub fn restore_state(&mut self, s: &ResilienceState) {
+        self.ops = s.ops;
+        for (dst, src) in self.knobs.iter_mut().zip(s.knobs.iter()) {
+            dst.streak = src.streak;
+            dst.disabled = src.disabled;
+        }
+    }
+
     /// Consumes the wrapper, returning the inner actuators.
     pub fn into_inner(self) -> A {
         self.inner
@@ -234,6 +284,11 @@ impl<A: Actuators> ResilientActuators<A> {
     /// The wrapped actuators.
     pub fn inner(&self) -> &A {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped actuators (checkpoint restore).
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
     }
 
     fn emit(&self, actuator: TelActuator, old: f64, new: f64, reason: Reason) {

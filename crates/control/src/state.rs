@@ -1,0 +1,131 @@
+//! Serializable controller state for checkpoint/resume.
+//!
+//! Every [`crate::Controller`] can snapshot its full decision state into a
+//! [`ControllerState`] and later restore from it; the runner stores these
+//! snapshots in periodic checkpoints so a crashed experiment resumes with
+//! the controllers exactly where they left off — same phase maxima, same
+//! probe floors, same couplings — which is what makes the resumed decision
+//! trajectory bit-identical to an uninterrupted run.
+//!
+//! The enum is deliberately data-only (no trait objects, no `Box`): it
+//! round-trips through JSON with the vendored serde and a restore into the
+//! wrong controller kind fails with a typed error instead of silently
+//! reinterpreting fields.
+
+use crate::dnpc::DnpcAction;
+use crate::duf::UncoreAction;
+use crate::dufp::CapAction;
+use crate::dufpf::FreqAction;
+use crate::phase::PhaseTracker;
+use serde::{Deserialize, Serialize};
+
+/// The per-controller telemetry counters ([`crate::trace::TelState`]'s
+/// durable part — the recorder handle itself is reattached on resume).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelCounters {
+    /// Monitoring intervals seen so far.
+    pub tick: u64,
+    /// Phase changes seen so far.
+    pub phase_seq: u64,
+}
+
+/// Snapshot of the shared DUF uncore decision engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncoreLogicState {
+    /// The action taken on the most recent interval.
+    pub last_action: UncoreAction,
+    /// Probe floor a violation established, if any.
+    pub probe_floor: Option<f64>,
+    /// Intervals since the last violation (re-probe clock).
+    pub intervals_since_violation: u32,
+}
+
+/// A controller's full decision state, one variant per controller kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerState {
+    /// [`crate::NoOp`] carries no state.
+    NoOp,
+    /// [`crate::StaticCap`] application latches.
+    StaticCap {
+        /// Whether the cap has been applied.
+        applied: bool,
+        /// Whether the windowed reset already happened.
+        reset_done: bool,
+    },
+    /// [`crate::Duf`]: phase tracker + uncore engine.
+    Duf {
+        /// Shared phase tracker.
+        tracker: PhaseTracker,
+        /// Uncore decision engine.
+        uncore: UncoreLogicState,
+        /// Telemetry counters.
+        tel: TelCounters,
+    },
+    /// [`crate::Dufp`]: DUF state plus the cap state machine.
+    Dufp {
+        /// Shared phase tracker.
+        tracker: PhaseTracker,
+        /// Uncore decision engine.
+        uncore: UncoreLogicState,
+        /// Most recent cap action.
+        last_cap_action: CapAction,
+        /// FLOPS/s of the previous interval (coupling 1).
+        prev_flops: Option<f64>,
+        /// Uncore action two intervals back (coupling 1).
+        prev_uncore_action: UncoreAction,
+        /// Cap probe floor, if a violation established one.
+        cap_probe_floor: Option<f64>,
+        /// Intervals since the last cap violation.
+        intervals_since_cap_violation: u32,
+        /// Cumulative FLOPs observed (§V-G guard).
+        cumulative_flops: f64,
+        /// Cumulative FLOPs of the per-phase-maximum reference run.
+        cumulative_reference: f64,
+        /// Telemetry counters.
+        tel: TelCounters,
+    },
+    /// [`crate::DufpF`]: DUF state plus the direct-frequency ladder.
+    DufpF {
+        /// Shared phase tracker.
+        tracker: PhaseTracker,
+        /// Uncore decision engine.
+        uncore: UncoreLogicState,
+        /// Most recent frequency action.
+        last_freq_action: FreqAction,
+        /// Frequency probe floor, if any.
+        probe_floor: Option<f64>,
+        /// Intervals since the last frequency violation.
+        intervals_since_violation: u32,
+        /// Telemetry counters.
+        tel: TelCounters,
+    },
+    /// [`crate::Dnpc`]: the frequency-linear baseline.
+    Dnpc {
+        /// Most recent action.
+        last_action: DnpcAction,
+        /// Telemetry counters.
+        tel: TelCounters,
+    },
+}
+
+impl ControllerState {
+    /// The controller kind this snapshot belongs to (diagnostics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ControllerState::NoOp => "default",
+            ControllerState::StaticCap { .. } => "static-cap",
+            ControllerState::Duf { .. } => "DUF",
+            ControllerState::Dufp { .. } => "DUFP",
+            ControllerState::DufpF { .. } => "DUFP-F",
+            ControllerState::Dnpc { .. } => "DNPC",
+        }
+    }
+
+    /// The typed error for restoring into the wrong controller kind.
+    pub(crate) fn mismatch(&self, expected: &'static str) -> dufp_types::Error {
+        dufp_types::Error::invalid(
+            "controller state",
+            format!("cannot restore a {} snapshot into {expected}", self.kind()),
+        )
+    }
+}

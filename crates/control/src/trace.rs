@@ -6,6 +6,7 @@
 //! `with_telemetry` pay one branch per interval and allocate nothing.
 
 use crate::phase::PhaseTracker;
+use crate::state::TelCounters;
 use dufp_counters::IntervalMetrics;
 use dufp_telemetry::{Actuator, DecisionCtx, Reason, SocketTelemetry};
 
@@ -24,6 +25,20 @@ impl TelState {
     /// Whether events are being recorded at all.
     pub fn is_enabled(&self) -> bool {
         self.tel.is_enabled()
+    }
+
+    /// The durable counters (for [`crate::ControllerState`] snapshots).
+    pub fn counters(&self) -> TelCounters {
+        TelCounters {
+            tick: self.tick,
+            phase_seq: self.phase_seq,
+        }
+    }
+
+    /// Restores checkpointed counters; the recorder handle is unchanged.
+    pub fn restore_counters(&mut self, c: &TelCounters) {
+        self.tick = c.tick;
+        self.phase_seq = c.phase_seq;
     }
 
     /// Records that `actuator` moved `old` → `new` because of `reason`.

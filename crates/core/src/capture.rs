@@ -15,7 +15,22 @@ use dufp_workloads::{apps, MaterializeCtx, Workload, WorkloadFile};
 
 /// Runs `app` (a model name or a `.json` spec path) once on `sim` in the
 /// default configuration and records the 200 ms counter trace of socket 0.
+///
+/// Aborts with [`dufp_types::Error::Timeout`] — carrying the number of
+/// samples captured so far — if the simulated run exceeds ten times the
+/// workload's nominal duration (plus a 30 s grace), which indicates a
+/// wedged workload or a mis-calibrated machine description.
 pub fn record_trace(sim: &SimConfig, app: &str) -> Result<Vec<CounterSample>> {
+    record_trace_with_deadline(sim, app, None)
+}
+
+/// [`record_trace`] with an explicit deadline override (used by the
+/// timeout regression test; `None` applies the 10x-nominal rule).
+fn record_trace_with_deadline(
+    sim: &SimConfig,
+    app: &str,
+    deadline: Option<Duration>,
+) -> Result<Vec<CounterSample>> {
     let ctx = MaterializeCtx::from_arch(&sim.arch);
     let workload: Workload = if app.ends_with(".json") {
         dufp_workloads::load_workload(app, &ctx)?
@@ -30,9 +45,11 @@ pub fn record_trace(sim: &SimConfig, app: &str) -> Result<Vec<CounterSample>> {
     let interval = Duration::from_millis(200);
     let ticks = (interval.as_micros() / sim.tick.as_micros()).max(1);
     let mut out = Vec::new();
-    let max = Duration::from_seconds(Seconds(
-        workload.nominal_duration(&ctx).value() * 10.0 + 30.0,
-    ));
+    let max = deadline.unwrap_or_else(|| {
+        Duration::from_seconds(Seconds(
+            workload.nominal_duration(&ctx).value() * 10.0 + 30.0,
+        ))
+    });
     while !machine.done() {
         for _ in 0..ticks {
             machine.tick();
@@ -41,9 +58,10 @@ pub fn record_trace(sim: &SimConfig, app: &str) -> Result<Vec<CounterSample>> {
             }
         }
         if machine.now().duration_since(dufp_types::Instant::ZERO) >= max {
-            return Err(dufp_types::Error::Precondition(
-                "recording exceeded 10x nominal time".into(),
-            ));
+            return Err(dufp_types::Error::Timeout {
+                what: "trace recording",
+                partial_len: out.len(),
+            });
         }
         if let Some(m) = sampler.sample(&machine, SocketId(0))? {
             out.push(CounterSample {
@@ -130,6 +148,25 @@ mod tests {
             capt.avg_pkg_power.value()
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overrunning_a_recording_returns_a_typed_timeout_with_partial_progress() {
+        // A 1 s deadline on a multi-second workload: the recorder must
+        // abort with Error::Timeout and report how many 200 ms samples it
+        // captured before giving up, so callers can salvage the prefix.
+        let sim = SimConfig::deterministic(7);
+        let err = record_trace_with_deadline(&sim, "CG", Some(Duration::from_secs(1))).unwrap_err();
+        match err {
+            dufp_types::Error::Timeout { what, partial_len } => {
+                assert_eq!(what, "trace recording");
+                assert!(
+                    (1..=5).contains(&partial_len),
+                    "expected a short partial trace, got {partial_len}"
+                );
+            }
+            other => panic!("expected Error::Timeout, got {other:?}"),
+        }
     }
 
     #[test]

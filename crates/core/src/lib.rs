@@ -49,12 +49,17 @@
 
 pub mod capture;
 pub mod compare;
+pub mod journal;
 pub mod runner;
 pub mod stats;
 pub mod watchdog;
 
 pub use capture::{record_trace, record_workload};
 pub use compare::{ratios_vs_default, Ratios};
+pub use journal::{
+    resume, run_journaled, summarize, CheckpointState, JournalOptions, JournalRecord,
+    JournalSummary, RunMeta, SocketRegs,
+};
 pub use runner::{run_once, run_repeated, ControllerKind, ExperimentSpec, RunResult, TraceSpec};
 pub use stats::{trimmed, RepeatedResult, Summary};
 pub use watchdog::{Watchdog, WatchdogTrip};

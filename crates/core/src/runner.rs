@@ -6,6 +6,7 @@
 //! frequency and power cap. Execution time, package power, DRAM power and
 //! total energy are reported for the whole node.
 
+use crate::journal::{ActuatorCache, CheckpointState, JournalRecord, SocketRegs};
 use crate::stats::{trimmed, RepeatedResult};
 use crate::watchdog::Watchdog;
 use dufp_control::{
@@ -13,8 +14,10 @@ use dufp_control::{
     ResilientActuators, SafeStateGuard, StaticCap,
 };
 use dufp_counters::{CounterSnapshot, Sampler, Telemetry};
-use dufp_msr::FaultPlan;
-use dufp_rapl::MsrRapl;
+use dufp_journal::{truncate_records, write_checkpoint, FsyncPolicy, JournalWriter};
+use dufp_msr::registers::{PerfCtl, UncoreRatioLimit};
+use dufp_msr::{FaultPlan, InjectorSnapshot, MsrIo};
+use dufp_rapl::{MsrRapl, PowerCapper};
 use dufp_sim::{Machine, SimConfig, Trace};
 use dufp_telemetry::{
     Actuator, DecisionEvent, Reason, SocketTelemetry, Telemetry as TelemetryHandle, TelemetryReport,
@@ -23,6 +26,7 @@ use dufp_types::{shutdown, Duration, Error, Joules, Ratio, Result, Seconds, Sock
 use dufp_workloads::{apps, MaterializeCtx};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which controller to run on each socket.
@@ -201,8 +205,118 @@ fn sample_end(machine: &Machine, socket: SocketId) -> Result<CounterSnapshot> {
     Err(last.unwrap_or_else(|| Error::Precondition("unreachable: no sample error".into())))
 }
 
+/// A journaled-run request handed to the driver by [`crate::journal`].
+pub(crate) struct JournalSession {
+    /// Journal directory (segments + checkpoints + `meta.json`).
+    pub dir: PathBuf,
+    /// Fsync policy for the live portion of the run.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint cadence in completed control intervals.
+    pub checkpoint_every: u64,
+    /// Pre-created writer (fresh runs); `None` until replay finishes on
+    /// resumes, because resume must truncate the tail before reopening.
+    pub writer: Option<JournalWriter>,
+    /// Present when resuming a crashed run.
+    pub resume: Option<ResumePoint>,
+}
+
+/// The validated journal contents a resume starts from.
+pub(crate) struct ResumePoint {
+    /// Final per-socket registers of every journaled interval, in order.
+    pub intervals: Vec<Vec<SocketRegs>>,
+    /// The checkpoint to restore, when a usable one exists. `None` means
+    /// a full deterministic replay from the start.
+    pub checkpoint: Option<CheckpointState>,
+}
+
+/// A journal being written by the live portion of a run.
+struct ActiveJournal {
+    writer: JournalWriter,
+    dir: PathBuf,
+    checkpoint_every: u64,
+}
+
+/// Snapshot of everything the journal registers cannot rebuild, taken at
+/// a control-interval boundary.
+fn checkpoint_state<M: MsrIo, C: PowerCapper>(
+    interval: u64,
+    tick: u64,
+    seed: u64,
+    per_socket: &[PerSocket<M, C>],
+    injector: Option<InjectorSnapshot>,
+) -> CheckpointState {
+    CheckpointState {
+        interval,
+        tick,
+        seed,
+        controllers: per_socket.iter().map(|(c, ..)| c.state()).collect(),
+        samplers: per_socket.iter().map(|(_, s, ..)| s.snapshot()).collect(),
+        resilience: per_socket.iter().map(|(.., g)| g.state()).collect(),
+        actuators: per_socket
+            .iter()
+            .map(|(.., g)| {
+                let hw = g.inner();
+                ActuatorCache {
+                    pinned: hw.uncore_pinned(),
+                    uncore: hw.uncore(),
+                    cap_long: hw.cap_long(),
+                    cap_short: hw.cap_short(),
+                    freq_cap: hw.core_freq_cap(),
+                }
+            })
+            .collect(),
+        injector,
+    }
+}
+
+/// Restores a checkpoint onto freshly constructed per-socket stacks.
+fn restore_checkpoint<M: MsrIo, C: PowerCapper>(
+    cp: &CheckpointState,
+    per_socket: &mut [PerSocket<M, C>],
+) -> Result<()> {
+    let n = per_socket.len();
+    if cp.controllers.len() != n
+        || cp.samplers.len() != n
+        || cp.resilience.len() != n
+        || cp.actuators.len() != n
+    {
+        return Err(Error::Corruption(format!(
+            "checkpoint describes {} socket(s), run has {n}",
+            cp.controllers.len()
+        )));
+    }
+    for (i, (controller, sampler, _, guard)) in per_socket.iter_mut().enumerate() {
+        controller.restore(&cp.controllers[i])?;
+        sampler.restore(cp.samplers[i]);
+        let resilient: &mut ResilientActuators<_> = &mut *guard;
+        resilient.restore_state(&cp.resilience[i]);
+        let a = cp.actuators[i];
+        resilient.inner_mut().restore_cached(
+            a.pinned,
+            a.uncore,
+            a.cap_long,
+            a.cap_short,
+            a.freq_cap,
+        );
+    }
+    Ok(())
+}
+
+type Guarded<M, C> = SafeStateGuard<ResilientActuators<HwActuators<M, C>>>;
+type PerSocket<M, C> = (Box<dyn Controller>, Sampler, Watchdog, Guarded<M, C>);
+
 /// Executes one run with the given seed.
 pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
+    run_driver(spec, seed, None)
+}
+
+/// The run loop shared by plain, journaled and resumed runs.
+pub(crate) fn run_driver(
+    spec: &ExperimentSpec,
+    seed: u64,
+    journal: Option<JournalSession>,
+) -> Result<RunResult> {
+    spec.sim.validate()?;
     let mut sim = spec.sim.clone();
     sim.seed = seed;
     let arch = sim.arch.clone();
@@ -254,9 +368,7 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
     // actuation failures, and the safe-state guard restores platform
     // defaults however the run ends — normal completion, error return,
     // panic unwind or a shutdown request.
-    type Guarded<M, C> = SafeStateGuard<ResilientActuators<HwActuators<M, C>>>;
-    let mut per_socket: Vec<(Box<dyn Controller>, Sampler, Watchdog, Guarded<_, _>)> = (0..arch
-        .sockets)
+    let mut per_socket: Vec<PerSocket<_, _>> = (0..arch.sockets)
         .map(|s| {
             let act = HwActuators::new(
                 Arc::clone(&machine),
@@ -292,16 +404,107 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
         .collect::<Result<Vec<_>>>()?;
     let started = machine.now();
 
-    // Arm the fault plan only now: initialization is done, so scheduled
-    // rules count from the first control interval and a chaos plan cannot
-    // fail the setup path it is not meant to model.
-    if let Some(plan) = &spec.fault_plan {
-        machine.inject_faults(plan.clone());
+    let ticks_per_interval = (cfg.interval.as_micros() / machine.config().tick.as_micros()).max(1);
+
+    // Journal activation. On resume this replays the journaled prefix —
+    // tick batches plus each interval's final registers, which by the
+    // simulator's determinism reproduces the crashed run bit-for-bit up
+    // to the checkpoint — then restores the checkpointed soft state and
+    // truncates the journal tail (it is regenerated identically by the
+    // continued live run). The injector stays unarmed throughout replay:
+    // its consumed randomness is accounted for by the checkpointed
+    // snapshot, not by re-drawing.
+    let mut completed: u64 = 0;
+    let mut crash_enabled = true;
+    let mut restored_injector: Option<InjectorSnapshot> = None;
+    let mut active: Option<ActiveJournal> = None;
+    if let Some(mut session) = journal {
+        if let Some(resume) = session.resume.take() {
+            crash_enabled = false;
+            let head = resume.intervals.len() as u64;
+            let replay_to = resume.checkpoint.as_ref().map(|c| c.interval).unwrap_or(0);
+            if replay_to > head {
+                return Err(Error::Corruption(format!(
+                    "checkpoint at interval {replay_to} is newer than the journal head {head}"
+                )));
+            }
+            for regs in resume.intervals.iter().take(replay_to as usize) {
+                for _ in 0..ticks_per_interval {
+                    machine.tick();
+                }
+                if machine.done() {
+                    return Err(Error::Corruption(
+                        "journal extends past workload completion".into(),
+                    ));
+                }
+                if regs.len() != per_socket.len() {
+                    return Err(Error::Corruption(format!(
+                        "journal record carries {} socket(s), run has {}",
+                        regs.len(),
+                        per_socket.len()
+                    )));
+                }
+                for (s, r) in regs.iter().enumerate() {
+                    machine.with_socket(SocketId(s as u16), |ss| {
+                        ss.write_uncore(UncoreRatioLimit::decode(r.uncore));
+                        ss.write_limit(r.limit);
+                        ss.write_perf_ctl(PerfCtl::decode(r.perf_ctl));
+                    })?;
+                }
+            }
+            if let Some(cp) = resume.checkpoint {
+                restore_checkpoint(&cp, &mut per_socket)?;
+                restored_injector = cp.injector;
+            }
+            let kept = truncate_records(&session.dir, replay_to)?;
+            session.writer = Some(JournalWriter::open(&session.dir, session.fsync, kept)?);
+            completed = replay_to;
+            tel.record_decision(DecisionEvent {
+                tick: machine.now().0 / machine.config().tick.as_micros(),
+                at_us: machine.now().0,
+                socket: 0,
+                phase: 0,
+                oi_class: None,
+                flops_ratio: None,
+                actuator: Actuator::Journal,
+                old: replay_to as f64,
+                new: head as f64,
+                reason: Reason::Resumed,
+            });
+        }
+        let writer = session
+            .writer
+            .take()
+            .ok_or_else(|| Error::Precondition("journal session carries no writer".to_owned()))?;
+        active = Some(ActiveJournal {
+            writer,
+            dir: session.dir,
+            checkpoint_every: session.checkpoint_every,
+        });
     }
+
+    // Arm the fault plan only now: initialization (and any resume replay)
+    // is done, so scheduled rules count from the first control interval
+    // and a chaos plan cannot fail the setup path it is not meant to
+    // model. A resumed run continues the checkpointed fault stream.
+    match (&spec.fault_plan, restored_injector.take()) {
+        (Some(plan), Some(snap)) => machine.inject_faults_with_state(plan.clone(), &snap)?,
+        (Some(plan), None) => machine.inject_faults(plan.clone()),
+        (None, _) => {}
+    }
+    // A `crash,at=N` rule kills the run once the fault clock reaches N —
+    // the in-process stand-in for SIGKILL that the crash-equivalence
+    // tests drive. A resumed run never re-crashes: the rule modeled the
+    // one crash that already happened.
+    let crash_at = if crash_enabled {
+        spec.fault_plan.as_ref().and_then(|p| p.crash_tick())
+    } else {
+        None
+    };
     let watchdog_resets = tel.counter("watchdog_resets_total");
     let sample_failures = tel.counter("sample_failures_total");
+    let journal_checkpoints = tel.counter("journal_checkpoints_total");
 
-    let ticks_per_interval = (cfg.interval.as_micros() / machine.config().tick.as_micros()).max(1);
     let max_duration = Duration::from_seconds(Seconds(nominal.value() * 10.0 + 30.0));
 
     'outer: loop {
@@ -316,6 +519,18 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
             machine.tick();
             if machine.done() {
                 break 'outer;
+            }
+            if let Some(at) = crash_at {
+                if machine.now().0 / machine.config().tick.as_micros() >= at {
+                    // The modeled process death: the journal keeps only
+                    // what was durably appended — no Complete record —
+                    // and the safe-state guards restore the platform as
+                    // the error unwinds, exactly like a wrapper script
+                    // cleaning up after a killed run.
+                    return Err(Error::Precondition(format!(
+                        "fault plan crash at tick {at}"
+                    )));
+                }
             }
             if machine.now().duration_since(started) >= max_duration {
                 return Err(Error::Precondition(format!(
@@ -376,6 +591,61 @@ pub fn run_once(spec: &ExperimentSpec, seed: u64) -> Result<RunResult> {
                 }
             }
         }
+        completed += 1;
+        if let Some(j) = active.as_mut() {
+            // Journal the interval's *final* register state — the complete
+            // actuation surface, whatever mix of controller moves, retries
+            // and degradations produced it.
+            let mut sockets = Vec::with_capacity(per_socket.len());
+            for s in 0..per_socket.len() {
+                sockets.push(machine.with_socket(SocketId(s as u16), |ss| SocketRegs {
+                    uncore: ss.uncore_raw().encode(),
+                    limit: ss.limit_raw(),
+                    perf_ctl: ss.perf_ctl().encode(),
+                })?);
+            }
+            let record = JournalRecord::Interval {
+                index: completed - 1,
+                tick: tick_now,
+                sockets,
+            };
+            j.writer.append(&record.encode()?)?;
+            if completed.is_multiple_of(j.checkpoint_every) {
+                // The journal prefix a checkpoint refers to must be
+                // durable before the checkpoint claims it exists.
+                j.writer.sync()?;
+                let cp = checkpoint_state(
+                    completed,
+                    tick_now,
+                    seed,
+                    &per_socket,
+                    machine.injector_snapshot(),
+                );
+                write_checkpoint(&j.dir, completed, &cp.encode()?)?;
+                journal_checkpoints.inc();
+                tel.record_decision(DecisionEvent {
+                    tick: tick_now,
+                    at_us: machine.now().0,
+                    socket: 0,
+                    phase: 0,
+                    oi_class: None,
+                    flops_ratio: None,
+                    actuator: Actuator::Journal,
+                    old: (completed - j.checkpoint_every) as f64,
+                    new: completed as f64,
+                    reason: Reason::Checkpoint,
+                });
+            }
+        }
+    }
+
+    if let Some(j) = active.as_mut() {
+        let record = JournalRecord::Complete {
+            intervals: completed,
+            tick: machine.now().0 / machine.config().tick.as_micros(),
+        };
+        j.writer.append(&record.encode()?)?;
+        j.writer.sync()?;
     }
 
     let exec_time = machine.now().duration_since(started).as_seconds();

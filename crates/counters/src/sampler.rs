@@ -76,6 +76,17 @@ impl Sampler {
         self.prev = None;
     }
 
+    /// The current baseline snapshot (for checkpoints).
+    pub fn snapshot(&self) -> Option<CounterSnapshot> {
+        self.prev
+    }
+
+    /// Restores a checkpointed baseline, so the first post-resume interval
+    /// is differenced against the same snapshot the crashed run held.
+    pub fn restore(&mut self, prev: Option<CounterSnapshot>) {
+        self.prev = prev;
+    }
+
     fn derive(prev: &CounterSnapshot, cur: &CounterSnapshot) -> Option<IntervalMetrics> {
         let dt = cur.at.duration_since(prev.at).as_seconds();
         if !dt.value().is_finite() || dt.value() <= 0.0 {

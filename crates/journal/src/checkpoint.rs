@@ -1,0 +1,190 @@
+//! Atomic checkpoints: full durable snapshots written beside the journal.
+//!
+//! A checkpoint is the caller's serialized state at sequence number `seq`
+//! (for the runner: the control-interval index whose journal record is
+//! already durable). Writes are atomic — payload goes to a temp file,
+//! `fdatasync`, then `rename(2)` — so a crash mid-checkpoint leaves the
+//! previous checkpoint intact. The last two checkpoints are retained so
+//! recovery can fall back when the newest one outruns a torn journal.
+
+use dufp_types::{Error, Result};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Checkpoints retained after a successful write.
+pub const KEEP_CHECKPOINTS: usize = 2;
+
+fn checkpoint_name(seq: u64) -> String {
+    format!("checkpoint-{seq:08}.json")
+}
+
+/// Lists `(seq, path)` for every checkpoint in `dir`, ascending by seq.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|r| r.strip_suffix(".json"))
+        {
+            if let Ok(seq) = rest.parse::<u64>() {
+                out.push((seq, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|(s, _)| *s);
+    Ok(out)
+}
+
+/// Atomically writes `payload` to an arbitrary file name in `dir` (temp
+/// file + fdatasync + rename). Used for checkpoints and the run metadata.
+pub fn write_file_atomic(dir: &Path, name: &str, payload: &[u8]) -> Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{name}.tmp"));
+    let target = dir.join(name);
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(payload)?;
+        f.sync_data()?;
+    }
+    fs::rename(&tmp, &target)?;
+    // Make the rename itself durable where the platform allows it.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(target)
+}
+
+/// Atomically writes checkpoint `seq` and prunes older checkpoints down to
+/// [`KEEP_CHECKPOINTS`]. Returns the checkpoint path.
+pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8]) -> Result<PathBuf> {
+    let target = write_file_atomic(dir, &checkpoint_name(seq), payload)?;
+    let all = list_checkpoints(dir)?;
+    if all.len() > KEEP_CHECKPOINTS {
+        for (_, path) in &all[..all.len() - KEEP_CHECKPOINTS] {
+            let _ = fs::remove_file(path);
+        }
+    }
+    Ok(target)
+}
+
+/// Reads a checkpoint's raw payload.
+pub fn load_checkpoint(path: &Path) -> Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(bytes)
+}
+
+/// Picks the newest loadable checkpoint with `seq < head` (i.e. whose
+/// journal record is itself durable).
+///
+/// * No checkpoints at all → `Ok(None)`: the caller replays from scratch.
+/// * Checkpoints exist but every one is newer than the journal head →
+///   typed [`Error::Corruption`]: the durable state is self-inconsistent
+///   (a checkpoint can only be written *after* its interval's record).
+/// * An unreadable newest checkpoint falls back to the older one.
+pub fn latest_checkpoint_before(dir: &Path, head: u64) -> Result<Option<(u64, Vec<u8>)>> {
+    let all = list_checkpoints(dir)?;
+    if all.is_empty() {
+        return Ok(None);
+    }
+    for (seq, path) in all.iter().rev() {
+        if *seq >= head {
+            continue;
+        }
+        if let Ok(payload) = load_checkpoint(path) {
+            return Ok(Some((*seq, payload)));
+        }
+    }
+    Err(Error::Corruption(format!(
+        "all {} checkpoint(s) in {} are at or beyond the journal head {head} \
+         (or unreadable); newest is {}",
+        all.len(),
+        dir.display(),
+        all.last().map(|(s, _)| *s).unwrap_or(0),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TestDir;
+
+    #[test]
+    fn write_load_roundtrip() {
+        let t = TestDir::new("ckpt-roundtrip");
+        let p = write_checkpoint(t.path(), 7, b"{\"interval\":7}").unwrap();
+        assert_eq!(load_checkpoint(&p).unwrap(), b"{\"interval\":7}");
+        assert!(p
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains("00000007"));
+    }
+
+    #[test]
+    fn retains_only_the_last_two() {
+        let t = TestDir::new("ckpt-prune");
+        for seq in [3u64, 6, 9, 12] {
+            write_checkpoint(t.path(), seq, format!("s{seq}").as_bytes()).unwrap();
+        }
+        let all = list_checkpoints(t.path()).unwrap();
+        assert_eq!(all.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![9, 12]);
+    }
+
+    #[test]
+    fn no_checkpoints_means_replay_from_scratch() {
+        let t = TestDir::new("ckpt-none");
+        assert_eq!(latest_checkpoint_before(t.path(), 100).unwrap(), None);
+    }
+
+    #[test]
+    fn newer_than_head_falls_back_to_older() {
+        let t = TestDir::new("ckpt-fallback");
+        write_checkpoint(t.path(), 10, b"old").unwrap();
+        write_checkpoint(t.path(), 50, b"new").unwrap();
+        // Journal head is 20 records: checkpoint 50 is unusable, 10 works.
+        let (seq, payload) = latest_checkpoint_before(t.path(), 20).unwrap().unwrap();
+        assert_eq!(seq, 10);
+        assert_eq!(payload, b"old");
+    }
+
+    #[test]
+    fn all_checkpoints_newer_than_head_is_corruption() {
+        let t = TestDir::new("ckpt-corrupt");
+        write_checkpoint(t.path(), 40, b"a").unwrap();
+        write_checkpoint(t.path(), 50, b"b").unwrap();
+        let err = latest_checkpoint_before(t.path(), 20).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)), "got {err}");
+        assert!(err.to_string().contains("journal head 20"));
+    }
+
+    #[test]
+    fn checkpoint_at_head_is_not_usable() {
+        // seq == head means the checkpointed interval's own record did not
+        // survive; the checkpoint must not be used.
+        let t = TestDir::new("ckpt-at-head");
+        write_checkpoint(t.path(), 5, b"x").unwrap();
+        let err = latest_checkpoint_before(t.path(), 5).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
+        assert!(latest_checkpoint_before(t.path(), 6).unwrap().is_some());
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let t = TestDir::new("ckpt-tmp");
+        write_file_atomic(t.path(), "meta.json", b"{}").unwrap();
+        let names: Vec<_> = fs::read_dir(t.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["meta.json"]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Crash-safe durability for long experiments.
+//!
+//! The paper's DUFP campaigns run for hours on shared hardware; PR 2 made
+//! a run survive actuator faults, but a process crash (OOM-kill, node
+//! reboot, scheduler preemption) still discarded everything. This crate
+//! provides the two durable artifacts the runner needs to resume:
+//!
+//! * [`JournalWriter`] / [`read_records`] — an append-only write-ahead
+//!   journal of opaque byte records, CRC-32-framed, rotated over segment
+//!   files, with a configurable [`FsyncPolicy`]. The reader tolerates the
+//!   one corruption a crash can produce — a torn tail — by truncating at
+//!   the first bad record instead of failing the file.
+//! * [`write_checkpoint`] / [`latest_checkpoint_before`] — atomic
+//!   full-state snapshots (temp file + fsync + rename), pruned to the
+//!   last [`KEEP_CHECKPOINTS`], with recovery that falls back to an older
+//!   checkpoint when the newest one outruns the surviving journal and
+//!   reports a typed [`dufp_types::Error::Corruption`] when none lines up.
+//!
+//! Everything here is byte-generic: the typed record/checkpoint schemas
+//! (what the runner actually journals) live in the `dufp` core crate, and
+//! the crash-equivalence semantics — kill-at-tick-N + resume must be
+//! bit-identical to an uninterrupted run — are verified there. DESIGN.md
+//! §11 documents the format and the recovery rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod crc;
+mod journal;
+mod testdir;
+
+pub use checkpoint::{
+    latest_checkpoint_before, list_checkpoints, load_checkpoint, write_checkpoint,
+    write_file_atomic, KEEP_CHECKPOINTS,
+};
+pub use crc::crc32;
+pub use journal::{
+    read_records, segment_paths, truncate_records, FsyncPolicy, JournalWriter, ReadOutcome,
+    DEFAULT_SEGMENT_BYTES, SEGMENT_MAGIC,
+};
+pub use testdir::TestDir;

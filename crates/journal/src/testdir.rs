@@ -1,0 +1,35 @@
+//! Minimal self-cleaning temp directory for tests (no external tempfile
+//! crate in the vendored build environment).
+
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique directory under the system temp dir, removed on drop.
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Creates `<tmp>/dufp-<name>-<pid>-<n>`.
+    pub fn new(name: &str) -> Self {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("dufp-{name}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create test dir");
+        TestDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -27,7 +27,12 @@ pub enum FaultOp {
     Write,
     /// Performance-counter sampling (the simulator's telemetry path).
     Sample,
-    /// Any access kind.
+    /// A whole-process crash at a scheduled tick. Crash rules are never
+    /// consulted per access (so they do not perturb other rules' match
+    /// counters); the runner polls [`FaultPlan::crash_tick`] instead and
+    /// aborts the process there.
+    Crash,
+    /// Any hardware access kind (does not include [`FaultOp::Crash`]).
     Any,
 }
 
@@ -106,6 +111,18 @@ impl FaultPlan {
         self.rules.is_empty()
     }
 
+    /// The earliest scheduled process crash (`crash,at=N` rules), if any.
+    /// The runner checks this against its tick counter and aborts there.
+    pub fn crash_tick(&self) -> Option<u64> {
+        self.rules
+            .iter()
+            .filter_map(|r| match (r.op, r.when) {
+                (FaultOp::Crash, FaultWhen::At { at }) => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
     /// Parses the compact command-line syntax:
     ///
     /// ```text
@@ -144,10 +161,11 @@ impl FaultPlan {
             Some("read") => FaultOp::Read,
             Some("write") => FaultOp::Write,
             Some("sample") => FaultOp::Sample,
+            Some("crash") => FaultOp::Crash,
             Some("any") => FaultOp::Any,
             other => {
                 return Err(bad(format!(
-                    "rule must start with read|write|sample|any, got {other:?}"
+                    "rule must start with read|write|sample|crash|any, got {other:?}"
                 )))
             }
         };
@@ -209,6 +227,9 @@ impl FaultPlan {
                 return Err(bad(format!("unknown item {item}")));
             }
         }
+        if rule.op == FaultOp::Crash && !matches!(rule.when, FaultWhen::At { .. }) {
+            return Err(bad("crash rules require an at=TICK schedule".into()));
+        }
         Ok(rule)
     }
 
@@ -241,6 +262,17 @@ struct InjectorState {
     hits: Vec<u64>,
 }
 
+/// Serializable runtime state of a [`FaultInjector`] — the rng position
+/// and per-rule match counters. Checkpointed so a resumed run's injected
+/// faults continue exactly where the crashed run's left off.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectorSnapshot {
+    /// SplitMix64 state.
+    pub rng: u64,
+    /// Per-rule match counters, in plan rule order.
+    pub hits: Vec<u64>,
+}
+
 /// A compiled, thread-safe [`FaultPlan`] that backends consult per access.
 #[derive(Debug)]
 pub struct FaultInjector {
@@ -260,6 +292,34 @@ impl FaultInjector {
                 hits,
             }),
         }
+    }
+
+    /// Captures the current runtime state (for checkpoints).
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        let state = self.state.lock();
+        InjectorSnapshot {
+            rng: state.rng,
+            hits: state.hits.clone(),
+        }
+    }
+
+    /// Restores a checkpointed runtime state. The snapshot must come from
+    /// an injector compiled from the same plan (same rule count).
+    pub fn restore(&self, snap: &InjectorSnapshot) -> Result<()> {
+        let mut state = self.state.lock();
+        if snap.hits.len() != self.rules.len() {
+            return Err(Error::invalid(
+                "injector snapshot",
+                format!(
+                    "snapshot has {} rule counter(s), plan has {} rule(s)",
+                    snap.hits.len(),
+                    self.rules.len()
+                ),
+            ));
+        }
+        state.rng = snap.rng;
+        state.hits = snap.hits.clone();
+        Ok(())
     }
 
     /// Whether the given access should fail, using per-rule match counts
@@ -477,8 +537,56 @@ mod tests {
             "write,cpu=9-3",
             "seed=abc",
             "write,wat=1",
+            "crash",
+            "crash,p=0.5",
+            "crash,window=1+5",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
         }
+    }
+
+    #[test]
+    fn crash_rules_report_the_earliest_tick_and_match_no_access() {
+        let plan = FaultPlan::parse("crash,at=350;crash,at=120;write,reg=cap,p=0.5").unwrap();
+        assert_eq!(plan.crash_tick(), Some(120));
+        assert_eq!(FaultPlan::parse("write,always").unwrap().crash_tick(), None);
+        // A crash rule's counter never advances: hardware accesses only
+        // consult read/write/sample/any rules.
+        let crash_only = FaultPlan::parse("crash,at=0").unwrap();
+        let inj = FaultInjector::new(crash_only);
+        for _ in 0..10 {
+            assert!(!inj.should_fail(FaultOp::Write, 0, MSR_PKG_POWER_LIMIT));
+        }
+        assert_eq!(inj.snapshot().hits, vec![0]);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_fault_stream() {
+        let plan = FaultPlan::parse("seed=9;any,p=0.3;write,window=2+4").unwrap();
+        let inj = FaultInjector::new(plan.clone());
+        for _ in 0..50 {
+            inj.should_fail(FaultOp::Write, 3, 0x610);
+        }
+        let snap = inj.snapshot();
+        let tail: Vec<bool> = (0..50)
+            .map(|_| inj.should_fail(FaultOp::Write, 3, 0x610))
+            .collect();
+        // A fresh injector restored from the snapshot continues identically.
+        let resumed = FaultInjector::new(plan);
+        resumed.restore(&snap).unwrap();
+        let resumed_tail: Vec<bool> = (0..50)
+            .map(|_| resumed.should_fail(FaultOp::Write, 3, 0x610))
+            .collect();
+        assert_eq!(tail, resumed_tail);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_rule_counts() {
+        let inj = FaultInjector::new(FaultPlan::parse("write,always").unwrap());
+        let bad = InjectorSnapshot {
+            rng: 0,
+            hits: vec![0, 0],
+        };
+        assert!(inj.restore(&bad).is_err());
     }
 }

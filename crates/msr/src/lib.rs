@@ -27,7 +27,7 @@ pub mod io;
 pub mod linux;
 pub mod registers;
 
-pub use fault::{FaultInjector, FaultOp, FaultPlan, FaultRule, FaultWhen};
+pub use fault::{FaultInjector, FaultOp, FaultPlan, FaultRule, FaultWhen, InjectorSnapshot};
 pub use io::{FakeMsr, MsrIo};
 pub use registers::IA32_PERF_CTL;
 pub use registers::{

@@ -2,7 +2,7 @@
 
 use crate::governor::Governor;
 use dufp_model::{CapEnforcerParams, DramPowerModel, PowerModel};
-use dufp_types::{ArchSpec, Duration};
+use dufp_types::{ArchSpec, Duration, Error, Result};
 use serde::{Deserialize, Serialize};
 
 /// Measurement / execution noise configuration.
@@ -100,6 +100,86 @@ impl SimConfig {
         c.noise = NoiseConfig::none();
         c
     }
+
+    /// Rejects machine descriptions the simulator cannot run — a zero
+    /// tick period, zero sockets/cores, NaN or negative noise, inverted
+    /// frequency ladders, a cap floor above PL1 — with a typed
+    /// [`Error::InvalidValue`] naming the offending field. Called on every
+    /// run and by anything deserializing a `--machine` file.
+    pub fn validate(&self) -> Result<()> {
+        if self.tick.as_micros() == 0 {
+            return Err(Error::invalid("tick", "zero tick period"));
+        }
+        if self.arch.sockets == 0 {
+            return Err(Error::invalid("sockets", "need at least one socket"));
+        }
+        if self.arch.cores_per_socket == 0 {
+            return Err(Error::invalid(
+                "cores_per_socket",
+                "need at least one core per socket",
+            ));
+        }
+        for (name, v) in [
+            ("noise.run_sigma", self.noise.run_sigma),
+            ("noise.walk_sigma", self.noise.walk_sigma),
+            ("noise.tick_sigma", self.noise.tick_sigma),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(Error::invalid(
+                    name,
+                    format!("{v} must be finite and non-negative"),
+                ));
+            }
+        }
+        for (name, v) in [
+            ("core_freq_min", self.arch.core_freq_min.value()),
+            ("core_freq_max", self.arch.core_freq_max.value()),
+            ("uncore_freq_min", self.arch.uncore_freq_min.value()),
+            ("uncore_freq_max", self.arch.uncore_freq_max.value()),
+            ("pl1_default", self.arch.pl1_default.value()),
+            ("pl2_default", self.arch.pl2_default.value()),
+            ("cap_step", self.arch.cap_step.value()),
+            ("cap_floor", self.arch.cap_floor.value()),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(Error::invalid(
+                    name,
+                    format!("{v} must be finite and positive"),
+                ));
+            }
+        }
+        if self.arch.core_freq_min > self.arch.core_freq_max {
+            return Err(Error::invalid(
+                "core_freq_min",
+                format!(
+                    "{:.2} GHz above core_freq_max {:.2} GHz",
+                    self.arch.core_freq_min.as_ghz(),
+                    self.arch.core_freq_max.as_ghz()
+                ),
+            ));
+        }
+        if self.arch.uncore_freq_min > self.arch.uncore_freq_max {
+            return Err(Error::invalid(
+                "uncore_freq_min",
+                format!(
+                    "{:.2} GHz above uncore_freq_max {:.2} GHz",
+                    self.arch.uncore_freq_min.as_ghz(),
+                    self.arch.uncore_freq_max.as_ghz()
+                ),
+            ));
+        }
+        if self.arch.cap_floor > self.arch.pl1_default {
+            return Err(Error::invalid(
+                "cap_floor",
+                format!(
+                    "{:.0} W above the PL1 default {:.0} W",
+                    self.arch.cap_floor.value(),
+                    self.arch.pl1_default.value()
+                ),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +199,38 @@ mod tests {
         let c = SimConfig::deterministic(0);
         assert_eq!(c.noise, NoiseConfig::none());
         assert_eq!(c.arch.sockets, 1);
+    }
+
+    #[test]
+    fn default_configs_validate() {
+        SimConfig::yeti(0).validate().unwrap();
+        SimConfig::deterministic(0).validate().unwrap();
+    }
+
+    #[test]
+    fn broken_configs_are_rejected_with_the_offending_field() {
+        use dufp_types::{Hertz, Watts};
+        let check = |mutate: &dyn Fn(&mut SimConfig), field: &str| {
+            let mut c = SimConfig::yeti(0);
+            mutate(&mut c);
+            let err = c.validate().unwrap_err().to_string();
+            assert!(err.contains(field), "expected {field} in: {err}");
+        };
+        check(&|c| c.tick = Duration::ZERO, "tick");
+        check(&|c| c.arch.sockets = 0, "socket");
+        check(&|c| c.arch.cores_per_socket = 0, "core");
+        check(&|c| c.noise.tick_sigma = f64::NAN, "tick_sigma");
+        check(&|c| c.noise.run_sigma = -0.1, "run_sigma");
+        check(&|c| c.arch.pl1_default = Watts(f64::NAN), "pl1_default");
+        check(&|c| c.arch.cap_floor = Watts(-5.0), "cap_floor");
+        check(&|c| c.arch.cap_floor = Watts(500.0), "cap_floor");
+        check(
+            &|c| c.arch.uncore_freq_min = Hertz::from_ghz(3.0),
+            "uncore_freq_min",
+        );
+        check(
+            &|c| c.arch.core_freq_max = Hertz::from_ghz(0.5),
+            "core_freq_min",
+        );
     }
 }

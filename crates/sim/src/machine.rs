@@ -10,7 +10,7 @@ use dufp_msr::registers::{
     MSR_PKG_POWER_LIMIT, MSR_PLATFORM_INFO, MSR_RAPL_POWER_UNIT, MSR_UNCORE_RATIO_LIMIT,
     SKYLAKE_SP_POWER_UNIT_RAW,
 };
-use dufp_msr::{FaultInjector, FaultOp, FaultPlan, MsrIo};
+use dufp_msr::{FaultInjector, FaultOp, FaultPlan, InjectorSnapshot, MsrIo};
 use dufp_types::{Duration, Error, Instant, Joules, Result, SocketId};
 use dufp_workloads::Workload;
 use parking_lot::Mutex;
@@ -72,6 +72,27 @@ impl Machine {
         } else {
             Some(Arc::new(FaultInjector::new(plan)))
         };
+    }
+
+    /// Snapshot of the armed injector's mutable state (RNG position and
+    /// per-rule hit counters) for checkpoints. `None` when no plan is armed.
+    pub fn injector_snapshot(&self) -> Option<InjectorSnapshot> {
+        self.injector.lock().as_ref().map(|i| i.snapshot())
+    }
+
+    /// Arms `plan` and restores a checkpointed injector state, so the fault
+    /// stream continues exactly where the checkpointed run left off rather
+    /// than replaying probabilistic faults from the beginning.
+    pub fn inject_faults_with_state(&self, plan: FaultPlan, snap: &InjectorSnapshot) -> Result<()> {
+        if plan.is_empty() {
+            return Err(Error::Precondition(
+                "cannot restore injector state onto an empty fault plan".to_owned(),
+            ));
+        }
+        let inj = FaultInjector::new(plan);
+        inj.restore(snap)?;
+        *self.injector.lock() = Some(Arc::new(inj));
+        Ok(())
     }
 
     /// Current tick index (the fault clock).
@@ -503,6 +524,35 @@ mod tests {
         assert!(m.sample(SocketId(0)).is_ok());
         m.inject_faults(FaultPlan::none());
         assert!(write_cap(&m).is_ok());
+    }
+
+    #[test]
+    fn injector_state_round_trips_through_a_rebuilt_machine() {
+        let plan = || FaultPlan::parse("seed=7;write,reg=cap,p=0.5").unwrap();
+        let m = Machine::new(SimConfig::deterministic(11));
+        assert!(m.injector_snapshot().is_none(), "no plan armed yet");
+        m.inject_faults(plan());
+        // Burn a few accesses so the RNG and hit counters move.
+        for _ in 0..3 {
+            let _ = m.write(0, MSR_PKG_POWER_LIMIT, 0x00DD_8000);
+        }
+        let snap = m.injector_snapshot().expect("armed injector");
+        let expected: Vec<bool> = (0..8)
+            .map(|_| m.write(0, MSR_PKG_POWER_LIMIT, 0x00DD_8000).is_err())
+            .collect();
+
+        let m2 = Machine::new(SimConfig::deterministic(11));
+        m2.inject_faults_with_state(plan(), &snap).unwrap();
+        let resumed: Vec<bool> = (0..8)
+            .map(|_| m2.write(0, MSR_PKG_POWER_LIMIT, 0x00DD_8000).is_err())
+            .collect();
+        assert_eq!(resumed, expected, "fault stream continues bit-identically");
+
+        assert!(
+            m2.inject_faults_with_state(FaultPlan::none(), &snap)
+                .is_err(),
+            "empty plan cannot carry restored state"
+        );
     }
 
     #[test]

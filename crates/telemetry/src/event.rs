@@ -15,6 +15,9 @@ pub enum Actuator {
     PowerCapShort,
     /// Core frequency via the scaling governor (reported in Hz).
     CoreFreq,
+    /// Not a hardware knob: the experiment journal itself (checkpoint and
+    /// resume lifecycle events; values are completed-interval counts).
+    Journal,
 }
 
 impl fmt::Display for Actuator {
@@ -24,6 +27,7 @@ impl fmt::Display for Actuator {
             Actuator::PowerCap => "power_cap",
             Actuator::PowerCapShort => "power_cap_short",
             Actuator::CoreFreq => "core_freq",
+            Actuator::Journal => "journal",
         };
         f.write_str(s)
     }
@@ -65,11 +69,18 @@ pub enum Reason {
     WatchdogReset,
     /// The safe-state guard restored platform defaults at end of run.
     SafeStateRestore,
+    /// The runner durably checkpointed controller and platform state
+    /// (old/new are the completed-interval counts before/after).
+    Checkpoint,
+    /// The run was resumed from a crash-safe journal; the event's tick is
+    /// the first live tick after replay (old = checkpointed interval, new
+    /// = journal head at resume time).
+    Resumed,
 }
 
 impl Reason {
     /// Every reason, in a stable order (used for summary tables).
-    pub const ALL: [Reason; 14] = [
+    pub const ALL: [Reason; 16] = [
         Reason::PhaseReset,
         Reason::SlowdownViolation,
         Reason::BandwidthViolation,
@@ -84,6 +95,8 @@ impl Reason {
         Reason::Degraded,
         Reason::WatchdogReset,
         Reason::SafeStateRestore,
+        Reason::Checkpoint,
+        Reason::Resumed,
     ];
 }
 
@@ -221,6 +234,6 @@ mod tests {
         for r in Reason::ALL {
             assert!(seen.insert(format!("{r:?}")));
         }
-        assert_eq!(seen.len(), 14);
+        assert_eq!(seen.len(), 16);
     }
 }

@@ -32,6 +32,19 @@ pub enum Error {
     NoSuchComponent(String),
     /// A controller or experiment precondition was violated.
     Precondition(String),
+    /// A bounded operation ran past its deadline. Carries how many items
+    /// (trace rows, journal records, ...) were produced before the abort so
+    /// callers can salvage the partial output.
+    Timeout {
+        /// What timed out.
+        what: &'static str,
+        /// Items completed before the deadline.
+        partial_len: usize,
+    },
+    /// Durable state on disk is unusable: torn journal records past the
+    /// recoverable prefix, checkpoints newer than the journal head, bad
+    /// magic bytes, or undecodable payloads.
+    Corruption(String),
 }
 
 impl Error {
@@ -65,6 +78,10 @@ impl fmt::Display for Error {
             Error::Unsupported(what) => write!(f, "unsupported on this platform: {what}"),
             Error::NoSuchComponent(what) => write!(f, "no such component: {what}"),
             Error::Precondition(what) => write!(f, "precondition violated: {what}"),
+            Error::Timeout { what, partial_len } => {
+                write!(f, "{what} timed out after {partial_len} item(s)")
+            }
+            Error::Corruption(what) => write!(f, "durable state corrupted: {what}"),
         }
     }
 }
@@ -106,5 +123,22 @@ mod tests {
         let e = Error::invalid("slowdown", "must be within [0,1], got 1.5");
         assert!(e.to_string().contains("slowdown"));
         assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn timeout_reports_partial_length() {
+        let e = Error::Timeout {
+            what: "trace recording",
+            partial_len: 42,
+        };
+        assert!(e.to_string().contains("trace recording"));
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn corruption_formats() {
+        let e = Error::Corruption("checkpoint 9 is newer than journal head 4".into());
+        assert!(e.to_string().contains("corrupted"));
+        assert!(e.to_string().contains("checkpoint 9"));
     }
 }

@@ -64,6 +64,22 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     Ok(T::from_value(&value)?)
 }
 
+/// Compact JSON encoding as bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Pretty JSON encoding as bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string_pretty(value)?.into_bytes())
+}
+
+/// Parses a JSON document from bytes (must be valid UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
 // ---------------------------------------------------------------- rendering
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
