@@ -1,0 +1,208 @@
+//! Control-plane benchmark: allocator-epoch throughput over live loopback
+//! fleets of 1/4/16 agents, plus raw allocator decision latency.
+//!
+//! Seeds `BENCH_control_plane.json` at the current directory (repo root in
+//! CI, where it is uploaded as an artifact), so the bench trajectory for
+//! the fleet control plane is tracked from its first PR.
+//!
+//! Usage: cargo run -p dufp-bench --release -- [--out FILE] [--epochs N] [--iters N]
+
+use dufp_cluster::allocator::{AllocatorPolicy, DemandBased, NodeObservation, StaticSplit};
+use dufp_net::{Agent, AgentConfig, Coordinator, CoordinatorConfig};
+use dufp_telemetry::Telemetry;
+use dufp_types::Watts;
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Epoch throughput against a live loopback fleet.
+#[derive(Debug, Serialize)]
+struct FleetBench {
+    agents: usize,
+    epochs: u64,
+    elapsed_ms: f64,
+    epochs_per_sec: f64,
+    peak_total_granted_w: f64,
+}
+
+/// Raw `AllocatorPolicy::allocate` latency on synthetic observations.
+#[derive(Debug, Serialize)]
+struct AllocLatency {
+    policy: &'static str,
+    nodes: usize,
+    iters: u64,
+    ns_per_decision: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: &'static str,
+    budget_w: f64,
+    fleet_epochs_per_sec: Vec<FleetBench>,
+    allocator_decision_latency: Vec<AllocLatency>,
+}
+
+const BUDGET: f64 = 1200.0;
+const APPS: [&str; 4] = ["EP", "CG", "HPL", "BT"];
+
+/// Epoch throughput: bind a coordinator, join `n` live agents over
+/// loopback, then step `epoch_once` flat out. Each epoch runs death
+/// detection, the allocator, and the grant fan-out over real sockets.
+fn fleet_bench(n: usize, epochs: u64) -> FleetBench {
+    let cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(BUDGET));
+    let mut coord = Coordinator::bind(cfg).expect("bind coordinator");
+    let addr = coord.local_addr().expect("local addr").to_string();
+
+    let mut handles = Vec::with_capacity(n);
+    let mut switches = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acfg = AgentConfig::new(&addr, format!("bench-n{i}"), APPS[i % APPS.len()]);
+        acfg.seed = 42 + i as u64;
+        // Pace the simulated nodes so they outlive the measurement without
+        // saturating every core; bound them in case teardown is missed.
+        acfg.pace = Duration::from_millis(2);
+        acfg.max_intervals = Some(100_000);
+        let switch = Arc::new(AtomicBool::new(false));
+        let agent = Agent::new(acfg)
+            .expect("agent config")
+            .with_crash_switch(Arc::clone(&switch))
+            .with_telemetry(Telemetry::disabled());
+        switches.push(switch);
+        handles.push(std::thread::spawn(move || agent.run()));
+    }
+
+    // Wait for the whole fleet to complete its Hellos.
+    let joined = Instant::now();
+    while coord.node_count() < n {
+        assert!(
+            joined.elapsed() < Duration::from_secs(10),
+            "fleet of {n} never joined"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let start = Instant::now();
+    let mut peak = 0.0f64;
+    for _ in 0..epochs {
+        let rec = coord.epoch_once();
+        peak = peak.max(rec.total_granted);
+    }
+    let elapsed = start.elapsed();
+
+    // Stop the fleet (crash switches: abrupt exit, no Goodbye chatter to
+    // skew a rerun) and tear the coordinator down.
+    for s in &switches {
+        s.store(true, Ordering::SeqCst);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = coord.finish();
+
+    let secs = elapsed.as_secs_f64();
+    FleetBench {
+        agents: n,
+        epochs,
+        elapsed_ms: secs * 1e3,
+        epochs_per_sec: epochs as f64 / secs,
+        peak_total_granted_w: peak,
+    }
+}
+
+/// Synthetic fleet observations: a mix of riders, donors, and finished
+/// nodes, deterministic per node count.
+fn synthetic(nodes: usize) -> Vec<NodeObservation> {
+    (0..nodes)
+        .map(|i| {
+            let ceiling = 75.0 + (i % 7) as f64 * 7.0;
+            NodeObservation {
+                ceiling: Watts(ceiling),
+                consumption: Watts(ceiling * (0.55 + (i % 5) as f64 * 0.11)),
+                active: i % 9 != 8,
+            }
+        })
+        .collect()
+}
+
+fn alloc_bench(
+    policy: &mut dyn AllocatorPolicy,
+    name: &'static str,
+    nodes: usize,
+    iters: u64,
+) -> AllocLatency {
+    let obs = synthetic(nodes);
+    let budget = Watts(BUDGET);
+    let start = Instant::now();
+    let mut sink = 0.0f64;
+    for _ in 0..iters {
+        let out = policy.allocate(budget, &obs);
+        // Keep the optimizer honest.
+        sink += out.last().map(|w| w.value()).unwrap_or(0.0);
+    }
+    let elapsed = start.elapsed();
+    assert!(sink.is_finite());
+    AllocLatency {
+        policy: name,
+        nodes,
+        iters,
+        ns_per_decision: elapsed.as_nanos() as f64 / iters as f64,
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_control_plane.json");
+    let mut epochs = 200u64;
+    let mut iters = 10_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs needs a number")
+            }
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a number")
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: control_plane [--out FILE] [--epochs N] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut fleets = Vec::new();
+    for n in [1usize, 4, 16] {
+        eprintln!("fleet of {n}: {epochs} epochs over loopback...");
+        fleets.push(fleet_bench(n, epochs));
+    }
+
+    let mut lat = Vec::new();
+    for n in [1usize, 4, 16] {
+        lat.push(alloc_bench(&mut StaticSplit, "static-split", n, iters));
+        lat.push(alloc_bench(
+            &mut DemandBased::default(),
+            "demand-based",
+            n,
+            iters,
+        ));
+    }
+
+    let report = Report {
+        bench: "control_plane",
+        budget_w: BUDGET,
+        fleet_epochs_per_sec: fleets,
+        allocator_decision_latency: lat,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+    std::fs::write(&out, format!("{json}\n")).expect("write bench json");
+    eprintln!("wrote {out}");
+}

@@ -42,6 +42,22 @@ USAGE:
     dufp plan <APP> [--runs N] [--seed S]
                              sweep DUFP tolerances and recommend the best
                              power-saving setting with no energy loss (§V-H)
+    dufp coordinate --listen ADDR --budget-w W
+                    [--policy static|demand] [--epoch-ms N] [--max-epochs N]
+                    [--json] [--trace-out FILE.jsonl]
+                             serve a fleet power budget over TCP: run the
+                             allocator each epoch over live agent demand
+                             reports, reclaim dead agents' watts (heartbeat
+                             timeout = 1.5 epochs), and push budget grants.
+                             Runs until every agent that joined has left,
+                             --max-epochs is reached, or Ctrl-C
+    dufp agent --connect ADDR --node NAME [--app APP[,APP...]]
+               [--slowdown PCT] [--seed S] [--safe-cap W] [--pace-ms N]
+               [--max-intervals N] [--json] [--trace-out FILE.jsonl]
+                             run a simulated node under DUFP with its power
+                             cap clamped to the coordinator's grants; falls
+                             back to --safe-cap (and keeps running) when
+                             the coordinator is unreachable
     dufp platform            print the target platform (Table I)
     dufp apps                list the modeled applications
     dufp probe               check real-hardware access paths
@@ -55,6 +71,8 @@ EXAMPLES:
     dufp run CG --fault-plan \"seed=7;write,reg=cap,p=0.01\" --trace-out /tmp/chaos.jsonl
     dufp run CG --journal-dir /tmp/cg-journal && dufp journal /tmp/cg-journal
     dufp resume /tmp/cg-journal
+    dufp coordinate --listen 127.0.0.1:7070 --budget-w 300 --max-epochs 60 &
+    dufp agent --connect 127.0.0.1:7070 --node n0 --app HPL --pace-ms 5
 ";
 
 /// A parsed `run` invocation.
@@ -178,6 +196,50 @@ pub struct JournalCmd {
     pub dir: String,
 }
 
+/// A parsed `coordinate` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinateCmd {
+    /// Listen address (`host:port`; `:0` picks a free port).
+    pub listen: String,
+    /// Global fleet power budget.
+    pub budget: Watts,
+    /// `static` (even split) or `demand` (demand-based reallocation).
+    pub demand_based: bool,
+    /// Allocator epoch length in milliseconds.
+    pub epoch_ms: u64,
+    /// Stop after this many epochs (None = until the fleet drains).
+    pub max_epochs: Option<u64>,
+    /// Emit machine-readable JSON instead of a human summary.
+    pub json: bool,
+    /// Optional JSONL output path for the grant/reclaim decision trace.
+    pub trace_out: Option<String>,
+}
+
+/// A parsed `agent` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentCmd {
+    /// Coordinator address.
+    pub connect: String,
+    /// Node name announced in the Hello frame.
+    pub node: String,
+    /// Applications to run back to back.
+    pub apps: Vec<String>,
+    /// Tolerated slowdown for the node-local DUFP.
+    pub slowdown: Ratio,
+    /// RNG seed for the simulated node.
+    pub seed: u64,
+    /// Safe local static cap enforced while unconnected or degraded.
+    pub safe_cap: Watts,
+    /// Wall-clock pause per 200 ms control interval, in milliseconds.
+    pub pace_ms: u64,
+    /// Stop after this many control intervals even with work left.
+    pub max_intervals: Option<u64>,
+    /// Emit machine-readable JSON instead of a human summary.
+    pub json: bool,
+    /// Optional JSONL output path for the node's decision trace.
+    pub trace_out: Option<String>,
+}
+
 /// Subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -195,6 +257,10 @@ pub enum Command {
     Trace(TraceCmd),
     /// Recommend a tolerated-slowdown setting (§V-H).
     Plan(RunSpec),
+    /// Serve a fleet power budget over TCP.
+    Coordinate(CoordinateCmd),
+    /// Run a node agent against a coordinator.
+    Agent(AgentCmd),
     /// Print the default platform as editable JSON.
     MachineTemplate,
     /// Print the platform description.
@@ -300,6 +366,135 @@ impl Cli {
                 }
                 Ok(Cli {
                     command: Command::Record(spec),
+                })
+            }
+            "coordinate" => {
+                let mut cmd = CoordinateCmd {
+                    listen: String::new(),
+                    budget: Watts(0.0),
+                    demand_based: true,
+                    epoch_ms: 1000,
+                    max_epochs: None,
+                    json: false,
+                    trace_out: None,
+                };
+                let mut budget_seen = false;
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--listen" => {
+                            cmd.listen = it.next().ok_or("--listen needs host:port")?.clone()
+                        }
+                        "--budget-w" => {
+                            let v = it.next().ok_or("--budget-w needs a value")?;
+                            let w: f64 = v.parse().map_err(|_| format!("bad budget {v}"))?;
+                            cmd.budget = Watts(w);
+                            budget_seen = true;
+                        }
+                        "--policy" => {
+                            let v = it.next().ok_or("--policy needs static|demand")?;
+                            cmd.demand_based = match v.as_str() {
+                                "static" => false,
+                                "demand" => true,
+                                other => {
+                                    return Err(format!("unknown policy {other} (static|demand)"))
+                                }
+                            };
+                        }
+                        "--epoch-ms" => {
+                            let v = it.next().ok_or("--epoch-ms needs a value")?;
+                            cmd.epoch_ms = v.parse().map_err(|_| format!("bad epoch {v}"))?;
+                            if cmd.epoch_ms == 0 {
+                                return Err("epoch must be at least 1 ms".into());
+                            }
+                        }
+                        "--max-epochs" => {
+                            let v = it.next().ok_or("--max-epochs needs a value")?;
+                            cmd.max_epochs =
+                                Some(v.parse().map_err(|_| format!("bad epoch count {v}"))?);
+                        }
+                        "--json" => cmd.json = true,
+                        "--trace-out" => {
+                            cmd.trace_out =
+                                Some(it.next().ok_or("--trace-out needs a path")?.clone())
+                        }
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                if cmd.listen.is_empty() {
+                    return Err("coordinate: --listen host:port is required".into());
+                }
+                if !budget_seen {
+                    return Err("coordinate: --budget-w W is required".into());
+                }
+                Ok(Cli {
+                    command: Command::Coordinate(cmd),
+                })
+            }
+            "agent" => {
+                let mut cmd = AgentCmd {
+                    connect: String::new(),
+                    node: String::new(),
+                    apps: vec!["EP".into()],
+                    slowdown: Ratio::from_percent(10.0),
+                    seed: 42,
+                    safe_cap: Watts(90.0),
+                    pace_ms: 0,
+                    max_intervals: None,
+                    json: false,
+                    trace_out: None,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--connect" => {
+                            cmd.connect = it.next().ok_or("--connect needs host:port")?.clone()
+                        }
+                        "--node" => cmd.node = it.next().ok_or("--node needs a name")?.clone(),
+                        "--app" => {
+                            let v = it.next().ok_or("--app needs a name (or list A,B)")?;
+                            cmd.apps = v.split(',').map(str::to_string).collect();
+                        }
+                        "--slowdown" => {
+                            let v = it.next().ok_or("--slowdown needs a value")?;
+                            let pct: f64 = v.parse().map_err(|_| format!("bad slowdown {v}"))?;
+                            if !(0.0..100.0).contains(&pct) {
+                                return Err(format!("slowdown {pct} outside [0, 100)"));
+                            }
+                            cmd.slowdown = Ratio::from_percent(pct);
+                        }
+                        "--seed" => {
+                            let v = it.next().ok_or("--seed needs a value")?;
+                            cmd.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+                        }
+                        "--safe-cap" => {
+                            let v = it.next().ok_or("--safe-cap needs a value")?;
+                            let w: f64 = v.parse().map_err(|_| format!("bad safe cap {v}"))?;
+                            cmd.safe_cap = Watts(w);
+                        }
+                        "--pace-ms" => {
+                            let v = it.next().ok_or("--pace-ms needs a value")?;
+                            cmd.pace_ms = v.parse().map_err(|_| format!("bad pace {v}"))?;
+                        }
+                        "--max-intervals" => {
+                            let v = it.next().ok_or("--max-intervals needs a value")?;
+                            cmd.max_intervals =
+                                Some(v.parse().map_err(|_| format!("bad interval count {v}"))?);
+                        }
+                        "--json" => cmd.json = true,
+                        "--trace-out" => {
+                            cmd.trace_out =
+                                Some(it.next().ok_or("--trace-out needs a path")?.clone())
+                        }
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                if cmd.connect.is_empty() {
+                    return Err("agent: --connect host:port is required".into());
+                }
+                if cmd.node.is_empty() {
+                    return Err("agent: --node NAME is required".into());
+                }
+                Ok(Cli {
+                    command: Command::Agent(cmd),
                 })
             }
             "run" | "timeline" | "plan" => {
@@ -593,6 +788,87 @@ mod tests {
         );
         assert!(parse(&["journal"]).unwrap_err().contains("missing <DIR>"));
         assert!(parse(&["journal", "/tmp/j", "--extra"]).is_err());
+    }
+
+    #[test]
+    fn coordinate_subcommand_parses() {
+        let cli = parse(&[
+            "coordinate",
+            "--listen",
+            "127.0.0.1:7070",
+            "--budget-w",
+            "300",
+            "--policy",
+            "static",
+            "--epoch-ms",
+            "250",
+            "--max-epochs",
+            "40",
+            "--json",
+        ])
+        .unwrap();
+        let Command::Coordinate(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.listen, "127.0.0.1:7070");
+        assert_eq!(cmd.budget, Watts(300.0));
+        assert!(!cmd.demand_based);
+        assert_eq!(cmd.epoch_ms, 250);
+        assert_eq!(cmd.max_epochs, Some(40));
+        assert!(cmd.json);
+
+        assert!(parse(&["coordinate", "--budget-w", "300"])
+            .unwrap_err()
+            .contains("--listen"));
+        assert!(parse(&["coordinate", "--listen", "127.0.0.1:0"])
+            .unwrap_err()
+            .contains("--budget-w"));
+        assert!(parse(&[
+            "coordinate",
+            "--listen",
+            "127.0.0.1:0",
+            "--budget-w",
+            "300",
+            "--policy",
+            "greedy"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn agent_subcommand_parses() {
+        let cli = parse(&[
+            "agent",
+            "--connect",
+            "127.0.0.1:7070",
+            "--node",
+            "n3",
+            "--app",
+            "EP,MG",
+            "--safe-cap",
+            "85",
+            "--pace-ms",
+            "5",
+            "--max-intervals",
+            "500",
+        ])
+        .unwrap();
+        let Command::Agent(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.connect, "127.0.0.1:7070");
+        assert_eq!(cmd.node, "n3");
+        assert_eq!(cmd.apps, vec!["EP".to_string(), "MG".to_string()]);
+        assert_eq!(cmd.safe_cap, Watts(85.0));
+        assert_eq!(cmd.pace_ms, 5);
+        assert_eq!(cmd.max_intervals, Some(500));
+
+        assert!(parse(&["agent", "--node", "n0"])
+            .unwrap_err()
+            .contains("--connect"));
+        assert!(parse(&["agent", "--connect", "127.0.0.1:7070"])
+            .unwrap_err()
+            .contains("--node"));
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Subcommand implementations.
 
-use crate::args::{ControllerArg, FsyncArg, JournalCmd, RecordSpec, ResumeCmd, RunSpec, TraceCmd};
+use crate::args::{
+    AgentCmd, ControllerArg, CoordinateCmd, FsyncArg, JournalCmd, RecordSpec, ResumeCmd, RunSpec,
+    TraceCmd,
+};
 use crate::plot::{chart, Series};
 use dufp::{
     run_journaled, run_once, run_repeated, ControllerKind, ExperimentSpec, JournalOptions,
@@ -417,7 +420,7 @@ pub fn timeline(spec: &RunSpec) -> Result<String, String> {
 fn fmt_actuator_value(actuator: Actuator, v: f64) -> String {
     match actuator {
         Actuator::Uncore | Actuator::CoreFreq => format!("{:.2} GHz", v / 1e9),
-        Actuator::PowerCap | Actuator::PowerCapShort => format!("{v:.0} W"),
+        Actuator::PowerCap | Actuator::PowerCapShort | Actuator::Budget => format!("{v:.0} W"),
         Actuator::Journal => format!("{v:.0} intervals"),
     }
 }
@@ -443,6 +446,7 @@ pub fn trace(cmd: &TraceCmd) -> Result<String, String> {
             Actuator::PowerCapShort,
             Actuator::CoreFreq,
             Actuator::Journal,
+            Actuator::Budget,
         ] {
             let n = events.iter().filter(|e| e.actuator == a).count();
             writeln!(out, "  {:<20} {n:>6}", a.to_string()).unwrap();
@@ -670,6 +674,135 @@ pub fn probe() -> String {
         .unwrap();
     }
     out
+}
+
+/// Writes a decision trace to `path` as JSON Lines.
+fn write_trace(path: &str, decisions: &[DecisionEvent]) -> Result<String, String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(f);
+    write_jsonl(&mut w, decisions).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!(
+        "  decision trace : {:>10} events -> {path}\n",
+        decisions.len()
+    ))
+}
+
+/// `dufp coordinate --listen ADDR --budget-w W ...` — serve a fleet budget.
+pub fn coordinate(cmd: &CoordinateCmd) -> Result<String, String> {
+    let mut cfg = dufp_net::CoordinatorConfig::new(&cmd.listen, cmd.budget)
+        .with_epoch(std::time::Duration::from_millis(cmd.epoch_ms));
+    cfg.policy = if cmd.demand_based {
+        dufp_net::PolicyKind::DemandBased
+    } else {
+        dufp_net::PolicyKind::StaticSplit
+    };
+    cfg.max_epochs = cmd.max_epochs;
+    cfg.validate().map_err(|e| e.to_string())?;
+    let coord = dufp_net::Coordinator::bind(cfg).map_err(|e| e.to_string())?;
+    let addr = coord.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "dufp coordinate: serving {} W on {addr}",
+        cmd.budget.value()
+    );
+    let outcome = coord.run().map_err(|e| e.to_string())?;
+
+    let mut trace_note = String::new();
+    if let Some(path) = &cmd.trace_out {
+        trace_note = write_trace(path, &outcome.telemetry.decisions)?;
+    }
+    if cmd.json {
+        return serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fleet of {} node(s) under {} — {} W budget, {} epoch(s)",
+        outcome.nodes.len(),
+        outcome.policy,
+        outcome.budget,
+        outcome.epochs.len()
+    )
+    .unwrap();
+    for n in &outcome.nodes {
+        writeln!(
+            out,
+            "  {:<12} {:<8} {:>8.1} W final  {:?}",
+            n.name, n.app, n.final_ceiling, n.state
+        )
+        .unwrap();
+    }
+    let peak = outcome
+        .epochs
+        .iter()
+        .map(|e| e.total_granted)
+        .fold(0.0f64, f64::max);
+    let reclaims: usize = outcome.epochs.iter().map(|e| e.reclaimed.len()).sum();
+    writeln!(
+        out,
+        "  peak granted   : {peak:>10.1} W (budget {:.1} W)",
+        outcome.budget
+    )
+    .unwrap();
+    writeln!(out, "  reclaims       : {reclaims:>10}").unwrap();
+    out.push_str(&trace_note);
+    Ok(out)
+}
+
+/// `dufp agent --connect ADDR --node NAME ...` — run a fleet node.
+pub fn agent(cmd: &AgentCmd) -> Result<String, String> {
+    let mut cfg = dufp_net::AgentConfig::new(&cmd.connect, &cmd.node, "");
+    cfg.queue = cmd.apps.clone();
+    cfg.slowdown = cmd.slowdown;
+    cfg.seed = cmd.seed;
+    cfg.safe_cap = cmd.safe_cap;
+    cfg.pace = std::time::Duration::from_millis(cmd.pace_ms);
+    cfg.max_intervals = cmd.max_intervals;
+    let agent = dufp_net::Agent::new(cfg).map_err(|e| e.to_string())?;
+    let outcome = agent.run().map_err(|e| e.to_string())?;
+
+    let mut trace_note = String::new();
+    if let Some(path) = &cmd.trace_out {
+        trace_note = write_trace(path, &outcome.telemetry.decisions)?;
+    }
+    if cmd.json {
+        return serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} ran {} under fleet control{}",
+        outcome.node,
+        outcome.app,
+        if outcome.completed {
+            ""
+        } else {
+            " (stopped early)"
+        }
+    )
+    .unwrap();
+    if let Some(t) = outcome.exec_time {
+        writeln!(out, "  execution time : {:>10.2} s", t.value()).unwrap();
+    }
+    writeln!(
+        out,
+        "  package power  : {:>10.2} W",
+        outcome.avg_power.value()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  final ceiling  : {:>10.1} W",
+        outcome.final_ceiling.value()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  fleet link     : {} report(s) sent, {} grant(s) applied, {} degradation(s)",
+        outcome.reports_sent, outcome.grants_applied, outcome.degradations
+    )
+    .unwrap();
+    out.push_str(&trace_note);
+    Ok(out)
 }
 
 #[cfg(test)]

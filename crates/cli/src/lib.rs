@@ -20,7 +20,11 @@
 //! * `resume` — finish a crashed journaled run (`run --journal-dir`)
 //!   from its write-ahead journal and last checkpoint,
 //! * `journal` — inspect a journal directory: metadata, recorded
-//!   intervals, checkpoints, completion status.
+//!   intervals, checkpoints, completion status,
+//! * `coordinate` — serve a fleet power budget over TCP, running the
+//!   cluster allocator over live agent demand reports,
+//! * `agent` — run a simulated node under DUFP with its cap clamped to
+//!   the coordinator's grants (safe local cap when unreachable).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +46,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Record(ref spec) => commands::record(spec),
         Command::Trace(ref cmd) => commands::trace(cmd),
         Command::Plan(ref spec) => commands::plan(spec),
+        Command::Coordinate(ref cmd) => commands::coordinate(cmd),
+        Command::Agent(ref cmd) => commands::agent(cmd),
         Command::MachineTemplate => Ok(commands::machine_template()),
         Command::Platform => Ok(commands::platform()),
         Command::Apps => Ok(commands::apps()),

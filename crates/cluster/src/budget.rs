@@ -1,7 +1,7 @@
 //! Per-node budget ceilings and the capper wrapper that enforces them.
 
 use dufp_rapl::{Constraint, PowerCapper};
-use dufp_types::{Joules, Result, SocketId, Watts};
+use dufp_types::{Error, Joules, Result, SocketId, Watts};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -18,6 +18,26 @@ impl NodeBudget {
         Arc::new(NodeBudget {
             ceiling: Mutex::new(ceiling),
         })
+    }
+
+    /// Like [`NodeBudget::new`], but rejects ceilings no node can enforce
+    /// (zero, negative, NaN, infinite) with a typed
+    /// [`Error::InvalidValue`] naming the field — the same contract
+    /// `ControlConfig::validate` gives control-side settings.
+    pub fn try_new(ceiling: Watts) -> Result<Arc<Self>> {
+        if !ceiling.value().is_finite() {
+            return Err(Error::invalid(
+                "ceiling",
+                format!("{} is not finite", ceiling.value()),
+            ));
+        }
+        if ceiling.value() <= 0.0 {
+            return Err(Error::invalid(
+                "ceiling",
+                format!("{} W must be positive", ceiling.value()),
+            ));
+        }
+        Ok(NodeBudget::new(ceiling))
     }
 
     /// The current ceiling.
@@ -113,6 +133,27 @@ mod tests {
         let budget = NodeBudget::new(Watts(ceiling));
         let capper = BudgetedCapper::new(MsrRapl::new(m, 1, 16).unwrap(), Arc::clone(&budget));
         (budget, capper)
+    }
+
+    #[test]
+    fn try_new_rejects_unenforceable_ceilings() {
+        for bad in [0.0, -10.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = NodeBudget::try_new(Watts(bad)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::InvalidValue {
+                        what: "ceiling",
+                        ..
+                    }
+                ),
+                "{bad}: {err:?}"
+            );
+        }
+        assert_eq!(
+            NodeBudget::try_new(Watts(100.0)).unwrap().ceiling(),
+            Watts(100.0)
+        );
     }
 
     #[test]

@@ -45,6 +45,47 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// Rejects configurations no cluster can run — empty node lists or
+    /// queues, zero/negative/NaN budgets, slowdowns outside [0, 1),
+    /// zero-length epochs — with a typed [`Error::InvalidValue`] naming
+    /// the offending field, the same contract
+    /// [`dufp_control::ControlConfig::validate`] gives control settings.
+    pub fn validate(&self) -> Result<()> {
+        if self.nodes.is_empty() {
+            return Err(Error::invalid("nodes", "cluster needs at least one node"));
+        }
+        for (i, spec) in self.nodes.iter().enumerate() {
+            if spec.queue.is_empty() || spec.queue.iter().any(String::is_empty) {
+                return Err(Error::invalid(
+                    "nodes",
+                    format!("node {i} has an empty application queue"),
+                ));
+            }
+        }
+        if !self.budget.value().is_finite() {
+            return Err(Error::invalid(
+                "budget",
+                format!("{} is not finite", self.budget.value()),
+            ));
+        }
+        if self.budget.value() <= 0.0 {
+            return Err(Error::invalid(
+                "budget",
+                format!("{} W must be positive", self.budget.value()),
+            ));
+        }
+        if !self.slowdown.value().is_finite() || !(0.0..1.0).contains(&self.slowdown.value()) {
+            return Err(Error::invalid(
+                "slowdown",
+                format!("{} must be within [0, 1)", self.slowdown.value()),
+            ));
+        }
+        if self.epoch.as_micros() == 0 {
+            return Err(Error::invalid("epoch", "zero allocator epoch"));
+        }
+        Ok(())
+    }
+
     /// The demo mix: a hungry solver, two memory-bound codes and one
     /// compute-bound code, under a budget tighter than 4 × PL1.
     pub fn demo(seed: u64) -> Self {
@@ -117,17 +158,10 @@ impl Cluster {
     /// Builds the cluster: one single-socket simulated node per job, an
     /// even initial split of the budget.
     pub fn new(cfg: ClusterConfig, policy: Box<dyn AllocatorPolicy>) -> Result<Self> {
-        if cfg.nodes.is_empty() {
-            return Err(Error::Precondition(
-                "cluster needs at least one node".into(),
-            ));
-        }
+        cfg.validate()?;
         let initial = cfg.budget / cfg.nodes.len() as f64;
         let mut nodes = Vec::with_capacity(cfg.nodes.len());
         for (i, spec) in cfg.nodes.iter().enumerate() {
-            if spec.queue.is_empty() {
-                return Err(Error::Precondition(format!("node {i} has an empty queue")));
-            }
             let sim = SimConfig::yeti_single_socket(cfg.seed.wrapping_add(i as u64 * 131));
             let arch = sim.arch.clone();
             let ctx = MaterializeCtx::from_arch(&arch);
@@ -140,7 +174,7 @@ impl Cluster {
             machine.load_all(&jobs.remove(0));
             jobs.reverse(); // pop() yields the next job in order
 
-            let budget = NodeBudget::new(initial);
+            let budget = NodeBudget::try_new(initial)?;
             let capper = Arc::new(BudgetedCapper::new(
                 MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize)?,
                 Arc::clone(&budget),
@@ -355,6 +389,35 @@ mod tests {
             "{:?}",
             out.nodes[0]
         );
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        for bad in [0.0, -50.0, f64::NAN, f64::INFINITY] {
+            let mut cfg = ClusterConfig::demo(1);
+            cfg.budget = Watts(bad);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidValue { what: "budget", .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        let mut cfg = ClusterConfig::demo(1);
+        cfg.slowdown = Ratio(1.5);
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            Error::InvalidValue {
+                what: "slowdown",
+                ..
+            }
+        ));
+        let mut cfg = ClusterConfig::demo(1);
+        cfg.epoch = Duration::from_secs(0);
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            Error::InvalidValue { what: "epoch", .. }
+        ));
+        assert!(ClusterConfig::demo(1).validate().is_ok());
     }
 
     #[test]

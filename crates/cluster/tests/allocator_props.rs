@@ -1,0 +1,102 @@
+//! Property tests for the budget allocation policies: for arbitrary
+//! fleets, both policies must conserve the total budget, respect the
+//! demand-based floor, and be deterministic — the invariants the
+//! networked control plane (`dufp-net`) leans on for its conservation and
+//! reclaim guarantees.
+
+use dufp_cluster::allocator::{AllocatorPolicy, DemandBased, NodeObservation, StaticSplit};
+use dufp_types::Watts;
+use proptest::prelude::*;
+
+/// An arbitrary-but-plausible node: ceiling within the silicon band,
+/// consumption at or under the ceiling, possibly finished.
+fn arb_node() -> impl Strategy<Value = (f64, f64, bool)> {
+    (65.0f64..125.0, 0.0f64..1.0, any::<bool>())
+}
+
+fn observations(nodes: &[(f64, f64, bool)]) -> Vec<NodeObservation> {
+    nodes
+        .iter()
+        .map(|&(ceiling, load, active)| NodeObservation {
+            ceiling: Watts(ceiling),
+            consumption: Watts(ceiling * load),
+            active,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn static_split_conserves_and_is_even(
+        budget in 100.0f64..2000.0,
+        nodes in proptest::collection::vec(arb_node(), 1..32),
+    ) {
+        let obs = observations(&nodes);
+        let out = StaticSplit.allocate(Watts(budget), &obs);
+        prop_assert_eq!(out.len(), obs.len());
+        let total: f64 = out.iter().map(|w| w.value()).sum();
+        prop_assert!(total <= budget + 1e-6, "total {} over budget {}", total, budget);
+        // Even: every node gets the same share.
+        for w in &out {
+            prop_assert!((w.value() - budget / obs.len() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn demand_based_conserves_and_respects_the_floor(
+        budget in 200.0f64..4000.0,
+        nodes in proptest::collection::vec(arb_node(), 1..32),
+    ) {
+        let mut policy = DemandBased::default();
+        let obs = observations(&nodes);
+        let out = policy.allocate(Watts(budget), &obs);
+        prop_assert_eq!(out.len(), obs.len());
+        let total: f64 = out.iter().map(|w| w.value()).sum();
+        // Conservation holds whenever the floors fit in the budget at all
+        // (the networked coordinator adds a proportional scale-down guard
+        // for the oversubscribed case).
+        let floor_total = policy.floor.value() * obs.len() as f64;
+        if floor_total <= budget {
+            prop_assert!(
+                total <= budget + 1e-6,
+                "total {} over budget {}",
+                total,
+                budget
+            );
+        }
+        for (i, w) in out.iter().enumerate() {
+            prop_assert!(
+                *w >= policy.floor - Watts(1e-9),
+                "node {} granted {:?} below the {:?} floor",
+                i,
+                w,
+                policy.floor
+            );
+            prop_assert!(
+                *w <= policy.node_max + Watts(1e-9),
+                "node {} granted {:?} above the silicon limit",
+                i,
+                w
+            );
+        }
+    }
+
+    #[test]
+    fn both_policies_are_deterministic(
+        budget in 100.0f64..2000.0,
+        nodes in proptest::collection::vec(arb_node(), 1..16),
+    ) {
+        let obs = observations(&nodes);
+        prop_assert_eq!(
+            StaticSplit.allocate(Watts(budget), &obs),
+            StaticSplit.allocate(Watts(budget), &obs)
+        );
+        // A fresh DemandBased each time: determinism must not depend on
+        // hidden per-instance state.
+        let a = DemandBased::default().allocate(Watts(budget), &obs);
+        let b = DemandBased::default().allocate(Watts(budget), &obs);
+        prop_assert_eq!(a, b);
+    }
+}

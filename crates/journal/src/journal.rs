@@ -236,8 +236,11 @@ pub fn read_records(dir: &Path) -> Result<ReadOutcome> {
                     truncated: true,
                 });
             }
-            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            let mut word = [0u8; 4];
+            word.copy_from_slice(&bytes[at..at + 4]);
+            let len = u32::from_le_bytes(word) as usize;
+            word.copy_from_slice(&bytes[at + 4..at + 8]);
+            let crc = u32::from_le_bytes(word);
             at += FRAME_BYTES as usize;
             if bytes.len() - at < len {
                 return Ok(ReadOutcome {

@@ -1,0 +1,452 @@
+//! The node agent: a simulated single-socket machine running DUFP under a
+//! [`BudgetedCapper`], reporting demand to the coordinator and enforcing
+//! the ceilings it grants.
+//!
+//! The agent is built to survive the coordinator, not the other way
+//! around. It connects with bounded retry/backoff; if the coordinator is
+//! unreachable — at startup or mid-run — it degrades to its safe local
+//! static cap ([`crate::AgentConfig::safe_cap`]), records a
+//! `CoordinatorLost` decision, keeps running its job queue, and retries
+//! the connection from its control loop. The hardware actuators sit
+//! inside a [`SafeStateGuard`], so however the agent exits — drain, crash
+//! switch, Ctrl-C — the socket's platform defaults are restored.
+//!
+//! A test-only crash switch ([`Agent::with_crash_switch`]) makes the agent
+//! die the way SIGKILL would: the socket is torn down with no Goodbye and
+//! the control loop stops mid-interval, which is exactly what the
+//! coordinator's heartbeat timeout exists to detect.
+
+use crate::config::AgentConfig;
+use crate::wire::{Frame, GrantKind};
+use dufp_cluster::budget::{BudgetedCapper, NodeBudget};
+use dufp_control::{Actuators, ControlConfig, Controller, Dufp, HwActuators, SafeStateGuard};
+use dufp_counters::{Sampler, Telemetry as CounterSource};
+use dufp_rapl::MsrRapl;
+use dufp_sim::{Machine, SimConfig};
+use dufp_telemetry::{Actuator, DecisionEvent, Reason, Telemetry, TelemetryReport};
+use dufp_types::{shutdown, Duration, Error, Result, Seconds, SocketId, Watts};
+use dufp_workloads::{apps, MaterializeCtx};
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The budget-enforcing RAPL stack under the agent's actuators.
+type NodeCapper = Arc<BudgetedCapper<MsrRapl<Arc<Machine>>>>;
+
+/// What one agent run produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AgentOutcome {
+    /// Node name from the configuration.
+    pub node: String,
+    /// Job queue, joined for display.
+    pub app: String,
+    /// Whether the whole queue drained (false on crash, interval limit or
+    /// shutdown).
+    pub completed: bool,
+    /// Simulated time until the queue drained, when it did.
+    pub exec_time: Option<Seconds>,
+    /// Average package power over the run.
+    pub avg_power: Watts,
+    /// The ceiling in force when the agent stopped.
+    pub final_ceiling: Watts,
+    /// Control intervals executed.
+    pub intervals: u64,
+    /// Demand reports delivered to the coordinator.
+    pub reports_sent: u64,
+    /// Budget grants applied from the coordinator.
+    pub grants_applied: u64,
+    /// Times the agent fell back to its safe local cap.
+    pub degradations: u64,
+    /// Whether the crash switch fired (no Goodbye was sent).
+    pub crashed: bool,
+    /// Decision trace + metrics for this node.
+    pub telemetry: TelemetryReport,
+}
+
+/// Coordinator-link state shared with the grant-reader thread.
+struct Link {
+    budget: Arc<NodeBudget>,
+    capper: NodeCapper,
+    /// Reader saw EOF or a wire error: the coordinator is gone.
+    lost: AtomicBool,
+    /// Reader saw a Goodbye: the coordinator detached gracefully.
+    goodbye: AtomicBool,
+    grants_applied: AtomicU64,
+    tel: Telemetry,
+}
+
+/// The node agent. Build with [`Agent::new`], run with [`Agent::run`].
+pub struct Agent {
+    cfg: AgentConfig,
+    crash: Option<Arc<AtomicBool>>,
+    tel: Telemetry,
+}
+
+impl Agent {
+    /// Validates `cfg` and prepares an agent (no I/O yet).
+    pub fn new(cfg: AgentConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Agent {
+            cfg,
+            crash: None,
+            tel: Telemetry::enabled(),
+        })
+    }
+
+    /// Arms a test-only crash switch: when the flag goes true the agent
+    /// tears its socket down with no Goodbye and stops mid-interval —
+    /// indistinguishable, from the coordinator's side, from SIGKILL.
+    pub fn with_crash_switch(mut self, switch: Arc<AtomicBool>) -> Self {
+        self.crash = Some(switch);
+        self
+    }
+
+    /// Replaces the telemetry collector (e.g. a disabled one for benches).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Runs the node to queue drain (or crash/limit/shutdown) and reports
+    /// the outcome. Never panics — and never errors — on coordinator loss.
+    pub fn run(self) -> Result<AgentOutcome> {
+        let cfg = self.cfg;
+        let tel = self.tel;
+        let crash_switch = self.crash;
+
+        // -- Node rig: the same stack crates/cluster assembles in-process.
+        let sim = SimConfig::yeti_single_socket(cfg.seed);
+        let arch = sim.arch.clone();
+        let ctx = MaterializeCtx::from_arch(&arch);
+        let machine = Arc::new(Machine::new(sim));
+        let mut jobs = cfg
+            .queue
+            .iter()
+            .map(|app| apps::by_name(app, &ctx))
+            .collect::<Result<Vec<_>>>()?;
+        machine.load_all(&jobs.remove(0));
+        jobs.reverse(); // pop() yields the next job in order
+
+        // Until the first grant lands the node self-enforces its safe cap.
+        let budget = NodeBudget::try_new(cfg.safe_cap)?;
+        let capper: NodeCapper = Arc::new(BudgetedCapper::new(
+            MsrRapl::new(Arc::clone(&machine), 1, arch.cores_per_socket as usize)?,
+            Arc::clone(&budget),
+        ));
+        let control_cfg = ControlConfig::from_arch(&arch, cfg.slowdown)?;
+        let floor = control_cfg.cap_floor;
+        let mut actuators = HwActuators::new(
+            Arc::clone(&machine),
+            Arc::clone(&capper),
+            SocketId(0),
+            0,
+            control_cfg.clone(),
+        )?;
+        actuators.reset_cap()?;
+        let mut guard = SafeStateGuard::new(actuators).with_telemetry(tel.for_socket(0));
+        let mut controller = Dufp::new(control_cfg).with_telemetry(tel.for_socket(0));
+        let mut sampler = Sampler::new();
+        sampler.sample(machine.as_ref(), SocketId(0))?;
+
+        let link = Arc::new(Link {
+            budget: Arc::clone(&budget),
+            capper: Arc::clone(&capper),
+            lost: AtomicBool::new(false),
+            goodbye: AtomicBool::new(false),
+            grants_applied: AtomicU64::new(0),
+            tel: tel.clone(),
+        });
+
+        // -- Coordinator link, with retry. Failure is not fatal: the agent
+        // runs standalone at its safe cap and keeps retrying below.
+        let hello = Frame::Hello {
+            node: cfg.node.clone(),
+            floor,
+            node_max: cfg.node_max,
+            app: cfg.queue.join("+"),
+        };
+        let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut degradations: u64 = 0;
+        let mut stream = connect_with_retry(&cfg)
+            .and_then(|s| attach(s, &hello, &link, &mut readers))
+            .ok();
+        if stream.is_none() {
+            degradations += 1;
+            record_loss(&tel, 0, cfg.safe_cap.value(), cfg.safe_cap.value());
+        }
+
+        // -- Control loop (mirrors crates/cluster's interval loop).
+        let interval = Duration::from_millis(200);
+        let tick = machine.config().tick;
+        let ticks_per_interval = (interval.as_micros() / tick.as_micros()).max(1);
+        let report_period = cfg.report_intervals as f64 * interval.as_seconds().value();
+        let mut elapsed = Seconds(0.0);
+        let mut intervals: u64 = 0;
+        let mut seq: u64 = 0;
+        let mut reports_sent: u64 = 0;
+        let mut finished_at: Option<Seconds> = None;
+        let mut power_sum = 0.0;
+        let mut power_samples: u64 = 0;
+        let mut last_report_energy = machine.sample(SocketId(0))?.pkg_energy.value();
+        let mut reconnect_attempt: u32 = 0;
+        let mut next_reconnect = Instant::now();
+        let mut crashed = false;
+
+        loop {
+            if shutdown::requested() {
+                break;
+            }
+            // The crash switch dies the SIGKILL way: socket torn down, no
+            // Goodbye, loop abandoned mid-flight.
+            if crash_switch
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                crashed = true;
+                if let Some(s) = stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                break;
+            }
+
+            // Advance the machine one monitoring interval.
+            for _ in 0..ticks_per_interval {
+                machine.tick();
+            }
+            elapsed += interval.as_seconds();
+            intervals += 1;
+            if elapsed.value() > 3600.0 {
+                return Err(Error::Precondition("agent run exceeded 1 h".into()));
+            }
+
+            // Node-local DUFP decision; a drained machine pulls the next
+            // queued job.
+            if finished_at.is_none() && machine.done() {
+                match jobs.pop() {
+                    Some(next) => machine.load_all(&next),
+                    None => finished_at = Some(elapsed),
+                }
+            }
+            if let Some(m) = sampler.sample(machine.as_ref(), SocketId(0))? {
+                power_sum += m.pkg_power.value();
+                power_samples += 1;
+                if finished_at.is_none() {
+                    controller.on_interval(&m, &mut *guard)?;
+                }
+            }
+
+            // Demand report (doubles as the heartbeat).
+            if intervals.is_multiple_of(cfg.report_intervals as u64) {
+                if let Some(s) = stream.as_mut() {
+                    let snap = machine.sample(SocketId(0))?;
+                    let consumed = snap.pkg_energy.value() - last_report_energy;
+                    last_report_energy = snap.pkg_energy.value();
+                    seq += 1;
+                    let frame = Frame::DemandReport {
+                        seq,
+                        ceiling: budget.ceiling(),
+                        consumption: Watts(consumed / report_period),
+                        active: finished_at.is_none(),
+                    };
+                    match frame.write_to(s).and_then(|()| Ok(s.flush()?)) {
+                        Ok(()) => reports_sent += 1,
+                        Err(_) => link.lost.store(true, Ordering::Relaxed),
+                    }
+                }
+            }
+
+            // Coordinator loss or graceful detach: fall back to the safe
+            // local cap so a stale (possibly generous) grant cannot
+            // outlive its grantor.
+            let detached = link.goodbye.swap(false, Ordering::Relaxed);
+            if link.lost.swap(false, Ordering::Relaxed) || detached {
+                if let Some(s) = stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                let old = budget.ceiling();
+                budget.set_ceiling(cfg.safe_cap);
+                capper.enforce_ceiling(SocketId(0))?;
+                degradations += 1;
+                tel.counter("coordinator_losses_total").inc();
+                record_loss(&tel, intervals, old.value(), cfg.safe_cap.value());
+                reconnect_attempt = 0;
+                next_reconnect = if detached {
+                    // A Goodbye is deliberate; do not chase the coordinator.
+                    Instant::now() + std::time::Duration::from_secs(86_400)
+                } else {
+                    Instant::now() + cfg.retry.backoff(1)
+                };
+            }
+
+            // Background reconnect, bounded by the retry policy.
+            if stream.is_none()
+                && reconnect_attempt < cfg.retry.max_retries
+                && Instant::now() >= next_reconnect
+            {
+                reconnect_attempt += 1;
+                match TcpStream::connect(&cfg.connect)
+                    .map_err(Error::from)
+                    .and_then(|s| attach(s, &hello, &link, &mut readers))
+                {
+                    Ok(s) => {
+                        stream = Some(s);
+                        tel.counter("reconnects_total").inc();
+                    }
+                    Err(_) => {
+                        next_reconnect = Instant::now() + cfg.retry.backoff(reconnect_attempt + 1);
+                    }
+                }
+            }
+
+            if finished_at.is_some() {
+                break;
+            }
+            if cfg.max_intervals.is_some_and(|max| intervals >= max) {
+                break;
+            }
+            if !cfg.pace.is_zero() {
+                std::thread::sleep(cfg.pace);
+            }
+        }
+
+        // Graceful exit: tell the coordinator the node is done so its
+        // watts are redistributed immediately instead of by timeout.
+        if !crashed {
+            if let Some(mut s) = stream.take() {
+                seq += 1;
+                let bye = Frame::DemandReport {
+                    seq,
+                    ceiling: budget.ceiling(),
+                    consumption: Watts::ZERO,
+                    active: false,
+                };
+                let _ = bye.write_to(&mut s);
+                let _ = Frame::Goodbye.write_to(&mut s);
+                let _ = s.flush();
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        for h in readers {
+            let _ = h.join();
+        }
+        let final_ceiling = budget.ceiling();
+        drop(guard); // restore platform defaults before reporting
+
+        Ok(AgentOutcome {
+            node: cfg.node,
+            app: cfg.queue.join("+"),
+            completed: finished_at.is_some(),
+            exec_time: finished_at,
+            avg_power: Watts(power_sum / power_samples.max(1) as f64),
+            final_ceiling,
+            intervals,
+            reports_sent,
+            grants_applied: link.grants_applied.load(Ordering::Relaxed),
+            degradations,
+            crashed,
+            telemetry: tel.report(),
+        })
+    }
+}
+
+/// Initial connect honoring the agent's retry policy.
+fn connect_with_retry(cfg: &AgentConfig) -> Result<TcpStream> {
+    let mut attempt = 0;
+    loop {
+        match TcpStream::connect(&cfg.connect) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                attempt += 1;
+                if attempt > cfg.retry.max_retries {
+                    return Err(e.into());
+                }
+                std::thread::sleep(cfg.retry.backoff(attempt));
+            }
+        }
+    }
+}
+
+/// Sends the Hello and spawns the grant-reader thread for `stream`.
+fn attach(
+    stream: TcpStream,
+    hello: &Frame,
+    link: &Arc<Link>,
+    readers: &mut Vec<std::thread::JoinHandle<()>>,
+) -> Result<TcpStream> {
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    hello.write_to(&mut writer)?;
+    writer.flush()?;
+    let reader = stream.try_clone()?;
+    let link = Arc::clone(link);
+    readers.push(std::thread::spawn(move || reader_loop(reader, link)));
+    Ok(writer)
+}
+
+/// Applies coordinator frames until the connection dies or says Goodbye.
+fn reader_loop(mut stream: TcpStream, link: Arc<Link>) {
+    loop {
+        match Frame::read_from(&mut stream) {
+            Ok(Some(Frame::BudgetGrant {
+                epoch,
+                ceiling,
+                kind,
+            })) => {
+                let old = link.budget.ceiling();
+                link.budget.set_ceiling(ceiling);
+                if link.capper.enforce_ceiling(SocketId(0)).is_err() {
+                    link.tel.counter("enforce_failures_total").inc();
+                }
+                link.grants_applied.fetch_add(1, Ordering::Relaxed);
+                link.tel.record_decision(DecisionEvent {
+                    tick: epoch,
+                    at_us: 0,
+                    socket: 0,
+                    phase: 0,
+                    oi_class: None,
+                    flops_ratio: None,
+                    actuator: Actuator::Budget,
+                    old: old.value(),
+                    new: ceiling.value(),
+                    reason: match kind {
+                        GrantKind::Raise => Reason::BudgetGrant,
+                        GrantKind::Shrink => Reason::BudgetShrink,
+                    },
+                });
+            }
+            Ok(Some(Frame::Goodbye)) => {
+                link.goodbye.store(true, Ordering::Relaxed);
+                break;
+            }
+            Ok(Some(_)) => {
+                // Agent-to-coordinator frames arriving here mean a confused
+                // peer; treat like loss.
+                link.lost.store(true, Ordering::Relaxed);
+                break;
+            }
+            Ok(None) | Err(_) => {
+                link.lost.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+}
+
+/// Records a CoordinatorLost decision (ceiling `old` → safe cap `new`).
+fn record_loss(tel: &Telemetry, tick: u64, old: f64, new: f64) {
+    tel.record_decision(DecisionEvent {
+        tick,
+        at_us: 0,
+        socket: 0,
+        phase: 0,
+        oi_class: None,
+        flops_ratio: None,
+        actuator: Actuator::Budget,
+        old,
+        new,
+        reason: Reason::CoordinatorLost,
+    });
+}

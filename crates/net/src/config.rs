@@ -1,0 +1,314 @@
+//! Coordinator and agent configuration, with the same typed field-naming
+//! validation [`dufp_control::ControlConfig::validate`] established.
+
+use dufp_types::{Error, Ratio, Result, Watts};
+use std::time::Duration;
+
+/// A finite `f64`, or a typed error naming the offending field.
+fn finite(name: &'static str, v: f64) -> Result<()> {
+    if v.is_finite() {
+        Ok(())
+    } else {
+        Err(Error::invalid(name, format!("{v} is not finite")))
+    }
+}
+
+/// A finite, strictly positive `f64`.
+fn positive(name: &'static str, v: f64) -> Result<()> {
+    finite(name, v)?;
+    if v > 0.0 {
+        Ok(())
+    } else {
+        Err(Error::invalid(name, format!("{v} must be positive")))
+    }
+}
+
+/// Which allocation policy the coordinator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Even split, never changes.
+    StaticSplit,
+    /// Demand-based reallocation (headroom donors fund ceiling riders).
+    DemandBased,
+}
+
+impl PolicyKind {
+    /// Display label (matches the in-process allocator names).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::StaticSplit => "static-split",
+            PolicyKind::DemandBased => "demand-based",
+        }
+    }
+}
+
+/// Coordinator-side configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorConfig {
+    /// Listen address, e.g. `127.0.0.1:7070` (`:0` picks a free port).
+    pub listen: String,
+    /// Global fleet power budget (package domains).
+    pub budget: Watts,
+    /// Allocation policy.
+    pub policy: PolicyKind,
+    /// Wall-clock allocator epoch length.
+    pub epoch: Duration,
+    /// A node whose last report or heartbeat is older than this is dead;
+    /// its watts are reclaimed and redistributed at the next epoch.
+    /// Defaults to 1.5 × `epoch` so a kill is detected within two epochs.
+    pub heartbeat_timeout: Duration,
+    /// Stop after this many allocator epochs (`None` = run until every
+    /// agent that ever joined has departed, or shutdown is requested).
+    pub max_epochs: Option<u64>,
+    /// Floor for the demand-based policy: no live node's ceiling falls
+    /// below it.
+    pub floor: Watts,
+    /// Per-node silicon limit for the demand-based policy.
+    pub node_max: Watts,
+}
+
+impl CoordinatorConfig {
+    /// A coordinator on `listen` owning `budget` watts, with the defaults
+    /// the loopback fleet tests and the CLI use: demand-based policy,
+    /// 1-second epochs, heartbeat timeout 1.5 epochs.
+    pub fn new(listen: impl Into<String>, budget: Watts) -> Self {
+        let epoch = Duration::from_secs(1);
+        CoordinatorConfig {
+            listen: listen.into(),
+            budget,
+            policy: PolicyKind::DemandBased,
+            epoch,
+            heartbeat_timeout: epoch.mul_f64(1.5),
+            max_epochs: None,
+            floor: Watts(65.0),
+            node_max: Watts(125.0),
+        }
+    }
+
+    /// Sets the epoch and rescales the heartbeat timeout to 1.5 epochs.
+    pub fn with_epoch(mut self, epoch: Duration) -> Self {
+        self.epoch = epoch;
+        self.heartbeat_timeout = epoch.mul_f64(1.5);
+        self
+    }
+
+    /// Rejects configurations no coordinator can serve — zero/negative/NaN
+    /// budgets, a floor above the per-node ceiling, degenerate timings —
+    /// with a typed [`Error::InvalidValue`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.listen.is_empty() {
+            return Err(Error::invalid("listen", "empty listen address"));
+        }
+        positive("budget", self.budget.value())?;
+        positive("floor", self.floor.value())?;
+        positive("node_max", self.node_max.value())?;
+        if self.floor > self.node_max {
+            return Err(Error::invalid(
+                "floor",
+                format!(
+                    "{} W above node_max {} W",
+                    self.floor.value(),
+                    self.node_max.value()
+                ),
+            ));
+        }
+        if self.budget < self.floor {
+            return Err(Error::invalid(
+                "budget",
+                format!(
+                    "{} W cannot cover even one node's {} W floor",
+                    self.budget.value(),
+                    self.floor.value()
+                ),
+            ));
+        }
+        if self.epoch.is_zero() {
+            return Err(Error::invalid("epoch", "zero allocator epoch"));
+        }
+        if self.heartbeat_timeout.is_zero() {
+            return Err(Error::invalid("heartbeat_timeout", "zero timeout"));
+        }
+        if self.max_epochs == Some(0) {
+            return Err(Error::invalid("max_epochs", "zero epochs"));
+        }
+        Ok(())
+    }
+}
+
+/// Agent-side configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentConfig {
+    /// Coordinator address, e.g. `127.0.0.1:7070`.
+    pub connect: String,
+    /// Node name sent in the Hello frame.
+    pub node: String,
+    /// Applications to run back to back (see `dufp apps`).
+    pub queue: Vec<String>,
+    /// Tolerated slowdown for the node-local DUFP.
+    pub slowdown: Ratio,
+    /// RNG seed for the simulated node.
+    pub seed: u64,
+    /// The ceiling the node enforces while unconnected or degraded — the
+    /// safe local static cap. Also the floor reported in Hello.
+    pub safe_cap: Watts,
+    /// The node's silicon PL1, reported in Hello.
+    pub node_max: Watts,
+    /// Send a demand report (and heartbeat) every this many control
+    /// intervals.
+    pub report_intervals: u32,
+    /// Wall-clock pause per 200 ms control interval. The simulator runs
+    /// much faster than real time; pacing keeps a demo fleet observable
+    /// and spreads reports across coordinator epochs. `0` = flat out.
+    pub pace: Duration,
+    /// Stop after this many control intervals even if the queue has work
+    /// left (`None` = run to completion). Used by benchmarks and CI.
+    pub max_intervals: Option<u64>,
+    /// Connection retry/backoff policy (initial connect and reconnects).
+    pub retry: dufp_control::RetryPolicy,
+}
+
+impl AgentConfig {
+    /// An agent for `connect` running `app`, with the defaults the fleet
+    /// tests and the CLI use.
+    pub fn new(
+        connect: impl Into<String>,
+        node: impl Into<String>,
+        app: impl Into<String>,
+    ) -> Self {
+        AgentConfig {
+            connect: connect.into(),
+            node: node.into(),
+            queue: vec![app.into()],
+            slowdown: Ratio::from_percent(10.0),
+            seed: 42,
+            safe_cap: Watts(90.0),
+            node_max: Watts(125.0),
+            report_intervals: 1,
+            pace: Duration::ZERO,
+            max_intervals: None,
+            retry: dufp_control::RetryPolicy::default(),
+        }
+    }
+
+    /// Rejects configurations no agent can run — empty queues,
+    /// zero/negative/NaN caps, a safe cap above the silicon limit — with a
+    /// typed [`Error::InvalidValue`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.connect.is_empty() {
+            return Err(Error::invalid("connect", "empty coordinator address"));
+        }
+        if self.node.is_empty() {
+            return Err(Error::invalid("node", "empty node name"));
+        }
+        if self.queue.is_empty() || self.queue.iter().any(String::is_empty) {
+            return Err(Error::invalid("queue", "empty application queue"));
+        }
+        finite("slowdown", self.slowdown.value())?;
+        if !(0.0..1.0).contains(&self.slowdown.value()) {
+            return Err(Error::invalid(
+                "slowdown",
+                format!("{} must be within [0, 1)", self.slowdown.value()),
+            ));
+        }
+        positive("safe_cap", self.safe_cap.value())?;
+        positive("node_max", self.node_max.value())?;
+        if self.safe_cap > self.node_max {
+            return Err(Error::invalid(
+                "safe_cap",
+                format!(
+                    "{} W above node_max {} W",
+                    self.safe_cap.value(),
+                    self.node_max.value()
+                ),
+            ));
+        }
+        if self.report_intervals == 0 {
+            return Err(Error::invalid("report_intervals", "zero report cadence"));
+        }
+        if self.max_intervals == Some(0) {
+            return Err(Error::invalid("max_intervals", "zero intervals"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_defaults_validate() {
+        CoordinatorConfig::new("127.0.0.1:0", Watts(400.0))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn coordinator_rejects_bad_budgets_naming_the_field() {
+        for bad in [0.0, -10.0, f64::NAN, f64::INFINITY] {
+            let cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(bad));
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidValue { what: "budget", .. }),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coordinator_rejects_floor_above_node_max() {
+        let mut cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(400.0));
+        cfg.floor = Watts(130.0);
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(err, Error::InvalidValue { what: "floor", .. }));
+    }
+
+    #[test]
+    fn coordinator_rejects_degenerate_timings() {
+        let mut cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(400.0));
+        cfg.epoch = Duration::ZERO;
+        assert!(cfg.validate().is_err());
+        let mut cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(400.0));
+        cfg.max_epochs = Some(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn agent_defaults_validate() {
+        AgentConfig::new("127.0.0.1:7070", "n0", "EP")
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn agent_rejects_bad_caps_naming_the_field() {
+        for bad in [0.0, -1.0, f64::NAN] {
+            let mut cfg = AgentConfig::new("127.0.0.1:7070", "n0", "EP");
+            cfg.safe_cap = Watts(bad);
+            let err = cfg.validate().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    Error::InvalidValue {
+                        what: "safe_cap",
+                        ..
+                    }
+                ),
+                "{bad}: {err:?}"
+            );
+        }
+        let mut cfg = AgentConfig::new("127.0.0.1:7070", "n0", "EP");
+        cfg.safe_cap = Watts(130.0); // above the 125 W silicon limit
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn agent_rejects_empty_queue_and_cadence() {
+        let mut cfg = AgentConfig::new("127.0.0.1:7070", "n0", "EP");
+        cfg.queue.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = AgentConfig::new("127.0.0.1:7070", "n0", "EP");
+        cfg.report_intervals = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

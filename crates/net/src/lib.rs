@@ -1,0 +1,46 @@
+//! `dufp-net`: the networked fleet control plane.
+//!
+//! The in-process cluster simulation (`dufp-cluster`) proves the budget
+//! allocation policies; this crate runs the same policies over a real
+//! network boundary. A [`Coordinator`] owns the global power budget and
+//! runs an [`dufp_cluster::allocator::AllocatorPolicy`] over live demand
+//! reports; each [`Agent`] wraps a node-local simulated machine and DUFP
+//! controller behind a [`dufp_cluster::budget::BudgetedCapper`] enforcing
+//! the granted ceiling.
+//!
+//! Layering:
+//!
+//! ```text
+//!   Coordinator ── epoch: detect dead → reclaim → allocate → grant
+//!        │  ▲
+//!  grants│  │demand reports / heartbeats        (wire: versioned,
+//!        ▼  │                                    length-prefixed,
+//!      Agent ── DUFP @200 ms under BudgetedCapper    CRC-protected)
+//! ```
+//!
+//! Design invariants (DESIGN.md §12):
+//!
+//! * **Conservation** — the sum of granted ceilings never exceeds the
+//!   global budget, at every epoch, even when floors oversubscribe it.
+//! * **Reclamation** — a node that goes silent past the heartbeat timeout
+//!   (default 1.5 allocator epochs) is declared dead and its watts return
+//!   to the pool within two epochs of the failure.
+//! * **Agent autonomy** — an agent outlives its coordinator: on
+//!   connection loss it falls back to a safe local static cap and keeps
+//!   running its jobs; on exit a [`dufp_control::SafeStateGuard`] restores
+//!   platform defaults.
+//! * **No trust in the wire** — every frame is CRC-checked; a malformed
+//!   frame drops the connection, never panics the process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod config;
+pub mod coordinator;
+pub mod wire;
+
+pub use agent::{Agent, AgentOutcome};
+pub use config::{AgentConfig, CoordinatorConfig, PolicyKind};
+pub use coordinator::{Coordinator, EpochRecord, FleetOutcome, NodeState, NodeSummary};
+pub use wire::{Frame, FrameType, GrantKind, VERSION};

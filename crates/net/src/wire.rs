@@ -1,0 +1,525 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every frame on a fleet connection is:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic      0x4455_4650 ("DUFP", big-endian bytes)
+//!      4     2  version    protocol version (little-endian), currently 1
+//!      6     1  frame type (see [`FrameType`])
+//!      7     1  reserved   must be 0
+//!      8     4  payload length N (little-endian; at most MAX_PAYLOAD)
+//!     12     N  payload    frame-specific fields, little-endian
+//!   12+N     4  CRC-32     over bytes [4, 12+N) — everything but the magic
+//! ```
+//!
+//! The CRC is the same IEEE 802.3 polynomial the experiment journal uses
+//! ([`dufp_journal::crc32`]), so a frame hexdump is checkable with the same
+//! standard tools. Strings are `u16` length-prefixed UTF-8; floats are
+//! `f64::to_le_bytes`. Decoding never panics: bad magic, a torn frame, a
+//! flipped bit, an unknown frame type or an oversized length each produce a
+//! typed [`Error`] the peer can log and survive.
+
+use dufp_journal::crc32;
+use dufp_types::{Error, Result, Watts};
+use std::io::{Read, Write};
+
+/// Frame magic: the ASCII bytes `DUFP`.
+pub const MAGIC: [u8; 4] = *b"DUFP";
+
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+
+/// Upper bound on a frame payload; anything larger is corruption (or an
+/// attack) and is rejected before allocation.
+pub const MAX_PAYLOAD: u32 = 64 * 1024;
+
+/// Fixed header size (magic + version + type + reserved + length).
+pub const HEADER_LEN: usize = 12;
+
+/// Frame discriminants as they appear on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Agent → coordinator: introduce a node.
+    Hello = 1,
+    /// Agent → coordinator: per-epoch demand observation.
+    DemandReport = 2,
+    /// Coordinator → agent: a new budget ceiling.
+    BudgetGrant = 3,
+    /// Agent → coordinator: liveness beacon.
+    Heartbeat = 4,
+    /// Either direction: clean departure.
+    Goodbye = 5,
+}
+
+impl FrameType {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(FrameType::Hello),
+            2 => Ok(FrameType::DemandReport),
+            3 => Ok(FrameType::BudgetGrant),
+            4 => Ok(FrameType::Heartbeat),
+            5 => Ok(FrameType::Goodbye),
+            other => Err(Error::Corruption(format!("unknown frame type {other}"))),
+        }
+    }
+}
+
+/// Why a coordinator moved a node's ceiling (the wire form of the
+/// telemetry reasons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum GrantKind {
+    /// The ceiling rose (or is the node's first allocation).
+    Raise = 0,
+    /// The ceiling shrank to fund other nodes or fit the budget.
+    Shrink = 1,
+}
+
+impl GrantKind {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(GrantKind::Raise),
+            1 => Ok(GrantKind::Shrink),
+            other => Err(Error::Corruption(format!("unknown grant kind {other}"))),
+        }
+    }
+}
+
+/// A decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Agent → coordinator introduction.
+    Hello {
+        /// Human-readable node name (unique per fleet run is advisable,
+        /// not enforced).
+        node: String,
+        /// The node's floor: the allocator never grants below it.
+        floor: Watts,
+        /// The node's silicon PL1: watts above it are unusable.
+        node_max: Watts,
+        /// The application (queue) the node is running, for reports.
+        app: String,
+    },
+    /// Agent → coordinator demand observation.
+    DemandReport {
+        /// The agent's report sequence number.
+        seq: u64,
+        /// The ceiling the agent currently enforces.
+        ceiling: Watts,
+        /// Average package power since the previous report.
+        consumption: Watts,
+        /// Whether the node still has work.
+        active: bool,
+    },
+    /// Coordinator → agent ceiling update.
+    BudgetGrant {
+        /// The coordinator's allocator epoch.
+        epoch: u64,
+        /// The new ceiling the agent must enforce.
+        ceiling: Watts,
+        /// Whether this raises or shrinks the previous ceiling.
+        kind: GrantKind,
+    },
+    /// Agent → coordinator liveness beacon.
+    Heartbeat {
+        /// Monotonic beacon sequence number.
+        seq: u64,
+    },
+    /// Clean departure (either direction).
+    Goodbye,
+}
+
+impl Frame {
+    /// The frame's wire discriminant.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Frame::Hello { .. } => FrameType::Hello,
+            Frame::DemandReport { .. } => FrameType::DemandReport,
+            Frame::BudgetGrant { .. } => FrameType::BudgetGrant,
+            Frame::Heartbeat { .. } => FrameType::Heartbeat,
+            Frame::Goodbye => FrameType::Goodbye,
+        }
+    }
+
+    /// Encodes the frame into a self-contained byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.push(self.frame_type() as u8);
+        buf.push(0); // reserved
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let crc = crc32(&buf[4..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Frame::Hello {
+                node,
+                floor,
+                node_max,
+                app,
+            } => {
+                put_str(&mut p, node);
+                p.extend_from_slice(&floor.value().to_le_bytes());
+                p.extend_from_slice(&node_max.value().to_le_bytes());
+                put_str(&mut p, app);
+            }
+            Frame::DemandReport {
+                seq,
+                ceiling,
+                consumption,
+                active,
+            } => {
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&ceiling.value().to_le_bytes());
+                p.extend_from_slice(&consumption.value().to_le_bytes());
+                p.push(u8::from(*active));
+            }
+            Frame::BudgetGrant {
+                epoch,
+                ceiling,
+                kind,
+            } => {
+                p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&ceiling.value().to_le_bytes());
+                p.push(*kind as u8);
+            }
+            Frame::Heartbeat { seq } => p.extend_from_slice(&seq.to_le_bytes()),
+            Frame::Goodbye => {}
+        }
+        p
+    }
+
+    /// Decodes a frame from a complete byte buffer (header + payload +
+    /// CRC). The inverse of [`Frame::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Frame> {
+        if buf.len() < HEADER_LEN + 4 {
+            return Err(Error::Corruption(format!(
+                "frame truncated: {} bytes, need at least {}",
+                buf.len(),
+                HEADER_LEN + 4
+            )));
+        }
+        if buf[0..4] != MAGIC {
+            return Err(Error::Corruption("bad frame magic".into()));
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != VERSION {
+            return Err(Error::Unsupported(
+                "peer speaks a different dufp-net protocol version",
+            ));
+        }
+        let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        if len > MAX_PAYLOAD {
+            return Err(Error::Corruption(format!(
+                "payload length {len} exceeds the {MAX_PAYLOAD}-byte bound"
+            )));
+        }
+        let want = HEADER_LEN + len as usize + 4;
+        if buf.len() != want {
+            return Err(Error::Corruption(format!(
+                "frame truncated: {} bytes, header says {want}",
+                buf.len()
+            )));
+        }
+        let crc_at = HEADER_LEN + len as usize;
+        let stored = u32::from_le_bytes([
+            buf[crc_at],
+            buf[crc_at + 1],
+            buf[crc_at + 2],
+            buf[crc_at + 3],
+        ]);
+        let computed = crc32(&buf[4..crc_at]);
+        if stored != computed {
+            return Err(Error::Corruption(format!(
+                "frame CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            )));
+        }
+        let ty = FrameType::from_u8(buf[6])?;
+        let mut r = Cursor::new(&buf[HEADER_LEN..crc_at]);
+        let frame = match ty {
+            FrameType::Hello => Frame::Hello {
+                node: r.str_()?,
+                floor: Watts(r.f64_()?),
+                node_max: Watts(r.f64_()?),
+                app: r.str_()?,
+            },
+            FrameType::DemandReport => Frame::DemandReport {
+                seq: r.u64_()?,
+                ceiling: Watts(r.f64_()?),
+                consumption: Watts(r.f64_()?),
+                active: r.u8_()? != 0,
+            },
+            FrameType::BudgetGrant => Frame::BudgetGrant {
+                epoch: r.u64_()?,
+                ceiling: Watts(r.f64_()?),
+                kind: GrantKind::from_u8(r.u8_()?)?,
+            },
+            FrameType::Heartbeat => Frame::Heartbeat { seq: r.u64_()? },
+            FrameType::Goodbye => Frame::Goodbye,
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+
+    /// Writes the frame to a stream.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        w.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Reads one frame from a stream.
+    ///
+    /// Returns `Ok(None)` on clean EOF at a frame boundary (the peer went
+    /// away between frames). A torn frame, bad magic, a version mismatch,
+    /// an oversized length or a CRC failure is a typed error; the caller
+    /// decides whether to drop the connection.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Option<Frame>> {
+        let mut header = [0u8; HEADER_LEN];
+        match r.read(&mut header)? {
+            0 => return Ok(None),
+            n => r.read_exact(&mut header[n..]).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    Error::Corruption("frame truncated inside the header".into())
+                } else {
+                    Error::Io(e)
+                }
+            })?,
+        }
+        if header[0..4] != MAGIC {
+            return Err(Error::Corruption("bad frame magic".into()));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != VERSION {
+            return Err(Error::Unsupported(
+                "peer speaks a different dufp-net protocol version",
+            ));
+        }
+        let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if len > MAX_PAYLOAD {
+            return Err(Error::Corruption(format!(
+                "payload length {len} exceeds the {MAX_PAYLOAD}-byte bound"
+            )));
+        }
+        let mut rest = vec![0u8; len as usize + 4];
+        r.read_exact(&mut rest).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                Error::Corruption("frame truncated inside the payload".into())
+            } else {
+                Error::Io(e)
+            }
+        })?;
+        let mut buf = header.to_vec();
+        buf.extend_from_slice(&rest);
+        Frame::decode(&buf).map(Some)
+    }
+}
+
+fn put_str(p: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    p.extend_from_slice(&(len as u16).to_le_bytes());
+    p.extend_from_slice(&bytes[..len]);
+}
+
+/// A bounds-checked payload reader; every under-read is a typed error,
+/// never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.at..end];
+                self.at = end;
+                Ok(s)
+            }
+            None => Err(Error::Corruption(format!(
+                "payload underrun: wanted {n} bytes at offset {} of {}",
+                self.at,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8_(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64_(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64_(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64_()?))
+    }
+
+    fn str_(&mut self) -> Result<String> {
+        let b = self.take(2)?;
+        let len = u16::from_le_bytes([b[0], b[1]]) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corruption("payload string is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(Error::Corruption(format!(
+                "{} trailing byte(s) after the payload",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                node: "node-3".into(),
+                floor: Watts(65.0),
+                node_max: Watts(125.0),
+                app: "CG+EP".into(),
+            },
+            Frame::DemandReport {
+                seq: 17,
+                ceiling: Watts(105.0),
+                consumption: Watts(98.5),
+                active: true,
+            },
+            Frame::BudgetGrant {
+                epoch: 4,
+                ceiling: Watts(112.5),
+                kind: GrantKind::Raise,
+            },
+            Frame::Heartbeat { seq: 9001 },
+            Frame::Goodbye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in samples() {
+            let bytes = f.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), f, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_preserves_order() {
+        let mut buf = Vec::new();
+        for f in samples() {
+            f.write_to(&mut buf).unwrap();
+        }
+        let mut r = std::io::Cursor::new(buf);
+        for want in samples() {
+            assert_eq!(Frame::read_from(&mut r).unwrap().unwrap(), want);
+        }
+        assert!(Frame::read_from(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_corruption_not_panic() {
+        let bytes = samples()[0].encode();
+        for cut in 0..bytes.len() {
+            let torn = &bytes[..cut];
+            let err = Frame::decode(torn).unwrap_err();
+            assert!(matches!(err, Error::Corruption(_)), "cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn flipped_bits_fail_the_crc() {
+        let bytes = samples()[1].encode();
+        // Flip one bit in every payload byte position in turn.
+        for i in HEADER_LEN..bytes.len() - 4 {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            let err = Frame::decode(&bad).unwrap_err();
+            assert!(matches!(err, Error::Corruption(_)), "byte {i}: {err:?}");
+            assert!(err.to_string().contains("CRC"), "byte {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_frame_type_is_typed() {
+        let mut bytes = Frame::Goodbye.encode();
+        bytes[6] = 0xEE;
+        // Re-seal the CRC so the type check (not the CRC) is what trips.
+        let crc_at = bytes.len() - 4;
+        let crc = crc32(&bytes[4..crc_at]);
+        bytes[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unknown frame type"), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = Frame::Heartbeat { seq: 1 }.encode();
+        bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = Frame::Goodbye.encode();
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // And through the streaming reader, too.
+        let mut r = std::io::Cursor::new(bytes);
+        let err = Frame::read_from(&mut r).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = Frame::Goodbye.encode();
+        bytes[0] = b'X';
+        assert!(Frame::decode(&bytes).is_err());
+        let mut r = std::io::Cursor::new(bytes);
+        assert!(Frame::read_from(&mut r).is_err());
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_rejected() {
+        // A Heartbeat with 9 payload bytes instead of 8 (CRC re-sealed).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(FrameType::Heartbeat as u8);
+        bytes.push(0);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 9]);
+        let crc = crc32(&bytes[4..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

@@ -18,6 +18,10 @@ pub enum Actuator {
     /// Not a hardware knob: the experiment journal itself (checkpoint and
     /// resume lifecycle events; values are completed-interval counts).
     Journal,
+    /// Not a hardware knob: a node's fleet power-budget ceiling (reported
+    /// in W). Moved by the coordinator's allocator epochs and by an
+    /// agent's coordinator-loss degradation.
+    Budget,
 }
 
 impl fmt::Display for Actuator {
@@ -28,6 +32,7 @@ impl fmt::Display for Actuator {
             Actuator::PowerCapShort => "power_cap_short",
             Actuator::CoreFreq => "core_freq",
             Actuator::Journal => "journal",
+            Actuator::Budget => "budget",
         };
         f.write_str(s)
     }
@@ -76,11 +81,24 @@ pub enum Reason {
     /// the first live tick after replay (old = checkpointed interval, new
     /// = journal head at resume time).
     Resumed,
+    /// The fleet coordinator granted a node a higher (or first) budget
+    /// ceiling (old/new in W; the event's tick is the allocator epoch).
+    BudgetGrant,
+    /// The fleet coordinator shrank a node's budget ceiling to fund other
+    /// nodes or to fit the global budget (old/new in W).
+    BudgetShrink,
+    /// The coordinator reclaimed a node's watts — dead (missed heartbeats)
+    /// or cleanly departed — and returned them to the pool (old = the
+    /// node's last ceiling, new = 0).
+    BudgetReclaim,
+    /// An agent lost its coordinator and degraded to the safe local
+    /// static cap (old = last granted ceiling, new = the safe cap).
+    CoordinatorLost,
 }
 
 impl Reason {
     /// Every reason, in a stable order (used for summary tables).
-    pub const ALL: [Reason; 16] = [
+    pub const ALL: [Reason; 20] = [
         Reason::PhaseReset,
         Reason::SlowdownViolation,
         Reason::BandwidthViolation,
@@ -97,6 +115,10 @@ impl Reason {
         Reason::SafeStateRestore,
         Reason::Checkpoint,
         Reason::Resumed,
+        Reason::BudgetGrant,
+        Reason::BudgetShrink,
+        Reason::BudgetReclaim,
+        Reason::CoordinatorLost,
     ];
 }
 
@@ -234,6 +256,6 @@ mod tests {
         for r in Reason::ALL {
             assert!(seen.insert(format!("{r:?}")));
         }
-        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.len(), 20);
     }
 }

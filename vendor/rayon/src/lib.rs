@@ -168,15 +168,19 @@ fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) ->
                     if idx >= n {
                         break;
                     }
-                    let item = slots[idx].lock().unwrap().take().expect("item taken once");
+                    let item = slots[idx]
+                        .lock()
+                        .expect("slot lock poisoned")
+                        .take()
+                        .expect("item taken once");
                     local.push((idx, f(item)));
                 }
-                out.lock().unwrap().append(&mut local);
+                out.lock().expect("output lock poisoned").append(&mut local);
             });
         }
     });
 
-    let mut pairs = out.into_inner().unwrap();
+    let mut pairs = out.into_inner().expect("output lock poisoned");
     pairs.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(pairs.len(), n);
     pairs.into_iter().map(|(_, v)| v).collect()
