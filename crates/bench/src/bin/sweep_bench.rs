@@ -1,0 +1,108 @@
+//! Sweep-engine benchmark: paper-grid throughput at 1, half-cores and
+//! all-cores workers, plus the serial-vs-parallel speedup.
+//!
+//! Seeds `BENCH_sweep.json` at the current directory (repo root in CI,
+//! where it is uploaded as an artifact), so the batched-engine trajectory
+//! is tracked from its first PR. Numbers are honest for the host they ran
+//! on: `available_cores` is recorded next to every series, and on a
+//! single-core host a 2-worker series is still measured so the pool
+//! overhead (not a fantasy speedup) is what lands in the artifact.
+//!
+//! Usage: cargo run -p dufp-bench --release --bin sweep_bench -- [--out FILE]
+
+use dufp::{run_sweep, SweepGrid};
+use serde::Serialize;
+
+/// One worker-count measurement over the same grid.
+#[derive(Debug, Serialize)]
+struct Series {
+    workers: usize,
+    workers_observed: usize,
+    jobs: usize,
+    elapsed_s: f64,
+    jobs_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: &'static str,
+    available_cores: usize,
+    grid_apps: usize,
+    grid_policies: usize,
+    grid_slowdowns: usize,
+    grid_seeds: usize,
+    jobs: usize,
+    series: Vec<Series>,
+    /// jobs/sec at the widest worker count over jobs/sec serial.
+    speedup_all_vs_serial: f64,
+}
+
+fn measure(grid: &SweepGrid, workers: usize) -> Series {
+    let out = run_sweep(grid, workers).expect("sweep run");
+    Series {
+        workers,
+        workers_observed: out.workers_observed,
+        jobs: out.rows.len(),
+        elapsed_s: out.elapsed_s,
+        jobs_per_sec: out.jobs_per_sec(),
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: sweep_bench [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let grid = SweepGrid::paper();
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // 1, half, all — deduplicated; a single-core host still measures a
+    // 2-worker series so the artifact shows real pool overhead.
+    let mut worker_counts = vec![1, (cores / 2).max(1), cores];
+    if cores == 1 {
+        worker_counts.push(2);
+    }
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    // Warm the process-wide workload cache so the serial series is not
+    // charged for materialization the parallel ones get for free.
+    let _ = measure(&grid, 1);
+
+    let mut series = Vec::new();
+    for &w in &worker_counts {
+        eprintln!("paper grid ({} jobs) on {w} worker(s)...", grid.len());
+        series.push(measure(&grid, w));
+    }
+
+    let serial = series
+        .iter()
+        .find(|s| s.workers == 1)
+        .expect("serial series");
+    let widest = series.last().expect("at least one series");
+    let report = Report {
+        bench: "sweep",
+        available_cores: cores,
+        grid_apps: grid.apps.len(),
+        grid_policies: grid.policies.len(),
+        grid_slowdowns: grid.slowdowns_pct.len(),
+        grid_seeds: grid.seeds.len(),
+        jobs: grid.len(),
+        speedup_all_vs_serial: widest.jobs_per_sec / serial.jobs_per_sec,
+        series,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+    std::fs::write(&out, format!("{json}\n")).expect("write bench json");
+    eprintln!("wrote {out}");
+}

@@ -42,6 +42,16 @@ USAGE:
     dufp plan <APP> [--runs N] [--seed S]
                              sweep DUFP tolerances and recommend the best
                              power-saving setting with no energy loss (§V-H)
+    dufp sweep [--grid FILE.toml | --paper] [--jobs N] [--out FILE.jsonl]
+               [--json]
+                             expand a (app × policy × slowdown × seed)
+                             grid into independent experiments, run them
+                             on a work-stealing pool of N workers (default
+                             all cores) and write one JSON line per grid
+                             point, in grid order. Output is byte-identical
+                             for any --jobs value. --paper runs the paper
+                             evaluation grid (4 policies × 5 slowdowns ×
+                             8 seeds); --grid reads a TOML grid file
     dufp coordinate --listen ADDR --budget-w W
                     [--policy static|demand] [--epoch-ms N] [--max-epochs N]
                     [--json] [--trace-out FILE.jsonl]
@@ -73,6 +83,8 @@ EXAMPLES:
     dufp resume /tmp/cg-journal
     dufp coordinate --listen 127.0.0.1:7070 --budget-w 300 --max-epochs 60 &
     dufp agent --connect 127.0.0.1:7070 --node n0 --app HPL --pace-ms 5
+    dufp sweep --paper --jobs 8 --out results.jsonl
+    dufp sweep --grid grid.toml --jobs 2 --json
 ";
 
 /// A parsed `run` invocation.
@@ -240,6 +252,21 @@ pub struct AgentCmd {
     pub trace_out: Option<String>,
 }
 
+/// A parsed `sweep` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCmd {
+    /// Path to a TOML grid file (`None` with `paper` = the paper grid).
+    pub grid: Option<String>,
+    /// Run the built-in paper evaluation grid.
+    pub paper: bool,
+    /// Worker count (`None` = all cores).
+    pub jobs: Option<usize>,
+    /// Output JSONL path.
+    pub out: String,
+    /// Emit a machine-readable summary instead of a human one.
+    pub json: bool,
+}
+
 /// Subcommands.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -257,6 +284,8 @@ pub enum Command {
     Trace(TraceCmd),
     /// Recommend a tolerated-slowdown setting (§V-H).
     Plan(RunSpec),
+    /// Run a batched experiment grid on a worker pool.
+    Sweep(SweepCmd),
     /// Serve a fleet power budget over TCP.
     Coordinate(CoordinateCmd),
     /// Run a node agent against a coordinator.
@@ -366,6 +395,46 @@ impl Cli {
                 }
                 Ok(Cli {
                     command: Command::Record(spec),
+                })
+            }
+            "sweep" => {
+                let mut cmd = SweepCmd {
+                    grid: None,
+                    paper: false,
+                    jobs: None,
+                    out: "results.jsonl".into(),
+                    json: false,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--grid" => {
+                            cmd.grid = Some(it.next().ok_or("--grid needs a path")?.clone())
+                        }
+                        "--paper" => cmd.paper = true,
+                        "--jobs" => {
+                            let v = it.next().ok_or("--jobs needs a value")?;
+                            let n: usize = v.parse().map_err(|_| format!("bad job count {v}"))?;
+                            if n == 0 {
+                                return Err("need at least one worker".into());
+                            }
+                            cmd.jobs = Some(n);
+                        }
+                        "--out" => cmd.out = it.next().ok_or("--out needs a path")?.clone(),
+                        "--json" => cmd.json = true,
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                match (&cmd.grid, cmd.paper) {
+                    (None, false) => {
+                        return Err("sweep: pick a grid with --grid FILE.toml or --paper".into())
+                    }
+                    (Some(_), true) => {
+                        return Err("sweep: --grid and --paper are mutually exclusive".into())
+                    }
+                    _ => {}
+                }
+                Ok(Cli {
+                    command: Command::Sweep(cmd),
                 })
             }
             "coordinate" => {
@@ -869,6 +938,45 @@ mod tests {
         assert!(parse(&["agent", "--connect", "127.0.0.1:7070"])
             .unwrap_err()
             .contains("--node"));
+    }
+
+    #[test]
+    fn sweep_subcommand_parses() {
+        let cli = parse(&[
+            "sweep",
+            "--paper",
+            "--jobs",
+            "4",
+            "--out",
+            "/tmp/r.jsonl",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Sweep(SweepCmd {
+                grid: None,
+                paper: true,
+                jobs: Some(4),
+                out: "/tmp/r.jsonl".into(),
+                json: true,
+            })
+        );
+
+        let cli = parse(&["sweep", "--grid", "g.toml"]).unwrap();
+        let Command::Sweep(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.grid.as_deref(), Some("g.toml"));
+        assert_eq!(cmd.jobs, None, "default = all cores");
+        assert_eq!(cmd.out, "results.jsonl");
+
+        assert!(parse(&["sweep"]).unwrap_err().contains("--grid"));
+        assert!(parse(&["sweep", "--grid", "g.toml", "--paper"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+        assert!(parse(&["sweep", "--paper", "--jobs", "0"]).is_err());
+        assert!(parse(&["sweep", "--paper", "--jobs", "lots"]).is_err());
     }
 
     #[test]

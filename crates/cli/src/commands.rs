@@ -2,7 +2,7 @@
 
 use crate::args::{
     AgentCmd, ControllerArg, CoordinateCmd, FsyncArg, JournalCmd, RecordSpec, ResumeCmd, RunSpec,
-    TraceCmd,
+    SweepCmd, TraceCmd,
 };
 use crate::plot::{chart, Series};
 use dufp::{
@@ -593,6 +593,65 @@ pub fn plan(spec: &RunSpec) -> Result<String, String> {
     Ok(out)
 }
 
+/// `dufp sweep ...` — expand a grid, run it on a worker pool, write JSONL.
+pub fn sweep(cmd: &SweepCmd) -> Result<String, String> {
+    let grid = match &cmd.grid {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("grid file {path}: {e}"))?;
+            dufp::parse_grid(&text).map_err(|e| format!("grid file {path}: {e}"))?
+        }
+        None => dufp::SweepGrid::paper(),
+    };
+    let jobs = cmd.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    let out = dufp::run_sweep(&grid, jobs).map_err(|e| e.to_string())?;
+    let bytes = dufp::sweep::to_jsonl_bytes(&out.rows).map_err(|e| e.to_string())?;
+    std::fs::write(&cmd.out, &bytes).map_err(|e| format!("write {}: {e}", cmd.out))?;
+
+    if cmd.json {
+        let out_path = serde_json::to_string(&cmd.out).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "{{\"jobs\":{},\"workers_requested\":{},\"workers_observed\":{},\"elapsed_s\":{},\"jobs_per_sec\":{},\"out\":{}}}",
+            out.rows.len(),
+            out.workers_requested,
+            out.workers_observed,
+            out.elapsed_s,
+            out.jobs_per_sec(),
+            out_path
+        ));
+    }
+    let mut text = String::new();
+    writeln!(
+        text,
+        "sweep: {} jobs ({} apps × {} policies × {} slowdowns × {} seeds)",
+        out.rows.len(),
+        grid.apps.len(),
+        grid.policies.len(),
+        grid.slowdowns_pct.len(),
+        grid.seeds.len()
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "workers: {} requested, {} observed",
+        out.workers_requested, out.workers_observed
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "elapsed: {:.2} s ({:.1} jobs/s)",
+        out.elapsed_s,
+        out.jobs_per_sec()
+    )
+    .unwrap();
+    writeln!(text, "wrote {} rows to {}", out.rows.len(), cmd.out).unwrap();
+    Ok(text)
+}
+
 /// `dufp platform`
 pub fn platform() -> String {
     let arch = ArchSpec::yeti();
@@ -1054,6 +1113,81 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.contains("trace file"), "{err}");
+    }
+
+    #[test]
+    fn sweep_runs_a_grid_file_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("dufp-cli-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid_path = dir.join("grid.toml");
+        std::fs::write(
+            &grid_path,
+            "apps = [\"EP\"]\npolicies = [\"duf\", \"dufp\"]\nslowdowns_pct = [10]\nseeds = [1, 2]\n",
+        )
+        .unwrap();
+        let out_path = dir.join("rows.jsonl");
+        let out = sweep(&SweepCmd {
+            grid: Some(grid_path.to_str().unwrap().into()),
+            paper: false,
+            jobs: Some(2),
+            out: out_path.to_str().unwrap().into(),
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("4 jobs"), "{out}");
+        assert!(out.contains("workers: 2 requested"), "{out}");
+
+        let text = std::fs::read_to_string(&out_path).unwrap();
+        let rows: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 4);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row["index"].as_u64().unwrap() as usize, i);
+            assert!(row["exec_time_s"].as_f64().unwrap() > 0.0);
+        }
+        assert_eq!(rows[0]["label"].as_str().unwrap(), "DUF@10%");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_json_summary_reports_workers() {
+        let dir = std::env::temp_dir().join(format!("dufp-cli-sweepjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let grid_path = dir.join("grid.toml");
+        std::fs::write(
+            &grid_path,
+            "apps = [\"EP\"]\npolicies = [\"dufp\"]\nslowdowns_pct = [5]\nseeds = [1]\n",
+        )
+        .unwrap();
+        let out_path = dir.join("rows.jsonl");
+        let out = sweep(&SweepCmd {
+            grid: Some(grid_path.to_str().unwrap().into()),
+            paper: false,
+            jobs: Some(1),
+            out: out_path.to_str().unwrap().into(),
+            json: true,
+        })
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["jobs"].as_u64(), Some(1));
+        assert_eq!(v["workers_requested"].as_u64(), Some(1));
+        assert!(v["elapsed_s"].as_f64().unwrap() > 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sweep_bad_grid_file_is_a_clean_error() {
+        let err = sweep(&SweepCmd {
+            grid: Some("/nonexistent/grid.toml".into()),
+            paper: false,
+            jobs: Some(1),
+            out: "/tmp/never-written.jsonl".into(),
+            json: false,
+        })
+        .unwrap_err();
+        assert!(err.contains("grid file"), "{err}");
     }
 
     #[test]

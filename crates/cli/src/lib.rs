@@ -21,6 +21,9 @@
 //!   from its write-ahead journal and last checkpoint,
 //! * `journal` — inspect a journal directory: metadata, recorded
 //!   intervals, checkpoints, completion status,
+//! * `sweep` — expand a (application × policy × slowdown × seed) grid
+//!   into independent experiments, run them on a work-stealing pool and
+//!   write one JSON line per grid point in deterministic grid order,
 //! * `coordinate` — serve a fleet power budget over TCP, running the
 //!   cluster allocator over live agent demand reports,
 //! * `agent` — run a simulated node under DUFP with its cap clamped to
@@ -46,6 +49,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Record(ref spec) => commands::record(spec),
         Command::Trace(ref cmd) => commands::trace(cmd),
         Command::Plan(ref spec) => commands::plan(spec),
+        Command::Sweep(ref cmd) => commands::sweep(cmd),
         Command::Coordinate(ref cmd) => commands::coordinate(cmd),
         Command::Agent(ref cmd) => commands::agent(cmd),
         Command::MachineTemplate => Ok(commands::machine_template()),

@@ -52,6 +52,7 @@ pub mod compare;
 pub mod journal;
 pub mod runner;
 pub mod stats;
+pub mod sweep;
 pub mod watchdog;
 
 pub use capture::{record_trace, record_workload};
@@ -62,6 +63,9 @@ pub use journal::{
 };
 pub use runner::{run_once, run_repeated, ControllerKind, ExperimentSpec, RunResult, TraceSpec};
 pub use stats::{trimmed, RepeatedResult, Summary};
+pub use sweep::{
+    parse_grid, run_sweep, to_jsonl_bytes, SweepGrid, SweepJob, SweepOutput, SweepRow,
+};
 pub use watchdog::{Watchdog, WatchdogTrip};
 
 /// One-stop imports for examples and tools.

@@ -23,7 +23,7 @@ use dufp_telemetry::{
     Actuator, DecisionEvent, Reason, SocketTelemetry, Telemetry as TelemetryHandle, TelemetryReport,
 };
 use dufp_types::{shutdown, Duration, Error, Joules, Ratio, Result, Seconds, SocketId, Watts};
-use dufp_workloads::{apps, MaterializeCtx};
+use dufp_workloads::MaterializeCtx;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -322,10 +322,14 @@ pub(crate) fn run_driver(
     let arch = sim.arch.clone();
     let machine = Arc::new(Machine::new(sim));
     let ctx = MaterializeCtx::from_arch(&arch);
+    // Modeled applications come from the process-wide phase-table cache:
+    // a sweep's jobs share one immutable Arc'd table per (app, machine)
+    // instead of re-materializing the roofline terms per job. Spec files
+    // stay uncached — the file may change between runs.
     let workload = if spec.app.ends_with(".json") {
-        dufp_workloads::load_workload(&spec.app, &ctx)?
+        Arc::new(dufp_workloads::load_workload(&spec.app, &ctx)?)
     } else {
-        apps::by_name(&spec.app, &ctx)?
+        dufp_workloads::shared_by_name(&spec.app, &ctx)?
     };
     let nominal = workload.nominal_duration(&ctx);
     machine.load_all(&workload);
@@ -507,6 +511,12 @@ pub(crate) fn run_driver(
 
     let max_duration = Duration::from_seconds(Seconds(nominal.value() * 10.0 + 30.0));
 
+    // Reusable per-interval register buffer for the journal path: the
+    // record type owns its Vec, so the buffer round-trips through each
+    // record with mem::take and is reclaimed after encoding — one
+    // allocation for the whole run instead of one per control interval.
+    let mut regs_buf: Vec<SocketRegs> = Vec::with_capacity(per_socket.len());
+
     'outer: loop {
         if shutdown::requested() {
             // Early return drops the guards, which restore the hardware.
@@ -596,9 +606,9 @@ pub(crate) fn run_driver(
             // Journal the interval's *final* register state — the complete
             // actuation surface, whatever mix of controller moves, retries
             // and degradations produced it.
-            let mut sockets = Vec::with_capacity(per_socket.len());
+            regs_buf.clear();
             for s in 0..per_socket.len() {
-                sockets.push(machine.with_socket(SocketId(s as u16), |ss| SocketRegs {
+                regs_buf.push(machine.with_socket(SocketId(s as u16), |ss| SocketRegs {
                     uncore: ss.uncore_raw().encode(),
                     limit: ss.limit_raw(),
                     perf_ctl: ss.perf_ctl().encode(),
@@ -607,9 +617,13 @@ pub(crate) fn run_driver(
             let record = JournalRecord::Interval {
                 index: completed - 1,
                 tick: tick_now,
-                sockets,
+                sockets: std::mem::take(&mut regs_buf),
             };
             j.writer.append(&record.encode()?)?;
+            let JournalRecord::Interval { sockets, .. } = record else {
+                unreachable!("record constructed as Interval above");
+            };
+            regs_buf = sockets;
             if completed.is_multiple_of(j.checkpoint_every) {
                 // The journal prefix a checkpoint refers to must be
                 // durable before the checkpoint claims it exists.

@@ -1,0 +1,152 @@
+//! Memoized workload materialization.
+//!
+//! A sweep expands into hundreds of jobs that mostly share a handful of
+//! (application, machine) combinations, and materializing a phase table
+//! walks every phase spec through the roofline algebra. The cache hands
+//! out one immutable [`Arc<Workload>`] per distinct combination instead of
+//! regenerating the table per job; [`crate::apps::by_name`] stays the
+//! uncached path for callers that want an owned copy.
+//!
+//! The key folds [`MaterializeCtx`] in by f64 bit patterns: two contexts
+//! materialize identically iff their fields are bitwise equal, and bits
+//! (unlike `f64` itself) are hashable. Application names are normalized
+//! to upper case, matching `by_name`'s case-insensitive lookup, so
+//! `"cg"` and `"CG"` share one entry.
+
+use crate::apps;
+use crate::spec::{MaterializeCtx, Workload};
+use dufp_types::Result;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    name: String,
+    cores: u16,
+    core_freq_bits: u64,
+    bandwidth_bits: u64,
+    flops_bits: u64,
+}
+
+impl Key {
+    fn new(name: &str, ctx: &MaterializeCtx) -> Self {
+        Key {
+            name: name.to_ascii_uppercase(),
+            cores: ctx.cores,
+            core_freq_bits: ctx.core_freq_max.value().to_bits(),
+            bandwidth_bits: ctx.peak_bandwidth.value().to_bits(),
+            flops_bits: ctx.peak_flops.value().to_bits(),
+        }
+    }
+}
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<Workload>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Workload>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Looks up a modeled application like [`apps::by_name`], but returns a
+/// process-wide shared `Arc` to its materialized phase table. Identical
+/// (name, context) requests — from any thread — share one immutable table.
+///
+/// Lookup failures (unknown names, invalid specs) are not cached, so a
+/// transient error does not poison the entry.
+pub fn shared_by_name(name: &str, ctx: &MaterializeCtx) -> Result<Arc<Workload>> {
+    let key = Key::new(name, ctx);
+    if let Some(hit) = cache().lock().expect("workload cache poisoned").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    // Materialize outside the lock: table construction is the expensive
+    // part and must not serialize a sweep pool. A racing thread may build
+    // the same table; first insert wins and both callers end up sharing it.
+    let built = Arc::new(apps::by_name(name, ctx)?);
+    let mut map = cache().lock().expect("workload cache poisoned");
+    Ok(Arc::clone(map.entry(key).or_insert(built)))
+}
+
+/// Number of distinct (application, context) tables currently cached.
+pub fn cached_tables() -> usize {
+    cache().lock().expect("workload cache poisoned").len()
+}
+
+/// Drops every cached table (outstanding `Arc`s stay valid). Test hook.
+pub fn clear() {
+    cache().lock().expect("workload cache poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_types::ArchSpec;
+
+    fn ctx() -> MaterializeCtx {
+        MaterializeCtx::from_arch(&ArchSpec::yeti())
+    }
+
+    /// The cache is process-wide; these tests serialize on one lock so a
+    /// concurrently running `clear` cannot invalidate a ptr_eq assertion.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn identical_requests_share_one_table() {
+        let _g = guard();
+        let c = ctx();
+        let a = shared_by_name("CG", &c).unwrap();
+        let b = shared_by_name("CG", &c).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same (name, ctx) must share the Arc");
+        assert_eq!(*a, apps::by_name("CG", &c).unwrap());
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_like_by_name() {
+        let _g = guard();
+        let c = ctx();
+        let a = shared_by_name("ep", &c).unwrap();
+        let b = shared_by_name("EP", &c).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_contexts_get_different_tables() {
+        let _g = guard();
+        let c = ctx();
+        let mut half = c;
+        half.cores /= 2;
+        let a = shared_by_name("MG", &c).unwrap();
+        let b = shared_by_name("MG", &half).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.phases[0].rates, b.phases[0].rates);
+    }
+
+    #[test]
+    fn unknown_apps_error_and_are_not_cached() {
+        let _g = guard();
+        let c = ctx();
+        let before = cached_tables();
+        assert!(shared_by_name("NOT_AN_APP", &c).is_err());
+        assert_eq!(cached_tables(), before);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_entry() {
+        let _g = guard();
+        let c = ctx();
+        clear();
+        let tables: Vec<Arc<Workload>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| shared_by_name("LU", &c).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let first = &tables[0];
+        assert!(tables.iter().all(|t| Arc::ptr_eq(t, first)));
+        assert_eq!(
+            cached_tables(),
+            1,
+            "racing builders must collapse to one cached table"
+        );
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`spec`] — declarative phase specs and their materialization into
 //!   roofline terms for a concrete machine,
 //! * [`apps`] — calibrated models of the paper's ten applications,
+//! * [`cache`] — process-wide memoization of materialized phase tables,
+//!   so a parallel sweep's jobs share one immutable `Arc`'d table per
+//!   (application, machine) instead of regenerating it per job,
 //! * [`synthetic`] — a seeded random workload generator for property tests
 //!   and stress benches,
 //! * [`mod@file`] — JSON (de)serialization of phase specs, so downstream users
@@ -24,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod cache;
 pub mod capture;
 pub mod file;
 pub mod spec;
 pub mod synthetic;
 
+pub use cache::shared_by_name;
 pub use capture::{segment, CounterSample, SegmentConfig};
 pub use file::{load_workload, WorkloadFile};
 pub use spec::{Boundness, MaterializeCtx, Phase, PhaseSpec, Workload};

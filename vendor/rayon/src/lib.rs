@@ -5,12 +5,108 @@
 //! parallel-iterator library: stages before `map` are captured eagerly, and
 //! the only combinators are the ones this repository calls.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Import surface mirroring `rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// current thread. `None` means "use all available cores".
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside a `parallel_map` worker: nested parallel stages run
+    /// inline instead of spawning another full set of threads, so a pool
+    /// of width N never oversubscribes to N².
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the one configuration
+/// axis this workspace needs: the worker count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API parity with the real crate; this shim's
+/// `build` cannot fail (pools are materialized lazily per call).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default configuration (all available cores).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; `0` (the default) means all available cores,
+    /// matching the real crate's semantics.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Infallible here, but keeps the `Result` shape so
+    /// call sites are source-compatible with the real crate.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: if self.num_threads == 0 {
+                default_parallelism()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A scoped worker-count limit. Unlike the real crate there are no
+/// persistent worker threads: `install` pins the width for parallel stages
+/// executed inside the closure, and each stage spawns (at most) that many
+/// scoped threads for its own duration.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count governing every parallel
+    /// stage started on this thread inside it.
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = POOL_WIDTH.with(|w| w.replace(Some(self.width)));
+        let result = op();
+        POOL_WIDTH.with(|w| w.set(prev));
+        result
+    }
+
+    /// The worker count this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// The worker count parallel stages on this thread will use: the innermost
+/// [`ThreadPool::install`] width, or all available cores outside one.
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH
+        .with(|w| w.get())
+        .unwrap_or_else(default_parallelism)
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
 }
 
 /// A materialized parallel iterator: the items plus a deferred pipeline.
@@ -146,13 +242,15 @@ impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParallelIterator for ParMap<T, F> {
 /// Applies `f` to every item on a small thread pool, preserving order.
 fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
     let n = items.len();
-    if n <= 1 {
+    // Nested parallel stages run inline on the worker that reached them: a
+    // pool of width W stays W threads wide instead of exploding to W².
+    if n <= 1 || IN_WORKER.with(Cell::get) {
         return items.into_iter().map(f).collect();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
 
     // Hand out items through a cursor; workers push (index, output) pairs.
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
@@ -162,6 +260,7 @@ fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) ->
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -243,5 +342,105 @@ mod tests {
         {
             assert!(ids.into_inner().unwrap().len() > 1);
         }
+    }
+
+    #[test]
+    fn installed_pool_runs_on_multiple_os_threads_even_on_one_core() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // The regression this guards: a pool asked for >= 2 workers must
+        // spawn them regardless of available_parallelism (single-core CI
+        // boxes previously got a silently sequential pool). Each item
+        // sleeps long enough that the second worker always claims work.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("shim build is infallible");
+        assert_eq!(pool.current_num_threads(), 2);
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 2);
+            (0..16usize)
+                .into_par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                })
+                .collect::<Vec<_>>();
+        });
+        let ids = ids.into_inner().unwrap();
+        assert!(ids.len() >= 2, "expected >= 2 worker threads, saw {ids:?}");
+    }
+
+    #[test]
+    fn installed_width_caps_worker_fanout() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("shim build is infallible");
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                })
+                .collect::<Vec<_>>();
+        });
+        assert!(ids.into_inner().unwrap().len() <= 2);
+    }
+
+    #[test]
+    fn install_restores_previous_width() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(crate::current_num_threads(), 3);
+            inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn nested_parallel_stages_run_inline_without_fanout() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("shim build is infallible");
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    // A nested stage inside a worker must not spawn its own
+                    // threads: its items run on the worker that reached it.
+                    let inner: Vec<usize> = (0..8usize)
+                        .into_par_iter()
+                        .map(|j| {
+                            ids.lock().unwrap().insert(std::thread::current().id());
+                            i * 8 + j
+                        })
+                        .collect();
+                    inner.into_iter().sum()
+                })
+                .collect()
+        });
+        assert_eq!(v.len(), 8);
+        assert!(
+            ids.into_inner().unwrap().len() <= 2,
+            "nested stages must reuse the outer pool's workers"
+        );
+        // Order and values survive the nesting.
+        assert_eq!(v[0], (0..8).sum::<usize>());
     }
 }
