@@ -68,6 +68,24 @@ USAGE:
                              cap clamped to the coordinator's grants; falls
                              back to --safe-cap (and keeps running) when
                              the coordinator is unreachable
+    dufp chaos [--seed S] [--agents N] [--epochs N] [--budget-w W]
+               [--scenario NAME] [--net-fault-plan PLAN|FILE.json]
+               [--fault-plan PLAN|FILE.json] [--out FILE.jsonl] [--json]
+                             run the deterministic adversarial fleet soak:
+                             each scenario drives an in-process fleet
+                             through seeded network chaos (drops, delays,
+                             corruption, partitions, kills) and byzantine
+                             agents (lying demand, replays, overdraw),
+                             verifies budget conservation, honest-agent
+                             floors and quarantine/reclaim latency, and
+                             emits a ranked resilience scorecard (one JSON
+                             line per scenario; byte-identical per seed).
+                             Exits nonzero if any scenario breaks
+                             conservation or floors. --scenario runs one
+                             scenario instead of the matrix;
+                             --net-fault-plan merges extra network-fault
+                             rules into every scenario; --fault-plan adds
+                             seeded MSR/actuation faults on the agents
     dufp platform            print the target platform (Table I)
     dufp apps                list the modeled applications
     dufp probe               check real-hardware access paths
@@ -85,6 +103,9 @@ EXAMPLES:
     dufp agent --connect 127.0.0.1:7070 --node n0 --app HPL --pace-ms 5
     dufp sweep --paper --jobs 8 --out results.jsonl
     dufp sweep --grid grid.toml --jobs 2 --json
+    dufp chaos --seed 42 --out scorecard.jsonl
+    dufp chaos --scenario byzantine-minority --json
+    dufp chaos --net-fault-plan \"drop,p=0.1;byz-nan,peer=0\" --epochs 60
 ";
 
 /// A parsed `run` invocation.
@@ -252,6 +273,32 @@ pub struct AgentCmd {
     pub trace_out: Option<String>,
 }
 
+/// A parsed `chaos` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCmd {
+    /// Master seed: the whole scorecard is a pure function of it.
+    pub seed: u64,
+    /// Fleet size.
+    pub agents: usize,
+    /// Virtual epochs per scenario.
+    pub epochs: u64,
+    /// Global fleet budget in watts.
+    pub budget_w: f64,
+    /// Run one named scenario instead of the whole matrix.
+    pub scenario: Option<String>,
+    /// Extra network-fault rules merged into every scenario: a path to a
+    /// JSON plan (when the value ends in `.json`) or an inline DSL string
+    /// (see `dufp_net::NetFaultPlan::parse`).
+    pub net_fault_plan: Option<String>,
+    /// MSR/actuation fault plan applied on the simulated agents (see
+    /// `dufp_msr::FaultPlan::parse`).
+    pub fault_plan: Option<String>,
+    /// Write the scorecard as JSON Lines to this path.
+    pub out: Option<String>,
+    /// Print the scorecard as JSON Lines on stdout instead of a table.
+    pub json: bool,
+}
+
 /// A parsed `sweep` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepCmd {
@@ -290,6 +337,8 @@ pub enum Command {
     Coordinate(CoordinateCmd),
     /// Run a node agent against a coordinator.
     Agent(AgentCmd),
+    /// Run the deterministic adversarial fleet soak.
+    Chaos(ChaosCmd),
     /// Print the default platform as editable JSON.
     MachineTemplate,
     /// Print the platform description.
@@ -564,6 +613,68 @@ impl Cli {
                 }
                 Ok(Cli {
                     command: Command::Agent(cmd),
+                })
+            }
+            "chaos" => {
+                let mut cmd = ChaosCmd {
+                    seed: 42,
+                    agents: 8,
+                    epochs: 40,
+                    budget_w: 700.0,
+                    scenario: None,
+                    net_fault_plan: None,
+                    fault_plan: None,
+                    out: None,
+                    json: false,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--seed" => {
+                            let v = it.next().ok_or("--seed needs a value")?;
+                            cmd.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+                        }
+                        "--agents" => {
+                            let v = it.next().ok_or("--agents needs a value")?;
+                            cmd.agents = v.parse().map_err(|_| format!("bad agent count {v}"))?;
+                            if cmd.agents == 0 {
+                                return Err("need at least one agent".into());
+                            }
+                        }
+                        "--epochs" => {
+                            let v = it.next().ok_or("--epochs needs a value")?;
+                            cmd.epochs = v.parse().map_err(|_| format!("bad epoch count {v}"))?;
+                            if cmd.epochs == 0 {
+                                return Err("need at least one epoch".into());
+                            }
+                        }
+                        "--budget-w" => {
+                            let v = it.next().ok_or("--budget-w needs a value")?;
+                            cmd.budget_w = v.parse().map_err(|_| format!("bad budget {v}"))?;
+                        }
+                        "--scenario" => {
+                            cmd.scenario = Some(it.next().ok_or("--scenario needs a name")?.clone())
+                        }
+                        "--net-fault-plan" => {
+                            cmd.net_fault_plan = Some(
+                                it.next()
+                                    .ok_or("--net-fault-plan needs a plan string or file")?
+                                    .clone(),
+                            )
+                        }
+                        "--fault-plan" => {
+                            cmd.fault_plan = Some(
+                                it.next()
+                                    .ok_or("--fault-plan needs a plan string or file")?
+                                    .clone(),
+                            )
+                        }
+                        "--out" => cmd.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                        "--json" => cmd.json = true,
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                Ok(Cli {
+                    command: Command::Chaos(cmd),
                 })
             }
             "run" | "timeline" | "plan" => {
@@ -938,6 +1049,60 @@ mod tests {
         assert!(parse(&["agent", "--connect", "127.0.0.1:7070"])
             .unwrap_err()
             .contains("--node"));
+    }
+
+    #[test]
+    fn chaos_subcommand_parses() {
+        let cli = parse(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--agents",
+            "12",
+            "--epochs",
+            "60",
+            "--budget-w",
+            "900",
+            "--scenario",
+            "byzantine-minority",
+            "--net-fault-plan",
+            "drop,p=0.1",
+            "--fault-plan",
+            "write,reg=cap,p=0.01",
+            "--out",
+            "/tmp/score.jsonl",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Chaos(ChaosCmd {
+                seed: 7,
+                agents: 12,
+                epochs: 60,
+                budget_w: 900.0,
+                scenario: Some("byzantine-minority".into()),
+                net_fault_plan: Some("drop,p=0.1".into()),
+                fault_plan: Some("write,reg=cap,p=0.01".into()),
+                out: Some("/tmp/score.jsonl".into()),
+                json: true,
+            })
+        );
+
+        // Defaults match the CI matrix shape.
+        let cli = parse(&["chaos"]).unwrap();
+        let Command::Chaos(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.seed, 42);
+        assert_eq!(cmd.agents, 8);
+        assert_eq!(cmd.epochs, 40);
+        assert_eq!(cmd.budget_w, 700.0);
+        assert_eq!(cmd.scenario, None);
+
+        assert!(parse(&["chaos", "--agents", "0"]).is_err());
+        assert!(parse(&["chaos", "--epochs", "0"]).is_err());
+        assert!(parse(&["chaos", "--scenario"]).is_err());
     }
 
     #[test]

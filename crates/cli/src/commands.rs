@@ -1,8 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    AgentCmd, ControllerArg, CoordinateCmd, FsyncArg, JournalCmd, RecordSpec, ResumeCmd, RunSpec,
-    SweepCmd, TraceCmd,
+    AgentCmd, ChaosCmd, ControllerArg, CoordinateCmd, FsyncArg, JournalCmd, RecordSpec, ResumeCmd,
+    RunSpec, SweepCmd, TraceCmd,
 };
 use crate::plot::{chart, Series};
 use dufp::{
@@ -41,16 +41,28 @@ fn resolve_sim(spec: &RunSpec) -> Result<dufp_sim::SimConfig, String> {
 /// ends in `.json`) or an inline DSL string like
 /// `seed=42;write,reg=cap,p=0.01`.
 fn resolve_fault_plan(spec: &RunSpec) -> Result<Option<FaultPlan>, String> {
-    let Some(arg) = &spec.fault_plan else {
-        return Ok(None);
-    };
-    let plan = if arg.ends_with(".json") {
+    spec.fault_plan.as_deref().map(load_msr_plan).transpose()
+}
+
+/// Loads an MSR fault plan from a JSON file or an inline DSL string.
+fn load_msr_plan(arg: &str) -> Result<FaultPlan, String> {
+    if arg.ends_with(".json") {
         let text = std::fs::read_to_string(arg).map_err(|e| format!("fault plan {arg}: {e}"))?;
-        serde_json::from_str(&text).map_err(|e| format!("fault plan {arg}: {e}"))?
+        serde_json::from_str(&text).map_err(|e| format!("fault plan {arg}: {e}"))
     } else {
-        FaultPlan::parse(arg).map_err(|e| format!("fault plan: {e}"))?
-    };
-    Ok(Some(plan))
+        FaultPlan::parse(arg).map_err(|e| format!("fault plan: {e}"))
+    }
+}
+
+/// Loads a network fault plan from a JSON file or an inline DSL string.
+fn load_net_plan(arg: &str) -> Result<dufp_net::NetFaultPlan, String> {
+    if arg.ends_with(".json") {
+        let text =
+            std::fs::read_to_string(arg).map_err(|e| format!("net fault plan {arg}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("net fault plan {arg}: {e}"))
+    } else {
+        dufp_net::NetFaultPlan::parse(arg).map_err(|e| format!("net fault plan: {e}"))
+    }
 }
 
 /// `dufp machine-template` — the default platform as editable JSON.
@@ -864,10 +876,122 @@ pub fn agent(cmd: &AgentCmd) -> Result<String, String> {
     Ok(out)
 }
 
+/// `dufp chaos ...` — the deterministic adversarial fleet soak: seeded
+/// network chaos and byzantine agents over an in-process fleet, scored
+/// into a resilience scorecard. Errors (nonzero exit) if any scenario
+/// breaks budget conservation or an honest agent's floor.
+pub fn chaos(cmd: &ChaosCmd) -> Result<String, String> {
+    let mut cfg = dufp_net::ChaosConfig::new(cmd.seed);
+    cfg.agents = cmd.agents;
+    cfg.epochs = cmd.epochs;
+    cfg.budget = dufp_types::Watts(cmd.budget_w);
+    if let Some(arg) = &cmd.net_fault_plan {
+        cfg.extra_net = load_net_plan(arg)?;
+    }
+    if let Some(arg) = &cmd.fault_plan {
+        cfg.msr_plan = load_msr_plan(arg)?;
+    }
+
+    let cards = match &cmd.scenario {
+        Some(name) => vec![dufp_net::chaos::run_scenario(&cfg, name).map_err(|e| e.to_string())?],
+        None => dufp_net::chaos::run_matrix(&cfg).map_err(|e| e.to_string())?,
+    };
+
+    // The scorecard is JSONL: one line per scenario, ranked best-first.
+    // Serialization lives here (not in dufp-net) so the wire crate keeps
+    // serde_json as a dev-only dependency.
+    let mut jsonl = String::new();
+    for card in &cards {
+        let line = serde_json::to_string(card).map_err(|e| e.to_string())?;
+        jsonl.push_str(&line);
+        jsonl.push('\n');
+    }
+    let mut out_note = String::new();
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, &jsonl).map_err(|e| format!("scorecard {path}: {e}"))?;
+        out_note = format!("scorecard: {} line(s) written to {path}\n", cards.len());
+    }
+
+    let output = if cmd.json {
+        jsonl
+    } else {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "resilience scorecard — seed {}, {} agent(s), {} epoch(s), {:.0} W budget",
+            cmd.seed, cmd.agents, cmd.epochs, cmd.budget_w
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:>5}  {:<20} {:>9} {:>7} {:>8} {:>9} {:>7} {:>6}",
+            "score", "scenario", "conserve", "floors", "byz q/n", "dropped", "corrupt", "evict"
+        )
+        .unwrap();
+        for c in &cards {
+            writeln!(
+                out,
+                "  {:>5.0}  {:<20} {:>9} {:>7} {:>8} {:>9} {:>7} {:>6}",
+                c.score,
+                c.scenario,
+                if c.conservation_ok { "ok" } else { "BROKEN" },
+                if c.floor_ok { "ok" } else { "BROKEN" },
+                format!("{}/{}", c.byz_quarantined, c.byz_total),
+                c.frames_dropped,
+                c.frames_corrupted,
+                c.evictions,
+            )
+            .unwrap();
+        }
+        out.push_str(&out_note);
+        out
+    };
+
+    let broken: Vec<&str> = cards
+        .iter()
+        .filter(|c| !c.conservation_ok || !c.floor_ok)
+        .map(|c| c.scenario.as_str())
+        .collect();
+    if broken.is_empty() {
+        Ok(output)
+    } else {
+        Err(format!(
+            "{output}chaos: resilience violations in: {}",
+            broken.join(", ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dufp_types::Ratio;
+
+    #[test]
+    fn chaos_runs_deterministically_and_flags_scenarios() {
+        let cmd = ChaosCmd {
+            seed: 5,
+            agents: 4,
+            epochs: 10,
+            budget_w: 400.0,
+            scenario: Some("baseline".into()),
+            net_fault_plan: None,
+            fault_plan: None,
+            out: None,
+            json: true,
+        };
+        let a = chaos(&cmd).expect("baseline must pass");
+        let b = chaos(&cmd).expect("baseline must pass");
+        assert_eq!(a, b, "same seed, same scorecard bytes");
+        assert!(a.contains("\"scenario\":\"baseline\""), "{a}");
+
+        let unknown = ChaosCmd {
+            scenario: Some("nope".into()),
+            ..cmd
+        };
+        let err = chaos(&unknown).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
 
     fn spec(app: &str, runs: usize) -> RunSpec {
         RunSpec {

@@ -27,7 +27,10 @@
 //! * `coordinate` — serve a fleet power budget over TCP, running the
 //!   cluster allocator over live agent demand reports,
 //! * `agent` — run a simulated node under DUFP with its cap clamped to
-//!   the coordinator's grants (safe local cap when unreachable).
+//!   the coordinator's grants (safe local cap when unreachable),
+//! * `chaos` — soak an in-process fleet against seeded network chaos
+//!   and byzantine agents; emit a ranked resilience scorecard (JSONL),
+//!   exiting nonzero on any conservation or floor violation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +55,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Sweep(ref cmd) => commands::sweep(cmd),
         Command::Coordinate(ref cmd) => commands::coordinate(cmd),
         Command::Agent(ref cmd) => commands::agent(cmd),
+        Command::Chaos(ref cmd) => commands::chaos(cmd),
         Command::MachineTemplate => Ok(commands::machine_template()),
         Command::Platform => Ok(commands::platform()),
         Command::Apps => Ok(commands::apps()),

@@ -57,7 +57,8 @@ pub fn classify(e: &Error) -> ErrorClass {
         Error::InvalidValue { .. }
         | Error::Precondition(_)
         | Error::Timeout { .. }
-        | Error::Corruption(_) => ErrorClass::Fatal,
+        | Error::Corruption(_)
+        | Error::FrameTooLarge { .. } => ErrorClass::Fatal,
     }
 }
 
@@ -93,6 +94,32 @@ impl RetryPolicy {
         self.base_backoff
             .saturating_mul(factor)
             .min(self.max_backoff)
+    }
+
+    /// Like [`RetryPolicy::backoff`], but with deterministic jitter: the
+    /// delay is drawn uniformly from `[backoff(attempt)/2, backoff(attempt)]`
+    /// by a SplitMix64 stream keyed on `(seed, attempt)`. Two agents with
+    /// different seeds desynchronise their reconnect storms against a
+    /// recovering coordinator, while any given `(seed, attempt)` pair always
+    /// yields the same delay — replayable chaos runs depend on that.
+    pub fn backoff_jittered(&self, attempt: u32, seed: u64) -> Duration {
+        let full = self.backoff(attempt);
+        let half = full / 2;
+        let span = full.saturating_sub(half);
+        if span.is_zero() {
+            return full;
+        }
+        // SplitMix64 finalizer over a (seed, attempt) stream — the same
+        // generator the fault-injection DSL uses, so one seed governs the
+        // whole adversarial run.
+        let mut z = seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        (half + span.mul_f64(frac)).min(self.max_backoff)
     }
 }
 
@@ -922,5 +949,52 @@ mod tests {
         assert_eq!(p.backoff(2), Duration::from_millis(2));
         assert_eq!(p.backoff(3), Duration::from_millis(4));
         assert_eq!(p.backoff(30), p.max_backoff);
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_half_to_full_band() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(8),
+            max_backoff: Duration::from_secs(2),
+            ..RetryPolicy::default()
+        };
+        for seed in 0..64u64 {
+            for attempt in 1..=8u32 {
+                let full = p.backoff(attempt);
+                let d = p.backoff_jittered(attempt, seed);
+                assert!(d >= full / 2, "attempt {attempt} seed {seed}: {d:?} < half");
+                assert!(d <= full, "attempt {attempt} seed {seed}: {d:?} > full");
+            }
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_per_seed_and_varies_across_seeds() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=6u32 {
+            assert_eq!(
+                p.backoff_jittered(attempt, 42),
+                p.backoff_jittered(attempt, 42),
+                "same (seed, attempt) must replay identically"
+            );
+        }
+        // Across many seeds at a wide band, at least two distinct delays
+        // must appear — otherwise there is no jitter at all.
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            ..RetryPolicy::default()
+        };
+        let delays: std::collections::HashSet<Duration> =
+            (0..16u64).map(|s| p.backoff_jittered(4, s)).collect();
+        assert!(delays.len() > 1, "jitter collapsed to a single value");
+    }
+
+    #[test]
+    fn jittered_backoff_never_exceeds_ceiling() {
+        let p = RetryPolicy::default();
+        for seed in 0..32u64 {
+            assert!(p.backoff_jittered(30, seed) <= p.max_backoff);
+        }
     }
 }

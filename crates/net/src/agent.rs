@@ -75,6 +75,10 @@ struct Link {
     /// Reader saw a Goodbye: the coordinator detached gracefully.
     goodbye: AtomicBool,
     grants_applied: AtomicU64,
+    /// Highest grant epoch applied so far. A delayed, duplicated or
+    /// replayed grant (epoch ≤ this) is ignored: ceilings only ever move
+    /// on strictly newer coordinator decisions.
+    last_grant_epoch: AtomicU64,
     tel: Telemetry,
 }
 
@@ -157,6 +161,7 @@ impl Agent {
             lost: AtomicBool::new(false),
             goodbye: AtomicBool::new(false),
             grants_applied: AtomicU64::new(0),
+            last_grant_epoch: AtomicU64::new(0),
             tel: tel.clone(),
         });
 
@@ -277,7 +282,7 @@ impl Agent {
                     // A Goodbye is deliberate; do not chase the coordinator.
                     Instant::now() + std::time::Duration::from_secs(86_400)
                 } else {
-                    Instant::now() + cfg.retry.backoff(1)
+                    Instant::now() + cfg.retry.backoff_jittered(1, cfg.seed)
                 };
             }
 
@@ -296,7 +301,8 @@ impl Agent {
                         tel.counter("reconnects_total").inc();
                     }
                     Err(_) => {
-                        next_reconnect = Instant::now() + cfg.retry.backoff(reconnect_attempt + 1);
+                        next_reconnect = Instant::now()
+                            + cfg.retry.backoff_jittered(reconnect_attempt + 1, cfg.seed);
                     }
                 }
             }
@@ -363,7 +369,7 @@ fn connect_with_retry(cfg: &AgentConfig) -> Result<TcpStream> {
                 if attempt > cfg.retry.max_retries {
                     return Err(e.into());
                 }
-                std::thread::sleep(cfg.retry.backoff(attempt));
+                std::thread::sleep(cfg.retry.backoff_jittered(attempt, cfg.seed));
             }
         }
     }
@@ -395,6 +401,15 @@ fn reader_loop(mut stream: TcpStream, link: Arc<Link>) {
                 ceiling,
                 kind,
             })) => {
+                // Epoch monotonicity: a stale grant (delayed in flight,
+                // duplicated, or replayed by a hostile middlebox) must
+                // never roll the ceiling back over a newer decision.
+                let prev = link.last_grant_epoch.load(Ordering::Relaxed);
+                if epoch <= prev {
+                    link.tel.counter("stale_grants_ignored_total").inc();
+                    continue;
+                }
+                link.last_grant_epoch.store(epoch, Ordering::Relaxed);
                 let old = link.budget.ceiling();
                 link.budget.set_ceiling(ceiling);
                 if link.capper.enforce_ceiling(SocketId(0)).is_err() {

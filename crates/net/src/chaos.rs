@@ -1,0 +1,1038 @@
+//! The deterministic adversarial fleet soak: seeded chaos scenarios over
+//! an in-process fleet, scored into a resilience scorecard.
+//!
+//! A [`ChaosFleet`] drives the same [`FleetCore`] brain the TCP
+//! coordinator runs, but over a virtual, epoch-granular transport: every
+//! frame an agent or the coordinator sends is an encoded byte buffer in a
+//! per-peer queue, and a seeded [`NetFaultInjector`] decides each frame's
+//! fate (drop, delay, duplicate, corrupt, reorder) plus link partitions,
+//! agent kills and byzantine behaviors. There is no wall clock, no
+//! thread, no socket: epoch `e` *is* `now_ms = e × 1000`, the loop is
+//! single-threaded, and every random draw comes from SplitMix64 streams
+//! keyed on the run seed — so one seed replays the entire soak, scorecard
+//! included, byte-identically.
+//!
+//! Each scenario run checks the fleet's hard invariants every epoch:
+//!
+//! * **Conservation** — `Σ granted ≤ budget`, always, under any abuse.
+//! * **Honest floors** — no live, non-quarantined honest agent is ever
+//!   granted less than its floor.
+//! * **Quarantine latency** — a lying agent reaches the quarantine rung
+//!   within two epochs of its first effective lie.
+//! * **Reclaim latency** — a killed agent's watts return to the pool
+//!   within two epochs.
+//! * **Safe-cap fallback** — an agent partitioned or disconnected past a
+//!   grace period enforces its safe local cap.
+//!
+//! The result is one [`ScenarioScore`] per scenario; [`run_matrix`] runs
+//! the built-in [`SCENARIOS`] and ranks them. `dufp chaos` is the CLI
+//! face; CI fails the build on any conservation or floor violation.
+
+use crate::config::CoordinatorConfig;
+use crate::core::{FleetCore, NodeState};
+use crate::netfault::{Dir, NetFaultInjector, NetFaultOp, NetFaultPlan};
+use crate::vet::Trust;
+use crate::wire::Frame;
+use dufp_msr::fault::{FaultInjector, FaultOp, FaultPlan};
+use dufp_msr::registers::MSR_PKG_POWER_LIMIT;
+use dufp_telemetry::Telemetry;
+use dufp_types::{Error, Result, Watts};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How a chaos soak is shaped. Defaults match the CI matrix: 8 agents,
+/// 40 virtual epochs, a 700 W budget over 65 W floors and 125 W silicon
+/// limits, 90 W safe local caps.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed: keys every random stream in the soak.
+    pub seed: u64,
+    /// Fleet size (agent indices are the plan's `peer=` space).
+    pub agents: usize,
+    /// Virtual epochs to run (one allocator epoch each).
+    pub epochs: u64,
+    /// Global fleet budget.
+    pub budget: Watts,
+    /// Per-node floor.
+    pub floor: Watts,
+    /// Per-node silicon limit.
+    pub node_max: Watts,
+    /// Safe local cap an agent enforces while disconnected.
+    pub safe_cap: Watts,
+    /// Extra network-fault rules merged into every scenario's plan
+    /// (`--net-fault-plan`).
+    pub extra_net: NetFaultPlan,
+    /// Actuation-fault plan (`--fault-plan`): a `write` fault on the cap
+    /// register of "cpu" *i* at clock *e* makes agent *i* fail to apply
+    /// its grant at epoch *e*.
+    pub msr_plan: FaultPlan,
+}
+
+impl ChaosConfig {
+    /// The default CI-matrix shape under `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            agents: 8,
+            epochs: 40,
+            budget: Watts(700.0),
+            floor: Watts(65.0),
+            node_max: Watts(125.0),
+            safe_cap: Watts(90.0),
+            extra_net: NetFaultPlan::none(),
+            msr_plan: FaultPlan::none(),
+        }
+    }
+
+    /// Rejects shapes the soak cannot run.
+    pub fn validate(&self) -> Result<()> {
+        if self.agents == 0 {
+            return Err(Error::invalid("agents", "empty fleet"));
+        }
+        if self.epochs == 0 {
+            return Err(Error::invalid("epochs", "zero epochs"));
+        }
+        if self.agents > u16::MAX as usize {
+            return Err(Error::invalid(
+                "agents",
+                format!("{} is absurd", self.agents),
+            ));
+        }
+        // Budget/floor/node_max plausibility rides on the coordinator
+        // config validation inside run().
+        Ok(())
+    }
+}
+
+/// One built-in adversarial scenario: a name and a net-fault plan over
+/// the default 8-agent fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Scenario name (scorecard key).
+    pub name: &'static str,
+    /// What it proves.
+    pub summary: &'static str,
+    /// The scenario's net-fault plan (the seed comes from the run).
+    pub plan: &'static str,
+    /// Oscillate every honest agent's demand floor↔node_max each epoch.
+    pub thrash: bool,
+}
+
+/// The built-in scenario matrix `dufp chaos` and CI run.
+pub const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "baseline",
+        summary: "honest lossless fleet: the control case",
+        plan: "",
+        thrash: false,
+    },
+    Scenario {
+        name: "byzantine-minority",
+        summary: "three liars (NaN, inflated, overdrawing) among eight",
+        plan: "byz-nan,peer=0;byz-inflate,peer=1;byz-overdraw,peer=2",
+        thrash: false,
+    },
+    Scenario {
+        name: "cascading-kills",
+        summary: "three agents die in a stagger and stay down",
+        plan: "kill,peer=0,window=8+40;kill,peer=1,window=12+40;kill,peer=2,window=16+40",
+        thrash: false,
+    },
+    Scenario {
+        name: "frame-chaos",
+        summary: "lossy wire: drops, corruption, delays, duplicates",
+        plan: "drop,p=0.05;corrupt,p=0.05;delay,p=0.1,n=1;dup,p=0.05",
+        thrash: false,
+    },
+    Scenario {
+        name: "partition-heal",
+        summary: "two agents partitioned for six epochs, then healed",
+        plan: "partition,peer=0-1,dir=both,window=10+6",
+        thrash: false,
+    },
+    Scenario {
+        name: "replay-storm",
+        summary: "two replaying agents behind a duplicating, reordering wire",
+        plan: "byz-replay,peer=0-1,n=5;dup,p=0.2;reorder,p=0.2",
+        thrash: false,
+    },
+    Scenario {
+        name: "thrashing-demand",
+        summary: "every agent slams demand floor-to-max each epoch",
+        plan: "",
+        thrash: true,
+    },
+];
+
+/// Looks up a built-in scenario by name.
+pub fn scenario(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// One scenario's resilience scorecard line (serialized as JSONL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioScore {
+    /// Scenario name.
+    pub scenario: String,
+    /// Run seed (the whole line is a pure function of it).
+    pub seed: u64,
+    /// Fleet size.
+    pub agents: usize,
+    /// Virtual epochs run.
+    pub epochs: u64,
+    /// Budget served.
+    pub budget_w: f64,
+    /// `Σ granted ≤ budget` held at every epoch.
+    pub conservation_ok: bool,
+    /// Epochs where conservation broke (must be 0).
+    pub conservation_violations: u64,
+    /// Every live, non-quarantined honest agent kept ≥ its floor.
+    pub floor_ok: bool,
+    /// (agent, epoch) floor violations (must be 0).
+    pub floor_violations: u64,
+    /// Agents the plan ever turns byzantine.
+    pub byz_total: usize,
+    /// Byzantine agents that reached quarantine (or eviction).
+    pub byz_quarantined: usize,
+    /// Slowest lie-to-quarantine latency in epochs (None: no byzantines).
+    pub max_quarantine_delay: Option<u64>,
+    /// Slowest kill-to-reclaim latency in epochs (None: no kills).
+    pub max_time_to_reclaim: Option<u64>,
+    /// Slowest partition-heal-to-applied-grant latency in epochs
+    /// (None: no partitions).
+    pub max_time_to_heal: Option<u64>,
+    /// Epochs where a disconnected agent exceeded its safe cap past the
+    /// grace period (must be 0).
+    pub safe_cap_violations: u64,
+    /// Frames the chaos transport discarded (drops + partition losses).
+    pub frames_dropped: u64,
+    /// Frames the chaos transport bit-flipped.
+    pub frames_corrupted: u64,
+    /// Frames rejected at decode (CRC/bound failures; corruption caught).
+    pub wire_errors: u64,
+    /// Nodes the trust ladder evicted.
+    pub evictions: u64,
+    /// 0–100 ranking score (see [`ScenarioScore::score_of`]).
+    pub score: f64,
+}
+
+impl ScenarioScore {
+    /// The ranking formula: start at 100; conservation breaks cost 50
+    /// each, floor breaks 25, an unquarantined byzantine 10, a safe-cap
+    /// violation 5, and slow reclaim (> 2 epochs) or slow heal (> 3
+    /// epochs) 5 each; clamped at 0.
+    pub fn score_of(&self) -> f64 {
+        let mut score = 100.0;
+        score -= 50.0 * self.conservation_violations as f64;
+        score -= 25.0 * self.floor_violations as f64;
+        score -= 10.0 * (self.byz_total.saturating_sub(self.byz_quarantined)) as f64;
+        score -= 5.0 * self.safe_cap_violations as f64;
+        if self.max_time_to_reclaim.is_some_and(|t| t > 2) {
+            score -= 5.0;
+        }
+        if self.max_time_to_heal.is_some_and(|t| t > 3) {
+            score -= 5.0;
+        }
+        score.max(0.0)
+    }
+}
+
+/// A queued frame: the epoch it becomes deliverable, and its bytes.
+type Queued = (u64, Vec<u8>);
+
+/// Epochs an agent tolerates without a live coordinator link before it
+/// falls back to the safe local cap.
+const DISCONNECT_GRACE_EPOCHS: u64 = 2;
+
+/// One simulated agent in the chaos fleet.
+struct SimAgent {
+    idx: usize,
+    name: String,
+    rng: u64,
+    /// Wandering honest demand in watts.
+    demand: f64,
+    /// The ceiling the agent currently enforces.
+    ceiling: f64,
+    /// Last grant applied (coordinator epoch, watts); replay-rejected
+    /// grants (epoch ≤ last) never reach the capper.
+    last_grant_epoch: u64,
+    granted: Option<f64>,
+    report_seq: u64,
+    heartbeat_seq: u64,
+    alive: bool,
+    /// Coordinator slot, once a Hello was accepted.
+    slot: Option<usize>,
+    /// Admission permanently refused (evicted name).
+    rejected: bool,
+    /// First epoch of the current no-link stretch (partition or closed
+    /// socket), if any.
+    disconnected_since: Option<u64>,
+    /// Pending kill start, for the reclaim-latency metric.
+    killed_at: Option<u64>,
+    /// Epoch the last partition ended, until the next applied grant.
+    heal_started: Option<u64>,
+    /// First epoch this agent actually sent distorted traffic.
+    first_lie: Option<u64>,
+    up: Vec<Queued>,
+    down: Vec<Queued>,
+}
+
+impl SimAgent {
+    fn new(idx: usize, cfg: &ChaosConfig) -> Self {
+        let mut rng = cfg
+            .seed
+            .wrapping_add((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let span = cfg.node_max.value() - cfg.floor.value();
+        let demand = cfg.floor.value() + next_uniform(&mut rng) * span;
+        SimAgent {
+            idx,
+            name: format!("n{idx}"),
+            rng,
+            demand,
+            ceiling: cfg.safe_cap.value(),
+            last_grant_epoch: 0,
+            granted: None,
+            report_seq: 0,
+            heartbeat_seq: 0,
+            alive: true,
+            slot: None,
+            rejected: false,
+            disconnected_since: None,
+            killed_at: None,
+            heal_started: None,
+            first_lie: None,
+            up: Vec::new(),
+            down: Vec::new(),
+        }
+    }
+
+    /// Process-death reset: queues flushed, sequence counters restart.
+    fn die(&mut self, epoch: u64) {
+        self.alive = false;
+        if self.killed_at.is_none() {
+            self.killed_at = Some(epoch);
+        }
+        self.slot = None;
+        self.up.clear();
+        self.down.clear();
+    }
+
+    fn restart(&mut self, cfg: &ChaosConfig) {
+        self.alive = true;
+        self.report_seq = 0;
+        self.heartbeat_seq = 0;
+        self.last_grant_epoch = 0;
+        self.granted = None;
+        self.ceiling = cfg.safe_cap.value();
+        self.disconnected_since = None;
+    }
+}
+
+/// Aggregated chaos-transport tallies.
+#[derive(Debug, Default)]
+struct Tallies {
+    frames_dropped: u64,
+    frames_corrupted: u64,
+    wire_errors: u64,
+    conservation_violations: u64,
+    floor_violations: u64,
+    safe_cap_violations: u64,
+}
+
+/// The deterministic in-process chaos fleet. Build one per scenario run;
+/// [`ChaosFleet::run`] consumes it and returns the scorecard line.
+pub struct ChaosFleet {
+    cfg: ChaosConfig,
+    scenario_name: String,
+    thrash: bool,
+    core: FleetCore,
+    net: NetFaultInjector,
+    msr: FaultInjector,
+    agents: Vec<SimAgent>,
+    /// Maps coordinator slots back to agent indices.
+    slot_owner: Vec<usize>,
+    tallies: Tallies,
+    first_quarantined: Vec<Option<u64>>,
+    max_reclaim: Option<u64>,
+    max_heal: Option<u64>,
+    max_quarantine_delay: Option<u64>,
+}
+
+impl ChaosFleet {
+    /// Assembles a fleet for one built-in scenario under `cfg`.
+    pub fn new(cfg: ChaosConfig, scenario: &Scenario) -> Result<Self> {
+        let plan = NetFaultPlan::parse(scenario.plan)?;
+        Self::from_plan(cfg, scenario.name, plan, scenario.thrash)
+    }
+
+    /// Assembles a fleet for an arbitrary (e.g. user-supplied) fault plan.
+    /// The plan and the config's extra rules are merged; the plan seed is
+    /// the run seed (scenario plans never carry their own).
+    pub fn from_plan(
+        cfg: ChaosConfig,
+        name: impl Into<String>,
+        mut plan: NetFaultPlan,
+        thrash: bool,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        plan.seed = cfg.seed;
+        plan.rules.extend(cfg.extra_net.rules.iter().copied());
+        let mut coord_cfg =
+            CoordinatorConfig::new("chaos:virtual", cfg.budget).with_epoch(Duration::from_secs(1));
+        coord_cfg.floor = cfg.floor;
+        coord_cfg.node_max = cfg.node_max;
+        coord_cfg.validate()?;
+        let mut msr_plan = cfg.msr_plan.clone();
+        msr_plan.seed = msr_plan.seed.wrapping_add(cfg.seed);
+        let agents = (0..cfg.agents).map(|i| SimAgent::new(i, &cfg)).collect();
+        Ok(ChaosFleet {
+            core: FleetCore::new(&coord_cfg, Telemetry::enabled()),
+            net: NetFaultInjector::new(plan),
+            msr: FaultInjector::new(msr_plan),
+            agents,
+            slot_owner: Vec::new(),
+            tallies: Tallies::default(),
+            first_quarantined: vec![None; cfg.agents],
+            max_reclaim: None,
+            max_heal: None,
+            max_quarantine_delay: None,
+            scenario_name: name.into(),
+            thrash,
+            cfg,
+        })
+    }
+
+    /// Runs the soak to completion and scores it.
+    pub fn run(mut self) -> ScenarioScore {
+        for epoch in 1..=self.cfg.epochs {
+            self.step(epoch);
+        }
+        self.score()
+    }
+
+    /// One virtual epoch: kills/restarts, agent sends, frame delivery,
+    /// the core's allocator epoch, grant fan-out, invariant checks.
+    fn step(&mut self, epoch: u64) {
+        // Topology: kills and restarts.
+        for i in 0..self.agents.len() {
+            let killed = self.net.killed(i, epoch);
+            if killed && self.agents[i].alive {
+                self.agents[i].die(epoch);
+            } else if !killed && !self.agents[i].alive {
+                let cfg = self.cfg.clone();
+                self.agents[i].restart(&cfg);
+            }
+        }
+
+        // Agents act: notice link state, apply queued grants, report.
+        for i in 0..self.agents.len() {
+            self.agent_step(i, epoch);
+        }
+
+        // Deliver up-frames to the coordinator, in agent order. Frames
+        // arrive "mid-epoch" so a frame sent in epoch e beats the epoch-e
+        // allocator close, matching the TCP plane's report-then-allocate
+        // cadence.
+        let ingest_ms = epoch * 1000 - 500;
+        for i in 0..self.agents.len() {
+            let due: Vec<Vec<u8>> = drain_due(&mut self.agents[i].up, epoch);
+            for bytes in due {
+                self.ingest(i, &bytes, ingest_ms, epoch);
+            }
+        }
+
+        // The allocator epoch.
+        let step = self.core.epoch_once(epoch * 1000);
+
+        // Coordinator-side disconnects close the agent's link.
+        for &slot in &step.disconnects {
+            if let Some(&owner) = self.slot_owner.get(slot) {
+                if self.agents[owner].slot == Some(slot) {
+                    self.agents[owner].slot = None;
+                }
+            }
+        }
+
+        // Grant fan-out through the chaotic down-links.
+        for (slot, frame) in &step.grants {
+            let Some(&owner) = self.slot_owner.get(*slot) else {
+                continue;
+            };
+            if self.agents[owner].slot != Some(*slot) {
+                continue; // link already closed
+            }
+            self.send_down(owner, frame, epoch);
+        }
+
+        // Invariants and latency metrics for this epoch.
+        self.check_epoch(&step.record, epoch);
+    }
+
+    /// One agent's actions for `epoch`.
+    fn agent_step(&mut self, i: usize, epoch: u64) {
+        if !self.agents[i].alive {
+            return;
+        }
+        let up_cut = self.net.partitioned(i, Dir::Up, epoch);
+        let down_cut = self.net.partitioned(i, Dir::Down, epoch);
+        let partitioned = up_cut || down_cut;
+
+        // Link-state bookkeeping: a partition (stand-in for TCP timeouts)
+        // or a closed socket starts the disconnect clock; a healthy link
+        // clears it. Healing a partition starts the heal-latency clock.
+        {
+            let a = &mut self.agents[i];
+            let linkless = partitioned || a.slot.is_none();
+            match (linkless, a.disconnected_since) {
+                (true, None) => a.disconnected_since = Some(epoch),
+                (false, Some(_)) => a.disconnected_since = None,
+                _ => {}
+            }
+            if !partitioned
+                && a.heal_started.is_none()
+                && epoch > 1
+                && (self.net.partitioned(i, Dir::Up, epoch - 1)
+                    || self.net.partitioned(i, Dir::Down, epoch - 1))
+            {
+                a.heal_started = Some(epoch);
+            }
+        }
+
+        // Apply deliverable grants (epoch-monotonic, unless the MSR fault
+        // plan says this epoch's cap write fails).
+        let due = drain_due(&mut self.agents[i].down, epoch);
+        for bytes in due {
+            let frame = match Frame::decode(&bytes) {
+                Ok(f) => f,
+                Err(_) => {
+                    self.tallies.wire_errors += 1;
+                    continue;
+                }
+            };
+            match frame {
+                Frame::BudgetGrant {
+                    epoch: grant_epoch,
+                    ceiling,
+                    ..
+                } => {
+                    let a = &mut self.agents[i];
+                    if grant_epoch <= a.last_grant_epoch {
+                        continue; // stale or replayed grant
+                    }
+                    if self
+                        .msr
+                        .should_fail_at(FaultOp::Write, i, MSR_PKG_POWER_LIMIT, Some(epoch))
+                    {
+                        continue; // actuation failed; grant not enforced
+                    }
+                    a.last_grant_epoch = grant_epoch;
+                    a.granted = Some(ceiling.value());
+                    a.ceiling = ceiling.value();
+                    if let Some(healed) = a.heal_started.take() {
+                        let delay = epoch.saturating_sub(healed);
+                        self.max_heal = Some(self.max_heal.unwrap_or(0).max(delay));
+                    }
+                }
+                Frame::Goodbye => {
+                    self.agents[i].slot = None;
+                }
+                _ => self.tallies.wire_errors += 1,
+            }
+        }
+
+        // Safe-cap fallback after the grace period without a link.
+        {
+            let a = &mut self.agents[i];
+            if let Some(since) = a.disconnected_since {
+                if epoch.saturating_sub(since) >= DISCONNECT_GRACE_EPOCHS {
+                    if a.ceiling > self.cfg.safe_cap.value() + 1e-9 {
+                        // The fallback itself: clamp to the safe cap. An
+                        // agent that failed to do so would be violating.
+                        a.ceiling = self.cfg.safe_cap.value();
+                    }
+                    if a.ceiling > self.cfg.safe_cap.value() + 1e-9 {
+                        self.tallies.safe_cap_violations += 1;
+                    }
+                }
+            }
+        }
+
+        // Demand model: seeded wander, or floor↔max thrash.
+        {
+            let a = &mut self.agents[i];
+            let (lo, hi) = (self.cfg.floor.value(), self.cfg.node_max.value());
+            a.demand = if self.thrash {
+                if epoch.is_multiple_of(2) {
+                    lo
+                } else {
+                    hi
+                }
+            } else {
+                (a.demand + (next_uniform(&mut a.rng) - 0.5) * 20.0).clamp(lo, hi)
+            };
+        }
+
+        // Outbound traffic. A severed up-link swallows everything sent.
+        let byz = self.net.byz_ops(i, epoch);
+        if self.agents[i].rejected {
+            return;
+        }
+        if self.agents[i].slot.is_none() && !up_cut {
+            let hello = Frame::Hello {
+                node: self.agents[i].name.clone(),
+                floor: self.cfg.floor,
+                node_max: self.cfg.node_max,
+                app: "chaos".to_string(),
+            };
+            self.send_up(i, &hello, epoch, up_cut);
+        }
+
+        // The demand report (possibly distorted).
+        let flapping = byz.contains(&NetFaultOp::ByzFlap);
+        let silent_flap = flapping && epoch.is_multiple_of(2);
+        if !silent_flap {
+            self.agents[i].report_seq += 1;
+            let seq = self.agents[i].report_seq;
+            let honest_ceiling = self.agents[i].ceiling;
+            let honest_consumption = self.agents[i].demand.min(honest_ceiling);
+            let granted = self.agents[i].granted;
+            let mut lied = false;
+            let ten_x = self.cfg.node_max.value() * 10.0;
+            let (mut c, mut k) = (honest_ceiling, honest_consumption);
+            for op in &byz {
+                match op {
+                    NetFaultOp::ByzInflate => {
+                        (c, k) = (ten_x, ten_x);
+                        lied = true;
+                    }
+                    NetFaultOp::ByzNan => {
+                        k = f64::NAN;
+                        lied = true;
+                    }
+                    NetFaultOp::ByzNegative => {
+                        k = -42.0;
+                        lied = true;
+                    }
+                    NetFaultOp::ByzOverdraw => {
+                        // Claim compliance with the grant while reporting a
+                        // consumption that overdraws it — kept inside the
+                        // plausibility envelope so only the overdraw rule
+                        // can catch it.
+                        if let Some(g) = granted {
+                            c = g;
+                            k = (2.0 * g).min(self.cfg.node_max.value() * 1.2);
+                            lied = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if lied && self.agents[i].first_lie.is_none() {
+                self.agents[i].first_lie = Some(epoch);
+            }
+            let report = Frame::DemandReport {
+                seq,
+                ceiling: Watts(c),
+                consumption: Watts(k),
+                active: true,
+            };
+            self.send_up(i, &report, epoch, up_cut);
+
+            // Replayed stale frames, beyond what reordering could excuse.
+            if byz.contains(&NetFaultOp::ByzReplay) && seq > 1 {
+                if self.agents[i].first_lie.is_none() {
+                    self.agents[i].first_lie = Some(epoch);
+                }
+                let stale_seq = seq.saturating_sub(3);
+                let n = self.net.byz_replay_count(i, epoch).max(1);
+                for _ in 0..n {
+                    let stale = Frame::DemandReport {
+                        seq: stale_seq,
+                        ceiling: Watts(honest_ceiling),
+                        consumption: Watts(honest_consumption),
+                        active: true,
+                    };
+                    self.send_up(i, &stale, epoch, up_cut);
+                }
+            }
+        }
+
+        // Heartbeats: one per epoch, or a storm on flapping epochs.
+        let heartbeats = if flapping && !silent_flap { 40 } else { 1 };
+        if !silent_flap {
+            for _ in 0..heartbeats {
+                self.agents[i].heartbeat_seq += 1;
+                let hb = Frame::Heartbeat {
+                    seq: self.agents[i].heartbeat_seq,
+                };
+                self.send_up(i, &hb, epoch, up_cut);
+            }
+        }
+    }
+
+    /// Queues one up-frame through the chaos transport.
+    fn send_up(&mut self, i: usize, frame: &Frame, epoch: u64, up_cut: bool) {
+        if up_cut {
+            self.tallies.frames_dropped += 1;
+            return;
+        }
+        let fate = self.net.fate(i, Dir::Up, epoch);
+        if fate.drop {
+            self.tallies.frames_dropped += 1;
+            return;
+        }
+        let mut bytes = frame.encode();
+        if fate.corrupt {
+            corrupt(&mut bytes);
+            self.tallies.frames_corrupted += 1;
+        }
+        let deliver = epoch + fate.delay_epochs;
+        let queue = &mut self.agents[i].up;
+        for _ in 0..=fate.duplicates {
+            queue.push((deliver, bytes.clone()));
+        }
+        if fate.reorder && queue.len() >= 2 {
+            let n = queue.len();
+            queue.swap(n - 1, n - 2);
+        }
+    }
+
+    /// Queues one down-frame (grant/Goodbye) through the chaos transport.
+    fn send_down(&mut self, i: usize, frame: &Frame, epoch: u64) {
+        if self.net.partitioned(i, Dir::Down, epoch) {
+            self.tallies.frames_dropped += 1;
+            return;
+        }
+        let fate = self.net.fate(i, Dir::Down, epoch);
+        if fate.drop {
+            self.tallies.frames_dropped += 1;
+            return;
+        }
+        let mut bytes = frame.encode();
+        if fate.corrupt {
+            corrupt(&mut bytes);
+            self.tallies.frames_corrupted += 1;
+        }
+        // A grant sent during epoch e is applicable from e+1: the TCP
+        // plane's agents also see grants one reporting beat later.
+        let deliver = epoch + 1 + fate.delay_epochs;
+        let queue = &mut self.agents[i].down;
+        for _ in 0..=fate.duplicates {
+            queue.push((deliver, bytes.clone()));
+        }
+        if fate.reorder && queue.len() >= 2 {
+            let n = queue.len();
+            queue.swap(n - 1, n - 2);
+        }
+    }
+
+    /// Feeds one delivered up-frame into the core.
+    fn ingest(&mut self, i: usize, bytes: &[u8], now_ms: u64, epoch: u64) {
+        let frame = match Frame::decode(bytes) {
+            Ok(f) => f,
+            Err(_) => {
+                self.tallies.wire_errors += 1;
+                return;
+            }
+        };
+        match frame {
+            Frame::Hello {
+                node,
+                floor,
+                node_max,
+                app,
+            } => {
+                if self.agents[i].slot.is_some() {
+                    return; // duplicate Hello on a live link; ignore
+                }
+                match self.core.admit(node, app, floor, node_max, now_ms) {
+                    Ok(slot) => {
+                        self.agents[i].slot = Some(slot);
+                        if self.slot_owner.len() <= slot {
+                            self.slot_owner.resize(slot + 1, usize::MAX);
+                        }
+                        self.slot_owner[slot] = i;
+                    }
+                    Err(_) => {
+                        // Blacklisted (evicted) or implausible: the
+                        // connection is refused, permanently.
+                        self.agents[i].rejected = true;
+                    }
+                }
+            }
+            Frame::DemandReport {
+                seq,
+                ceiling,
+                consumption,
+                active,
+            } => {
+                if let Some(slot) = self.agents[i].slot {
+                    self.core
+                        .on_report(slot, seq, ceiling, consumption, active, now_ms);
+                }
+            }
+            Frame::Heartbeat { seq } => {
+                if let Some(slot) = self.agents[i].slot {
+                    self.core.on_heartbeat(slot, seq, now_ms);
+                }
+            }
+            Frame::Goodbye => {
+                if let Some(slot) = self.agents[i].slot.take() {
+                    self.core.on_goodbye(slot);
+                }
+            }
+            Frame::BudgetGrant { .. } => {
+                self.tallies.wire_errors += 1; // wrong-direction frame
+            }
+        }
+        let _ = epoch;
+    }
+
+    /// Epoch-close invariant checks and latency metrics.
+    fn check_epoch(&mut self, record: &crate::core::EpochRecord, epoch: u64) {
+        // Conservation: absolute, every epoch.
+        if record.total_granted > self.cfg.budget.value() + 1e-6 {
+            self.tallies.conservation_violations += 1;
+        }
+
+        // Honest floors: every live, non-quarantined honest agent that
+        // appears in the grant table keeps at least its floor.
+        for (name, watts) in &record.granted {
+            if record.quarantined.contains(name) {
+                continue;
+            }
+            let Some(agent) = self.agents.iter().find(|a| &a.name == name) else {
+                continue;
+            };
+            if self.net.is_ever_byzantine(agent.idx) {
+                continue;
+            }
+            if *watts < self.cfg.floor.value() - 1e-6 {
+                self.tallies.floor_violations += 1;
+            }
+        }
+
+        // Reclaim latency: a killed agent's name showing up in this
+        // epoch's reclaims resolves its pending kill clock.
+        for i in 0..self.agents.len() {
+            let name = self.agents[i].name.clone();
+            if let Some(killed_at) = self.agents[i].killed_at {
+                if record.reclaimed.contains(&name) {
+                    let delay = epoch.saturating_sub(killed_at);
+                    self.max_reclaim = Some(self.max_reclaim.unwrap_or(0).max(delay));
+                    self.agents[i].killed_at = None;
+                }
+            }
+
+            // Quarantine latency, measured from the first effective lie.
+            if self.first_quarantined[i].is_none()
+                && (record.quarantined.contains(&name) || record.evicted.contains(&name))
+            {
+                self.first_quarantined[i] = Some(epoch);
+                if let Some(lie) = self.agents[i].first_lie {
+                    let delay = epoch.saturating_sub(lie) + 1;
+                    self.max_quarantine_delay =
+                        Some(self.max_quarantine_delay.unwrap_or(0).max(delay));
+                }
+            }
+        }
+    }
+
+    /// Final scorecard for the completed soak.
+    fn score(self) -> ScenarioScore {
+        let byz_total = (0..self.cfg.agents)
+            .filter(|&i| self.net.is_ever_byzantine(i))
+            .count();
+        let byz_quarantined = (0..self.cfg.agents)
+            .filter(|&i| self.net.is_ever_byzantine(i) && self.first_quarantined[i].is_some())
+            .count();
+        let evictions = self
+            .core
+            .views()
+            .iter()
+            .filter(|v| v.state == NodeState::Evicted || v.trust == Trust::Evicted)
+            .count() as u64;
+        let mut card = ScenarioScore {
+            scenario: self.scenario_name,
+            seed: self.cfg.seed,
+            agents: self.cfg.agents,
+            epochs: self.cfg.epochs,
+            budget_w: self.cfg.budget.value(),
+            conservation_ok: self.tallies.conservation_violations == 0,
+            conservation_violations: self.tallies.conservation_violations,
+            floor_ok: self.tallies.floor_violations == 0,
+            floor_violations: self.tallies.floor_violations,
+            byz_total,
+            byz_quarantined,
+            max_quarantine_delay: self.max_quarantine_delay,
+            max_time_to_reclaim: self.max_reclaim,
+            max_time_to_heal: self.max_heal,
+            safe_cap_violations: self.tallies.safe_cap_violations,
+            frames_dropped: self.tallies.frames_dropped,
+            frames_corrupted: self.tallies.frames_corrupted,
+            wire_errors: self.tallies.wire_errors,
+            evictions,
+            score: 0.0,
+        };
+        card.score = card.score_of();
+        card
+    }
+}
+
+/// Runs one named scenario (built-in) under `cfg`.
+pub fn run_scenario(cfg: &ChaosConfig, name: &str) -> Result<ScenarioScore> {
+    let sc = scenario(name).ok_or_else(|| {
+        Error::invalid(
+            "scenario",
+            format!(
+                "unknown scenario {name}; known: {}",
+                SCENARIOS
+                    .iter()
+                    .map(|s| s.name)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        )
+    })?;
+    Ok(ChaosFleet::new(cfg.clone(), sc)?.run())
+}
+
+/// Runs the full built-in matrix under `cfg` and ranks the scorecard:
+/// best score first, name as the tiebreak.
+pub fn run_matrix(cfg: &ChaosConfig) -> Result<Vec<ScenarioScore>> {
+    let mut cards = Vec::with_capacity(SCENARIOS.len());
+    for sc in SCENARIOS {
+        cards.push(ChaosFleet::new(cfg.clone(), sc)?.run());
+    }
+    cards.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.scenario.cmp(&b.scenario))
+    });
+    Ok(cards)
+}
+
+/// Pops every queued frame due at `epoch`, preserving queue order.
+fn drain_due(queue: &mut Vec<Queued>, epoch: u64) -> Vec<Vec<u8>> {
+    let mut due = Vec::new();
+    let mut keep = Vec::with_capacity(queue.len());
+    for (deliver, bytes) in queue.drain(..) {
+        if deliver <= epoch {
+            due.push(bytes);
+        } else {
+            keep.push((deliver, bytes));
+        }
+    }
+    *queue = keep;
+    due
+}
+
+/// Deterministic single-bit corruption; the frame CRC must catch it.
+fn corrupt(bytes: &mut [u8]) {
+    if let Some(last) = bytes.last_mut() {
+        *last ^= 0x40;
+    }
+}
+
+/// One SplitMix64 step mapped to a uniform draw in `[0, 1)`.
+fn next_uniform(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_scenario_conserves_and_keeps_honest_floors() {
+        let cards = run_matrix(&ChaosConfig::new(42)).unwrap();
+        assert_eq!(cards.len(), SCENARIOS.len());
+        for card in &cards {
+            assert!(card.conservation_ok, "{}: {card:?}", card.scenario);
+            assert!(card.floor_ok, "{}: {card:?}", card.scenario);
+            assert_eq!(card.safe_cap_violations, 0, "{}", card.scenario);
+        }
+    }
+
+    #[test]
+    fn byzantine_agents_are_quarantined_within_two_epochs() {
+        for name in ["byzantine-minority", "replay-storm"] {
+            let card = run_scenario(&ChaosConfig::new(42), name).unwrap();
+            assert!(card.byz_total > 0, "{name}");
+            assert_eq!(card.byz_quarantined, card.byz_total, "{name}: {card:?}");
+            assert!(
+                card.max_quarantine_delay.is_some_and(|d| d <= 2),
+                "{name}: {card:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kills_reclaim_within_two_epochs_and_partitions_heal() {
+        let card = run_scenario(&ChaosConfig::new(42), "cascading-kills").unwrap();
+        assert!(card.max_time_to_reclaim.is_some_and(|t| t <= 2), "{card:?}");
+        let card = run_scenario(&ChaosConfig::new(42), "partition-heal").unwrap();
+        assert!(card.max_time_to_heal.is_some_and(|t| t <= 3), "{card:?}");
+    }
+
+    #[test]
+    fn the_same_seed_replays_an_identical_scorecard() {
+        let a = run_matrix(&ChaosConfig::new(7)).unwrap();
+        let b = run_matrix(&ChaosConfig::new(7)).unwrap();
+        assert_eq!(a, b);
+        let c = run_matrix(&ChaosConfig::new(8)).unwrap();
+        assert_ne!(a, c, "different seed should change some tallies");
+    }
+
+    #[test]
+    fn corrupted_frames_are_caught_by_the_crc_never_ingested() {
+        let card = run_scenario(&ChaosConfig::new(42), "frame-chaos").unwrap();
+        assert!(card.frames_corrupted > 0, "{card:?}");
+        assert!(
+            card.wire_errors >= card.frames_corrupted,
+            "every corruption must surface as a wire error: {card:?}"
+        );
+        assert!(card.conservation_ok && card.floor_ok, "{card:?}");
+    }
+
+    #[test]
+    fn a_flapping_agent_is_rate_limited_but_never_quarantined() {
+        let cfg = ChaosConfig::new(42);
+        let sc = Scenario {
+            name: "flap-test",
+            summary: "",
+            plan: "byz-flap,peer=0",
+            thrash: false,
+        };
+        let fleet = ChaosFleet::new(cfg, &sc).unwrap();
+        let card = fleet.run();
+        // Flapping is obnoxious but honest: rate limiting absorbs the
+        // storms, silence stays inside the heartbeat timeout, and the
+        // trust ladder never moves.
+        assert_eq!(card.byz_quarantined, 0, "{card:?}");
+        assert!(card.conservation_ok && card.floor_ok, "{card:?}");
+    }
+
+    #[test]
+    fn unknown_scenarios_are_a_typed_error() {
+        let err = run_scenario(&ChaosConfig::new(1), "nope").unwrap_err();
+        assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn msr_fault_plan_composes_agents_miss_grant_applications() {
+        // Agent 0's cap writes fail for the whole run: it can never apply
+        // a grant, so it keeps enforcing its safe cap. The fleet must
+        // still conserve and keep floors.
+        let mut cfg = ChaosConfig::new(42);
+        cfg.msr_plan = dufp_msr::fault::FaultPlan::parse("write,reg=cap,cpu=0,always").unwrap();
+        let sc = scenario("baseline").unwrap();
+        let card = ChaosFleet::new(cfg, sc).unwrap().run();
+        assert!(card.conservation_ok && card.floor_ok, "{card:?}");
+    }
+}

@@ -65,6 +65,8 @@ pub struct CoordinatorConfig {
     pub floor: Watts,
     /// Per-node silicon limit for the demand-based policy.
     pub node_max: Watts,
+    /// Demand-vetting and quarantine-ladder tunables (see [`crate::vet`]).
+    pub vet: crate::vet::VetConfig,
 }
 
 impl CoordinatorConfig {
@@ -82,6 +84,7 @@ impl CoordinatorConfig {
             max_epochs: None,
             floor: Watts(65.0),
             node_max: Watts(125.0),
+            vet: crate::vet::VetConfig::default(),
         }
     }
 
@@ -131,6 +134,7 @@ impl CoordinatorConfig {
         if self.max_epochs == Some(0) {
             return Err(Error::invalid("max_epochs", "zero epochs"));
         }
+        self.vet.validate()?;
         Ok(())
     }
 }

@@ -1,26 +1,29 @@
-//! The fleet coordinator: owns the global power budget and runs an
-//! [`AllocatorPolicy`] over live per-node demand reports.
+//! The TCP fleet coordinator: sockets, threads and wall-clock epochs
+//! around the transport-independent [`FleetCore`] brain.
 //!
 //! One thread accepts connections; one handler thread per agent reads its
-//! frames (Hello, then DemandReport/Heartbeat/Goodbye) into a shared
-//! registry. The allocator epoch — [`Coordinator::epoch_once`] — runs on
-//! the caller's thread: it declares nodes dead when their last report or
+//! frames (Hello, then DemandReport/Heartbeat/Goodbye) into the core's
+//! registry, where every frame passes demand vetting (see [`crate::vet`]).
+//! The allocator epoch — [`Coordinator::epoch_once`] — runs on the
+//! caller's thread: the core declares nodes dead when their last report or
 //! heartbeat is older than the heartbeat timeout, reclaims their watts,
-//! runs the policy over the survivors' observations, and pushes
-//! `BudgetGrant` frames. [`Coordinator::run`] wraps that in a wall-clock
-//! loop; tests and benchmarks call `epoch_once` directly for deterministic
-//! stepping.
+//! walks the quarantine ladder, runs the policy over trusted survivors,
+//! and this layer pushes the resulting `BudgetGrant` frames onto the
+//! sockets. [`Coordinator::run`] wraps that in a wall-clock loop; tests
+//! and benchmarks call `epoch_once` directly for deterministic stepping.
 //!
 //! A malformed frame (bad magic, flipped CRC, unknown type, version
-//! mismatch) never panics the coordinator: the offending connection is
-//! dropped, a `wire_errors_total` counter ticks, and the node — if it ever
-//! completed a Hello — dies by heartbeat timeout like any other.
+//! mismatch, oversized payload) never panics the coordinator: the
+//! offending connection is dropped, a `wire_errors_total` counter ticks,
+//! and the node — if it ever completed a Hello — dies by heartbeat
+//! timeout like any other.
 
-use crate::config::{CoordinatorConfig, PolicyKind};
-use crate::wire::{Frame, GrantKind};
-use dufp_cluster::allocator::{AllocatorPolicy, DemandBased, NodeObservation, StaticSplit};
-use dufp_telemetry::{Actuator, DecisionEvent, Reason, Telemetry, TelemetryReport};
-use dufp_types::{shutdown, Result, Watts};
+use crate::config::CoordinatorConfig;
+use crate::core::FleetCore;
+pub use crate::core::{EpochRecord, NodeState};
+use crate::wire::Frame;
+use dufp_telemetry::{Telemetry, TelemetryReport};
+use dufp_types::{shutdown, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::io::Write as _;
@@ -28,60 +31,6 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Where a node is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum NodeState {
-    /// Connected and reporting.
-    Live,
-    /// Sent Goodbye; its watts were (or will be) reclaimed.
-    Departed,
-    /// Missed heartbeats past the timeout; watts reclaimed.
-    Dead,
-}
-
-struct NodeSlot {
-    name: String,
-    app: String,
-    floor: Watts,
-    node_max: Watts,
-    stream: TcpStream,
-    state: NodeState,
-    last_seen: Instant,
-    /// Latest demand report: (ceiling the agent enforces, consumption,
-    /// still has work).
-    report: Option<(Watts, Watts, bool)>,
-    /// Last ceiling granted by the allocator (ZERO before the first
-    /// grant — the agent self-enforces its safe cap until then).
-    granted: Watts,
-    /// Whether the reclaim for a Departed/Dead node already ran.
-    reclaimed: bool,
-}
-
-/// Registry shared between the connection handlers and the epoch loop.
-struct Fleet {
-    nodes: Mutex<Vec<NodeSlot>>,
-    tel: Telemetry,
-}
-
-/// One allocator epoch, as recorded in the outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct EpochRecord {
-    /// Epoch number (1-based).
-    pub epoch: u64,
-    /// Milliseconds since the coordinator started serving.
-    pub at_ms: u64,
-    /// Ceilings granted this epoch, one per live node: `(name, watts)`.
-    pub granted: Vec<(String, f64)>,
-    /// Sum of all live grants (must never exceed the budget).
-    pub total_granted: f64,
-    /// Live nodes at the end of the epoch.
-    pub live: usize,
-    /// Nodes declared dead or departed *this* epoch.
-    pub reclaimed: Vec<String>,
-    /// Watts returned to the pool by this epoch's reclaims.
-    pub reclaimed_watts: f64,
-}
 
 /// Per-node summary in the outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -94,6 +43,10 @@ pub struct NodeSummary {
     pub state: NodeState,
     /// Last granted ceiling.
     pub final_ceiling: f64,
+    /// Final trust-ladder rung (`trusted`/`suspect`/`quarantined`/
+    /// `evicted`).
+    #[serde(default)]
+    pub trust: String,
 }
 
 /// What a coordinator run produced.
@@ -107,18 +60,36 @@ pub struct FleetOutcome {
     pub epochs: Vec<EpochRecord>,
     /// Every node that ever completed a Hello.
     pub nodes: Vec<NodeSummary>,
-    /// Decision trace + metrics (grant/shrink/reclaim events).
+    /// Decision trace + metrics (grant/shrink/reclaim/vetting events).
     pub telemetry: TelemetryReport,
+}
+
+/// Brain plus the per-slot write halves, behind one lock.
+struct CoordState {
+    core: FleetCore,
+    /// Write halves, parallel to the core's slots (`None` once torn down).
+    streams: Vec<Option<TcpStream>>,
+}
+
+/// Registry shared between the connection handlers and the epoch loop.
+struct Shared {
+    state: Mutex<CoordState>,
+    tel: Telemetry,
+    started: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
 }
 
 /// The fleet coordinator. See the module docs for the thread layout.
 pub struct Coordinator {
     cfg: CoordinatorConfig,
     listener: TcpListener,
-    fleet: Arc<Fleet>,
-    policy: Box<dyn AllocatorPolicy>,
+    shared: Arc<Shared>,
     epoch: u64,
-    started: Instant,
     epochs: Vec<EpochRecord>,
     stop_accept: Arc<AtomicBool>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
@@ -131,36 +102,31 @@ impl Coordinator {
     /// [`Coordinator::epoch_once`].
     pub fn bind(cfg: CoordinatorConfig) -> Result<Self> {
         cfg.validate()?;
-        let policy: Box<dyn AllocatorPolicy> = match cfg.policy {
-            PolicyKind::StaticSplit => Box::new(StaticSplit),
-            PolicyKind::DemandBased => Box::new(DemandBased {
-                floor: cfg.floor,
-                node_max: cfg.node_max,
-                ..DemandBased::default()
-            }),
-        };
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
-        let fleet = Arc::new(Fleet {
-            nodes: Mutex::new(Vec::new()),
-            tel: Telemetry::enabled(),
+        let tel = Telemetry::enabled();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(CoordState {
+                core: FleetCore::new(&cfg, tel.clone()),
+                streams: Vec::new(),
+            }),
+            tel,
+            started: Instant::now(),
         });
         let stop_accept = Arc::new(AtomicBool::new(false));
         let handler_handles = Arc::new(Mutex::new(Vec::new()));
         let accept_handle = {
             let listener = listener.try_clone()?;
-            let fleet = Arc::clone(&fleet);
+            let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop_accept);
             let handlers = Arc::clone(&handler_handles);
-            std::thread::spawn(move || accept_loop(listener, fleet, stop, handlers))
+            std::thread::spawn(move || accept_loop(listener, shared, stop, handlers))
         };
         Ok(Coordinator {
             cfg,
             listener,
-            fleet,
-            policy,
+            shared,
             epoch: 0,
-            started: Instant::now(),
             epochs: Vec::new(),
             stop_accept,
             accept_handle: Some(accept_handle),
@@ -175,149 +141,41 @@ impl Coordinator {
 
     /// Nodes currently registered (any state).
     pub fn node_count(&self) -> usize {
-        self.fleet.nodes.lock().len()
+        self.shared.state.lock().core.node_count()
     }
 
-    /// One allocator epoch: detect dead nodes, reclaim their watts, run
-    /// the policy over the survivors, push grants. Deterministic given the
-    /// registry state — tests step it directly.
+    /// One allocator epoch: the core detects dead nodes, reclaims their
+    /// watts, walks the trust ladder and allocates; this layer pushes the
+    /// grant frames and tears down disconnected sockets. Deterministic
+    /// given the registry state — tests step it directly.
     pub fn epoch_once(&mut self) -> EpochRecord {
-        self.epoch += 1;
-        let now = Instant::now();
-        let mut nodes = self.fleet.nodes.lock();
-
-        // Failure detection + reclaim.
-        let mut reclaimed = Vec::new();
-        let mut reclaimed_watts = 0.0;
-        for (i, n) in nodes.iter_mut().enumerate() {
-            if n.state == NodeState::Live
-                && now.duration_since(n.last_seen) > self.cfg.heartbeat_timeout
-            {
-                n.state = NodeState::Dead;
-                let _ = n.stream.shutdown(Shutdown::Both);
-            }
-            if n.state != NodeState::Live && !n.reclaimed {
-                n.reclaimed = true;
-                reclaimed.push(n.name.clone());
-                reclaimed_watts += n.granted.value();
-                self.fleet.tel.counter("budget_reclaims_total").inc();
-                self.record(i, n.granted.value(), 0.0, Reason::BudgetReclaim);
-                n.granted = Watts::ZERO;
-            }
-        }
-
-        // Observations for every live node. A node that has not reported
-        // yet is treated as an idle consumer at its floor, so it is funded
-        // (and counted against the budget) from its first epoch.
-        let live: Vec<usize> = nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.state == NodeState::Live)
-            .map(|(i, _)| i)
-            .collect();
-        let observations: Vec<NodeObservation> = live
-            .iter()
-            .map(|&i| {
-                let n = &nodes[i];
-                match n.report {
-                    Some((ceiling, consumption, active)) => NodeObservation {
-                        ceiling,
-                        consumption,
-                        active,
-                    },
-                    None => NodeObservation {
-                        ceiling: n.granted.max(n.floor),
-                        consumption: Watts::ZERO,
-                        active: true,
-                    },
-                }
-            })
-            .collect();
-
-        let mut ceilings = self.policy.allocate(self.cfg.budget, &observations);
-        // Conservation guard: an overloaded fleet (floors exceeding the
-        // budget) would otherwise be granted more than the budget. Scale
-        // down proportionally rather than break the global invariant.
-        let total: f64 = ceilings.iter().map(|w| w.value()).sum();
-        if total > self.cfg.budget.value() {
-            let scale = self.cfg.budget.value() / total;
-            for w in &mut ceilings {
-                *w = *w * scale;
-            }
-        }
-
+        let now_ms = self.shared.now_ms();
+        let mut st = self.shared.state.lock();
+        let step = st.core.epoch_once(now_ms);
+        self.epoch = step.record.epoch;
         // Push grants; a failed send is left to heartbeat timeout.
-        let mut granted = Vec::with_capacity(live.len());
-        let mut total_granted = 0.0;
-        for (&i, ceiling) in live.iter().zip(ceilings) {
-            let n = &mut nodes[i];
-            // Watts above the node's announced silicon limit are unusable
-            // there; keep them in the pool instead of granting them.
-            let ceiling = ceiling.min(n.node_max);
-            let old = n.granted;
-            let kind = if ceiling >= old {
-                GrantKind::Raise
-            } else {
-                GrantKind::Shrink
-            };
-            if (ceiling - old).abs() > Watts(1e-9) {
-                let frame = Frame::BudgetGrant {
-                    epoch: self.epoch,
-                    ceiling,
-                    kind,
-                };
-                let sent = frame
-                    .write_to(&mut n.stream)
-                    .and_then(|()| Ok(n.stream.flush()?));
+        for (slot, frame) in &step.grants {
+            if let Some(stream) = st.streams.get_mut(*slot).and_then(Option::as_mut) {
+                let sent = frame.write_to(stream).and_then(|()| Ok(stream.flush()?));
                 match sent {
-                    Ok(()) => self.fleet.tel.counter("grants_sent_total").inc(),
-                    Err(_) => self.fleet.tel.counter("grant_send_failures_total").inc(),
+                    Ok(()) => self.shared.tel.counter("grants_sent_total").inc(),
+                    Err(_) => self.shared.tel.counter("grant_send_failures_total").inc(),
                 }
-                let reason = match kind {
-                    GrantKind::Raise => Reason::BudgetGrant,
-                    GrantKind::Shrink => Reason::BudgetShrink,
-                };
-                self.record(i, old.value(), ceiling.value(), reason);
-                n.granted = ceiling;
             }
-            granted.push((n.name.clone(), n.granted.value()));
-            total_granted += n.granted.value();
         }
-        let live_count = live.len();
-        drop(nodes);
-
-        let record = EpochRecord {
-            epoch: self.epoch,
-            at_ms: now.duration_since(self.started).as_millis() as u64,
-            granted,
-            total_granted,
-            live: live_count,
-            reclaimed,
-            reclaimed_watts,
-        };
-        self.epochs.push(record.clone());
-        record
-    }
-
-    fn record(&self, node: usize, old: f64, new: f64, reason: Reason) {
-        self.fleet.tel.record_decision(DecisionEvent {
-            tick: self.epoch,
-            at_us: self.started.elapsed().as_micros() as u64,
-            socket: node as u16,
-            phase: 0,
-            oi_class: None,
-            flops_ratio: None,
-            actuator: Actuator::Budget,
-            old,
-            new,
-            reason,
-        });
+        for &slot in &step.disconnects {
+            if let Some(stream) = st.streams.get_mut(slot).and_then(Option::take) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        drop(st);
+        self.epochs.push(step.record.clone());
+        step.record
     }
 
     /// Whether every node that ever joined has departed or died.
     fn drained(&self) -> bool {
-        let nodes = self.fleet.nodes.lock();
-        !nodes.is_empty() && nodes.iter().all(|n| n.state != NodeState::Live)
+        self.shared.state.lock().core.drained()
     }
 
     /// Runs allocator epochs on the calling thread until `max_epochs` is
@@ -370,34 +228,42 @@ impl Coordinator {
             let _ = h.join();
         }
         {
-            let mut nodes = self.fleet.nodes.lock();
-            for n in nodes.iter_mut() {
-                if graceful && n.state == NodeState::Live {
-                    let _ = Frame::Goodbye.write_to(&mut n.stream);
-                    let _ = n.stream.flush();
+            let mut st = self.shared.state.lock();
+            let views = st.core.views();
+            for (view, stream) in views.iter().zip(st.streams.iter_mut()) {
+                if let Some(s) = stream.as_mut() {
+                    if graceful && view.state == NodeState::Live {
+                        let _ = Frame::Goodbye.write_to(s);
+                        let _ = s.flush();
+                    }
                 }
-                let _ = n.stream.shutdown(Shutdown::Both);
+                if let Some(s) = stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
             }
         }
         let handles: Vec<_> = std::mem::take(&mut *self.handler_handles.lock());
         for h in handles {
             let _ = h.join();
         }
-        let nodes = self.fleet.nodes.lock();
+        let st = self.shared.state.lock();
         FleetOutcome {
-            policy: self.policy.name().to_string(),
+            policy: st.core.policy_name().to_string(),
             budget: self.cfg.budget.value(),
             epochs: self.epochs.clone(),
-            nodes: nodes
-                .iter()
-                .map(|n| NodeSummary {
-                    name: n.name.clone(),
-                    app: n.app.clone(),
-                    state: n.state,
-                    final_ceiling: n.granted.value(),
+            nodes: st
+                .core
+                .views()
+                .into_iter()
+                .map(|v| NodeSummary {
+                    name: v.name,
+                    app: v.app,
+                    state: v.state,
+                    final_ceiling: v.granted.value(),
+                    trust: v.trust.label().to_string(),
                 })
                 .collect(),
-            telemetry: self.fleet.tel.report(),
+            telemetry: self.shared.tel.report(),
         }
     }
 }
@@ -406,15 +272,15 @@ impl Coordinator {
 /// honored promptly.
 fn accept_loop(
     listener: TcpListener,
-    fleet: Arc<Fleet>,
+    shared: Arc<Shared>,
     stop: Arc<AtomicBool>,
     handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _addr)) => {
-                let fleet = Arc::clone(&fleet);
-                let h = std::thread::spawn(move || handle_connection(stream, fleet));
+                let shared = Arc::clone(&shared);
+                let h = std::thread::spawn(move || handle_connection(stream, shared));
                 handlers.lock().push(h);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -425,9 +291,10 @@ fn accept_loop(
     }
 }
 
-/// Reads one agent's frames into the registry. Never panics: protocol
-/// errors drop the connection and tick `wire_errors_total`.
-fn handle_connection(stream: TcpStream, fleet: Arc<Fleet>) {
+/// Reads one agent's frames into the core's registry. Never panics:
+/// protocol errors drop the connection and tick `wire_errors_total`;
+/// implausible Hellos and vetted frames are the core's business.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     if stream.set_nodelay(true).is_err() {
         return;
     }
@@ -435,7 +302,7 @@ fn handle_connection(stream: TcpStream, fleet: Arc<Fleet>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    // First frame must be a Hello.
+    // First frame must be a Hello that survives admission.
     let slot = match Frame::read_from(&mut reader) {
         Ok(Some(Frame::Hello {
             node,
@@ -443,33 +310,24 @@ fn handle_connection(stream: TcpStream, fleet: Arc<Fleet>) {
             node_max,
             app,
         })) => {
-            // Admission validation: the same typed checks the configs use.
-            if !floor.value().is_finite()
-                || floor.value() <= 0.0
-                || !node_max.value().is_finite()
-                || floor > node_max
-            {
-                fleet.tel.counter("admission_rejects_total").inc();
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
+            let now_ms = shared.now_ms();
+            let mut st = shared.state.lock();
+            match st.core.admit(node, app, floor, node_max, now_ms) {
+                Ok(slot) => {
+                    st.streams.push(Some(stream));
+                    debug_assert_eq!(st.streams.len(), st.core.node_count());
+                    slot
+                }
+                Err(_) => {
+                    // admit() already ticked admission_rejects_total.
+                    drop(st);
+                    let _ = reader.shutdown(Shutdown::Both);
+                    return;
+                }
             }
-            let mut nodes = fleet.nodes.lock();
-            nodes.push(NodeSlot {
-                name: node,
-                app,
-                floor,
-                node_max,
-                stream,
-                state: NodeState::Live,
-                last_seen: Instant::now(),
-                report: None,
-                granted: Watts::ZERO,
-                reclaimed: false,
-            });
-            nodes.len() - 1
         }
         Ok(_) | Err(_) => {
-            fleet.tel.counter("wire_errors_total").inc();
+            shared.tel.counter("wire_errors_total").inc();
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
@@ -477,40 +335,36 @@ fn handle_connection(stream: TcpStream, fleet: Arc<Fleet>) {
     loop {
         match Frame::read_from(&mut reader) {
             Ok(Some(Frame::DemandReport {
+                seq,
                 ceiling,
                 consumption,
                 active,
-                ..
             })) => {
-                let mut nodes = fleet.nodes.lock();
-                let n = &mut nodes[slot];
-                n.last_seen = Instant::now();
-                n.report = Some((ceiling, consumption, active));
-                fleet.tel.counter("reports_total").inc();
+                let now_ms = shared.now_ms();
+                let mut st = shared.state.lock();
+                st.core
+                    .on_report(slot, seq, ceiling, consumption, active, now_ms);
             }
-            Ok(Some(Frame::Heartbeat { .. })) => {
-                fleet.nodes.lock()[slot].last_seen = Instant::now();
-                fleet.tel.counter("heartbeats_total").inc();
+            Ok(Some(Frame::Heartbeat { seq })) => {
+                let now_ms = shared.now_ms();
+                let mut st = shared.state.lock();
+                st.core.on_heartbeat(slot, seq, now_ms);
             }
             Ok(Some(Frame::Goodbye)) => {
-                let mut nodes = fleet.nodes.lock();
-                let n = &mut nodes[slot];
-                if n.state == NodeState::Live {
-                    n.state = NodeState::Departed;
-                }
+                shared.state.lock().core.on_goodbye(slot);
                 break;
             }
             Ok(Some(Frame::Hello { .. })) | Ok(Some(Frame::BudgetGrant { .. })) => {
                 // Out-of-order or wrong-direction frame: protocol abuse.
-                fleet.tel.counter("wire_errors_total").inc();
+                shared.tel.counter("wire_errors_total").inc();
                 break;
             }
             Ok(None) => break, // clean EOF; death by heartbeat timeout
             Err(_) => {
-                fleet.tel.counter("wire_errors_total").inc();
+                shared.tel.counter("wire_errors_total").inc();
                 break;
             }
         }
     }
-    let _ = fleet.nodes.lock()[slot].stream.shutdown(Shutdown::Both);
+    let _ = reader.shutdown(Shutdown::Both);
 }

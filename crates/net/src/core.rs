@@ -1,0 +1,780 @@
+//! The transport-independent fleet brain.
+//!
+//! [`FleetCore`] is everything the coordinator does *between* sockets:
+//! admission, frame vetting ([`crate::vet`]), failure detection, watt
+//! reclamation, the allocator epoch and the conservation guard. It runs
+//! on a caller-supplied virtual clock (`now_ms`), so the same hardened
+//! logic drives both the wall-clock TCP [`crate::Coordinator`] and the
+//! deterministic in-process chaos fleet ([`crate::chaos`]) — a byzantine
+//! defense proven under the chaos harness is, by construction, the one
+//! the real wire runs.
+//!
+//! Invariants enforced here (DESIGN.md §12, §14):
+//!
+//! * **Conservation** — `Σ granted ≤ budget` at every epoch, via a
+//!   floor-preserving scale-down: when the policy oversubscribes, only
+//!   the above-floor portions shrink, so honest nodes keep their floors
+//!   unless the floors alone exceed the budget.
+//! * **Quarantine ladder** — misbehaving nodes walk `Suspect →
+//!   Quarantined` (capped at their floor, demand ignored) `→ Evicted`
+//!   (watts reclaimed, name blacklisted for the rest of the run).
+//! * **Replay/veto/rate defense** — see [`crate::vet`]; every defense
+//!   emits a typed telemetry Reason and a counter.
+
+use crate::config::{CoordinatorConfig, PolicyKind};
+use crate::vet::{FrameVerdict, NodeVet, Trust, VetConfig};
+use crate::wire::{Frame, GrantKind};
+use dufp_cluster::allocator::{AllocatorPolicy, DemandBased, NodeObservation, StaticSplit};
+use dufp_telemetry::{Actuator, DecisionEvent, Reason, Telemetry};
+use dufp_types::{Error, Result, Watts};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Where a node is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeState {
+    /// Connected and reporting.
+    Live,
+    /// Sent Goodbye; its watts were (or will be) reclaimed.
+    Departed,
+    /// Missed heartbeats past the timeout; watts reclaimed.
+    Dead,
+    /// Thrown out by the quarantine ladder; watts reclaimed and its name
+    /// refused readmission for the rest of the run.
+    Evicted,
+}
+
+/// One allocator epoch, as recorded in the outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// Milliseconds since the coordinator started serving.
+    pub at_ms: u64,
+    /// Ceilings granted this epoch, one per live node: `(name, watts)`.
+    pub granted: Vec<(String, f64)>,
+    /// Sum of all live grants (must never exceed the budget).
+    pub total_granted: f64,
+    /// Live nodes at the end of the epoch.
+    pub live: usize,
+    /// Nodes declared dead or departed *this* epoch.
+    pub reclaimed: Vec<String>,
+    /// Watts returned to the pool by this epoch's reclaims.
+    pub reclaimed_watts: f64,
+    /// Live nodes currently held in quarantine (capped at their floors).
+    #[serde(default)]
+    pub quarantined: Vec<String>,
+    /// Nodes evicted by the trust ladder *this* epoch.
+    #[serde(default)]
+    pub evicted: Vec<String>,
+}
+
+/// One node in the core registry.
+struct CoreNode {
+    name: String,
+    app: String,
+    floor: Watts,
+    node_max: Watts,
+    state: NodeState,
+    last_seen_ms: u64,
+    /// Latest accepted demand report: (ceiling the agent enforces,
+    /// consumption, still has work).
+    report: Option<(Watts, Watts, bool)>,
+    /// Last ceiling granted by the allocator (ZERO before the first
+    /// grant — the agent self-enforces its safe cap until then).
+    granted: Watts,
+    /// Whether the reclaim for a non-Live node already ran.
+    reclaimed: bool,
+    vet: NodeVet,
+}
+
+/// What one core epoch asks the transport layer to do.
+#[derive(Debug)]
+pub struct EpochStep {
+    /// The epoch's outcome record.
+    pub record: EpochRecord,
+    /// Grant frames to deliver, as `(slot, frame)` pairs.
+    pub grants: Vec<(usize, Frame)>,
+    /// Slots whose connections should be torn down (died or evicted this
+    /// epoch).
+    pub disconnects: Vec<usize>,
+}
+
+/// Snapshot of one node for outcome summaries.
+#[derive(Debug, Clone)]
+pub struct CoreNodeView {
+    /// Node name from its Hello.
+    pub name: String,
+    /// Application queue it announced.
+    pub app: String,
+    /// Lifecycle state.
+    pub state: NodeState,
+    /// Trust ladder rung.
+    pub trust: Trust,
+    /// Last granted ceiling.
+    pub granted: Watts,
+}
+
+/// The transport-independent coordinator brain. See the module docs.
+pub struct FleetCore {
+    budget: Watts,
+    heartbeat_timeout_ms: u64,
+    vet_cfg: VetConfig,
+    policy: Box<dyn AllocatorPolicy>,
+    policy_name: &'static str,
+    nodes: Vec<CoreNode>,
+    blacklist: HashSet<String>,
+    epoch: u64,
+    tel: Telemetry,
+}
+
+impl FleetCore {
+    /// Builds a core from a validated coordinator configuration. The
+    /// `listen` field is ignored — transport is the caller's business.
+    pub fn new(cfg: &CoordinatorConfig, tel: Telemetry) -> Self {
+        let policy: Box<dyn AllocatorPolicy> = match cfg.policy {
+            PolicyKind::StaticSplit => Box::new(StaticSplit),
+            PolicyKind::DemandBased => Box::new(DemandBased {
+                floor: cfg.floor,
+                node_max: cfg.node_max,
+                ..DemandBased::default()
+            }),
+        };
+        FleetCore {
+            budget: cfg.budget,
+            heartbeat_timeout_ms: cfg.heartbeat_timeout.as_millis() as u64,
+            vet_cfg: cfg.vet,
+            policy_name: cfg.policy.label(),
+            policy,
+            nodes: Vec::new(),
+            blacklist: HashSet::new(),
+            epoch: 0,
+            tel,
+        }
+    }
+
+    /// The allocator policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// The global budget being served.
+    pub fn budget(&self) -> Watts {
+        self.budget
+    }
+
+    /// Epochs run so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Nodes ever admitted (any state).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Snapshot of every node for outcome summaries.
+    pub fn views(&self) -> Vec<CoreNodeView> {
+        self.nodes
+            .iter()
+            .map(|n| CoreNodeView {
+                name: n.name.clone(),
+                app: n.app.clone(),
+                state: n.state,
+                trust: n.vet.trust(),
+                granted: n.granted,
+            })
+            .collect()
+    }
+
+    /// The trust rung of a slot (slots are stable for a run's lifetime).
+    pub fn trust(&self, slot: usize) -> Option<Trust> {
+        self.nodes.get(slot).map(|n| n.vet.trust())
+    }
+
+    /// Admits a node from its Hello, returning its slot. Refuses the
+    /// same typed validation the configs use — non-finite or non-positive
+    /// floors, a floor above the silicon limit — plus the eviction
+    /// blacklist: an evicted name never gets back in.
+    pub fn admit(
+        &mut self,
+        name: String,
+        app: String,
+        floor: Watts,
+        node_max: Watts,
+        now_ms: u64,
+    ) -> Result<usize> {
+        if !floor.value().is_finite()
+            || floor.value() <= 0.0
+            || !node_max.value().is_finite()
+            || floor > node_max
+        {
+            self.tel.counter("admission_rejects_total").inc();
+            return Err(Error::invalid(
+                "hello",
+                format!(
+                    "implausible floor {} W / node_max {} W",
+                    floor.value(),
+                    node_max.value()
+                ),
+            ));
+        }
+        if self.blacklist.contains(&name) {
+            self.tel.counter("admission_rejects_total").inc();
+            return Err(Error::Precondition(format!(
+                "node {name} was evicted; readmission refused"
+            )));
+        }
+        self.nodes.push(CoreNode {
+            name,
+            app,
+            floor,
+            node_max,
+            state: NodeState::Live,
+            last_seen_ms: now_ms,
+            report: None,
+            granted: Watts::ZERO,
+            reclaimed: false,
+            vet: NodeVet::new(),
+        });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Ingests a demand report. Returns what the vetting layer decided;
+    /// only [`FrameVerdict::Accepted`] frames update the registry.
+    pub fn on_report(
+        &mut self,
+        slot: usize,
+        seq: u64,
+        ceiling: Watts,
+        consumption: Watts,
+        active: bool,
+        now_ms: u64,
+    ) -> FrameVerdict {
+        let Some(n) = self.nodes.get_mut(slot) else {
+            return FrameVerdict::Vetoed;
+        };
+        if n.state != NodeState::Live {
+            return FrameVerdict::Vetoed;
+        }
+        let granted = n.granted;
+        let node_max = n.node_max;
+        let verdict =
+            n.vet
+                .check_report(&self.vet_cfg, seq, ceiling, consumption, node_max, granted);
+        match verdict {
+            FrameVerdict::Accepted => {
+                n.last_seen_ms = now_ms;
+                n.report = Some((ceiling, consumption, active));
+                self.tel.counter("reports_total").inc();
+            }
+            FrameVerdict::Duplicate => {
+                // A lossy path duplicated the frame; the node is alive.
+                n.last_seen_ms = now_ms;
+                self.tel.counter("duplicate_frames_total").inc();
+            }
+            FrameVerdict::Replay => {
+                n.last_seen_ms = now_ms;
+                let last = n.vet.last_report_seq();
+                self.tel.counter("replays_rejected_total").inc();
+                self.record(
+                    slot,
+                    now_ms,
+                    seq as f64,
+                    last as f64,
+                    Reason::ReplayRejected,
+                );
+            }
+            FrameVerdict::RateLimited => {
+                // Rate limiting throttles the allocator's inputs, not the
+                // liveness detector: a storming node is still visibly
+                // alive, so the heartbeat clock resets even though the
+                // frame's content is dropped unprocessed.
+                self.nodes[slot].last_seen_ms = now_ms;
+                self.tel.counter("rate_limited_total").inc();
+                // One event per node per epoch, not one per dropped frame
+                // — a storm must not flood the telemetry ring.
+                if self.nodes[slot].vet.just_hit_report_limit(&self.vet_cfg) {
+                    let max = f64::from(self.vet_cfg.max_reports_per_epoch);
+                    self.record(slot, now_ms, max + 1.0, max, Reason::RateLimited);
+                }
+            }
+            FrameVerdict::Vetoed => {
+                n.last_seen_ms = now_ms;
+                self.tel.counter("demand_vetoes_total").inc();
+                let shown = if consumption.value().is_finite() {
+                    consumption.value()
+                } else {
+                    0.0
+                };
+                self.record(slot, now_ms, shown, 0.0, Reason::DemandVetoed);
+            }
+        }
+        verdict
+    }
+
+    /// Ingests a heartbeat.
+    pub fn on_heartbeat(&mut self, slot: usize, seq: u64, now_ms: u64) -> FrameVerdict {
+        let Some(n) = self.nodes.get_mut(slot) else {
+            return FrameVerdict::Vetoed;
+        };
+        if n.state != NodeState::Live {
+            return FrameVerdict::Vetoed;
+        }
+        let verdict = n.vet.check_heartbeat(&self.vet_cfg, seq);
+        match verdict {
+            FrameVerdict::RateLimited => {
+                // As in `on_report`: the storm is dropped, but the node
+                // has proven it is alive.
+                n.last_seen_ms = now_ms;
+                self.tel.counter("rate_limited_total").inc();
+            }
+            FrameVerdict::Replay => {
+                n.last_seen_ms = now_ms;
+                self.tel.counter("replays_rejected_total").inc();
+            }
+            _ => {
+                n.last_seen_ms = now_ms;
+                self.tel.counter("heartbeats_total").inc();
+            }
+        }
+        verdict
+    }
+
+    /// Marks a node cleanly departed.
+    pub fn on_goodbye(&mut self, slot: usize) {
+        if let Some(n) = self.nodes.get_mut(slot) {
+            if n.state == NodeState::Live {
+                n.state = NodeState::Departed;
+            }
+        }
+    }
+
+    /// One allocator epoch on the virtual clock: close the vetting epoch
+    /// (trust transitions), detect dead nodes, reclaim watts, allocate
+    /// under the conservation guard, and emit the grant frames for the
+    /// transport to deliver. Deterministic given the registry state.
+    pub fn epoch_once(&mut self, now_ms: u64) -> EpochStep {
+        self.epoch += 1;
+        let mut disconnects = Vec::new();
+        let mut evicted_now = Vec::new();
+
+        // Trust ladder transitions from the epoch's strike flags.
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].state != NodeState::Live {
+                continue;
+            }
+            let vet_cfg = self.vet_cfg;
+            if let Some((old, new)) = self.nodes[i].vet.finalize_epoch(&vet_cfg) {
+                let reason = if new == Trust::Evicted {
+                    Reason::Evicted
+                } else {
+                    Reason::Quarantined
+                };
+                self.record(
+                    i,
+                    now_ms,
+                    old.ordinal() as f64,
+                    new.ordinal() as f64,
+                    reason,
+                );
+                if new == Trust::Evicted {
+                    let name = self.nodes[i].name.clone();
+                    self.blacklist.insert(name.clone());
+                    evicted_now.push(name);
+                    self.nodes[i].state = NodeState::Evicted;
+                    disconnects.push(i);
+                    self.tel.counter("evictions_total").inc();
+                } else if new == Trust::Quarantined {
+                    self.tel.counter("quarantines_total").inc();
+                }
+            }
+        }
+
+        // Failure detection + reclaim.
+        let mut reclaimed = Vec::new();
+        let mut reclaimed_watts = 0.0;
+        for i in 0..self.nodes.len() {
+            let stale = {
+                let n = &self.nodes[i];
+                n.state == NodeState::Live
+                    && now_ms.saturating_sub(n.last_seen_ms) > self.heartbeat_timeout_ms
+            };
+            if stale {
+                self.nodes[i].state = NodeState::Dead;
+                disconnects.push(i);
+            }
+            let n = &self.nodes[i];
+            if n.state != NodeState::Live && !n.reclaimed {
+                let had = n.granted.value();
+                let name = n.name.clone();
+                self.nodes[i].reclaimed = true;
+                self.nodes[i].granted = Watts::ZERO;
+                reclaimed.push(name);
+                reclaimed_watts += had;
+                self.tel.counter("budget_reclaims_total").inc();
+                self.record(i, now_ms, had, 0.0, Reason::BudgetReclaim);
+            }
+        }
+
+        // Split the live fleet: quarantined nodes are pinned at their
+        // floors and their (untrusted) demand is excluded from the policy.
+        let mut policy_slots = Vec::new();
+        let mut quarantined_slots = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.state != NodeState::Live {
+                continue;
+            }
+            if n.vet.trust() >= Trust::Quarantined {
+                quarantined_slots.push(i);
+            } else {
+                policy_slots.push(i);
+            }
+        }
+        let quarantined_names: Vec<String> = quarantined_slots
+            .iter()
+            .map(|&i| self.nodes[i].name.clone())
+            .collect();
+
+        // Quarantined floors come off the top of the budget (scaled down
+        // if even those oversubscribe it — conservation is absolute).
+        let mut quar_ceilings: Vec<f64> = quarantined_slots
+            .iter()
+            .map(|&i| self.nodes[i].floor.value())
+            .collect();
+        let quar_total: f64 = quar_ceilings.iter().sum();
+        if quar_total > self.budget.value() && quar_total > 0.0 {
+            let scale = self.budget.value() / quar_total;
+            for w in &mut quar_ceilings {
+                *w *= scale;
+            }
+        }
+        let remaining = (self.budget.value() - quar_ceilings.iter().sum::<f64>()).max(0.0);
+
+        // Policy allocation over the trusted observations. A node that has
+        // not reported yet is an idle consumer at its floor, so it is
+        // funded (and counted against the budget) from its first epoch.
+        let observations: Vec<NodeObservation> = policy_slots
+            .iter()
+            .map(|&i| {
+                let n = &self.nodes[i];
+                match n.report {
+                    Some((ceiling, consumption, active)) => NodeObservation {
+                        ceiling,
+                        consumption,
+                        active,
+                    },
+                    None => NodeObservation {
+                        ceiling: n.granted.max(n.floor),
+                        consumption: Watts::ZERO,
+                        active: true,
+                    },
+                }
+            })
+            .collect();
+        let mut ceilings: Vec<f64> = self
+            .policy
+            .allocate(Watts(remaining), &observations)
+            .into_iter()
+            .map(|w| w.value())
+            .collect();
+        let floors: Vec<f64> = policy_slots
+            .iter()
+            .map(|&i| self.nodes[i].floor.value())
+            .collect();
+        fit_into_budget(remaining, &floors, &mut ceilings);
+
+        // Push grants; only changed ceilings produce frames.
+        let mut grants = Vec::new();
+        let mut granted = Vec::new();
+        let mut total_granted = 0.0;
+        let all_slots = policy_slots
+            .iter()
+            .copied()
+            .zip(ceilings)
+            .chain(quarantined_slots.iter().copied().zip(quar_ceilings));
+        let mut per_slot: Vec<(usize, f64)> = all_slots.collect();
+        per_slot.sort_by_key(|&(slot, _)| slot); // stable, transport-friendly order
+        for (i, ceiling) in per_slot {
+            let n = &mut self.nodes[i];
+            // Watts above the node's announced silicon limit are unusable
+            // there; keep them in the pool instead of granting them.
+            let ceiling = Watts(ceiling).min(n.node_max);
+            let old = n.granted;
+            let kind = if ceiling >= old {
+                GrantKind::Raise
+            } else {
+                GrantKind::Shrink
+            };
+            if (ceiling - old).abs() > Watts(1e-9) {
+                grants.push((
+                    i,
+                    Frame::BudgetGrant {
+                        epoch: self.epoch,
+                        ceiling,
+                        kind,
+                    },
+                ));
+                let reason = match kind {
+                    GrantKind::Raise => Reason::BudgetGrant,
+                    GrantKind::Shrink => Reason::BudgetShrink,
+                };
+                let (o, c) = (old.value(), ceiling.value());
+                n.granted = ceiling;
+                self.tel.counter("grants_issued_total").inc();
+                self.record(i, now_ms, o, c, reason);
+            }
+            let n = &self.nodes[i];
+            granted.push((n.name.clone(), n.granted.value()));
+            total_granted += n.granted.value();
+        }
+
+        let live = self
+            .nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Live)
+            .count();
+        EpochStep {
+            record: EpochRecord {
+                epoch: self.epoch,
+                at_ms: now_ms,
+                granted,
+                total_granted,
+                live,
+                reclaimed,
+                reclaimed_watts,
+                quarantined: quarantined_names,
+                evicted: evicted_now,
+            },
+            grants,
+            disconnects,
+        }
+    }
+
+    fn record(&self, slot: usize, now_ms: u64, old: f64, new: f64, reason: Reason) {
+        self.tel.record_decision(DecisionEvent {
+            tick: self.epoch,
+            at_us: now_ms.saturating_mul(1000),
+            socket: slot as u16,
+            phase: 0,
+            oi_class: None,
+            flops_ratio: None,
+            actuator: Actuator::Budget,
+            old,
+            new,
+            reason,
+        });
+    }
+
+    /// Whether every node that ever joined has left (any non-Live state).
+    pub fn drained(&self) -> bool {
+        !self.nodes.is_empty() && self.nodes.iter().all(|n| n.state != NodeState::Live)
+    }
+}
+
+/// Floor-preserving conservation guard: scales `want` into `budget` by
+/// shrinking only the above-floor portions; falls back to a proportional
+/// scale of the floors themselves only when the floors alone exceed the
+/// budget. No-op when the total already fits.
+fn fit_into_budget(budget: f64, floors: &[f64], want: &mut [f64]) {
+    let total: f64 = want.iter().sum();
+    if total <= budget {
+        return;
+    }
+    let floor_sum: f64 = floors.iter().sum();
+    if floor_sum >= budget {
+        if floor_sum > 0.0 {
+            let scale = budget / floor_sum;
+            for (w, f) in want.iter_mut().zip(floors) {
+                *w = f * scale;
+            }
+        }
+        return;
+    }
+    let above: f64 = want.iter().zip(floors).map(|(w, f)| (w - f).max(0.0)).sum();
+    if above <= 0.0 {
+        return;
+    }
+    let scale = (budget - floor_sum) / above;
+    for (w, f) in want.iter_mut().zip(floors) {
+        *w = f + (*w - f).max(0.0) * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cfg(budget: f64) -> CoordinatorConfig {
+        CoordinatorConfig::new("virtual", Watts(budget)).with_epoch(Duration::from_millis(1000))
+    }
+
+    fn core(budget: f64) -> FleetCore {
+        FleetCore::new(&cfg(budget), Telemetry::enabled())
+    }
+
+    fn admit(core: &mut FleetCore, name: &str) -> usize {
+        core.admit(name.into(), "EP".into(), Watts(65.0), Watts(125.0), 0)
+            .unwrap()
+    }
+
+    #[test]
+    fn nan_demand_cannot_poison_the_allocator() {
+        // Regression: before vetting, a NaN consumption propagated into
+        // DemandBased's arithmetic and produced NaN ceilings fleet-wide.
+        let mut core = core(300.0);
+        let a = admit(&mut core, "honest");
+        let b = admit(&mut core, "liar");
+        core.on_report(a, 1, Watts(90.0), Watts(85.0), true, 500);
+        core.on_report(b, 1, Watts(f64::NAN), Watts(f64::NAN), true, 500);
+        let step = core.epoch_once(1000);
+        assert!(
+            step.record.total_granted.is_finite(),
+            "{}",
+            step.record.total_granted
+        );
+        for (name, w) in &step.record.granted {
+            assert!(w.is_finite() && *w >= 0.0, "{name}: {w}");
+        }
+        assert!(step.record.total_granted <= 300.0 + 1e-6);
+    }
+
+    #[test]
+    fn byzantine_node_is_quarantined_within_two_epochs_and_floored() {
+        let mut core = core(300.0);
+        let honest = admit(&mut core, "honest");
+        let liar = admit(&mut core, "liar");
+        for epoch in 1..=2u64 {
+            core.on_report(
+                honest,
+                epoch,
+                Watts(90.0),
+                Watts(88.0),
+                true,
+                epoch * 1000 - 500,
+            );
+            core.on_report(
+                liar,
+                epoch,
+                Watts(f64::NAN),
+                Watts(-1.0),
+                true,
+                epoch * 1000 - 500,
+            );
+            core.epoch_once(epoch * 1000);
+        }
+        assert_eq!(core.trust(liar), Some(Trust::Quarantined));
+        // Next epoch the quarantined node is pinned at its floor.
+        core.on_report(honest, 3, Watts(90.0), Watts(88.0), true, 2500);
+        core.on_report(liar, 3, Watts(f64::NAN), Watts(999.0), true, 2500);
+        let step = core.epoch_once(3000);
+        assert!(step.record.quarantined.contains(&"liar".to_string()));
+        let liar_grant = step
+            .record
+            .granted
+            .iter()
+            .find(|(n, _)| n == "liar")
+            .map(|(_, w)| *w)
+            .unwrap();
+        assert!((liar_grant - 65.0).abs() < 1e-6, "{liar_grant}");
+        assert!(step.record.total_granted <= 300.0 + 1e-6);
+    }
+
+    #[test]
+    fn persistent_byzantine_node_is_evicted_and_blacklisted() {
+        let mut core = core(300.0);
+        let liar = admit(&mut core, "liar");
+        let mut evicted_epoch = None;
+        for epoch in 1..=10u64 {
+            core.on_report(
+                liar,
+                epoch,
+                Watts(f64::NAN),
+                Watts(0.0),
+                true,
+                epoch * 1000 - 1,
+            );
+            let step = core.epoch_once(epoch * 1000);
+            if step.record.evicted.contains(&"liar".to_string()) {
+                evicted_epoch = Some((epoch, step));
+                break;
+            }
+        }
+        let (epoch, step) = evicted_epoch.expect("persistent byzantine must be evicted");
+        assert_eq!(epoch, 6, "one strike per epoch, evict_after=6");
+        assert!(step.disconnects.contains(&liar));
+        // The watts it held went back to the pool...
+        assert!(step.record.reclaimed.contains(&"liar".to_string()));
+        // ...and readmission under the same name is refused.
+        let err = core
+            .admit("liar".into(), "EP".into(), Watts(65.0), Watts(125.0), 7000)
+            .unwrap_err();
+        assert!(err.to_string().contains("evicted"), "{err}");
+    }
+
+    #[test]
+    fn conservation_holds_when_floors_oversubscribe_the_budget() {
+        let mut core = core(100.0); // two nodes × 65 W floor = 130 > 100
+        let a = admit(&mut core, "a");
+        let b = admit(&mut core, "b");
+        core.on_report(a, 1, Watts(90.0), Watts(89.0), true, 500);
+        core.on_report(b, 1, Watts(90.0), Watts(89.0), true, 500);
+        let step = core.epoch_once(1000);
+        assert!(
+            step.record.total_granted <= 100.0 + 1e-6,
+            "{}",
+            step.record.total_granted
+        );
+    }
+
+    #[test]
+    fn floor_preserving_guard_shrinks_only_above_floor_portions() {
+        let floors = [65.0, 65.0, 65.0];
+        let mut want = [125.0, 125.0, 65.0];
+        fit_into_budget(250.0, &floors, &mut want);
+        let total: f64 = want.iter().sum();
+        assert!((total - 250.0).abs() < 1e-9, "{total}");
+        for (w, f) in want.iter().zip(floors) {
+            assert!(*w >= f - 1e-9, "{w} below floor {f}");
+        }
+        assert!((want[2] - 65.0).abs() < 1e-9, "floor-rider untouched");
+    }
+
+    #[test]
+    fn stale_nodes_die_and_their_watts_return() {
+        let mut core = core(300.0);
+        let a = admit(&mut core, "a");
+        let b = admit(&mut core, "b");
+        core.on_report(a, 1, Watts(90.0), Watts(85.0), true, 500);
+        core.on_report(b, 1, Watts(90.0), Watts(85.0), true, 500);
+        core.epoch_once(1000);
+        // Only `a` keeps reporting; `b` goes silent past 1.5 s.
+        core.on_report(a, 2, Watts(90.0), Watts(85.0), true, 1500);
+        core.epoch_once(2000);
+        core.on_report(a, 3, Watts(90.0), Watts(85.0), true, 2500);
+        let step = core.epoch_once(3000);
+        assert!(step.record.reclaimed.contains(&"b".to_string()));
+        assert!(step.record.reclaimed_watts > 0.0);
+        assert_eq!(step.record.live, 1);
+    }
+
+    #[test]
+    fn admission_rejects_implausible_hellos() {
+        let mut core = core(300.0);
+        for (floor, max) in [
+            (f64::NAN, 125.0),
+            (0.0, 125.0),
+            (-10.0, 125.0),
+            (65.0, f64::NAN),
+            (130.0, 125.0),
+        ] {
+            assert!(
+                core.admit("x".into(), "EP".into(), Watts(floor), Watts(max), 0)
+                    .is_err(),
+                "floor={floor} max={max}"
+            );
+        }
+        assert_eq!(core.node_count(), 0);
+    }
+}

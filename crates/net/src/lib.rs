@@ -29,18 +29,37 @@
 //!   connection loss it falls back to a safe local static cap and keeps
 //!   running its jobs; on exit a [`dufp_control::SafeStateGuard`] restores
 //!   platform defaults.
-//! * **No trust in the wire** — every frame is CRC-checked; a malformed
-//!   frame drops the connection, never panics the process.
+//! * **No trust in the wire** — every frame is CRC-checked and bounded
+//!   (global and per-frame-type payload limits); a malformed frame drops
+//!   the connection, never panics the process.
+//! * **No trust in the agents** — every ingested frame passes demand
+//!   vetting ([`vet`]): plausibility envelope, sequence monotonicity with
+//!   replay rejection, per-epoch rate limits. Persistent misbehavior
+//!   walks a quarantine ladder (suspect → capped at floor → evicted with
+//!   watts reclaimed), so a byzantine minority cannot starve honest
+//!   nodes or poison the allocator.
+//! * **Determinism under chaos** — the coordinator brain ([`FleetCore`])
+//!   is transport-independent and runs on a virtual clock; the [`chaos`]
+//!   harness drives it through seeded adversarial scenarios
+//!   ([`netfault`]) whose scorecards replay byte-identically per seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod chaos;
 pub mod config;
 pub mod coordinator;
+pub mod core;
+pub mod netfault;
+pub mod vet;
 pub mod wire;
 
 pub use agent::{Agent, AgentOutcome};
+pub use chaos::{ChaosConfig, ChaosFleet, ScenarioScore, SCENARIOS};
 pub use config::{AgentConfig, CoordinatorConfig, PolicyKind};
-pub use coordinator::{Coordinator, EpochRecord, FleetOutcome, NodeState, NodeSummary};
+pub use coordinator::{Coordinator, FleetOutcome, NodeSummary};
+pub use core::{CoreNodeView, EpochRecord, EpochStep, FleetCore, NodeState};
+pub use netfault::{Dir, NetFaultInjector, NetFaultOp, NetFaultPlan, NetFaultRule};
+pub use vet::{FrameVerdict, NodeVet, Trust, VetConfig};
 pub use wire::{Frame, FrameType, GrantKind, VERSION};

@@ -64,6 +64,25 @@ impl FrameType {
             other => Err(Error::Corruption(format!("unknown frame type {other}"))),
         }
     }
+
+    /// The largest payload this frame type can legitimately carry. Only
+    /// [`FrameType::Hello`] has variable-length fields (two strings); every
+    /// other frame is fixed-size, so a hostile peer cannot pad a heartbeat
+    /// out to [`MAX_PAYLOAD`] and make every receiver buffer it.
+    pub fn max_payload(self) -> u32 {
+        match self {
+            // str(node) + floor + node_max + str(app); bounded by the
+            // frame-wide ceiling.
+            FrameType::Hello => MAX_PAYLOAD,
+            // seq(8) + ceiling(8) + consumption(8) + active(1)
+            FrameType::DemandReport => 25,
+            // epoch(8) + ceiling(8) + kind(1)
+            FrameType::BudgetGrant => 17,
+            // seq(8)
+            FrameType::Heartbeat => 8,
+            FrameType::Goodbye => 0,
+        }
+    }
 }
 
 /// Why a coordinator moved a node's ceiling (the wire form of the
@@ -219,9 +238,10 @@ impl Frame {
         }
         let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
         if len > MAX_PAYLOAD {
-            return Err(Error::Corruption(format!(
-                "payload length {len} exceeds the {MAX_PAYLOAD}-byte bound"
-            )));
+            return Err(Error::FrameTooLarge {
+                len: u64::from(len),
+                max: MAX_PAYLOAD,
+            });
         }
         let want = HEADER_LEN + len as usize + 4;
         if buf.len() != want {
@@ -244,6 +264,12 @@ impl Frame {
             )));
         }
         let ty = FrameType::from_u8(buf[6])?;
+        if len > ty.max_payload() {
+            return Err(Error::FrameTooLarge {
+                len: u64::from(len),
+                max: ty.max_payload(),
+            });
+        }
         let mut r = Cursor::new(&buf[HEADER_LEN..crc_at]);
         let frame = match ty {
             FrameType::Hello => Frame::Hello {
@@ -305,9 +331,21 @@ impl Frame {
         }
         let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
         if len > MAX_PAYLOAD {
-            return Err(Error::Corruption(format!(
-                "payload length {len} exceeds the {MAX_PAYLOAD}-byte bound"
-            )));
+            return Err(Error::FrameTooLarge {
+                len: u64::from(len),
+                max: MAX_PAYLOAD,
+            });
+        }
+        // When the type byte is recognisable, enforce its (much tighter)
+        // per-type bound *before* allocating the payload buffer; unknown
+        // types stay bounded by MAX_PAYLOAD and fail typed in decode.
+        if let Ok(ty) = FrameType::from_u8(header[6]) {
+            if len > ty.max_payload() {
+                return Err(Error::FrameTooLarge {
+                    len: u64::from(len),
+                    max: ty.max_payload(),
+                });
+            }
         }
         let mut rest = vec![0u8; len as usize + 4];
         r.read_exact(&mut rest).map_err(|e| {
@@ -490,12 +528,38 @@ mod tests {
         let mut bytes = Frame::Goodbye.encode();
         bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
         let err = Frame::decode(&bytes).unwrap_err();
-        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(matches!(err, Error::FrameTooLarge { .. }), "{err:?}");
 
         // And through the streaming reader, too.
         let mut r = std::io::Cursor::new(bytes);
         let err = Frame::read_from(&mut r).unwrap_err();
-        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(matches!(err, Error::FrameTooLarge { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fixed_size_frames_enforce_their_own_payload_bound() {
+        // A heartbeat claiming a 4 KiB payload is under MAX_PAYLOAD but
+        // eight hundred times its real size: the per-type bound refuses it
+        // in the streaming reader before the payload buffer is allocated.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.push(FrameType::Heartbeat as u8);
+        bytes.push(0);
+        bytes.extend_from_slice(&4096u32.to_le_bytes());
+        let mut r = std::io::Cursor::new(bytes.clone());
+        let err = Frame::read_from(&mut r).unwrap_err();
+        assert!(
+            matches!(err, Error::FrameTooLarge { len: 4096, max: 8 }),
+            "{err:?}"
+        );
+
+        // decode sees the same refusal on a complete, CRC-sealed buffer.
+        bytes.extend_from_slice(&[0u8; 4096]);
+        let crc = crc32(&bytes[4..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        let err = Frame::decode(&bytes).unwrap_err();
+        assert!(matches!(err, Error::FrameTooLarge { .. }), "{err:?}");
     }
 
     #[test]
@@ -509,14 +573,13 @@ mod tests {
 
     #[test]
     fn trailing_payload_bytes_are_rejected() {
-        // A Heartbeat with 9 payload bytes instead of 8 (CRC re-sealed).
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC);
-        bytes.extend_from_slice(&VERSION.to_le_bytes());
-        bytes.push(FrameType::Heartbeat as u8);
+        // A Hello (the one variable-size frame) with one spare payload byte
+        // appended, length and CRC re-sealed so only finish() can object.
+        let good = samples()[0].encode();
+        let payload_len = good.len() - HEADER_LEN - 4;
+        let mut bytes = good[..good.len() - 4].to_vec();
         bytes.push(0);
-        bytes.extend_from_slice(&9u32.to_le_bytes());
-        bytes.extend_from_slice(&[0u8; 9]);
+        bytes[8..12].copy_from_slice(&((payload_len + 1) as u32).to_le_bytes());
         let crc = crc32(&bytes[4..]);
         bytes.extend_from_slice(&crc.to_le_bytes());
         let err = Frame::decode(&bytes).unwrap_err();

@@ -1,0 +1,191 @@
+//! Adversarial property tests for the fleet plane: for *arbitrary*
+//! seeded combinations of byzantine behaviors, kills and partitions, the
+//! coordinator's hard invariants must hold —
+//!
+//! * `Σ granted ≤ budget` at every epoch (conservation),
+//! * no live, honest, non-quarantined agent below its floor,
+//! * the same seed replays a byte-identical scorecard,
+//!
+//! — plus targeted regressions: NaN demand at the ingestion boundary,
+//! quarantine latency, and the deterministic bounded reconnect backoff
+//! agents use when the coordinator vanishes.
+
+use dufp_control::RetryPolicy;
+use dufp_net::chaos::{run_matrix, run_scenario, ChaosConfig, ChaosFleet};
+use dufp_net::{CoordinatorConfig, FleetCore, NetFaultPlan};
+use dufp_telemetry::Telemetry;
+use dufp_types::Watts;
+use proptest::prelude::*;
+
+/// A short soak (fewer epochs than the CLI default) to keep the property
+/// suite fast while still crossing every schedule in the generated plans.
+fn short(seed: u64) -> ChaosConfig {
+    let mut cfg = ChaosConfig::new(seed);
+    cfg.epochs = 20;
+    cfg
+}
+
+const BYZ_OPS: [&str; 5] = [
+    "byz-nan",
+    "byz-inflate",
+    "byz-negative",
+    "byz-overdraw",
+    "byz-replay,n=5",
+];
+
+/// Builds a plan string from generated adversity: each byzantine index
+/// picks an op for one agent, plus optional kill and partition windows.
+fn plan_of(byz: &[usize], kill: Option<(u64, u64)>, part: Option<(u64, u64)>) -> String {
+    let mut segments: Vec<String> = byz
+        .iter()
+        .enumerate()
+        .map(|(agent, op_idx)| format!("{},peer={agent}", BYZ_OPS[op_idx % BYZ_OPS.len()]))
+        .collect();
+    if let Some((from, count)) = kill {
+        segments.push(format!("kill,peer=3,window={from}+{count}"));
+    }
+    if let Some((from, count)) = part {
+        segments.push(format!("partition,peer=4-5,dir=both,window={from}+{count}"));
+    }
+    segments.join(";")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The load-bearing property: no byzantine minority, kill schedule or
+    /// partition window breaks conservation or starves an honest agent.
+    #[test]
+    fn no_adversary_breaks_conservation_or_honest_floors(
+        seed in 0u64..10_000,
+        byz in proptest::collection::vec(0usize..BYZ_OPS.len(), 0..3),
+        kill in (2u64..12, 0u64..20),   // count 0 = no kill schedule
+        part in (2u64..12, 0u64..8),    // count 0 = no partition
+    ) {
+        let plan_text = plan_of(
+            &byz,
+            (kill.1 > 0).then_some(kill),
+            (part.1 > 0).then_some(part),
+        );
+        let plan = NetFaultPlan::parse(&plan_text).expect("generated plan parses");
+        let fleet = ChaosFleet::from_plan(short(seed), "prop", plan, false)
+            .expect("valid chaos config");
+        let card = fleet.run();
+        prop_assert!(
+            card.conservation_ok,
+            "conservation broke under `{plan_text}` seed {seed}: {card:?}"
+        );
+        prop_assert!(
+            card.floor_ok,
+            "an honest floor broke under `{plan_text}` seed {seed}: {card:?}"
+        );
+        prop_assert_eq!(card.safe_cap_violations, 0);
+    }
+
+    /// Determinism: one seed, one scorecard — byte-identical through
+    /// serde, which is exactly what the CI double-run compares.
+    #[test]
+    fn the_scorecard_is_a_pure_function_of_the_seed(seed in 0u64..10_000) {
+        let a = run_scenario(&short(seed), "byzantine-minority").unwrap();
+        let b = run_scenario(&short(seed), "byzantine-minority").unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    /// The deterministic reconnect backoff agents use: bounded within
+    /// [backoff/2, backoff], capped, and reproducible per (seed, attempt).
+    #[test]
+    fn reconnect_backoff_is_bounded_and_deterministic(
+        seed in 0u64..1_000_000,
+        attempt in 1u32..20,
+    ) {
+        let policy = RetryPolicy::default();
+        let full = policy.backoff(attempt);
+        let jittered = policy.backoff_jittered(attempt, seed);
+        prop_assert!(jittered <= full, "{jittered:?} > {full:?}");
+        prop_assert!(jittered >= full / 2, "{jittered:?} < {:?}", full / 2);
+        prop_assert_eq!(jittered, policy.backoff_jittered(attempt, seed));
+        // Different attempts under the same seed de-synchronize.
+        let other = policy.backoff_jittered(attempt + 1, seed);
+        prop_assert!(other <= policy.backoff(attempt + 1));
+    }
+}
+
+/// The full matrix replays byte-identically — the CI contract, verified
+/// here without spawning the CLI.
+#[test]
+fn the_full_matrix_replays_byte_identically() {
+    let a = run_matrix(&short(42)).unwrap();
+    let b = run_matrix(&short(42)).unwrap();
+    let to_jsonl = |cards: &[dufp_net::ScenarioScore]| {
+        cards
+            .iter()
+            .map(|c| serde_json::to_string(c).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(to_jsonl(&a), to_jsonl(&b));
+}
+
+/// Regression (ingestion boundary): NaN and negative demand reach
+/// `FleetCore::on_report` and must be vetoed — never propagated into the
+/// allocator's observations.
+#[test]
+fn nan_and_negative_demand_are_vetoed_at_ingestion() {
+    let cfg = CoordinatorConfig::new("virtual", Watts(300.0));
+    let mut core = FleetCore::new(&cfg, Telemetry::enabled());
+    let liar = core
+        .admit("liar".into(), "EP".into(), Watts(65.0), Watts(125.0), 100)
+        .unwrap();
+    let honest = core
+        .admit("honest".into(), "EP".into(), Watts(65.0), Watts(125.0), 100)
+        .unwrap();
+    for (epoch, poison) in [(1u64, f64::NAN), (2, -500.0), (3, f64::INFINITY)] {
+        let now = epoch * 1000;
+        core.on_report(liar, epoch, Watts(125.0), Watts(poison), true, now - 500);
+        core.on_report(honest, epoch, Watts(90.0), Watts(80.0), true, now - 500);
+        let step = core.epoch_once(now);
+        assert!(
+            step.record.total_granted.is_finite(),
+            "poison {poison} leaked: {:?}",
+            step.record
+        );
+        assert!(
+            step.record.total_granted <= 300.0 + 1e-6,
+            "conservation broke on poison {poison}: {:?}",
+            step.record
+        );
+        let honest_grant = step
+            .record
+            .granted
+            .iter()
+            .find(|(n, _)| n == "honest")
+            .map(|(_, w)| *w)
+            .expect("honest node funded");
+        assert!(
+            honest_grant >= 65.0 - 1e-6,
+            "honest starved: {honest_grant}"
+        );
+    }
+}
+
+/// Quarantine latency at the integration level: every byzantine agent in
+/// the built-in byzantine scenario is quarantined within two epochs of
+/// its first lie, and the honest majority never pays for it.
+#[test]
+fn byzantine_minority_is_contained_within_two_epochs() {
+    let card = run_scenario(&ChaosConfig::new(1234), "byzantine-minority").unwrap();
+    assert_eq!(card.byz_total, 3, "{card:?}");
+    assert_eq!(card.byz_quarantined, 3, "{card:?}");
+    assert!(
+        card.max_quarantine_delay.is_some_and(|d| d <= 2),
+        "{card:?}"
+    );
+    assert!(card.conservation_ok && card.floor_ok, "{card:?}");
+    assert_eq!(
+        card.score, 100.0,
+        "containment must not cost score: {card:?}"
+    );
+}

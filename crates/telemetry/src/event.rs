@@ -94,11 +94,31 @@ pub enum Reason {
     /// An agent lost its coordinator and degraded to the safe local
     /// static cap (old = last granted ceiling, new = the safe cap).
     CoordinatorLost,
+    /// The coordinator refused a demand report that failed sanity vetting:
+    /// non-finite or negative watts, or values outside the node's
+    /// plausibility envelope (old = the offending watts when finite,
+    /// new = the clamp applied, 0 when rejected outright).
+    DemandVetoed,
+    /// The coordinator dropped a frame whose sequence number had already
+    /// been seen — a replayed or stale report/heartbeat (old = the frame's
+    /// sequence number, new = the highest accepted one).
+    ReplayRejected,
+    /// The coordinator dropped frames beyond a node's per-epoch rate
+    /// limit (old = frames seen this epoch, new = the limit).
+    RateLimited,
+    /// The quarantine ladder capped a misbehaving node at its floor
+    /// (old/new are trust-ladder ordinals: 0 = trusted, 1 = suspect,
+    /// 2 = quarantined, 3 = evicted).
+    Quarantined,
+    /// The quarantine ladder evicted a node outright: its watts returned
+    /// to the pool and its connection was dropped (old/new are
+    /// trust-ladder ordinals).
+    Evicted,
 }
 
 impl Reason {
     /// Every reason, in a stable order (used for summary tables).
-    pub const ALL: [Reason; 20] = [
+    pub const ALL: [Reason; 25] = [
         Reason::PhaseReset,
         Reason::SlowdownViolation,
         Reason::BandwidthViolation,
@@ -119,6 +139,11 @@ impl Reason {
         Reason::BudgetShrink,
         Reason::BudgetReclaim,
         Reason::CoordinatorLost,
+        Reason::DemandVetoed,
+        Reason::ReplayRejected,
+        Reason::RateLimited,
+        Reason::Quarantined,
+        Reason::Evicted,
     ];
 }
 
@@ -256,6 +281,6 @@ mod tests {
         for r in Reason::ALL {
             assert!(seen.insert(format!("{r:?}")));
         }
-        assert_eq!(seen.len(), 20);
+        assert_eq!(seen.len(), 25);
     }
 }

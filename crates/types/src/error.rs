@@ -45,6 +45,16 @@ pub enum Error {
     /// recoverable prefix, checkpoints newer than the journal head, bad
     /// magic bytes, or undecodable payloads.
     Corruption(String),
+    /// A peer announced a frame larger than the protocol allows. Kept
+    /// distinct from [`Error::Corruption`] so receivers can tell a hostile
+    /// (or wildly corrupt) length prefix — an allocation attack — apart
+    /// from ordinary bit rot, and refuse it *before* allocating.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u64,
+        /// The hard bound the receiver enforces.
+        max: u32,
+    },
 }
 
 impl Error {
@@ -82,6 +92,12 @@ impl fmt::Display for Error {
                 write!(f, "{what} timed out after {partial_len} item(s)")
             }
             Error::Corruption(what) => write!(f, "durable state corrupted: {what}"),
+            Error::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} byte(s) exceeds the {max}-byte bound"
+                )
+            }
         }
     }
 }
@@ -140,5 +156,15 @@ mod tests {
         let e = Error::Corruption("checkpoint 9 is newer than journal head 4".into());
         assert!(e.to_string().contains("corrupted"));
         assert!(e.to_string().contains("checkpoint 9"));
+    }
+
+    #[test]
+    fn frame_too_large_names_both_sizes() {
+        let e = Error::FrameTooLarge {
+            len: u32::MAX as u64,
+            max: 65_536,
+        };
+        assert!(e.to_string().contains("4294967295"));
+        assert!(e.to_string().contains("65536-byte bound"));
     }
 }
