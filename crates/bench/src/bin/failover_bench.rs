@@ -1,0 +1,185 @@
+//! Coordinator-failover benchmark: takeover latency and journal replay
+//! throughput.
+//!
+//! Two numbers gate the high-availability story:
+//!
+//! * **Takeover latency** — how many allocator epochs a fleet spends
+//!   between the primary dying and the promoted standby's first applied
+//!   higher-term grant. Measured over the deterministic chaos scenarios
+//!   so the figure is reproducible and network-free.
+//! * **Replay throughput** — how fast `recover()` rebuilds a core from a
+//!   durable journal (events/second), which bounds how stale a standby
+//!   can let itself get before the takeover grace window is at risk.
+//!
+//! Seeds `BENCH_failover.json` at the current directory (repo root in
+//! CI, uploaded as an artifact).
+//!
+//! Usage: cargo run -p dufp-bench --release --bin failover_bench --
+//!        [--out FILE] [--events N] [--agents N] [--seed S]
+
+use dufp_journal::TestDir;
+use dufp_net::chaos::{run_scenario, ChaosConfig};
+use dufp_net::{recover, CoordinatorConfig, FleetCore, FleetJournal};
+use dufp_telemetry::Telemetry;
+use dufp_types::Watts;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct TakeoverBench {
+    scenario: String,
+    epochs: u64,
+    elapsed_ms: f64,
+    takeover_epochs: Option<u64>,
+    replay_matched: Option<bool>,
+    stale_grants_fenced: u64,
+    score: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ReplayBench {
+    agents: usize,
+    events_journaled: u64,
+    journal_head: u64,
+    events_replayed: u64,
+    recover_ms: f64,
+    events_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: &'static str,
+    seed: u64,
+    takeover: Vec<TakeoverBench>,
+    replay: ReplayBench,
+}
+
+fn bench_takeover(cfg: &ChaosConfig, name: &str) -> TakeoverBench {
+    let started = Instant::now();
+    let card = run_scenario(cfg, name).expect("built-in scenario runs");
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        card.conservation_ok && card.floor_ok,
+        "bench scenario must hold its invariants: {card:?}"
+    );
+    TakeoverBench {
+        scenario: name.to_string(),
+        epochs: cfg.epochs,
+        elapsed_ms,
+        takeover_epochs: card.takeover_epochs,
+        replay_matched: card.replay_matched,
+        stale_grants_fenced: card.stale_grants_fenced,
+        score: card.score,
+    }
+}
+
+/// Journals `events` fleet events through a live core, then times a cold
+/// `recover()` with checkpointing effectively disabled, so recovery
+/// replays the full log — the worst case the takeover grace window must
+/// absorb.
+fn bench_replay(agents: usize, events: u64) -> ReplayBench {
+    let dir = TestDir::new("failover-bench-replay");
+    let cfg = CoordinatorConfig::new("virtual", Watts(100.0 + 150.0 * agents as f64));
+    let mut core = FleetCore::new(&cfg, Telemetry::enabled());
+    core.attach_journal(
+        FleetJournal::create(dir.path())
+            .expect("create bench journal")
+            .with_checkpoint_every(u64::MAX),
+    );
+
+    let mut now_ms = 1_000u64;
+    let slots: Vec<usize> = (0..agents)
+        .map(|i| {
+            core.admit(
+                format!("n{i}"),
+                "EP".into(),
+                Watts(65.0),
+                Watts(125.0),
+                now_ms,
+            )
+            .expect("bench admit")
+        })
+        .collect();
+    let mut seq = 0u64;
+    let mut journaled = agents as u64;
+    while journaled < events {
+        seq += 1;
+        now_ms += 50;
+        for &slot in &slots {
+            core.on_report(slot, seq, Watts(120.0), Watts(95.0), true, now_ms);
+            journaled += 1;
+        }
+        core.epoch_once(now_ms);
+        journaled += 1;
+    }
+
+    let started = Instant::now();
+    let recovered =
+        recover(dir.path(), &cfg, Telemetry::enabled()).expect("bench journal recovers");
+    let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        recovered.events_replayed, journaled,
+        "checkpoints were meant to be disabled for the replay measurement"
+    );
+    assert_eq!(
+        recovered.core.snapshot_bytes().expect("replayed snapshot"),
+        core.snapshot_bytes().expect("live snapshot"),
+        "bench replay must be byte-identical to the live core"
+    );
+    ReplayBench {
+        agents,
+        events_journaled: journaled,
+        journal_head: recovered.journal_head,
+        events_replayed: recovered.events_replayed,
+        recover_ms,
+        events_per_sec: recovered.events_replayed as f64 / (recover_ms / 1e3).max(1e-9),
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_failover.json");
+    let mut events = 50_000u64;
+    let mut agents = 8usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out FILE"),
+            "--events" => events = args.next().expect("--events N").parse().expect("int"),
+            "--agents" => agents = args.next().expect("--agents N").parse().expect("int"),
+            "--seed" => seed = args.next().expect("--seed S").parse().expect("int"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let cfg = ChaosConfig::new(seed);
+    eprintln!("failover_bench: takeover scenarios at seed {seed}...");
+    let takeover = vec![
+        bench_takeover(&cfg, "coordinator-kill"),
+        bench_takeover(&cfg, "takeover-partition"),
+    ];
+    for t in &takeover {
+        eprintln!(
+            "  {:<20} takeover in {:?} epochs (score {:.0}, {} stale grants fenced)",
+            t.scenario, t.takeover_epochs, t.score, t.stale_grants_fenced
+        );
+    }
+
+    eprintln!("failover_bench: replaying ~{events} journaled events for {agents} agents...");
+    let replay = bench_replay(agents, events);
+    eprintln!(
+        "  recover() replayed {} events in {:.1} ms ({:.0} events/s)",
+        replay.events_replayed, replay.recover_ms, replay.events_per_sec
+    );
+
+    let report = Report {
+        bench: "failover",
+        seed,
+        takeover,
+        replay,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, &json).expect("write bench report");
+    println!("{json}");
+    eprintln!("failover_bench: wrote {out}");
+}

@@ -54,20 +54,32 @@ USAGE:
                              8 seeds); --grid reads a TOML grid file
     dufp coordinate --listen ADDR --budget-w W
                     [--policy static|demand] [--epoch-ms N] [--max-epochs N]
-                    [--json] [--trace-out FILE.jsonl]
+                    [--journal-dir DIR] [--standby-of ADDR]
+                    [--successor ADDR] [--json] [--trace-out FILE.jsonl]
                              serve a fleet power budget over TCP: run the
                              allocator each epoch over live agent demand
                              reports, reclaim dead agents' watts (heartbeat
                              timeout = 1.5 epochs), and push budget grants.
                              Runs until every agent that joined has left,
-                             --max-epochs is reached, or Ctrl-C
-    dufp agent --connect ADDR --node NAME [--app APP[,APP...]]
+                             --max-epochs is reached, or Ctrl-C.
+                             --journal-dir journals every fleet input with
+                             periodic checkpoints; a restart (or a warm
+                             standby sharing DIR) rebuilds the fleet state
+                             byte-identically and takes over at a higher
+                             coordination term, fencing the old primary.
+                             --standby-of ADDR waits probing the primary
+                             and binds only after it goes silent (requires
+                             --journal-dir). --successor ADDR hands agents
+                             to ADDR on clean shutdown (Handover frame)
+    dufp agent --connect ADDR[,ADDR...] --node NAME [--app APP[,APP...]]
                [--slowdown PCT] [--seed S] [--safe-cap W] [--pace-ms N]
                [--max-intervals N] [--json] [--trace-out FILE.jsonl]
                              run a simulated node under DUFP with its power
                              cap clamped to the coordinator's grants; falls
                              back to --safe-cap (and keeps running) when
-                             the coordinator is unreachable
+                             the coordinator is unreachable. Extra
+                             --connect addresses are standby coordinators
+                             tried in order on reconnect (patient backoff)
     dufp chaos [--seed S] [--agents N] [--epochs N] [--budget-w W]
                [--scenario NAME] [--net-fault-plan PLAN|FILE.json]
                [--fault-plan PLAN|FILE.json] [--out FILE.jsonl] [--json]
@@ -246,13 +258,23 @@ pub struct CoordinateCmd {
     pub json: bool,
     /// Optional JSONL output path for the grant/reclaim decision trace.
     pub trace_out: Option<String>,
+    /// Journal fleet inputs to this directory (checkpoint+replay
+    /// recovery; shared with a warm standby for failover).
+    pub journal_dir: Option<String>,
+    /// Run as a warm standby: probe this primary address and bind only
+    /// after it goes silent. Requires `journal_dir`.
+    pub standby_of: Option<String>,
+    /// Successor address handed to agents on clean shutdown.
+    pub successor: Option<String>,
 }
 
 /// A parsed `agent` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AgentCmd {
-    /// Coordinator address.
+    /// Coordinator address (first entry of `--connect`).
     pub connect: String,
+    /// Standby coordinator addresses tried in order on reconnect.
+    pub standbys: Vec<String>,
     /// Node name announced in the Hello frame.
     pub node: String,
     /// Applications to run back to back.
@@ -495,6 +517,9 @@ impl Cli {
                     max_epochs: None,
                     json: false,
                     trace_out: None,
+                    journal_dir: None,
+                    standby_of: None,
+                    successor: None,
                 };
                 let mut budget_seen = false;
                 while let Some(flag) = it.next() {
@@ -535,6 +560,18 @@ impl Cli {
                             cmd.trace_out =
                                 Some(it.next().ok_or("--trace-out needs a path")?.clone())
                         }
+                        "--journal-dir" => {
+                            cmd.journal_dir =
+                                Some(it.next().ok_or("--journal-dir needs a path")?.clone())
+                        }
+                        "--standby-of" => {
+                            cmd.standby_of =
+                                Some(it.next().ok_or("--standby-of needs host:port")?.clone())
+                        }
+                        "--successor" => {
+                            cmd.successor =
+                                Some(it.next().ok_or("--successor needs host:port")?.clone())
+                        }
                         other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
                     }
                 }
@@ -544,6 +581,13 @@ impl Cli {
                 if !budget_seen {
                     return Err("coordinate: --budget-w W is required".into());
                 }
+                if cmd.standby_of.is_some() && cmd.journal_dir.is_none() {
+                    return Err(
+                        "coordinate: --standby-of requires --journal-dir (a standby \
+                         promotes by replaying the shared journal)"
+                            .into(),
+                    );
+                }
                 Ok(Cli {
                     command: Command::Coordinate(cmd),
                 })
@@ -551,6 +595,7 @@ impl Cli {
             "agent" => {
                 let mut cmd = AgentCmd {
                     connect: String::new(),
+                    standbys: Vec::new(),
                     node: String::new(),
                     apps: vec!["EP".into()],
                     slowdown: Ratio::from_percent(10.0),
@@ -564,7 +609,12 @@ impl Cli {
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
                         "--connect" => {
-                            cmd.connect = it.next().ok_or("--connect needs host:port")?.clone()
+                            let v = it
+                                .next()
+                                .ok_or("--connect needs host:port[,host:port...]")?;
+                            let mut addrs = v.split(',').map(str::to_string);
+                            cmd.connect = addrs.next().unwrap_or_default();
+                            cmd.standbys = addrs.collect();
                         }
                         "--node" => cmd.node = it.next().ok_or("--node needs a name")?.clone(),
                         "--app" => {
@@ -1016,6 +1066,58 @@ mod tests {
     }
 
     #[test]
+    fn coordinate_failover_flags_parse() {
+        let cli = parse(&[
+            "coordinate",
+            "--listen",
+            "127.0.0.1:7070",
+            "--budget-w",
+            "300",
+            "--journal-dir",
+            "/tmp/fleet-journal",
+            "--successor",
+            "127.0.0.1:7071",
+        ])
+        .unwrap();
+        let Command::Coordinate(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.journal_dir.as_deref(), Some("/tmp/fleet-journal"));
+        assert_eq!(cmd.successor.as_deref(), Some("127.0.0.1:7071"));
+        assert_eq!(cmd.standby_of, None);
+
+        let cli = parse(&[
+            "coordinate",
+            "--listen",
+            "127.0.0.1:7071",
+            "--budget-w",
+            "300",
+            "--journal-dir",
+            "/tmp/fleet-journal",
+            "--standby-of",
+            "127.0.0.1:7070",
+        ])
+        .unwrap();
+        let Command::Coordinate(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.standby_of.as_deref(), Some("127.0.0.1:7070"));
+
+        // A standby without the shared journal cannot rebuild the fleet.
+        let err = parse(&[
+            "coordinate",
+            "--listen",
+            "127.0.0.1:7071",
+            "--budget-w",
+            "300",
+            "--standby-of",
+            "127.0.0.1:7070",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--journal-dir"), "{err}");
+    }
+
+    #[test]
     fn agent_subcommand_parses() {
         let cli = parse(&[
             "agent",
@@ -1049,6 +1151,26 @@ mod tests {
         assert!(parse(&["agent", "--connect", "127.0.0.1:7070"])
             .unwrap_err()
             .contains("--node"));
+    }
+
+    #[test]
+    fn agent_connect_list_splits_into_primary_and_standbys() {
+        let cli = parse(&[
+            "agent",
+            "--connect",
+            "127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072",
+            "--node",
+            "n0",
+        ])
+        .unwrap();
+        let Command::Agent(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.connect, "127.0.0.1:7070");
+        assert_eq!(
+            cmd.standbys,
+            vec!["127.0.0.1:7071".to_string(), "127.0.0.1:7072".to_string()]
+        );
     }
 
     #[test]

@@ -768,14 +768,26 @@ pub fn coordinate(cmd: &CoordinateCmd) -> Result<String, String> {
         dufp_net::PolicyKind::StaticSplit
     };
     cfg.max_epochs = cmd.max_epochs;
+    cfg.journal_dir = cmd.journal_dir.as_ref().map(std::path::PathBuf::from);
+    cfg.standby_of = cmd.standby_of.clone();
+    cfg.successor = cmd.successor.clone();
     cfg.validate().map_err(|e| e.to_string())?;
-    let coord = dufp_net::Coordinator::bind(cfg).map_err(|e| e.to_string())?;
-    let addr = coord.local_addr().map_err(|e| e.to_string())?;
-    eprintln!(
-        "dufp coordinate: serving {} W on {addr}",
-        cmd.budget.value()
-    );
-    let outcome = coord.run().map_err(|e| e.to_string())?;
+    let outcome = if cfg.standby_of.is_some() {
+        eprintln!(
+            "dufp coordinate: standby for {} (promotes on primary silence)",
+            cmd.standby_of.as_deref().unwrap_or("?")
+        );
+        dufp_net::run_standby(cfg).map_err(|e| e.to_string())?
+    } else {
+        let coord = dufp_net::Coordinator::bind(cfg).map_err(|e| e.to_string())?;
+        let addr = coord.local_addr().map_err(|e| e.to_string())?;
+        eprintln!(
+            "dufp coordinate: serving {} W on {addr} (term {})",
+            cmd.budget.value(),
+            coord.term()
+        );
+        coord.run().map_err(|e| e.to_string())?
+    };
 
     let mut trace_note = String::new();
     if let Some(path) = &cmd.trace_out {
@@ -828,6 +840,16 @@ pub fn agent(cmd: &AgentCmd) -> Result<String, String> {
     cfg.safe_cap = cmd.safe_cap;
     cfg.pace = std::time::Duration::from_millis(cmd.pace_ms);
     cfg.max_intervals = cmd.max_intervals;
+    cfg.standbys = cmd.standbys.clone();
+    if !cfg.standbys.is_empty() {
+        // Failover needs patience: a standby takes a few heartbeat
+        // timeouts to notice the primary died and promote, so the default
+        // (sub-second) retry ladder would degrade to the safe cap before
+        // the successor even binds.
+        cfg.retry.max_retries = 40;
+        cfg.retry.base_backoff = std::time::Duration::from_millis(50);
+        cfg.retry.max_backoff = std::time::Duration::from_millis(500);
+    }
     let agent = dufp_net::Agent::new(cfg).map_err(|e| e.to_string())?;
     let outcome = agent.run().map_err(|e| e.to_string())?;
 

@@ -53,7 +53,11 @@ pub enum ErrorClass {
 pub fn classify(e: &Error) -> ErrorClass {
     match e {
         Error::Msr { .. } | Error::Io(_) => ErrorClass::Transient,
-        Error::Unsupported(_) | Error::NoSuchComponent(_) => ErrorClass::Persistent,
+        // A fenced coordinator stays fenced: a successor holds the fleet,
+        // so retrying the grant path is pointless.
+        Error::Unsupported(_) | Error::NoSuchComponent(_) | Error::Fenced { .. } => {
+            ErrorClass::Persistent
+        }
         Error::InvalidValue { .. }
         | Error::Precondition(_)
         | Error::Timeout { .. }

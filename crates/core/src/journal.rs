@@ -304,10 +304,10 @@ pub fn resume_with(dir: &Path, fsync: FsyncPolicy, checkpoint_every: u64) -> Res
         )));
     }
     let head = summary.intervals.len() as u64;
-    // A checkpoint is usable only when the journal still holds a record
-    // past it (`seq < head`): anything newer describes state the journal
-    // cannot corroborate. An unusable or undecodable checkpoint degrades
-    // to a longer replay, never to a refusal.
+    // A checkpoint is usable only up to the journal head (`seq <= head`):
+    // anything newer describes state the journal cannot corroborate. An
+    // unusable or undecodable checkpoint degrades to a longer replay,
+    // never to a refusal.
     let checkpoint = match latest_checkpoint_before(dir, head) {
         Ok(Some((_, payload))) => match CheckpointState::decode(&payload) {
             Ok(cp) => {

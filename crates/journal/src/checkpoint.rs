@@ -82,13 +82,16 @@ pub fn load_checkpoint(path: &Path) -> Result<Vec<u8>> {
     Ok(bytes)
 }
 
-/// Picks the newest loadable checkpoint with `seq < head` (i.e. whose
-/// journal record is itself durable).
+/// Picks the newest loadable checkpoint with `seq <= head` (i.e. every
+/// record the checkpoint folds is itself durable; writers sync the log
+/// before sealing a checkpoint, so `seq == head` — a crash exactly at a
+/// checkpoint boundary, with an empty replay tail — is fully
+/// corroborated).
 ///
 /// * No checkpoints at all → `Ok(None)`: the caller replays from scratch.
 /// * Checkpoints exist but every one is newer than the journal head →
 ///   typed [`Error::Corruption`]: the durable state is self-inconsistent
-///   (a checkpoint can only be written *after* its interval's record).
+///   (a checkpoint claims records the disk does not have).
 /// * An unreadable newest checkpoint falls back to the older one.
 pub fn latest_checkpoint_before(dir: &Path, head: u64) -> Result<Option<(u64, Vec<u8>)>> {
     let all = list_checkpoints(dir)?;
@@ -96,7 +99,7 @@ pub fn latest_checkpoint_before(dir: &Path, head: u64) -> Result<Option<(u64, Ve
         return Ok(None);
     }
     for (seq, path) in all.iter().rev() {
-        if *seq >= head {
+        if *seq > head {
             continue;
         }
         if let Ok(payload) = load_checkpoint(path) {
@@ -104,7 +107,7 @@ pub fn latest_checkpoint_before(dir: &Path, head: u64) -> Result<Option<(u64, Ve
         }
     }
     Err(Error::Corruption(format!(
-        "all {} checkpoint(s) in {} are at or beyond the journal head {head} \
+        "all {} checkpoint(s) in {} are beyond the journal head {head} \
          (or unreadable); newest is {}",
         all.len(),
         dir.display(),
@@ -167,14 +170,19 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_at_head_is_not_usable() {
-        // seq == head means the checkpointed interval's own record did not
-        // survive; the checkpoint must not be used.
+    fn checkpoint_at_head_is_usable_with_an_empty_tail() {
+        // seq == head is a crash exactly at a checkpoint boundary: the log
+        // was synced before the checkpoint was sealed, so every folded
+        // record is durable and the replay tail is simply empty. Only
+        // seq > head — a checkpoint claiming records the disk lacks — is
+        // corruption.
         let t = TestDir::new("ckpt-at-head");
         write_checkpoint(t.path(), 5, b"x").unwrap();
-        let err = latest_checkpoint_before(t.path(), 5).unwrap_err();
-        assert!(matches!(err, Error::Corruption(_)));
+        let (seq, payload) = latest_checkpoint_before(t.path(), 5).unwrap().unwrap();
+        assert_eq!((seq, payload.as_slice()), (5, b"x".as_slice()));
         assert!(latest_checkpoint_before(t.path(), 6).unwrap().is_some());
+        let err = latest_checkpoint_before(t.path(), 4).unwrap_err();
+        assert!(matches!(err, Error::Corruption(_)));
     }
 
     #[test]

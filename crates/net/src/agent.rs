@@ -26,6 +26,7 @@ use dufp_sim::{Machine, SimConfig};
 use dufp_telemetry::{Actuator, DecisionEvent, Reason, Telemetry, TelemetryReport};
 use dufp_types::{shutdown, Duration, Error, Result, Seconds, SocketId, Watts};
 use dufp_workloads::{apps, MaterializeCtx};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::io::Write as _;
 use std::net::{Shutdown, TcpStream};
@@ -60,6 +61,16 @@ pub struct AgentOutcome {
     pub grants_applied: u64,
     /// Times the agent fell back to its safe local cap.
     pub degradations: u64,
+    /// Graceful `Handover` frames followed to a successor coordinator.
+    #[serde(default)]
+    pub handovers: u64,
+    /// Grants discarded because they carried a coordination term below
+    /// the highest this agent has seen (split-brain fencing).
+    #[serde(default)]
+    pub stale_term_grants: u64,
+    /// Highest coordination term observed over the run.
+    #[serde(default)]
+    pub max_term: u64,
     /// Whether the crash switch fired (no Goodbye was sent).
     pub crashed: bool,
     /// Decision trace + metrics for this node.
@@ -74,12 +85,107 @@ struct Link {
     lost: AtomicBool,
     /// Reader saw a Goodbye: the coordinator detached gracefully.
     goodbye: AtomicBool,
+    /// Reader saw a Handover: reconnect to this successor, skipping the
+    /// disconnect degradation (the new term fences stale grants anyway).
+    handover: Mutex<Option<String>>,
     grants_applied: AtomicU64,
-    /// Highest grant epoch applied so far. A delayed, duplicated or
-    /// replayed grant (epoch ≤ this) is ignored: ceilings only ever move
-    /// on strictly newer coordinator decisions.
-    last_grant_epoch: AtomicU64,
+    /// Highest `(term, epoch)` applied so far, compared lexicographically:
+    /// a delayed, duplicated or replayed grant — including one from a
+    /// fenced ex-primary whose epoch counter ran ahead — never rolls the
+    /// ceiling back over a newer coordinator decision.
+    last_applied: Mutex<(u64, u64)>,
+    /// Highest coordination term seen in any frame. Grants below it are
+    /// discarded: only the latest coordinator incarnation is obeyed.
+    max_term: AtomicU64,
+    /// Grants discarded by term fencing.
+    stale_term_grants: AtomicU64,
     tel: Telemetry,
+}
+
+/// Round-robin reconnect schedule over the primary and its standbys.
+///
+/// Attempt `i` targets `targets[i % len]`, so a dead (or resurrected,
+/// stale) primary cannot capture every retry — the rotation finds a
+/// promoted standby within one lap. The attempt counter zeroes whenever a
+/// session is actually *established* (a Hello handshake completed), not
+/// merely whenever a loss is noticed: an agent that reconnected
+/// successfully starts its next outage at the bottom of the backoff
+/// ladder, not wherever the previous outage left it.
+struct ReconnectPlan {
+    targets: Vec<String>,
+    attempt: u32,
+    next_at: Instant,
+    /// Cleared by a Goodbye: the detach was deliberate, stop chasing.
+    chasing: bool,
+}
+
+impl ReconnectPlan {
+    fn new(cfg: &AgentConfig) -> Self {
+        let mut targets = vec![cfg.connect.clone()];
+        for s in &cfg.standbys {
+            if !targets.contains(s) {
+                targets.push(s.clone());
+            }
+        }
+        ReconnectPlan {
+            targets,
+            attempt: 0,
+            next_at: Instant::now(),
+            chasing: true,
+        }
+    }
+
+    /// The address the next attempt should dial.
+    fn target(&self) -> &str {
+        &self.targets[self.attempt as usize % self.targets.len()]
+    }
+
+    /// Per-outage attempt budget: the policy's retry count applies to
+    /// *each* candidate coordinator, not the rotation as a whole.
+    fn budget(&self, retry: &dufp_control::RetryPolicy) -> u32 {
+        retry.max_retries.saturating_mul(self.targets.len() as u32)
+    }
+
+    fn due(&self, retry: &dufp_control::RetryPolicy) -> bool {
+        self.chasing && self.attempt < self.budget(retry) && Instant::now() >= self.next_at
+    }
+
+    fn exhausted(&self, retry: &dufp_control::RetryPolicy) -> bool {
+        self.chasing && self.attempt >= self.budget(retry)
+    }
+
+    /// A Hello handshake completed: reset the ladder.
+    fn on_established(&mut self) {
+        self.attempt = 0;
+        self.chasing = true;
+    }
+
+    /// A connection (or attach) attempt failed: climb the ladder.
+    fn on_failure(&mut self, retry: &dufp_control::RetryPolicy, seed: u64) {
+        self.attempt += 1;
+        self.next_at = Instant::now() + retry.backoff_jittered(self.attempt, seed);
+    }
+
+    /// The link died: restart the ladder after one base backoff.
+    fn on_loss(&mut self, retry: &dufp_control::RetryPolicy, seed: u64) {
+        self.attempt = 0;
+        self.chasing = true;
+        self.next_at = Instant::now() + retry.backoff_jittered(1, seed);
+    }
+
+    /// A handover named `successor`: dial it first, immediately.
+    fn prefer(&mut self, successor: String) {
+        self.targets.retain(|t| t != &successor);
+        self.targets.insert(0, successor);
+        self.attempt = 0;
+        self.chasing = true;
+        self.next_at = Instant::now();
+    }
+
+    /// A deliberate Goodbye: do not chase the coordinator.
+    fn halt(&mut self) {
+        self.chasing = false;
+    }
 }
 
 /// The node agent. Build with [`Agent::new`], run with [`Agent::run`].
@@ -160,25 +266,36 @@ impl Agent {
             capper: Arc::clone(&capper),
             lost: AtomicBool::new(false),
             goodbye: AtomicBool::new(false),
+            handover: Mutex::new(None),
             grants_applied: AtomicU64::new(0),
-            last_grant_epoch: AtomicU64::new(0),
+            last_applied: Mutex::new((0, 0)),
+            max_term: AtomicU64::new(0),
+            stale_term_grants: AtomicU64::new(0),
             tel: tel.clone(),
         });
 
         // -- Coordinator link, with retry. Failure is not fatal: the agent
-        // runs standalone at its safe cap and keeps retrying below.
-        let hello = Frame::Hello {
+        // runs standalone at its safe cap and keeps retrying below. The
+        // Hello is rebuilt per attach so it carries the highest term seen —
+        // re-announcing a successor's term to whatever answers fences a
+        // resurrected stale primary on contact.
+        let make_hello = |link: &Link| Frame::Hello {
             node: cfg.node.clone(),
             floor,
             node_max: cfg.node_max,
             app: cfg.queue.join("+"),
+            term: link.max_term.load(Ordering::Relaxed),
         };
         let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let mut degradations: u64 = 0;
-        let mut stream = connect_with_retry(&cfg)
-            .and_then(|s| attach(s, &hello, &link, &mut readers))
+        let mut handovers: u64 = 0;
+        let mut plan = ReconnectPlan::new(&cfg);
+        let mut stream = connect_with_retry(&cfg, &mut plan)
+            .and_then(|s| attach(s, &make_hello(&link), &link, &mut readers))
             .ok();
-        if stream.is_none() {
+        if stream.is_some() {
+            plan.on_established();
+        } else {
             degradations += 1;
             record_loss(&tel, 0, cfg.safe_cap.value(), cfg.safe_cap.value());
         }
@@ -196,8 +313,6 @@ impl Agent {
         let mut power_sum = 0.0;
         let mut power_samples: u64 = 0;
         let mut last_report_energy = machine.sample(SocketId(0))?.pkg_energy.value();
-        let mut reconnect_attempt: u32 = 0;
-        let mut next_reconnect = Instant::now();
         let mut crashed = false;
 
         loop {
@@ -263,6 +378,22 @@ impl Agent {
                 }
             }
 
+            // Graceful handover: the coordinator named its successor, so
+            // skip the loss degradation — the ceiling in force stays (the
+            // successor's hold-down reserves it, and its higher term
+            // fences any stale grant) and the reconnect rotation dials the
+            // successor first. The write path may have flagged the closed
+            // socket as lost in the same interval; the handover wins.
+            if let Some(successor) = link.handover.lock().take() {
+                link.lost.store(false, Ordering::Relaxed);
+                if let Some(s) = stream.take() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                handovers += 1;
+                tel.counter("handovers_followed_total").inc();
+                plan.prefer(successor);
+            }
+
             // Coordinator loss or graceful detach: fall back to the safe
             // local cap so a stale (possibly generous) grant cannot
             // outlive its grantor.
@@ -277,33 +408,39 @@ impl Agent {
                 degradations += 1;
                 tel.counter("coordinator_losses_total").inc();
                 record_loss(&tel, intervals, old.value(), cfg.safe_cap.value());
-                reconnect_attempt = 0;
-                next_reconnect = if detached {
+                if detached {
                     // A Goodbye is deliberate; do not chase the coordinator.
-                    Instant::now() + std::time::Duration::from_secs(86_400)
+                    plan.halt();
                 } else {
-                    Instant::now() + cfg.retry.backoff_jittered(1, cfg.seed)
-                };
+                    plan.on_loss(&cfg.retry, cfg.seed);
+                }
             }
 
-            // Background reconnect, bounded by the retry policy.
-            if stream.is_none()
-                && reconnect_attempt < cfg.retry.max_retries
-                && Instant::now() >= next_reconnect
-            {
-                reconnect_attempt += 1;
-                match TcpStream::connect(&cfg.connect)
+            // Background reconnect, round-robin over the primary and its
+            // standbys, bounded by the retry policy (per target).
+            if stream.is_none() && plan.due(&cfg.retry) {
+                match TcpStream::connect(plan.target())
                     .map_err(Error::from)
-                    .and_then(|s| attach(s, &hello, &link, &mut readers))
+                    .and_then(|s| attach(s, &make_hello(&link), &link, &mut readers))
                 {
                     Ok(s) => {
                         stream = Some(s);
+                        plan.on_established();
                         tel.counter("reconnects_total").inc();
                     }
-                    Err(_) => {
-                        next_reconnect = Instant::now()
-                            + cfg.retry.backoff_jittered(reconnect_attempt + 1, cfg.seed);
-                    }
+                    Err(_) => plan.on_failure(&cfg.retry, cfg.seed),
+                }
+            } else if stream.is_none() && plan.exhausted(&cfg.retry) && handovers > 0 {
+                // A followed handover kept the granted ceiling while
+                // chasing the successor; if the chase dies, the grantor is
+                // truly gone — degrade like any other loss.
+                let old = budget.ceiling();
+                if old != cfg.safe_cap {
+                    budget.set_ceiling(cfg.safe_cap);
+                    capper.enforce_ceiling(SocketId(0))?;
+                    degradations += 1;
+                    tel.counter("coordinator_losses_total").inc();
+                    record_loss(&tel, intervals, old.value(), cfg.safe_cap.value());
                 }
             }
 
@@ -352,24 +489,27 @@ impl Agent {
             reports_sent,
             grants_applied: link.grants_applied.load(Ordering::Relaxed),
             degradations,
+            handovers,
+            stale_term_grants: link.stale_term_grants.load(Ordering::Relaxed),
+            max_term: link.max_term.load(Ordering::Relaxed),
             crashed,
             telemetry: tel.report(),
         })
     }
 }
 
-/// Initial connect honoring the agent's retry policy.
-fn connect_with_retry(cfg: &AgentConfig) -> Result<TcpStream> {
-    let mut attempt = 0;
+/// Initial connect honoring the agent's retry policy, rotating over the
+/// primary and its standbys like every later reconnect.
+fn connect_with_retry(cfg: &AgentConfig, plan: &mut ReconnectPlan) -> Result<TcpStream> {
     loop {
-        match TcpStream::connect(&cfg.connect) {
+        match TcpStream::connect(plan.target()) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                attempt += 1;
-                if attempt > cfg.retry.max_retries {
+                plan.on_failure(&cfg.retry, cfg.seed);
+                if plan.exhausted(&cfg.retry) {
                     return Err(e.into());
                 }
-                std::thread::sleep(cfg.retry.backoff_jittered(attempt, cfg.seed));
+                std::thread::sleep(cfg.retry.backoff_jittered(plan.attempt, cfg.seed));
             }
         }
     }
@@ -400,16 +540,41 @@ fn reader_loop(mut stream: TcpStream, link: Arc<Link>) {
                 epoch,
                 ceiling,
                 kind,
+                term,
             })) => {
-                // Epoch monotonicity: a stale grant (delayed in flight,
-                // duplicated, or replayed by a hostile middlebox) must
-                // never roll the ceiling back over a newer decision.
-                let prev = link.last_grant_epoch.load(Ordering::Relaxed);
-                if epoch <= prev {
-                    link.tel.counter("stale_grants_ignored_total").inc();
+                // Term fencing first: a grant from below the highest term
+                // seen is a stale ex-primary's — obeying it would let a
+                // split brain double-spend the budget.
+                let seen = link.max_term.fetch_max(term, Ordering::Relaxed);
+                if term < seen {
+                    link.stale_term_grants.fetch_add(1, Ordering::Relaxed);
+                    link.tel.counter("stale_term_grants_fenced_total").inc();
+                    link.tel.record_decision(DecisionEvent {
+                        tick: epoch,
+                        at_us: 0,
+                        socket: 0,
+                        phase: 0,
+                        oi_class: None,
+                        flops_ratio: None,
+                        actuator: Actuator::Budget,
+                        old: term as f64,
+                        new: seen as f64,
+                        reason: Reason::TermFenced,
+                    });
                     continue;
                 }
-                link.last_grant_epoch.store(epoch, Ordering::Relaxed);
+                // Then `(term, epoch)` monotonicity: a delayed, duplicated
+                // or replayed grant — even one whose fenced sender's epoch
+                // counter ran ahead of its successor's — must never roll
+                // the ceiling back over a newer decision.
+                {
+                    let mut last = link.last_applied.lock();
+                    if (term, epoch) <= *last {
+                        link.tel.counter("stale_grants_ignored_total").inc();
+                        continue;
+                    }
+                    *last = (term, epoch);
+                }
                 let old = link.budget.ceiling();
                 link.budget.set_ceiling(ceiling);
                 if link.capper.enforce_ceiling(SocketId(0)).is_err() {
@@ -431,6 +596,16 @@ fn reader_loop(mut stream: TcpStream, link: Arc<Link>) {
                         GrantKind::Shrink => Reason::BudgetShrink,
                     },
                 });
+            }
+            Ok(Some(Frame::Handover { successor, term })) => {
+                // The coordinator is leaving on purpose and named its
+                // heir: adopt the heir's term now so nothing older is
+                // obeyed, and let the control loop re-home immediately —
+                // no disconnect grace, no safe-cap dip.
+                link.max_term.fetch_max(term, Ordering::Relaxed);
+                *link.handover.lock() = Some(successor);
+                link.tel.counter("handovers_received_total").inc();
+                break;
             }
             Ok(Some(Frame::Goodbye)) => {
                 link.goodbye.store(true, Ordering::Relaxed);
@@ -464,4 +639,65 @@ fn record_loss(tel: &Telemetry, tick: u64, old: f64, new: f64) {
         new,
         reason: Reason::CoordinatorLost,
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_over(addrs: &[&str]) -> ReconnectPlan {
+        let mut cfg = AgentConfig::new(addrs[0], "n0", "EP");
+        cfg.standbys = addrs[1..].iter().map(|s| s.to_string()).collect();
+        ReconnectPlan::new(&cfg)
+    }
+
+    #[test]
+    fn reconnect_attempts_rotate_round_robin_over_standbys() {
+        let retry = dufp_control::RetryPolicy::default();
+        let mut plan = plan_over(&["p:1", "s:2", "s:3"]);
+        let mut dialed = Vec::new();
+        while !plan.exhausted(&retry) {
+            dialed.push(plan.target().to_string());
+            plan.on_failure(&retry, 7);
+        }
+        assert_eq!(dialed.len(), (retry.max_retries * 3) as usize);
+        assert_eq!(&dialed[..3], &["p:1", "s:2", "s:3"]);
+        assert_eq!(&dialed[3..6], &["p:1", "s:2", "s:3"]);
+    }
+
+    #[test]
+    fn backoff_ladder_resets_once_a_session_is_established() {
+        let retry = dufp_control::RetryPolicy::default();
+        let mut plan = plan_over(&["p:1"]);
+        // An outage that exhausts the ladder...
+        for _ in 0..retry.max_retries {
+            plan.on_failure(&retry, 7);
+        }
+        assert!(plan.exhausted(&retry));
+        // ...then a successful handshake: the next outage starts at the
+        // bottom of the ladder (the old bug left `attempt` saturated).
+        plan.on_established();
+        assert_eq!(plan.attempt, 0);
+        plan.on_loss(&retry, 7);
+        assert!(!plan.exhausted(&retry));
+        assert_eq!(plan.target(), "p:1");
+    }
+
+    #[test]
+    fn handover_successor_is_dialed_first_and_goodbye_halts() {
+        let retry = dufp_control::RetryPolicy::default();
+        let mut plan = plan_over(&["p:1", "s:2"]);
+        plan.on_failure(&retry, 7);
+        plan.prefer("s:2".into());
+        assert_eq!(plan.target(), "s:2");
+        assert_eq!(plan.targets.len(), 2, "prefer() must not duplicate");
+        plan.halt();
+        assert!(!plan.due(&retry) && !plan.exhausted(&retry));
+    }
+
+    #[test]
+    fn duplicate_standby_addresses_collapse() {
+        let plan = plan_over(&["p:1", "p:1", "s:2"]);
+        assert_eq!(plan.targets, vec!["p:1".to_string(), "s:2".to_string()]);
+    }
 }

@@ -23,13 +23,20 @@
 //!   within two epochs.
 //! * **Safe-cap fallback** — an agent partitioned or disconnected past a
 //!   grace period enforces its safe local cap.
+//! * **Failover** (DESIGN.md §15) — when the plan kills the *primary
+//!   coordinator* (`coord-kill`), a warm standby replays the primary's
+//!   event log, must rebuild its state byte-identically, promotes to a
+//!   higher term and re-grants within three epochs; agents fence every
+//!   lingering stale-term grant, and a resurrected stale primary ends the
+//!   run fenced, never obeyed.
 //!
 //! The result is one [`ScenarioScore`] per scenario; [`run_matrix`] runs
 //! the built-in [`SCENARIOS`] and ranks them. `dufp chaos` is the CLI
 //! face; CI fails the build on any conservation or floor violation.
 
 use crate::config::CoordinatorConfig;
-use crate::core::{FleetCore, NodeState};
+use crate::core::{EpochStep, FleetCore, NodeState};
+use crate::fleet_journal::FleetEvent;
 use crate::netfault::{Dir, NetFaultInjector, NetFaultOp, NetFaultPlan};
 use crate::vet::Trust;
 use crate::wire::Frame;
@@ -162,6 +169,24 @@ pub const SCENARIOS: &[Scenario] = &[
         plan: "",
         thrash: true,
     },
+    Scenario {
+        name: "coordinator-kill",
+        summary: "primary killed mid-run over a delaying wire; standby replays and takes over",
+        plan: "coord-kill,window=15+999;delay,p=0.25,n=2",
+        thrash: false,
+    },
+    Scenario {
+        name: "takeover-partition",
+        summary: "takeover races a partition: two agents dark through the handover",
+        plan: "coord-kill,window=15+999;partition,peer=2-3,dir=both,window=14+6",
+        thrash: false,
+    },
+    Scenario {
+        name: "stale-primary-return",
+        summary: "dead primary resurrects stale after the standby promoted; must end fenced",
+        plan: "coord-kill,window=12+6;delay,p=0.2,n=2",
+        thrash: false,
+    },
 ];
 
 /// Looks up a built-in scenario by name.
@@ -212,15 +237,37 @@ pub struct ScenarioScore {
     pub wire_errors: u64,
     /// Nodes the trust ladder evicted.
     pub evictions: u64,
+    /// Epochs from the primary-coordinator kill to the first applied
+    /// successor-term grant (None: the plan never kills a coordinator;
+    /// the full run length when the fleet never recovered).
+    #[serde(default)]
+    pub takeover_epochs: Option<u64>,
+    /// Stale-term grants agents refused to apply — the fence working.
+    #[serde(default)]
+    pub stale_grants_fenced: u64,
+    /// The standby's journal replay rebuilt the dead primary's core
+    /// byte-identically (None: no takeover happened).
+    #[serde(default)]
+    pub replay_matched: Option<bool>,
+    /// A resurrected stale primary ended the run fenced; vacuously true
+    /// when the plan never resurrects one.
+    #[serde(default = "default_true")]
+    pub fenced_ok: bool,
     /// 0–100 ranking score (see [`ScenarioScore::score_of`]).
     pub score: f64,
+}
+
+fn default_true() -> bool {
+    true
 }
 
 impl ScenarioScore {
     /// The ranking formula: start at 100; conservation breaks cost 50
     /// each, floor breaks 25, an unquarantined byzantine 10, a safe-cap
     /// violation 5, and slow reclaim (> 2 epochs) or slow heal (> 3
-    /// epochs) 5 each; clamped at 0.
+    /// epochs) 5 each; a slow takeover (> 3 epochs) costs 10, a
+    /// mismatched journal replay 25, and an unfenced resurrected primary
+    /// (split brain) 50; clamped at 0.
     pub fn score_of(&self) -> f64 {
         let mut score = 100.0;
         score -= 50.0 * self.conservation_violations as f64;
@@ -233,12 +280,26 @@ impl ScenarioScore {
         if self.max_time_to_heal.is_some_and(|t| t > 3) {
             score -= 5.0;
         }
+        if self.takeover_epochs.is_some_and(|t| t > 3) {
+            score -= 10.0;
+        }
+        if self.replay_matched == Some(false) {
+            score -= 25.0;
+        }
+        if !self.fenced_ok {
+            score -= 50.0;
+        }
         score.max(0.0)
     }
 }
 
-/// A queued frame: the epoch it becomes deliverable, and its bytes.
+/// A queued down-frame: the epoch it becomes deliverable, and its bytes.
 type Queued = (u64, Vec<u8>);
+
+/// A queued up-frame: deliverable epoch, destination coordinator, bytes.
+/// The destination is fixed at send time — a frame in flight to a dead
+/// coordinator is lost, never silently rerouted.
+type QueuedUp = (u64, usize, Vec<u8>);
 
 /// Epochs an agent tolerates without a live coordinator link before it
 /// falls back to the safe local cap.
@@ -253,13 +314,20 @@ struct SimAgent {
     demand: f64,
     /// The ceiling the agent currently enforces.
     ceiling: f64,
-    /// Last grant applied (coordinator epoch, watts); replay-rejected
-    /// grants (epoch ≤ last) never reach the capper.
-    last_grant_epoch: u64,
+    /// Last grant applied, as a `(term, epoch)` pair: grants are ordered
+    /// lexicographically by term then epoch, so a replayed or stale grant
+    /// — even one from a higher epoch of a *superseded* term — never
+    /// reaches the capper.
+    last_grant: (u64, u64),
+    /// Highest coordination term this agent has ever seen; grants below
+    /// it are fenced (split-brain defense, DESIGN.md §15).
+    max_term: u64,
     granted: Option<f64>,
     report_seq: u64,
     heartbeat_seq: u64,
     alive: bool,
+    /// Which coordinator the agent's link points at, chosen at dial time.
+    coord: Option<usize>,
     /// Coordinator slot, once a Hello was accepted.
     slot: Option<usize>,
     /// Admission permanently refused (evicted name).
@@ -273,7 +341,7 @@ struct SimAgent {
     heal_started: Option<u64>,
     /// First epoch this agent actually sent distorted traffic.
     first_lie: Option<u64>,
-    up: Vec<Queued>,
+    up: Vec<QueuedUp>,
     down: Vec<Queued>,
 }
 
@@ -290,11 +358,13 @@ impl SimAgent {
             rng,
             demand,
             ceiling: cfg.safe_cap.value(),
-            last_grant_epoch: 0,
+            last_grant: (0, 0),
+            max_term: 0,
             granted: None,
             report_seq: 0,
             heartbeat_seq: 0,
             alive: true,
+            coord: None,
             slot: None,
             rejected: false,
             disconnected_since: None,
@@ -312,6 +382,7 @@ impl SimAgent {
         if self.killed_at.is_none() {
             self.killed_at = Some(epoch);
         }
+        self.coord = None;
         self.slot = None;
         self.up.clear();
         self.down.clear();
@@ -321,7 +392,11 @@ impl SimAgent {
         self.alive = true;
         self.report_seq = 0;
         self.heartbeat_seq = 0;
-        self.last_grant_epoch = 0;
+        // A restarted process forgets the terms it has seen: the stale-
+        // primary defense for fresh agents is the primary's own pause
+        // self-fencing, not agent memory.
+        self.last_grant = (0, 0);
+        self.max_term = 0;
         self.granted = None;
         self.ceiling = cfg.safe_cap.value();
         self.disconnected_since = None;
@@ -337,20 +412,42 @@ struct Tallies {
     conservation_violations: u64,
     floor_violations: u64,
     safe_cap_violations: u64,
+    stale_grants_fenced: u64,
+}
+
+/// One coordinator in the chaos fleet: the primary (index 0) or the warm
+/// standby (index 1, present only when the plan kills the primary).
+struct CoordSim {
+    core: FleetCore,
+    /// Maps this coordinator's slots back to agent indices.
+    slot_owner: Vec<usize>,
+    /// Accepting connections and running epochs.
+    alive: bool,
 }
 
 /// The deterministic in-process chaos fleet. Build one per scenario run;
 /// [`ChaosFleet::run`] consumes it and returns the scorecard line.
 pub struct ChaosFleet {
     cfg: ChaosConfig,
+    coord_cfg: CoordinatorConfig,
     scenario_name: String,
     thrash: bool,
-    core: FleetCore,
+    coords: Vec<CoordSim>,
     net: NetFaultInjector,
     msr: FaultInjector,
     agents: Vec<SimAgent>,
-    /// Maps coordinator slots back to agent indices.
-    slot_owner: Vec<usize>,
+    /// The primary's input log — the in-memory stand-in for the on-disk
+    /// `dufp-journal` stream the TCP plane writes (same events, same
+    /// order). The standby replays it at promotion.
+    event_log: Vec<FleetEvent>,
+    /// The primary's core snapshot frozen at the instant of its kill;
+    /// the replay must rebuild it byte-identically.
+    dead_primary_snapshot: Option<Vec<u8>>,
+    kill_epoch: Option<u64>,
+    /// First epoch an agent applied a successor-term grant.
+    takeover_epoch: Option<u64>,
+    replay_matched: Option<bool>,
+    promoted: bool,
     tallies: Tallies,
     first_quarantined: Vec<Option<u64>>,
     max_reclaim: Option<u64>,
@@ -385,12 +482,42 @@ impl ChaosFleet {
         let mut msr_plan = cfg.msr_plan.clone();
         msr_plan.seed = msr_plan.seed.wrapping_add(cfg.seed);
         let agents = (0..cfg.agents).map(|i| SimAgent::new(i, &cfg)).collect();
+        let net = NetFaultInjector::new(plan);
+        let mut primary = FleetCore::new(&coord_cfg, Telemetry::enabled());
+        let mut coords = Vec::new();
+        if net.has_coord_kill() {
+            // A killable primary self-fences when its virtual clock pauses
+            // past 2× the heartbeat timeout — the same arming the TCP
+            // coordinator gets when a standby or successor is configured.
+            primary.enable_pause_fencing(2 * coord_cfg.heartbeat_timeout.as_millis() as u64);
+            coords.push(CoordSim {
+                core: primary,
+                slot_owner: Vec::new(),
+                alive: true,
+            });
+            coords.push(CoordSim {
+                core: FleetCore::new(&coord_cfg, Telemetry::enabled()),
+                slot_owner: Vec::new(),
+                alive: false,
+            });
+        } else {
+            coords.push(CoordSim {
+                core: primary,
+                slot_owner: Vec::new(),
+                alive: true,
+            });
+        }
         Ok(ChaosFleet {
-            core: FleetCore::new(&coord_cfg, Telemetry::enabled()),
-            net: NetFaultInjector::new(plan),
+            coords,
+            net,
             msr: FaultInjector::new(msr_plan),
             agents,
-            slot_owner: Vec::new(),
+            event_log: Vec::new(),
+            dead_primary_snapshot: None,
+            kill_epoch: None,
+            takeover_epoch: None,
+            replay_matched: None,
+            promoted: false,
             tallies: Tallies::default(),
             first_quarantined: vec![None; cfg.agents],
             max_reclaim: None,
@@ -399,6 +526,7 @@ impl ChaosFleet {
             scenario_name: name.into(),
             thrash,
             cfg,
+            coord_cfg,
         })
     }
 
@@ -410,9 +538,35 @@ impl ChaosFleet {
         self.score()
     }
 
-    /// One virtual epoch: kills/restarts, agent sends, frame delivery,
-    /// the core's allocator epoch, grant fan-out, invariant checks.
+    /// One virtual epoch: coordinator failover events, agent
+    /// kills/restarts, agent sends, frame delivery, one allocator epoch
+    /// per live coordinator, grant fan-out, invariant checks.
     fn step(&mut self, epoch: u64) {
+        // Coordinator topology: primary kill, stale resurrection, and
+        // standby promotion one epoch after the kill becomes observable.
+        if self.net.coord_killed(epoch) && self.coords[0].alive {
+            self.coords[0].alive = false;
+            self.kill_epoch.get_or_insert(epoch);
+            self.dead_primary_snapshot = self.coords[0].core.snapshot_bytes().ok();
+            for a in &mut self.agents {
+                if a.coord == Some(0) {
+                    a.coord = None;
+                    a.slot = None;
+                }
+            }
+            // Down-queues are NOT flushed: grants already in flight from
+            // the dead primary linger, and agents must fence them by term.
+        } else if !self.net.coord_killed(epoch) && !self.coords[0].alive {
+            // The kill window closed: the old primary resurrects with its
+            // stale pre-kill state (a crashed process restarted from a
+            // warm cache). Its paused virtual clock must self-fence it
+            // before it grants a single watt.
+            self.coords[0].alive = true;
+        }
+        if self.coords.len() > 1 && !self.promoted && self.kill_epoch.is_some_and(|k| epoch > k) {
+            self.promote_standby();
+        }
+
         // Topology: kills and restarts.
         for i in 0..self.agents.len() {
             let killed = self.net.killed(i, epoch);
@@ -435,37 +589,96 @@ impl ChaosFleet {
         // cadence.
         let ingest_ms = epoch * 1000 - 500;
         for i in 0..self.agents.len() {
-            let due: Vec<Vec<u8>> = drain_due(&mut self.agents[i].up, epoch);
-            for bytes in due {
-                self.ingest(i, &bytes, ingest_ms, epoch);
-            }
-        }
-
-        // The allocator epoch.
-        let step = self.core.epoch_once(epoch * 1000);
-
-        // Coordinator-side disconnects close the agent's link.
-        for &slot in &step.disconnects {
-            if let Some(&owner) = self.slot_owner.get(slot) {
-                if self.agents[owner].slot == Some(slot) {
-                    self.agents[owner].slot = None;
+            let due = drain_due_up(&mut self.agents[i].up, epoch);
+            for (dest, bytes) in due {
+                if self.coords[dest].alive {
+                    self.ingest(i, dest, &bytes, ingest_ms, epoch);
+                } else {
+                    // In flight to a dead coordinator: lost with the host.
+                    self.tallies.frames_dropped += 1;
                 }
             }
         }
 
-        // Grant fan-out through the chaotic down-links.
-        for (slot, frame) in &step.grants {
-            let Some(&owner) = self.slot_owner.get(*slot) else {
+        // One allocator epoch per live coordinator. A fenced core runs a
+        // frozen epoch (no grants, no reclaims); each record is checked
+        // against the invariants independently, so a stale primary and
+        // its successor are both held to Σ granted ≤ budget.
+        let mut steps: Vec<(usize, EpochStep)> = Vec::new();
+        for c in 0..self.coords.len() {
+            if !self.coords[c].alive {
                 continue;
-            };
-            if self.agents[owner].slot != Some(*slot) {
-                continue; // link already closed
             }
-            self.send_down(owner, frame, epoch);
+            if c == 0 && self.kill_epoch.is_none() {
+                self.event_log.push(FleetEvent::Epoch {
+                    now_ms: epoch * 1000,
+                });
+            }
+            let step = self.coords[c].core.epoch_once(epoch * 1000);
+            steps.push((c, step));
         }
+        for (c, step) in &steps {
+            // Coordinator-side disconnects close the agent's link.
+            for &slot in &step.disconnects {
+                let Some(&owner) = self.coords[*c].slot_owner.get(slot) else {
+                    continue;
+                };
+                if owner != usize::MAX
+                    && self.agents[owner].coord == Some(*c)
+                    && self.agents[owner].slot == Some(slot)
+                {
+                    self.agents[owner].slot = None;
+                    self.agents[owner].coord = None;
+                }
+            }
 
-        // Invariants and latency metrics for this epoch.
-        self.check_epoch(&step.record, epoch);
+            // Grant fan-out through the chaotic down-links.
+            for (slot, frame) in &step.grants {
+                let Some(&owner) = self.coords[*c].slot_owner.get(*slot) else {
+                    continue;
+                };
+                if owner == usize::MAX
+                    || self.agents[owner].coord != Some(*c)
+                    || self.agents[owner].slot != Some(*slot)
+                {
+                    continue; // link already closed
+                }
+                self.send_down(owner, frame, epoch);
+            }
+
+            // Invariants and latency metrics for this epoch.
+            self.check_epoch(&step.record, epoch);
+        }
+    }
+
+    /// Warm-standby takeover: replay the primary's journaled inputs into
+    /// a fresh core (checkpoint+replay in the TCP plane), verify the
+    /// rebuild is byte-identical to the primary's state at the instant of
+    /// death, then bump the term and start granting. The successor's
+    /// hold-down window keeps every replayed-but-unattached node's watts
+    /// reserved, so Σ granted ≤ budget holds *across* the handover.
+    fn promote_standby(&mut self) {
+        let mut core = FleetCore::new(&self.coord_cfg, Telemetry::enabled());
+        for ev in &self.event_log {
+            ev.apply(&mut core);
+        }
+        self.replay_matched = match (&self.dead_primary_snapshot, core.snapshot_bytes()) {
+            (Some(dead), Ok(rebuilt)) => Some(*dead == rebuilt),
+            _ => Some(false),
+        };
+        core.promote();
+        let owners = self.coords[0].slot_owner.clone();
+        let standby = &mut self.coords[1];
+        standby.core = core;
+        standby.slot_owner = owners;
+        standby.alive = true;
+        self.promoted = true;
+    }
+
+    /// The coordinator a fresh dial reaches: the first listening (alive,
+    /// unfenced) one in address order, as in the agent's standby list.
+    fn listener(&self) -> Option<usize> {
+        self.coords.iter().position(|c| c.alive && !c.core.fenced())
     }
 
     /// One agent's actions for `epoch`.
@@ -476,6 +689,18 @@ impl ChaosFleet {
         let up_cut = self.net.partitioned(i, Dir::Up, epoch);
         let down_cut = self.net.partitioned(i, Dir::Down, epoch);
         let partitioned = up_cut || down_cut;
+
+        // A dead or fenced coordinator's sockets are gone: the link drops
+        // and the agent re-dials down its standby list.
+        {
+            let a = &mut self.agents[i];
+            if let Some(c) = a.coord {
+                if !self.coords[c].alive || self.coords[c].core.fenced() {
+                    a.coord = None;
+                    a.slot = None;
+                }
+            }
+        }
 
         // Link-state bookkeeping: a partition (stand-in for TCP timeouts)
         // or a closed socket starts the disconnect clock; a healthy link
@@ -513,10 +738,20 @@ impl ChaosFleet {
                 Frame::BudgetGrant {
                     epoch: grant_epoch,
                     ceiling,
+                    term,
                     ..
                 } => {
                     let a = &mut self.agents[i];
-                    if grant_epoch <= a.last_grant_epoch {
+                    if term < a.max_term {
+                        // A superseded coordinator's grant — perhaps a
+                        // delayed frame from before the takeover, perhaps
+                        // a resurrected stale primary. Fence it, no
+                        // matter how fresh its epoch claims to be.
+                        self.tallies.stale_grants_fenced += 1;
+                        continue;
+                    }
+                    a.max_term = term;
+                    if (term, grant_epoch) <= a.last_grant {
                         continue; // stale or replayed grant
                     }
                     if self
@@ -525,9 +760,12 @@ impl ChaosFleet {
                     {
                         continue; // actuation failed; grant not enforced
                     }
-                    a.last_grant_epoch = grant_epoch;
+                    a.last_grant = (term, grant_epoch);
                     a.granted = Some(ceiling.value());
                     a.ceiling = ceiling.value();
+                    if term > 1 && self.takeover_epoch.is_none() {
+                        self.takeover_epoch = Some(epoch);
+                    }
                     if let Some(healed) = a.heal_started.take() {
                         let delay = epoch.saturating_sub(healed);
                         self.max_heal = Some(self.max_heal.unwrap_or(0).max(delay));
@@ -535,6 +773,7 @@ impl ChaosFleet {
                 }
                 Frame::Goodbye => {
                     self.agents[i].slot = None;
+                    self.agents[i].coord = None;
                 }
                 _ => self.tallies.wire_errors += 1,
             }
@@ -550,6 +789,10 @@ impl ChaosFleet {
                         // agent that failed to do so would be violating.
                         a.ceiling = self.cfg.safe_cap.value();
                     }
+                    // The grant is forfeited with the link: local autonomy
+                    // replaces it, and the coordinator's failure detector
+                    // reclaims the watts on its side.
+                    a.granted = None;
                     if a.ceiling > self.cfg.safe_cap.value() + 1e-9 {
                         self.tallies.safe_cap_violations += 1;
                     }
@@ -573,18 +816,26 @@ impl ChaosFleet {
         }
 
         // Outbound traffic. A severed up-link swallows everything sent.
+        // Frames are addressed to the agent's coordinator — or, when
+        // dialing fresh, to the first listening one (the agent's standby
+        // list in address order).
         let byz = self.net.byz_ops(i, epoch);
         if self.agents[i].rejected {
             return;
         }
+        let Some(dest) = self.agents[i].coord.or_else(|| self.listener()) else {
+            return; // no coordinator listening: connection refused
+        };
         if self.agents[i].slot.is_none() && !up_cut {
+            self.agents[i].coord = Some(dest);
             let hello = Frame::Hello {
                 node: self.agents[i].name.clone(),
                 floor: self.cfg.floor,
                 node_max: self.cfg.node_max,
                 app: "chaos".to_string(),
+                term: self.agents[i].max_term,
             };
-            self.send_up(i, &hello, epoch, up_cut);
+            self.send_up(i, &hello, epoch, up_cut, dest);
         }
 
         // The demand report (possibly distorted).
@@ -636,7 +887,7 @@ impl ChaosFleet {
                 consumption: Watts(k),
                 active: true,
             };
-            self.send_up(i, &report, epoch, up_cut);
+            self.send_up(i, &report, epoch, up_cut, dest);
 
             // Replayed stale frames, beyond what reordering could excuse.
             if byz.contains(&NetFaultOp::ByzReplay) && seq > 1 {
@@ -652,7 +903,7 @@ impl ChaosFleet {
                         consumption: Watts(honest_consumption),
                         active: true,
                     };
-                    self.send_up(i, &stale, epoch, up_cut);
+                    self.send_up(i, &stale, epoch, up_cut, dest);
                 }
             }
         }
@@ -664,14 +915,16 @@ impl ChaosFleet {
                 self.agents[i].heartbeat_seq += 1;
                 let hb = Frame::Heartbeat {
                     seq: self.agents[i].heartbeat_seq,
+                    term: self.agents[i].max_term,
                 };
-                self.send_up(i, &hb, epoch, up_cut);
+                self.send_up(i, &hb, epoch, up_cut, dest);
             }
         }
     }
 
-    /// Queues one up-frame through the chaos transport.
-    fn send_up(&mut self, i: usize, frame: &Frame, epoch: u64, up_cut: bool) {
+    /// Queues one up-frame through the chaos transport, addressed to
+    /// coordinator `dest`.
+    fn send_up(&mut self, i: usize, frame: &Frame, epoch: u64, up_cut: bool, dest: usize) {
         if up_cut {
             self.tallies.frames_dropped += 1;
             return;
@@ -689,7 +942,7 @@ impl ChaosFleet {
         let deliver = epoch + fate.delay_epochs;
         let queue = &mut self.agents[i].up;
         for _ in 0..=fate.duplicates {
-            queue.push((deliver, bytes.clone()));
+            queue.push((deliver, dest, bytes.clone()));
         }
         if fate.reorder && queue.len() >= 2 {
             let n = queue.len();
@@ -726,8 +979,11 @@ impl ChaosFleet {
         }
     }
 
-    /// Feeds one delivered up-frame into the core.
-    fn ingest(&mut self, i: usize, bytes: &[u8], now_ms: u64, epoch: u64) {
+    /// Feeds one delivered up-frame into coordinator `c`'s core. The
+    /// primary's inputs are mirrored into the in-memory event journal
+    /// until it dies; replaying those events re-drives the same core
+    /// entry points, so even vetoed frames replay identically.
+    fn ingest(&mut self, i: usize, c: usize, bytes: &[u8], now_ms: u64, epoch: u64) {
         let frame = match Frame::decode(bytes) {
             Ok(f) => f,
             Err(_) => {
@@ -735,28 +991,53 @@ impl ChaosFleet {
                 return;
             }
         };
+        let logging = c == 0 && self.kill_epoch.is_none();
         match frame {
             Frame::Hello {
                 node,
                 floor,
                 node_max,
                 app,
+                term,
             } => {
-                if self.agents[i].slot.is_some() {
+                if self.agents[i].slot.is_some() && self.agents[i].coord == Some(c) {
                     return; // duplicate Hello on a live link; ignore
                 }
-                match self.core.admit(node, app, floor, node_max, now_ms) {
+                // The announced term fences a superseded core on contact.
+                let _ = self.coords[c].core.observe_term(term);
+                if logging {
+                    self.event_log.push(FleetEvent::Admit {
+                        name: node.clone(),
+                        app: app.clone(),
+                        floor_w: floor.value(),
+                        node_max_w: node_max.value(),
+                        now_ms,
+                    });
+                }
+                match self.coords[c]
+                    .core
+                    .admit(node, app, floor, node_max, now_ms)
+                {
                     Ok(slot) => {
                         self.agents[i].slot = Some(slot);
-                        if self.slot_owner.len() <= slot {
-                            self.slot_owner.resize(slot + 1, usize::MAX);
+                        self.agents[i].coord = Some(c);
+                        let owners = &mut self.coords[c].slot_owner;
+                        if owners.len() <= slot {
+                            owners.resize(slot + 1, usize::MAX);
                         }
-                        self.slot_owner[slot] = i;
+                        owners[slot] = i;
+                    }
+                    Err(Error::Fenced { .. }) => {
+                        // Soft refusal: this coordinator is superseded.
+                        // The agent re-dials and finds the live successor
+                        // next epoch — it is not blacklisted.
+                        self.agents[i].coord = None;
                     }
                     Err(_) => {
                         // Blacklisted (evicted) or implausible: the
                         // connection is refused, permanently.
                         self.agents[i].rejected = true;
+                        self.agents[i].coord = None;
                     }
                 }
             }
@@ -766,22 +1047,53 @@ impl ChaosFleet {
                 consumption,
                 active,
             } => {
+                if self.agents[i].coord != Some(c) {
+                    return; // link moved on; frame orphaned
+                }
                 if let Some(slot) = self.agents[i].slot {
-                    self.core
+                    if logging {
+                        self.event_log.push(FleetEvent::Report {
+                            slot,
+                            seq,
+                            ceiling_w: ceiling.value(),
+                            consumption_w: consumption.value(),
+                            active,
+                            now_ms,
+                        });
+                    }
+                    self.coords[c]
+                        .core
                         .on_report(slot, seq, ceiling, consumption, active, now_ms);
                 }
             }
-            Frame::Heartbeat { seq } => {
+            Frame::Heartbeat { seq, term } => {
+                if self.coords[c].core.observe_term(term).is_err() {
+                    return; // this coordinator is fenced; frame refused
+                }
+                if self.agents[i].coord != Some(c) {
+                    return;
+                }
                 if let Some(slot) = self.agents[i].slot {
-                    self.core.on_heartbeat(slot, seq, now_ms);
+                    if logging {
+                        self.event_log
+                            .push(FleetEvent::Heartbeat { slot, seq, now_ms });
+                    }
+                    self.coords[c].core.on_heartbeat(slot, seq, now_ms);
                 }
             }
             Frame::Goodbye => {
-                if let Some(slot) = self.agents[i].slot.take() {
-                    self.core.on_goodbye(slot);
+                if self.agents[i].coord != Some(c) {
+                    return;
                 }
+                if let Some(slot) = self.agents[i].slot.take() {
+                    if logging {
+                        self.event_log.push(FleetEvent::Goodbye { slot });
+                    }
+                    self.coords[c].core.on_goodbye(slot);
+                }
+                self.agents[i].coord = None;
             }
-            Frame::BudgetGrant { .. } => {
+            Frame::BudgetGrant { .. } | Frame::Handover { .. } => {
                 self.tallies.wire_errors += 1; // wrong-direction frame
             }
         }
@@ -846,12 +1158,31 @@ impl ChaosFleet {
         let byz_quarantined = (0..self.cfg.agents)
             .filter(|&i| self.net.is_ever_byzantine(i) && self.first_quarantined[i].is_some())
             .count();
-        let evictions = self
+        let authoritative = if self.promoted {
+            &self.coords[1]
+        } else {
+            &self.coords[0]
+        };
+        let evictions = authoritative
             .core
             .views()
             .iter()
             .filter(|v| v.state == NodeState::Evicted || v.trust == Trust::Evicted)
             .count() as u64;
+        // A takeover that never completed (no successor-term grant ever
+        // applied) scores as the full run length, not as "no kill".
+        let takeover_epochs = self.kill_epoch.map(|k| {
+            self.takeover_epoch
+                .map(|t| t.saturating_sub(k))
+                .unwrap_or(self.cfg.epochs)
+        });
+        // A resurrected stale primary must have ended the run fenced; a
+        // primary that stayed dead passes vacuously.
+        let fenced_ok = if self.kill_epoch.is_some() && self.coords[0].alive {
+            self.coords[0].core.fenced()
+        } else {
+            true
+        };
         let mut card = ScenarioScore {
             scenario: self.scenario_name,
             seed: self.cfg.seed,
@@ -872,6 +1203,10 @@ impl ChaosFleet {
             frames_corrupted: self.tallies.frames_corrupted,
             wire_errors: self.tallies.wire_errors,
             evictions,
+            takeover_epochs,
+            stale_grants_fenced: self.tallies.stale_grants_fenced,
+            replay_matched: self.replay_matched,
+            fenced_ok,
             score: 0.0,
         };
         card.score = card.score_of();
@@ -910,6 +1245,21 @@ pub fn run_matrix(cfg: &ChaosConfig) -> Result<Vec<ScenarioScore>> {
             .then_with(|| a.scenario.cmp(&b.scenario))
     });
     Ok(cards)
+}
+
+/// Pops every queued up-frame due at `epoch`, preserving queue order.
+fn drain_due_up(queue: &mut Vec<QueuedUp>, epoch: u64) -> Vec<(usize, Vec<u8>)> {
+    let mut due = Vec::new();
+    let mut keep = Vec::with_capacity(queue.len());
+    for (deliver, dest, bytes) in queue.drain(..) {
+        if deliver <= epoch {
+            due.push((dest, bytes));
+        } else {
+            keep.push((deliver, dest, bytes));
+        }
+    }
+    *queue = keep;
+    due
 }
 
 /// Pops every queued frame due at `epoch`, preserving queue order.
@@ -1022,6 +1372,31 @@ mod tests {
     fn unknown_scenarios_are_a_typed_error() {
         let err = run_scenario(&ChaosConfig::new(1), "nope").unwrap_err();
         assert!(err.to_string().contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn coordinator_kill_promotes_the_standby_within_three_epochs() {
+        let card = run_scenario(&ChaosConfig::new(42), "coordinator-kill").unwrap();
+        assert_eq!(card.replay_matched, Some(true), "{card:?}");
+        assert!(card.takeover_epochs.is_some_and(|t| t <= 3), "{card:?}");
+        assert!(card.conservation_ok && card.floor_ok, "{card:?}");
+        assert_eq!(card.score, 100.0, "{card:?}");
+    }
+
+    #[test]
+    fn takeover_under_partition_still_conserves() {
+        let card = run_scenario(&ChaosConfig::new(42), "takeover-partition").unwrap();
+        assert!(card.takeover_epochs.is_some_and(|t| t <= 3), "{card:?}");
+        assert!(card.conservation_ok, "{card:?}");
+        assert_eq!(card.safe_cap_violations, 0, "{card:?}");
+    }
+
+    #[test]
+    fn a_resurrected_stale_primary_ends_the_run_fenced() {
+        let card = run_scenario(&ChaosConfig::new(42), "stale-primary-return").unwrap();
+        assert!(card.fenced_ok, "{card:?}");
+        assert_eq!(card.replay_matched, Some(true), "{card:?}");
+        assert!(card.conservation_ok && card.floor_ok, "{card:?}");
     }
 
     #[test]

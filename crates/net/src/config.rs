@@ -2,6 +2,7 @@
 //! validation [`dufp_control::ControlConfig::validate`] established.
 
 use dufp_types::{Error, Ratio, Result, Watts};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// A finite `f64`, or a typed error naming the offending field.
@@ -67,6 +68,24 @@ pub struct CoordinatorConfig {
     pub node_max: Watts,
     /// Demand-vetting and quarantine-ladder tunables (see [`crate::vet`]).
     pub vet: crate::vet::VetConfig,
+    /// Journal directory for durable coordinator state (DESIGN.md §15).
+    /// When set, every core input event is appended to a
+    /// [`crate::fleet_journal::FleetJournal`] before it is applied, and a
+    /// restart of the coordinator on the same directory recovers the fleet
+    /// by checkpoint+replay instead of starting cold.
+    pub journal_dir: Option<PathBuf>,
+    /// Warm-standby mode: probe this primary's address and take over
+    /// (replay the shared journal, bump the coordination term, bind and
+    /// serve) when it stops answering. Requires `journal_dir` — a standby
+    /// with no journal would promote to an empty fleet.
+    pub standby_of: Option<String>,
+    /// Successor address advertised in the graceful `Handover` frame when
+    /// this coordinator finishes: agents reconnect there immediately
+    /// instead of waiting out the disconnect grace. Also arms pause
+    /// self-fencing: a primary that stalls longer than twice the heartbeat
+    /// timeout fences itself rather than risk a split brain with the
+    /// successor.
+    pub successor: Option<String>,
 }
 
 impl CoordinatorConfig {
@@ -85,6 +104,9 @@ impl CoordinatorConfig {
             floor: Watts(65.0),
             node_max: Watts(125.0),
             vet: crate::vet::VetConfig::default(),
+            journal_dir: None,
+            standby_of: None,
+            successor: None,
         }
     }
 
@@ -134,6 +156,19 @@ impl CoordinatorConfig {
         if self.max_epochs == Some(0) {
             return Err(Error::invalid("max_epochs", "zero epochs"));
         }
+        if self.standby_of.is_some() && self.journal_dir.is_none() {
+            return Err(Error::invalid(
+                "standby_of",
+                "a standby needs journal_dir: promoting without the journal \
+                 would serve an empty fleet",
+            ));
+        }
+        if self.standby_of.as_deref() == Some("") {
+            return Err(Error::invalid("standby_of", "empty primary address"));
+        }
+        if self.successor.as_deref() == Some("") {
+            return Err(Error::invalid("successor", "empty successor address"));
+        }
         self.vet.validate()?;
         Ok(())
     }
@@ -144,6 +179,10 @@ impl CoordinatorConfig {
 pub struct AgentConfig {
     /// Coordinator address, e.g. `127.0.0.1:7070`.
     pub connect: String,
+    /// Warm-standby coordinator addresses. Reconnect attempts rotate
+    /// round-robin over `[connect] + standbys`, so an agent that loses the
+    /// primary finds a promoted standby without operator action.
+    pub standbys: Vec<String>,
     /// Node name sent in the Hello frame.
     pub node: String,
     /// Applications to run back to back (see `dufp apps`).
@@ -181,6 +220,7 @@ impl AgentConfig {
     ) -> Self {
         AgentConfig {
             connect: connect.into(),
+            standbys: Vec::new(),
             node: node.into(),
             queue: vec![app.into()],
             slowdown: Ratio::from_percent(10.0),
@@ -200,6 +240,9 @@ impl AgentConfig {
     pub fn validate(&self) -> Result<()> {
         if self.connect.is_empty() {
             return Err(Error::invalid("connect", "empty coordinator address"));
+        }
+        if self.standbys.iter().any(String::is_empty) {
+            return Err(Error::invalid("standbys", "empty standby address"));
         }
         if self.node.is_empty() {
             return Err(Error::invalid("node", "empty node name"));
@@ -275,6 +318,36 @@ mod tests {
         let mut cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(400.0));
         cfg.max_epochs = Some(0);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn coordinator_standby_requires_a_journal() {
+        let mut cfg = CoordinatorConfig::new("127.0.0.1:0", Watts(400.0));
+        cfg.standby_of = Some("127.0.0.1:7070".into());
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidValue {
+                what: "standby_of",
+                ..
+            }
+        ));
+        cfg.journal_dir = Some(std::path::PathBuf::from("/tmp/j"));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn agent_rejects_empty_standby_addresses() {
+        let mut cfg = AgentConfig::new("127.0.0.1:7070", "n0", "EP");
+        cfg.standbys = vec!["127.0.0.1:7071".into(), String::new()];
+        let err = cfg.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidValue {
+                what: "standbys",
+                ..
+            }
+        ));
     }
 
     #[test]

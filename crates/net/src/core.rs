@@ -22,6 +22,7 @@
 //!   emits a typed telemetry Reason and a counter.
 
 use crate::config::{CoordinatorConfig, PolicyKind};
+use crate::fleet_journal::{FleetEvent, FleetJournal};
 use crate::vet::{FrameVerdict, NodeVet, Trust, VetConfig};
 use crate::wire::{Frame, GrantKind};
 use dufp_cluster::allocator::{AllocatorPolicy, DemandBased, NodeObservation, StaticSplit};
@@ -29,6 +30,15 @@ use dufp_telemetry::{Actuator, DecisionEvent, Reason, Telemetry};
 use dufp_types::{Error, Result, Watts};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+
+/// Epochs a freshly promoted coordinator keeps replayed-but-unattached
+/// nodes *pinned*: their last granted watts stay reserved (off the top of
+/// the budget, like quarantine floors) and they are exempt from failure
+/// detection, so the budget the dead primary already handed out cannot be
+/// double-spent before the agents holding it re-attach or fall back to
+/// their safe caps. After the hold, ordinary heartbeat-timeout reclaim
+/// resumes. Two epochs matches the agents' disconnect grace window.
+pub const HANDOVER_HOLD_EPOCHS: u64 = 2;
 
 /// Where a node is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -86,6 +96,11 @@ struct CoreNode {
     /// Whether the reclaim for a non-Live node already ran.
     reclaimed: bool,
     vet: NodeVet,
+    /// The coordination term under which this node last spoke to us.
+    /// After a takeover, slots replayed from the journal still carry the
+    /// old term — they are "stale" until the agent re-attaches (which
+    /// creates a fresh slot and releases this one).
+    attached_term: u64,
 }
 
 /// What one core epoch asks the transport layer to do.
@@ -115,6 +130,44 @@ pub struct CoreNodeView {
     pub granted: Watts,
 }
 
+/// Serialized form of one registry slot (private fields; the snapshot is
+/// an opaque recovery artifact, not an API).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NodeSnap {
+    name: String,
+    app: String,
+    floor_w: f64,
+    node_max_w: f64,
+    state: NodeState,
+    last_seen_ms: u64,
+    report: Option<(f64, f64, bool)>,
+    granted_w: f64,
+    reclaimed: bool,
+    vet: NodeVet,
+    attached_term: u64,
+}
+
+/// A complete, deterministic serialization of the core's mutable state —
+/// the checkpoint payload for the fleet journal. Two cores that ingested
+/// the same input events produce byte-identical snapshots (the blacklist
+/// is emitted sorted), which is how the crash-equivalence tests prove a
+/// replayed standby matches its dead primary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSnapshot {
+    /// Epochs run so far.
+    pub epoch: u64,
+    /// Coordination term (fencing token).
+    pub term: u64,
+    /// The higher term this core is fenced by, if any.
+    pub fenced_by: Option<u64>,
+    /// Last epoch (inclusive) of the post-takeover hold-down window.
+    pub hold_until_epoch: u64,
+    /// Virtual-clock time of the most recent epoch tick.
+    pub last_epoch_ms: Option<u64>,
+    blacklist: Vec<String>,
+    nodes: Vec<NodeSnap>,
+}
+
 /// The transport-independent coordinator brain. See the module docs.
 pub struct FleetCore {
     budget: Watts,
@@ -126,6 +179,22 @@ pub struct FleetCore {
     blacklist: HashSet<String>,
     epoch: u64,
     tel: Telemetry,
+    /// Monotonic coordination term; grants carry it and agents apply
+    /// grants in `(term, epoch)` lexicographic order.
+    term: u64,
+    /// `Some(t)` once a higher term `t` was observed (or presumed, via
+    /// pause detection): this core stops granting permanently.
+    fenced_by: Option<u64>,
+    /// Last epoch (inclusive) of the post-takeover hold-down window.
+    hold_until_epoch: u64,
+    /// Virtual-clock time of the most recent epoch tick.
+    last_epoch_ms: Option<u64>,
+    /// When set, an epoch arriving more than this many ms after the
+    /// previous one self-fences the core: it was paused long enough for a
+    /// standby to have taken over (enable only when one is configured).
+    pause_fence_ms: Option<u64>,
+    /// Durable input-event log; `None` runs the core unjournaled.
+    journal: Option<FleetJournal>,
 }
 
 impl FleetCore {
@@ -150,6 +219,188 @@ impl FleetCore {
             blacklist: HashSet::new(),
             epoch: 0,
             tel,
+            term: 1,
+            fenced_by: None,
+            hold_until_epoch: 0,
+            last_epoch_ms: None,
+            pause_fence_ms: None,
+            journal: None,
+        }
+    }
+
+    /// Rebuilds a core from a recovery snapshot. `cfg` supplies the
+    /// non-serialized parts (policy, budget, vetting tunables) and must
+    /// match the configuration the snapshotting coordinator ran with.
+    pub fn from_snapshot(cfg: &CoordinatorConfig, snap: CoreSnapshot, tel: Telemetry) -> Self {
+        let mut core = FleetCore::new(cfg, tel);
+        core.epoch = snap.epoch;
+        core.term = snap.term;
+        core.fenced_by = snap.fenced_by;
+        core.hold_until_epoch = snap.hold_until_epoch;
+        core.last_epoch_ms = snap.last_epoch_ms;
+        core.blacklist = snap.blacklist.into_iter().collect();
+        core.nodes = snap
+            .nodes
+            .into_iter()
+            .map(|s| CoreNode {
+                name: s.name,
+                app: s.app,
+                floor: Watts(s.floor_w),
+                node_max: Watts(s.node_max_w),
+                state: s.state,
+                last_seen_ms: s.last_seen_ms,
+                report: s.report.map(|(c, k, a)| (Watts(c), Watts(k), a)),
+                granted: Watts(s.granted_w),
+                reclaimed: s.reclaimed,
+                vet: s.vet,
+                attached_term: s.attached_term,
+            })
+            .collect();
+        core
+    }
+
+    /// A deterministic serialization of the mutable state (see
+    /// [`CoreSnapshot`]).
+    pub fn snapshot(&self) -> CoreSnapshot {
+        let mut blacklist: Vec<String> = self.blacklist.iter().cloned().collect();
+        blacklist.sort();
+        CoreSnapshot {
+            epoch: self.epoch,
+            term: self.term,
+            fenced_by: self.fenced_by,
+            hold_until_epoch: self.hold_until_epoch,
+            last_epoch_ms: self.last_epoch_ms,
+            blacklist,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| NodeSnap {
+                    name: n.name.clone(),
+                    app: n.app.clone(),
+                    floor_w: n.floor.value(),
+                    node_max_w: n.node_max.value(),
+                    state: n.state,
+                    last_seen_ms: n.last_seen_ms,
+                    report: n.report.map(|(c, k, a)| (c.value(), k.value(), a)),
+                    granted_w: n.granted.value(),
+                    reclaimed: n.reclaimed,
+                    vet: n.vet.clone(),
+                    attached_term: n.attached_term,
+                })
+                .collect(),
+        }
+    }
+
+    /// [`FleetCore::snapshot`] as canonical bytes — the checkpoint payload
+    /// and the crash-equivalence comparison key.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(&self.snapshot())
+            .map_err(|e| Error::Corruption(format!("core snapshot encode failed: {e}")))
+    }
+
+    /// Attaches the durable input-event journal. Every subsequent
+    /// admission, ingested frame, epoch tick and term transition is
+    /// appended before it mutates state; checkpoints follow the journal's
+    /// cadence. Attach only *after* replay — a core must not re-journal
+    /// its own recovery.
+    pub fn attach_journal(&mut self, journal: FleetJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// Enables pause self-fencing (see the `pause_fence_ms` field). Call
+    /// when a standby or successor is configured: a coordinator stalled
+    /// past `threshold_ms` must assume it was superseded.
+    pub fn enable_pause_fencing(&mut self, threshold_ms: u64) {
+        self.pause_fence_ms = Some(threshold_ms);
+    }
+
+    /// The current coordination term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// Whether this core has permanently stopped granting because a
+    /// higher term was observed (or presumed via pause detection).
+    pub fn fenced(&self) -> bool {
+        self.fenced_by.is_some()
+    }
+
+    /// Notes a term a peer announced (Hello/Heartbeat). A term above ours
+    /// proves a successor took over: the core fences itself and the call
+    /// — like every call while fenced — returns [`Error::Fenced`].
+    pub fn observe_term(&mut self, peer_term: u64) -> Result<()> {
+        if peer_term > self.term {
+            self.force_fence(peer_term);
+        }
+        match self.fenced_by {
+            Some(theirs) => Err(Error::Fenced {
+                ours: self.term,
+                theirs,
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Fences the core by `term` (idempotent; keeps the highest fencing
+    /// term seen). Public so journal replay can reproduce it.
+    pub fn force_fence(&mut self, term: u64) {
+        if self.fenced_by.is_some_and(|t| term <= t) {
+            return;
+        }
+        self.journal_event(&FleetEvent::Fence { term });
+        self.fenced_by = Some(term);
+        self.tel.counter("term_fences_total").inc();
+        self.record(
+            0,
+            self.last_epoch_ms.unwrap_or(0),
+            self.term as f64,
+            term as f64,
+            Reason::TermFenced,
+        );
+    }
+
+    /// Takes over as primary: bumps the term past everything seen so far,
+    /// clears any fence, and opens the hold-down window
+    /// ([`HANDOVER_HOLD_EPOCHS`]) during which replayed-but-unattached
+    /// nodes stay pinned. Must be called after journal replay and before
+    /// the first grant.
+    pub fn promote(&mut self) {
+        let next = self.fenced_by.unwrap_or(self.term).max(self.term) + 1;
+        self.promote_to(next);
+    }
+
+    /// Takes over at an explicit term. Public so journal replay can
+    /// reproduce a recorded [`FleetEvent::TermBump`] exactly.
+    pub fn promote_to(&mut self, term: u64) {
+        let old = self.term;
+        self.term = term;
+        self.fenced_by = None; // clear before journaling: a fenced core's journal is closed
+        self.hold_until_epoch = self.epoch + HANDOVER_HOLD_EPOCHS;
+        self.journal_event(&FleetEvent::TermBump { term });
+        self.tel.counter("takeovers_total").inc();
+        self.record(
+            0,
+            self.last_epoch_ms.unwrap_or(0),
+            old as f64,
+            term as f64,
+            Reason::TookOver,
+        );
+    }
+
+    fn journal_event(&mut self, ev: &FleetEvent) {
+        // A fenced core's journal stream ends at its Fence record (written
+        // by `force_fence` before the flag flips): the successor owns the
+        // log now, and a superseded primary must not interleave with it.
+        if self.fenced_by.is_some() {
+            return;
+        }
+        let Some(j) = self.journal.as_mut() else {
+            return;
+        };
+        if j.record(ev).is_err() {
+            // A full disk must not kill the fleet; the failure is counted
+            // and the core keeps serving (recovery fidelity degrades).
+            self.tel.counter("journal_errors_total").inc();
         }
     }
 
@@ -204,6 +455,13 @@ impl FleetCore {
         node_max: Watts,
         now_ms: u64,
     ) -> Result<usize> {
+        if let Some(theirs) = self.fenced_by {
+            self.tel.counter("admission_rejects_total").inc();
+            return Err(Error::Fenced {
+                ours: self.term,
+                theirs,
+            });
+        }
         if !floor.value().is_finite()
             || floor.value() <= 0.0
             || !node_max.value().is_finite()
@@ -225,6 +483,22 @@ impl FleetCore {
                 "node {name} was evicted; readmission refused"
             )));
         }
+        self.journal_event(&FleetEvent::Admit {
+            name: name.clone(),
+            app: app.clone(),
+            floor_w: floor.value(),
+            node_max_w: node_max.value(),
+            now_ms,
+        });
+        // A re-admitted name releases its stale-term predecessor: the
+        // agent has provably moved to the current term, so the pinned
+        // watts the old slot held can return to the pool next epoch.
+        let term = self.term;
+        for n in &mut self.nodes {
+            if n.state == NodeState::Live && n.attached_term < term && n.name == name {
+                n.state = NodeState::Departed;
+            }
+        }
         self.nodes.push(CoreNode {
             name,
             app,
@@ -236,6 +510,7 @@ impl FleetCore {
             granted: Watts::ZERO,
             reclaimed: false,
             vet: NodeVet::new(),
+            attached_term: term,
         });
         Ok(self.nodes.len() - 1)
     }
@@ -251,12 +526,24 @@ impl FleetCore {
         active: bool,
         now_ms: u64,
     ) -> FrameVerdict {
+        if !self.slot_is_live(slot) {
+            return FrameVerdict::Vetoed;
+        }
+        // Journal before vetting: rejected frames still move sequence
+        // cursors and strike flags, so replay must ingest them too.
+        self.journal_event(&FleetEvent::Report {
+            slot,
+            seq,
+            ceiling_w: ceiling.value(),
+            consumption_w: consumption.value(),
+            active,
+            now_ms,
+        });
+        let term = self.term;
         let Some(n) = self.nodes.get_mut(slot) else {
             return FrameVerdict::Vetoed;
         };
-        if n.state != NodeState::Live {
-            return FrameVerdict::Vetoed;
-        }
+        n.attached_term = term;
         let granted = n.granted;
         let node_max = n.node_max;
         let verdict =
@@ -315,12 +602,15 @@ impl FleetCore {
 
     /// Ingests a heartbeat.
     pub fn on_heartbeat(&mut self, slot: usize, seq: u64, now_ms: u64) -> FrameVerdict {
+        if !self.slot_is_live(slot) {
+            return FrameVerdict::Vetoed;
+        }
+        self.journal_event(&FleetEvent::Heartbeat { slot, seq, now_ms });
+        let term = self.term;
         let Some(n) = self.nodes.get_mut(slot) else {
             return FrameVerdict::Vetoed;
         };
-        if n.state != NodeState::Live {
-            return FrameVerdict::Vetoed;
-        }
+        n.attached_term = term;
         let verdict = n.vet.check_heartbeat(&self.vet_cfg, seq);
         match verdict {
             FrameVerdict::RateLimited => {
@@ -343,6 +633,9 @@ impl FleetCore {
 
     /// Marks a node cleanly departed.
     pub fn on_goodbye(&mut self, slot: usize) {
+        if self.slot_is_live(slot) {
+            self.journal_event(&FleetEvent::Goodbye { slot });
+        }
         if let Some(n) = self.nodes.get_mut(slot) {
             if n.state == NodeState::Live {
                 n.state = NodeState::Departed;
@@ -350,14 +643,47 @@ impl FleetCore {
         }
     }
 
+    fn slot_is_live(&self, slot: usize) -> bool {
+        self.nodes
+            .get(slot)
+            .is_some_and(|n| n.state == NodeState::Live)
+    }
+
     /// One allocator epoch on the virtual clock: close the vetting epoch
     /// (trust transitions), detect dead nodes, reclaim watts, allocate
     /// under the conservation guard, and emit the grant frames for the
     /// transport to deliver. Deterministic given the registry state.
     pub fn epoch_once(&mut self, now_ms: u64) -> EpochStep {
+        // Pause self-fencing, checked (and journaled) *before* the epoch
+        // tick so replay reproduces the fence at the same point: a
+        // coordinator that stalled past the threshold must assume its
+        // standby promoted itself in the gap, and a fenced epoch must not
+        // reallocate anything.
+        if let (Some(threshold), Some(prev)) = (self.pause_fence_ms, self.last_epoch_ms) {
+            if self.fenced_by.is_none() && now_ms.saturating_sub(prev) > threshold {
+                let presumed = self.term + 1;
+                self.force_fence(presumed);
+            }
+        }
+        self.journal_event(&FleetEvent::Epoch { now_ms });
+        self.last_epoch_ms = Some(now_ms);
         self.epoch += 1;
+        if self.fenced_by.is_some() {
+            let step = self.frozen_epoch(now_ms);
+            self.maybe_checkpoint();
+            return step;
+        }
         let mut disconnects = Vec::new();
         let mut evicted_now = Vec::new();
+
+        // Post-takeover hold-down: slots replayed from the journal whose
+        // agents have not re-attached under the new term keep their watts
+        // reserved and are exempt from failure detection until the window
+        // closes. See [`HANDOVER_HOLD_EPOCHS`].
+        let hold_active = self.epoch <= self.hold_until_epoch;
+        let is_pinned = |n: &CoreNode, term: u64| {
+            hold_active && n.state == NodeState::Live && n.attached_term < term
+        };
 
         // Trust ladder transitions from the epoch's strike flags.
         for i in 0..self.nodes.len() {
@@ -398,6 +724,7 @@ impl FleetCore {
             let stale = {
                 let n = &self.nodes[i];
                 n.state == NodeState::Live
+                    && !is_pinned(n, self.term)
                     && now_ms.saturating_sub(n.last_seen_ms) > self.heartbeat_timeout_ms
             };
             if stale {
@@ -418,14 +745,18 @@ impl FleetCore {
         }
 
         // Split the live fleet: quarantined nodes are pinned at their
-        // floors and their (untrusted) demand is excluded from the policy.
+        // floors and their (untrusted) demand is excluded from the policy;
+        // hold-down-pinned nodes keep their replayed grants off the top.
         let mut policy_slots = Vec::new();
         let mut quarantined_slots = Vec::new();
+        let mut pinned_slots = Vec::new();
         for (i, n) in self.nodes.iter().enumerate() {
             if n.state != NodeState::Live {
                 continue;
             }
-            if n.vet.trust() >= Trust::Quarantined {
+            if is_pinned(n, self.term) {
+                pinned_slots.push(i);
+            } else if n.vet.trust() >= Trust::Quarantined {
                 quarantined_slots.push(i);
             } else {
                 policy_slots.push(i);
@@ -436,20 +767,26 @@ impl FleetCore {
             .map(|&i| self.nodes[i].name.clone())
             .collect();
 
-        // Quarantined floors come off the top of the budget (scaled down
-        // if even those oversubscribe it — conservation is absolute).
+        // Quarantined floors and hold-down-pinned grants come off the top
+        // of the budget (scaled down if even those oversubscribe it —
+        // conservation is absolute).
         let mut quar_ceilings: Vec<f64> = quarantined_slots
             .iter()
             .map(|&i| self.nodes[i].floor.value())
             .collect();
-        let quar_total: f64 = quar_ceilings.iter().sum();
-        if quar_total > self.budget.value() && quar_total > 0.0 {
-            let scale = self.budget.value() / quar_total;
-            for w in &mut quar_ceilings {
+        let mut pinned_ceilings: Vec<f64> = pinned_slots
+            .iter()
+            .map(|&i| self.nodes[i].granted.value())
+            .collect();
+        let reserved: f64 = quar_ceilings.iter().chain(pinned_ceilings.iter()).sum();
+        if reserved > self.budget.value() && reserved > 0.0 {
+            let scale = self.budget.value() / reserved;
+            for w in quar_ceilings.iter_mut().chain(pinned_ceilings.iter_mut()) {
                 *w *= scale;
             }
         }
-        let remaining = (self.budget.value() - quar_ceilings.iter().sum::<f64>()).max(0.0);
+        let reserved: f64 = quar_ceilings.iter().chain(pinned_ceilings.iter()).sum();
+        let remaining = (self.budget.value() - reserved).max(0.0);
 
         // Policy allocation over the trusted observations. A node that has
         // not reported yet is an idle consumer at its floor, so it is
@@ -492,7 +829,8 @@ impl FleetCore {
             .iter()
             .copied()
             .zip(ceilings)
-            .chain(quarantined_slots.iter().copied().zip(quar_ceilings));
+            .chain(quarantined_slots.iter().copied().zip(quar_ceilings))
+            .chain(pinned_slots.iter().copied().zip(pinned_ceilings));
         let mut per_slot: Vec<(usize, f64)> = all_slots.collect();
         per_slot.sort_by_key(|&(slot, _)| slot); // stable, transport-friendly order
         for (i, ceiling) in per_slot {
@@ -513,6 +851,7 @@ impl FleetCore {
                         epoch: self.epoch,
                         ceiling,
                         kind,
+                        term: self.term,
                     },
                 ));
                 let reason = match kind {
@@ -534,7 +873,7 @@ impl FleetCore {
             .iter()
             .filter(|n| n.state == NodeState::Live)
             .count();
-        EpochStep {
+        let step = EpochStep {
             record: EpochRecord {
                 epoch: self.epoch,
                 at_ms: now_ms,
@@ -548,6 +887,62 @@ impl FleetCore {
             },
             grants,
             disconnects,
+        };
+        self.maybe_checkpoint();
+        step
+    }
+
+    /// The epoch produced while fenced: a frozen view of the registry.
+    /// No grants, no reclaims, no trust transitions — a fenced core must
+    /// not reallocate watts a successor is already re-granting.
+    fn frozen_epoch(&self, now_ms: u64) -> EpochStep {
+        let mut granted = Vec::new();
+        let mut total_granted = 0.0;
+        let mut live = 0;
+        for n in &self.nodes {
+            if n.state == NodeState::Live {
+                live += 1;
+                granted.push((n.name.clone(), n.granted.value()));
+                total_granted += n.granted.value();
+            }
+        }
+        EpochStep {
+            record: EpochRecord {
+                epoch: self.epoch,
+                at_ms: now_ms,
+                granted,
+                total_granted,
+                live,
+                reclaimed: Vec::new(),
+                reclaimed_watts: 0.0,
+                quarantined: Vec::new(),
+                evicted: Vec::new(),
+            },
+            grants: Vec::new(),
+            disconnects: Vec::new(),
+        }
+    }
+
+    /// Writes a checkpoint when the journal's cadence calls for one.
+    fn maybe_checkpoint(&mut self) {
+        if !self
+            .journal
+            .as_ref()
+            .is_some_and(FleetJournal::due_for_checkpoint)
+        {
+            return;
+        }
+        let bytes = match self.snapshot_bytes() {
+            Ok(b) => b,
+            Err(_) => {
+                self.tel.counter("journal_errors_total").inc();
+                return;
+            }
+        };
+        if let Some(j) = self.journal.as_mut() {
+            if j.checkpoint(&bytes).is_err() {
+                self.tel.counter("journal_errors_total").inc();
+            }
         }
     }
 
@@ -776,5 +1171,125 @@ mod tests {
             );
         }
         assert_eq!(core.node_count(), 0);
+    }
+
+    #[test]
+    fn observing_a_higher_term_fences_grants_and_admissions() {
+        let mut core = core(300.0);
+        let a = admit(&mut core, "a");
+        core.on_report(a, 1, Watts(90.0), Watts(85.0), true, 500);
+        core.epoch_once(1000);
+        assert_eq!(core.term(), 1);
+        assert!(!core.fenced());
+
+        let err = core.observe_term(2).unwrap_err();
+        assert!(
+            matches!(err, Error::Fenced { ours: 1, theirs: 2 }),
+            "{err:?}"
+        );
+        assert!(core.fenced());
+
+        // Fenced epochs issue no frames and reclaim nothing, ever.
+        let step = core.epoch_once(60_000);
+        assert!(step.grants.is_empty());
+        assert!(step.record.reclaimed.is_empty(), "no reclaim while fenced");
+        // Fenced admission is a soft refusal, typed so transports can
+        // close the listener rather than blacklist the node.
+        let err = core
+            .admit("b".into(), "EP".into(), Watts(65.0), Watts(125.0), 1500)
+            .unwrap_err();
+        assert!(matches!(err, Error::Fenced { .. }), "{err:?}");
+        // Equal or lower peer terms never unfence.
+        assert!(core.observe_term(1).is_err());
+    }
+
+    #[test]
+    fn pause_fencing_trips_only_past_the_threshold() {
+        let mut core = core(300.0);
+        core.enable_pause_fencing(3000);
+        admit(&mut core, "a");
+        core.epoch_once(1000);
+        core.epoch_once(2000);
+        assert!(!core.fenced(), "normal cadence must not self-fence");
+        core.epoch_once(9000); // 7 s gap > 3 s threshold
+        assert!(core.fenced(), "a long stall presumes a takeover");
+        assert!(core.epoch_once(10_000).grants.is_empty());
+    }
+
+    #[test]
+    fn promotion_pins_stale_slots_then_reclaims_them_after_the_hold() {
+        let mut core = core(300.0);
+        let a = admit(&mut core, "a");
+        let b = admit(&mut core, "b");
+        core.on_report(a, 1, Watts(120.0), Watts(110.0), true, 500);
+        core.on_report(b, 1, Watts(120.0), Watts(110.0), true, 500);
+        let step = core.epoch_once(1000);
+        let granted_before = step.record.total_granted;
+        assert!(granted_before > 0.0);
+
+        // Takeover: both slots are stale (attached under term 1).
+        core.promote();
+        assert_eq!(core.term(), 2);
+
+        // Only `a` re-attaches; its stale slot is released on readmission.
+        let a2 = core
+            .admit("a".into(), "EP".into(), Watts(65.0), Watts(125.0), 1500)
+            .unwrap();
+        core.on_report(a2, 1, Watts(90.0), Watts(85.0), true, 1600);
+
+        // Hold epoch 1: b's stale grant stays pinned (reserved), so the
+        // pool a2 can draw from is budget - pinned, never double-spent.
+        let step = core.epoch_once(2000);
+        let b_held = step
+            .record
+            .granted
+            .iter()
+            .find(|(n, _)| n == "b")
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0);
+        assert!(b_held > 0.0, "stale slot must stay funded during the hold");
+        assert!(step.record.total_granted <= 300.0 + 1e-6);
+        assert!(
+            !step.record.reclaimed.contains(&"b".to_string()),
+            "pinned slots are exempt from failure detection"
+        );
+
+        // After the hold window, the silent stale slot dies and its watts
+        // return to the pool.
+        let mut reclaimed_b = false;
+        for e in 3..=6u64 {
+            core.on_report(a2, e, Watts(90.0), Watts(85.0), true, e * 1000 - 500);
+            let step = core.epoch_once(e * 1000);
+            assert!(step.record.total_granted <= 300.0 + 1e-6);
+            reclaimed_b |= step.record.reclaimed.contains(&"b".to_string());
+        }
+        assert!(reclaimed_b, "stale slot must be reclaimed after the hold");
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_round_trip() {
+        let build = || {
+            let mut c = core(300.0);
+            let a = admit(&mut c, "a");
+            let b = admit(&mut c, "b");
+            c.on_report(a, 1, Watts(90.0), Watts(85.0), true, 500);
+            c.on_report(b, 1, Watts(f64::NAN), Watts(-1.0), true, 500);
+            c.epoch_once(1000);
+            c
+        };
+        let x = build();
+        let y = build();
+        assert_eq!(
+            x.snapshot_bytes().unwrap(),
+            y.snapshot_bytes().unwrap(),
+            "same inputs, same bytes"
+        );
+        let restored = FleetCore::from_snapshot(&cfg(300.0), x.snapshot(), Telemetry::enabled());
+        assert_eq!(
+            restored.snapshot_bytes().unwrap(),
+            x.snapshot_bytes().unwrap()
+        );
+        assert_eq!(restored.epoch(), x.epoch());
+        assert_eq!(restored.term(), x.term());
     }
 }

@@ -1,0 +1,455 @@
+//! The durable fleet journal: coordinator high availability by
+//! checkpoint + replay.
+//!
+//! [`crate::FleetCore`] is transport-free and deterministic on its virtual
+//! clock, so the whole coordinator brain is a fold over its *input events*:
+//! admissions, ingested (pre-vet) report and heartbeat frames, goodbyes,
+//! epoch ticks and term transitions. This module gives those inputs a
+//! durable form — [`FleetEvent`] — and writes them through the same
+//! crash-safe segmented log the experiment runner uses
+//! ([`dufp_journal::JournalWriter`]), with periodic [`CoreSnapshot`]
+//! checkpoints so recovery replays a bounded tail instead of the whole
+//! history.
+//!
+//! Recovery ([`recover`]) rebuilds a byte-identical core: load the newest
+//! checkpoint at or below the journal head, then re-apply the tail events
+//! in order. Because *inputs* are journaled (not decisions), every vetting
+//! verdict, trust-ladder transition and allocation replays exactly — a
+//! quarantined node cannot launder its strikes through a coordinator
+//! failover. A takeover coordinator must then bump the coordination term
+//! ([`crate::FleetCore::promote`]) before granting; the bump itself is
+//! journaled ([`FleetEvent::TermBump`]) so the *next* heir replays it too.
+//!
+//! The journal directory has exactly one writer at a time: the acting
+//! primary. A standby only reads it, and only after deciding the primary
+//! is dead. A resurrected stale primary must never append — that is what
+//! pause self-fencing and term fencing (DESIGN.md §15) are for.
+
+use crate::config::CoordinatorConfig;
+use crate::core::{CoreSnapshot, FleetCore};
+use dufp_journal::{
+    latest_checkpoint_before, read_records, segment_paths, truncate_records, write_checkpoint,
+    FsyncPolicy, JournalWriter,
+};
+use dufp_telemetry::Telemetry;
+use dufp_types::{Error, Result, Watts};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint cadence: a [`CoreSnapshot`] is written every this many
+/// journal events. Small enough that takeover replays are short, large
+/// enough that checkpoint writes stay off the per-frame hot path.
+pub const DEFAULT_FLEET_CHECKPOINT_EVERY: u64 = 64;
+
+/// One journaled coordinator input. The variants mirror the mutating
+/// entry points of [`FleetCore`]; applying them in order to a fresh core
+/// (or to a checkpoint) reproduces the primary's state bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEvent {
+    /// A successful admission (`FleetCore::admit`). Failed admissions are
+    /// not journaled — they do not mutate the registry.
+    Admit {
+        /// Node name from its Hello.
+        name: String,
+        /// Application queue it announced.
+        app: String,
+        /// The node's floor, in watts.
+        floor_w: f64,
+        /// The node's silicon limit, in watts.
+        node_max_w: f64,
+        /// Virtual-clock admission time.
+        now_ms: u64,
+    },
+    /// An ingested demand report (`FleetCore::on_report`), journaled
+    /// *before* vetting: rejected frames still move sequence cursors and
+    /// strike flags, so replay must see them too.
+    Report {
+        /// Registry slot the frame arrived on.
+        slot: usize,
+        /// The agent's report sequence number.
+        seq: u64,
+        /// Ceiling the agent claims to enforce, in watts.
+        ceiling_w: f64,
+        /// Observed consumption, in watts.
+        consumption_w: f64,
+        /// Whether the node still has work.
+        active: bool,
+        /// Virtual-clock arrival time.
+        now_ms: u64,
+    },
+    /// An ingested heartbeat (`FleetCore::on_heartbeat`).
+    Heartbeat {
+        /// Registry slot the frame arrived on.
+        slot: usize,
+        /// Beacon sequence number.
+        seq: u64,
+        /// Virtual-clock arrival time.
+        now_ms: u64,
+    },
+    /// A clean departure (`FleetCore::on_goodbye`).
+    Goodbye {
+        /// Registry slot that departed.
+        slot: usize,
+    },
+    /// An allocator epoch tick (`FleetCore::epoch_once`).
+    Epoch {
+        /// Virtual-clock epoch time.
+        now_ms: u64,
+    },
+    /// The core fenced itself — a peer announced a higher term, or the
+    /// pause detector concluded a standby must have taken over.
+    Fence {
+        /// The term the core considers itself fenced by.
+        term: u64,
+    },
+    /// The core took over as primary at this term
+    /// (`FleetCore::promote`).
+    TermBump {
+        /// The new (bumped) coordination term.
+        term: u64,
+    },
+}
+
+impl FleetEvent {
+    /// Serializes the event for a journal record.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        serde_json::to_vec(self)
+            .map_err(|e| Error::Corruption(format!("fleet event encode failed: {e}")))
+    }
+
+    /// Deserializes a journal record back into an event.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        serde_json::from_slice(bytes)
+            .map_err(|e| Error::Corruption(format!("fleet event decode failed: {e}")))
+    }
+
+    /// Re-applies this event to a core during replay. The core must not
+    /// have a journal attached (replay must not re-journal itself).
+    pub fn apply(&self, core: &mut FleetCore) {
+        match self {
+            FleetEvent::Admit {
+                name,
+                app,
+                floor_w,
+                node_max_w,
+                now_ms,
+            } => {
+                // Journaled admissions passed validation when first
+                // applied; a failure here (e.g. a name blacklisted by an
+                // *earlier* replayed eviction that the original run also
+                // enforced) is deterministic and intentional.
+                let _ = core.admit(
+                    name.clone(),
+                    app.clone(),
+                    Watts(*floor_w),
+                    Watts(*node_max_w),
+                    *now_ms,
+                );
+            }
+            FleetEvent::Report {
+                slot,
+                seq,
+                ceiling_w,
+                consumption_w,
+                active,
+                now_ms,
+            } => {
+                core.on_report(
+                    *slot,
+                    *seq,
+                    Watts(*ceiling_w),
+                    Watts(*consumption_w),
+                    *active,
+                    *now_ms,
+                );
+            }
+            FleetEvent::Heartbeat { slot, seq, now_ms } => {
+                core.on_heartbeat(*slot, *seq, *now_ms);
+            }
+            FleetEvent::Goodbye { slot } => core.on_goodbye(*slot),
+            FleetEvent::Epoch { now_ms } => {
+                core.epoch_once(*now_ms);
+            }
+            FleetEvent::Fence { term } => core.force_fence(*term),
+            FleetEvent::TermBump { term } => core.promote_to(*term),
+        }
+    }
+
+    /// The event's virtual-clock timestamp, when it carries one.
+    pub fn now_ms(&self) -> Option<u64> {
+        match self {
+            FleetEvent::Admit { now_ms, .. }
+            | FleetEvent::Report { now_ms, .. }
+            | FleetEvent::Heartbeat { now_ms, .. }
+            | FleetEvent::Epoch { now_ms } => Some(*now_ms),
+            FleetEvent::Goodbye { .. } | FleetEvent::Fence { .. } | FleetEvent::TermBump { .. } => {
+                None
+            }
+        }
+    }
+}
+
+/// The write side: an append-only event log plus checkpoint cadence.
+/// Owned by the acting primary's [`FleetCore`]
+/// (see [`FleetCore::attach_journal`]).
+pub struct FleetJournal {
+    writer: JournalWriter,
+    dir: PathBuf,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+}
+
+impl FleetJournal {
+    /// Creates a fresh journal in `dir` (which may not exist yet).
+    /// Refuses a directory that already holds segments — recover and
+    /// [`FleetJournal::resume`] instead.
+    pub fn create(dir: &Path) -> Result<Self> {
+        let writer = JournalWriter::create(dir, FsyncPolicy::EveryN(8))?;
+        Ok(FleetJournal {
+            writer,
+            dir: dir.to_path_buf(),
+            checkpoint_every: DEFAULT_FLEET_CHECKPOINT_EVERY,
+            since_checkpoint: 0,
+        })
+    }
+
+    /// Continues appending to an existing journal after recovery.
+    /// `existing_records` is the intact record count [`recover`] reported.
+    pub fn resume(dir: &Path, existing_records: u64) -> Result<Self> {
+        let writer = JournalWriter::open(dir, FsyncPolicy::EveryN(8), existing_records)?;
+        Ok(FleetJournal {
+            writer,
+            dir: dir.to_path_buf(),
+            checkpoint_every: DEFAULT_FLEET_CHECKPOINT_EVERY,
+            since_checkpoint: 0,
+        })
+    }
+
+    /// Overrides the checkpoint cadence (events between snapshots).
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every.max(1);
+        self
+    }
+
+    /// Records written so far (including recovered history).
+    pub fn head(&self) -> u64 {
+        self.writer.records_written()
+    }
+
+    /// Appends one event.
+    pub fn record(&mut self, ev: &FleetEvent) -> Result<()> {
+        self.writer.append(&ev.encode()?)?;
+        self.since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Whether the cadence calls for a checkpoint now.
+    pub fn due_for_checkpoint(&self) -> bool {
+        self.since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Durably writes a checkpoint of the caller's current core snapshot,
+    /// sealed at the current journal head. Syncs the log first so the
+    /// checkpoint never claims records the disk does not have.
+    pub fn checkpoint(&mut self, snapshot_bytes: &[u8]) -> Result<()> {
+        self.writer.sync()?;
+        write_checkpoint(&self.dir, self.head(), snapshot_bytes)?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+/// Whether `dir` holds any journal segments (i.e. there is history to
+/// recover). A missing directory is simply "no".
+pub fn journal_present(dir: &Path) -> bool {
+    segment_paths(dir).map(|s| !s.is_empty()).unwrap_or(false)
+}
+
+/// A recovered coordinator brain.
+pub struct Recovered {
+    /// The rebuilt core — byte-identical to the primary that wrote the
+    /// journal, *before* any term bump. No journal attached yet.
+    pub core: FleetCore,
+    /// Intact journal records on disk (pass to [`FleetJournal::resume`]).
+    pub journal_head: u64,
+    /// Events re-applied after the checkpoint (replay tail length).
+    pub events_replayed: u64,
+    /// Highest virtual-clock timestamp seen; a takeover must continue the
+    /// clock past this point.
+    pub last_now_ms: u64,
+    /// True when a torn tail was found and sealed off.
+    pub torn_tail_dropped: bool,
+}
+
+/// Rebuilds a [`FleetCore`] from the journal in `dir`: newest checkpoint
+/// at or below the head, plus the event tail. `cfg` must match the
+/// configuration the journaling coordinator ran with — the snapshot
+/// carries fleet state, not policy tunables.
+pub fn recover(dir: &Path, cfg: &CoordinatorConfig, tel: Telemetry) -> Result<Recovered> {
+    let outcome = read_records(dir)?;
+    let head = outcome.records.len() as u64;
+    if outcome.truncated {
+        // Seal the torn tail so resumed appends start at a clean boundary.
+        truncate_records(dir, head)?;
+    }
+    let mut last_now_ms = 0u64;
+    let (start, mut core) = match latest_checkpoint_before(dir, head)? {
+        Some((seq, bytes)) => {
+            let snap: CoreSnapshot = serde_json::from_slice(&bytes)
+                .map_err(|e| Error::Corruption(format!("fleet checkpoint decode failed: {e}")))?;
+            last_now_ms = snap.last_epoch_ms.unwrap_or(0);
+            (seq, FleetCore::from_snapshot(cfg, snap, tel))
+        }
+        None => (0, FleetCore::new(cfg, tel)),
+    };
+    let mut events_replayed = 0u64;
+    for rec in &outcome.records[start as usize..] {
+        let ev = FleetEvent::decode(rec)?;
+        if let Some(ms) = ev.now_ms() {
+            last_now_ms = last_now_ms.max(ms);
+        }
+        ev.apply(&mut core);
+        events_replayed += 1;
+    }
+    Ok(Recovered {
+        core,
+        journal_head: head,
+        events_replayed,
+        last_now_ms,
+        torn_tail_dropped: outcome.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dufp_journal::TestDir;
+    use std::time::Duration;
+
+    fn cfg() -> CoordinatorConfig {
+        CoordinatorConfig::new("virtual", Watts(300.0)).with_epoch(Duration::from_millis(1000))
+    }
+
+    /// Drives a journaled core through a small fleet history and returns
+    /// it alongside its journal directory.
+    fn journaled_run(dir: &Path, epochs: u64) -> FleetCore {
+        let mut core = FleetCore::new(&cfg(), Telemetry::enabled());
+        core.attach_journal(FleetJournal::create(dir).unwrap().with_checkpoint_every(7));
+        let a = core
+            .admit("a".into(), "EP".into(), Watts(65.0), Watts(125.0), 0)
+            .unwrap();
+        let b = core
+            .admit("b".into(), "CG".into(), Watts(65.0), Watts(125.0), 0)
+            .unwrap();
+        for e in 1..=epochs {
+            core.on_report(a, e, Watts(90.0), Watts(85.0), true, e * 1000 - 500);
+            // b misbehaves: NaN demand walks the trust ladder.
+            core.on_report(b, e, Watts(f64::NAN), Watts(-2.0), true, e * 1000 - 500);
+            core.on_heartbeat(a, e, e * 1000 - 400);
+            core.epoch_once(e * 1000);
+        }
+        core
+    }
+
+    #[test]
+    fn recovery_is_byte_identical_including_trust_state() {
+        let dir = TestDir::new("fleet-recover");
+        let core = journaled_run(dir.path(), 9);
+        let rec = recover(dir.path(), &cfg(), Telemetry::enabled()).unwrap();
+        assert_eq!(
+            core.snapshot_bytes().unwrap(),
+            rec.core.snapshot_bytes().unwrap(),
+            "replayed core must match the journaling core byte for byte"
+        );
+        assert_eq!(rec.last_now_ms, 9000);
+        assert!(!rec.torn_tail_dropped);
+        // The checkpoint shortened the replay tail.
+        assert!(
+            rec.events_replayed < rec.journal_head,
+            "replayed {} of {}",
+            rec.events_replayed,
+            rec.journal_head
+        );
+    }
+
+    #[test]
+    fn promote_bumps_term_and_survives_a_second_failover() {
+        let dir = TestDir::new("fleet-promote");
+        let first = journaled_run(dir.path(), 5);
+        assert_eq!(first.term(), 1);
+        drop(first); // primary dies
+
+        let rec = recover(dir.path(), &cfg(), Telemetry::enabled()).unwrap();
+        let mut heir = rec.core;
+        heir.attach_journal(FleetJournal::resume(dir.path(), rec.journal_head).unwrap());
+        heir.promote();
+        assert_eq!(heir.term(), 2);
+        heir.epoch_once(7000);
+        drop(heir); // heir dies too
+
+        let rec2 = recover(dir.path(), &cfg(), Telemetry::enabled()).unwrap();
+        assert_eq!(
+            rec2.core.term(),
+            2,
+            "the term bump itself must be journaled"
+        );
+        assert_eq!(rec2.core.epoch(), 6);
+    }
+
+    #[test]
+    fn torn_tail_is_sealed_and_recovery_still_works() {
+        let dir = TestDir::new("fleet-torn");
+        let core = journaled_run(dir.path(), 4);
+        let before = core.snapshot_bytes().unwrap();
+        drop(core);
+        // Tear the last record by appending garbage to the newest segment.
+        let segs = segment_paths(dir.path()).unwrap();
+        let last = &segs.last().unwrap().1;
+        let mut bytes = std::fs::read(last).unwrap();
+        bytes.extend_from_slice(b"torn");
+        std::fs::write(last, bytes).unwrap();
+
+        let rec = recover(dir.path(), &cfg(), Telemetry::enabled()).unwrap();
+        assert!(rec.torn_tail_dropped);
+        // All intact records survived, so state still matches.
+        assert_eq!(before, rec.core.snapshot_bytes().unwrap());
+        // And the sealed journal accepts further appends.
+        let mut j = FleetJournal::resume(dir.path(), rec.journal_head).unwrap();
+        j.record(&FleetEvent::Epoch { now_ms: 5000 }).unwrap();
+    }
+
+    #[test]
+    fn events_round_trip_through_encode_decode() {
+        let evs = [
+            FleetEvent::Admit {
+                name: "n0".into(),
+                app: "EP".into(),
+                floor_w: 65.0,
+                node_max_w: 125.0,
+                now_ms: 42,
+            },
+            FleetEvent::Report {
+                slot: 3,
+                seq: 17,
+                ceiling_w: 105.0,
+                consumption_w: 98.5,
+                active: true,
+                now_ms: 950,
+            },
+            FleetEvent::Heartbeat {
+                slot: 1,
+                seq: 9,
+                now_ms: 1001,
+            },
+            FleetEvent::Goodbye { slot: 2 },
+            FleetEvent::Epoch { now_ms: 2000 },
+            FleetEvent::Fence { term: 4 },
+            FleetEvent::TermBump { term: 5 },
+        ];
+        for ev in evs {
+            let bytes = ev.encode().unwrap();
+            assert_eq!(FleetEvent::decode(&bytes).unwrap(), ev, "{ev:?}");
+        }
+        assert!(FleetEvent::decode(b"not json").is_err());
+    }
+}

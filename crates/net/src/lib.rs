@@ -42,6 +42,14 @@
 //!   is transport-independent and runs on a virtual clock; the [`chaos`]
 //!   harness drives it through seeded adversarial scenarios
 //!   ([`netfault`]) whose scorecards replay byte-identically per seed.
+//! * **Coordinator high availability** (DESIGN.md §15) — the core's input
+//!   events are journaled ([`fleet_journal`]) with periodic checkpoints,
+//!   so a restarted or warm-standby coordinator rebuilds byte-identical
+//!   state by checkpoint+replay; a monotonic coordination *term* carried
+//!   in `Hello`/`BudgetGrant`/`Heartbeat` fences stale primaries, and a
+//!   post-takeover hold-down keeps Σgranted ≤ budget *across* the
+//!   handover window — a stale primary plus its successor can never
+//!   double-spend the budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +59,7 @@ pub mod chaos;
 pub mod config;
 pub mod coordinator;
 pub mod core;
+pub mod fleet_journal;
 pub mod netfault;
 pub mod vet;
 pub mod wire;
@@ -58,8 +67,15 @@ pub mod wire;
 pub use agent::{Agent, AgentOutcome};
 pub use chaos::{ChaosConfig, ChaosFleet, ScenarioScore, SCENARIOS};
 pub use config::{AgentConfig, CoordinatorConfig, PolicyKind};
-pub use coordinator::{Coordinator, FleetOutcome, NodeSummary};
-pub use core::{CoreNodeView, EpochRecord, EpochStep, FleetCore, NodeState};
+pub use coordinator::{
+    run_standby, Coordinator, FleetOutcome, NodeSummary, STANDBY_PROBE_FAILURES,
+};
+pub use core::{
+    CoreNodeView, CoreSnapshot, EpochRecord, EpochStep, FleetCore, NodeState, HANDOVER_HOLD_EPOCHS,
+};
+pub use fleet_journal::{
+    journal_present, recover, FleetEvent, FleetJournal, Recovered, DEFAULT_FLEET_CHECKPOINT_EVERY,
+};
 pub use netfault::{Dir, NetFaultInjector, NetFaultOp, NetFaultPlan, NetFaultRule};
 pub use vet::{FrameVerdict, NodeVet, Trust, VetConfig};
 pub use wire::{Frame, FrameType, GrantKind, VERSION};

@@ -49,6 +49,13 @@ pub enum NetFaultOp {
     /// Kill the agent process outright (no Goodbye); it restarts — and
     /// must re-Hello — once the schedule stops matching.
     Kill,
+    /// Kill the *primary coordinator* (no farewell frames); peer scoping
+    /// is ignored. While the schedule matches the primary is down; a warm
+    /// standby (when the chaos fleet runs one) detects the silence,
+    /// replays the journal and promotes. If the schedule stops matching,
+    /// the old primary resurrects *stale* — exactly the split-brain case
+    /// term fencing exists for.
+    CoordKill,
     /// Byzantine: report demand at ten times the silicon limit.
     ByzInflate,
     /// Byzantine: report `NaN` watts.
@@ -75,6 +82,7 @@ impl NetFaultOp {
             NetFaultOp::Reorder => "reorder",
             NetFaultOp::Partition => "partition",
             NetFaultOp::Kill => "kill",
+            NetFaultOp::CoordKill => "coord-kill",
             NetFaultOp::ByzInflate => "byz-inflate",
             NetFaultOp::ByzNan => "byz-nan",
             NetFaultOp::ByzNegative => "byz-negative",
@@ -194,6 +202,7 @@ impl NetFaultPlan {
             Some("reorder") => NetFaultOp::Reorder,
             Some("partition") => NetFaultOp::Partition,
             Some("kill") => NetFaultOp::Kill,
+            Some("coord-kill") => NetFaultOp::CoordKill,
             Some("byz-inflate") => NetFaultOp::ByzInflate,
             Some("byz-nan") => NetFaultOp::ByzNan,
             Some("byz-negative") => NetFaultOp::ByzNegative,
@@ -203,7 +212,8 @@ impl NetFaultPlan {
             other => {
                 return Err(bad(format!(
                     "rule must start with a net fault op \
-                     (drop|delay|dup|corrupt|reorder|partition|kill|byz-*), got {other:?}"
+                     (drop|delay|dup|corrupt|reorder|partition|kill|coord-kill|byz-*), \
+                     got {other:?}"
                 )))
             }
         };
@@ -280,7 +290,11 @@ impl NetFaultPlan {
         }
         // Topology and byzantine schedules must be epoch-deterministic;
         // a probabilistic partition/kill/byz state would flicker per check.
-        if matches!(rule.op, NetFaultOp::Partition | NetFaultOp::Kill) || rule.op.is_byzantine() {
+        if matches!(
+            rule.op,
+            NetFaultOp::Partition | NetFaultOp::Kill | NetFaultOp::CoordKill
+        ) || rule.op.is_byzantine()
+        {
             if let FaultWhen::Probability { .. } = rule.when {
                 return Err(bad(format!(
                     "{} rules need an epoch schedule (always/at/window), not p=",
@@ -374,6 +388,20 @@ impl NetFaultInjector {
         self.rules.iter().any(|r| {
             r.op == NetFaultOp::Kill && r.matches(peer, Dir::Both) && scheduled(r.when, epoch)
         })
+    }
+
+    /// Whether the primary coordinator is killed at `epoch`. Pure; peer
+    /// scoping is ignored (there is one primary).
+    pub fn coord_killed(&self, epoch: u64) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.op == NetFaultOp::CoordKill && scheduled(r.when, epoch))
+    }
+
+    /// Whether this plan ever kills the primary (i.e. the chaos fleet
+    /// should run a warm standby at all).
+    pub fn has_coord_kill(&self) -> bool {
+        self.rules.iter().any(|r| r.op == NetFaultOp::CoordKill)
     }
 
     /// The byzantine behaviors `peer` exhibits at `epoch`, in rule order.
@@ -481,6 +509,7 @@ mod tests {
             "drop,wat=1",
             "partition,p=0.5", // topology faults must not flicker
             "kill,p=0.1",
+            "coord-kill,p=0.2",
             "byz-nan,p=0.9",
         ] {
             assert!(NetFaultPlan::parse(bad).is_err(), "{bad} should not parse");
@@ -520,6 +549,23 @@ mod tests {
         assert!(inj.byz_ops(1, 3).is_empty());
         assert!(inj.is_ever_byzantine(0));
         assert!(!inj.is_ever_byzantine(2), "a kill is not byzantine");
+    }
+
+    #[test]
+    fn coord_kill_windows_are_pure_and_peerless() {
+        let inj = NetFaultInjector::new(
+            NetFaultPlan::parse("coord-kill,window=15+4;drop,p=0.1").unwrap(),
+        );
+        assert!(!inj.coord_killed(14));
+        assert!(inj.coord_killed(15));
+        assert!(inj.coord_killed(18));
+        assert!(!inj.coord_killed(19), "schedule over: stale resurrection");
+        assert!(inj.has_coord_kill());
+        let honest = NetFaultInjector::new(NetFaultPlan::parse("drop,p=0.1").unwrap());
+        assert!(!honest.has_coord_kill());
+        // A coordinator kill is neither an agent kill nor byzantine.
+        assert!(!inj.killed(0, 16));
+        assert!(!inj.is_ever_byzantine(0));
     }
 
     #[test]

@@ -166,7 +166,12 @@ pub enum FrameVerdict {
 
 /// Per-node vetting state: sequence cursors, per-epoch rate counters and
 /// strike flags, plus the accumulated strike count and trust rung.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable so a coordinator checkpoint carries the full trust ladder:
+/// a takeover standby must distrust exactly the nodes the dead primary
+/// distrusted, or a quarantined node could launder its strikes through a
+/// failover.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeVet {
     last_report_seq: Option<u64>,
     last_heartbeat_seq: Option<u64>,

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic      0x4455_4650 ("DUFP", big-endian bytes)
-//!      4     2  version    protocol version (little-endian), currently 1
+//!      4     2  version    protocol version (little-endian), currently 2
 //!      6     1  frame type (see [`FrameType`])
 //!      7     1  reserved   must be 0
 //!      8     4  payload length N (little-endian; at most MAX_PAYLOAD)
@@ -27,8 +27,10 @@ use std::io::{Read, Write};
 /// Frame magic: the ASCII bytes `DUFP`.
 pub const MAGIC: [u8; 4] = *b"DUFP";
 
-/// Protocol version spoken by this build.
-pub const VERSION: u16 = 1;
+/// Protocol version spoken by this build. Version 2 added the coordination
+/// term (fencing token) to `Hello`/`BudgetGrant`/`Heartbeat` and the
+/// `Handover` frame for planned coordinator succession.
+pub const VERSION: u16 = 2;
 
 /// Upper bound on a frame payload; anything larger is corruption (or an
 /// attack) and is rejected before allocation.
@@ -51,6 +53,9 @@ pub enum FrameType {
     Heartbeat = 4,
     /// Either direction: clean departure.
     Goodbye = 5,
+    /// Coordinator → agent: planned succession — reconnect to the named
+    /// successor, which will grant under the announced term.
+    Handover = 6,
 }
 
 impl FrameType {
@@ -61,6 +66,7 @@ impl FrameType {
             3 => Ok(FrameType::BudgetGrant),
             4 => Ok(FrameType::Heartbeat),
             5 => Ok(FrameType::Goodbye),
+            6 => Ok(FrameType::Handover),
             other => Err(Error::Corruption(format!("unknown frame type {other}"))),
         }
     }
@@ -71,16 +77,19 @@ impl FrameType {
     /// out to [`MAX_PAYLOAD`] and make every receiver buffer it.
     pub fn max_payload(self) -> u32 {
         match self {
-            // str(node) + floor + node_max + str(app); bounded by the
-            // frame-wide ceiling.
+            // str(node) + floor + node_max + str(app) + term; bounded by
+            // the frame-wide ceiling.
             FrameType::Hello => MAX_PAYLOAD,
             // seq(8) + ceiling(8) + consumption(8) + active(1)
             FrameType::DemandReport => 25,
-            // epoch(8) + ceiling(8) + kind(1)
-            FrameType::BudgetGrant => 17,
-            // seq(8)
-            FrameType::Heartbeat => 8,
+            // epoch(8) + ceiling(8) + kind(1) + term(8)
+            FrameType::BudgetGrant => 25,
+            // seq(8) + term(8)
+            FrameType::Heartbeat => 16,
             FrameType::Goodbye => 0,
+            // str(successor) bounded to 1 KiB + term(8); an address, not
+            // a document.
+            FrameType::Handover => 2 + 1024 + 8,
         }
     }
 }
@@ -120,6 +129,10 @@ pub enum Frame {
         node_max: Watts,
         /// The application (queue) the node is running, for reports.
         app: String,
+        /// The highest coordination term the agent has seen (0 on a fresh
+        /// start). A coordinator whose own term is lower knows a successor
+        /// has taken over and fences itself.
+        term: u64,
     },
     /// Agent → coordinator demand observation.
     DemandReport {
@@ -140,14 +153,29 @@ pub enum Frame {
         ceiling: Watts,
         /// Whether this raises or shrinks the previous ceiling.
         kind: GrantKind,
+        /// The granting coordinator's term. Agents apply grants only in
+        /// `(term, epoch)` lexicographic order: a stale primary's grants
+        /// are discarded once any higher term has been seen.
+        term: u64,
     },
     /// Agent → coordinator liveness beacon.
     Heartbeat {
         /// Monotonic beacon sequence number.
         seq: u64,
+        /// The highest coordination term the agent has seen.
+        term: u64,
     },
     /// Clean departure (either direction).
     Goodbye,
+    /// Coordinator → agent: planned succession. The agent should reconnect
+    /// to `successor` immediately, skipping the disconnect grace window.
+    Handover {
+        /// Address (`host:port`) of the coordinator taking over.
+        successor: String,
+        /// The term the successor will grant under (the departing
+        /// coordinator's term + 1); pre-fences the old term.
+        term: u64,
+    },
 }
 
 impl Frame {
@@ -159,6 +187,7 @@ impl Frame {
             Frame::BudgetGrant { .. } => FrameType::BudgetGrant,
             Frame::Heartbeat { .. } => FrameType::Heartbeat,
             Frame::Goodbye => FrameType::Goodbye,
+            Frame::Handover { .. } => FrameType::Handover,
         }
     }
 
@@ -185,11 +214,13 @@ impl Frame {
                 floor,
                 node_max,
                 app,
+                term,
             } => {
                 put_str(&mut p, node);
                 p.extend_from_slice(&floor.value().to_le_bytes());
                 p.extend_from_slice(&node_max.value().to_le_bytes());
                 put_str(&mut p, app);
+                p.extend_from_slice(&term.to_le_bytes());
             }
             Frame::DemandReport {
                 seq,
@@ -206,13 +237,22 @@ impl Frame {
                 epoch,
                 ceiling,
                 kind,
+                term,
             } => {
                 p.extend_from_slice(&epoch.to_le_bytes());
                 p.extend_from_slice(&ceiling.value().to_le_bytes());
                 p.push(*kind as u8);
+                p.extend_from_slice(&term.to_le_bytes());
             }
-            Frame::Heartbeat { seq } => p.extend_from_slice(&seq.to_le_bytes()),
+            Frame::Heartbeat { seq, term } => {
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&term.to_le_bytes());
+            }
             Frame::Goodbye => {}
+            Frame::Handover { successor, term } => {
+                put_str(&mut p, successor);
+                p.extend_from_slice(&term.to_le_bytes());
+            }
         }
         p
     }
@@ -277,6 +317,7 @@ impl Frame {
                 floor: Watts(r.f64_()?),
                 node_max: Watts(r.f64_()?),
                 app: r.str_()?,
+                term: r.u64_()?,
             },
             FrameType::DemandReport => Frame::DemandReport {
                 seq: r.u64_()?,
@@ -288,9 +329,17 @@ impl Frame {
                 epoch: r.u64_()?,
                 ceiling: Watts(r.f64_()?),
                 kind: GrantKind::from_u8(r.u8_()?)?,
+                term: r.u64_()?,
             },
-            FrameType::Heartbeat => Frame::Heartbeat { seq: r.u64_()? },
+            FrameType::Heartbeat => Frame::Heartbeat {
+                seq: r.u64_()?,
+                term: r.u64_()?,
+            },
             FrameType::Goodbye => Frame::Goodbye,
+            FrameType::Handover => Frame::Handover {
+                successor: r.str_()?,
+                term: r.u64_()?,
+            },
         };
         r.finish()?;
         Ok(frame)
@@ -442,6 +491,7 @@ mod tests {
                 floor: Watts(65.0),
                 node_max: Watts(125.0),
                 app: "CG+EP".into(),
+                term: 2,
             },
             Frame::DemandReport {
                 seq: 17,
@@ -453,9 +503,14 @@ mod tests {
                 epoch: 4,
                 ceiling: Watts(112.5),
                 kind: GrantKind::Raise,
+                term: 3,
             },
-            Frame::Heartbeat { seq: 9001 },
+            Frame::Heartbeat { seq: 9001, term: 3 },
             Frame::Goodbye,
+            Frame::Handover {
+                successor: "127.0.0.1:7102".into(),
+                term: 4,
+            },
         ]
     }
 
@@ -517,7 +572,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_typed() {
-        let mut bytes = Frame::Heartbeat { seq: 1 }.encode();
+        let mut bytes = Frame::Heartbeat { seq: 1, term: 1 }.encode();
         bytes[4..6].copy_from_slice(&99u16.to_le_bytes());
         let err = Frame::decode(&bytes).unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)), "{err:?}");
@@ -550,7 +605,7 @@ mod tests {
         let mut r = std::io::Cursor::new(bytes.clone());
         let err = Frame::read_from(&mut r).unwrap_err();
         assert!(
-            matches!(err, Error::FrameTooLarge { len: 4096, max: 8 }),
+            matches!(err, Error::FrameTooLarge { len: 4096, max: 16 }),
             "{err:?}"
         );
 

@@ -196,10 +196,11 @@ fn garbage_on_the_wire_never_kills_the_coordinator() {
         floor: Watts(65.0),
         node_max: Watts(125.0),
         app: "EP".into(),
+        term: 0,
     }
     .write_to(&mut half)
     .unwrap();
-    let mut bytes = Frame::Heartbeat { seq: 1 }.encode();
+    let mut bytes = Frame::Heartbeat { seq: 1, term: 0 }.encode();
     let last = bytes.len() - 1;
     bytes[last] ^= 0xFF; // break the CRC
     half.write_all(&bytes).unwrap();

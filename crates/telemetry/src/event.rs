@@ -114,11 +114,25 @@ pub enum Reason {
     /// to the pool and its connection was dropped (old/new are
     /// trust-ladder ordinals).
     Evicted,
+    /// A coordinator observed a higher coordination term than its own and
+    /// fenced itself: it stops granting budget because a successor has
+    /// taken over (old = the fenced coordinator's term, new = the higher
+    /// term observed). Also emitted by an agent that discards a stale-term
+    /// grant (old = the grant's term, new = the highest term seen).
+    TermFenced,
+    /// A restarted coordinator rebuilt its state by checkpoint+journal
+    /// replay and bumped the coordination term before granting (old = the
+    /// replayed term, new = the bumped term).
+    TookOver,
+    /// A warm standby detected primary death, replayed the shared journal
+    /// and promoted itself to primary (old = the replayed term, new = the
+    /// promoted term).
+    StandbyPromoted,
 }
 
 impl Reason {
     /// Every reason, in a stable order (used for summary tables).
-    pub const ALL: [Reason; 25] = [
+    pub const ALL: [Reason; 28] = [
         Reason::PhaseReset,
         Reason::SlowdownViolation,
         Reason::BandwidthViolation,
@@ -144,6 +158,9 @@ impl Reason {
         Reason::RateLimited,
         Reason::Quarantined,
         Reason::Evicted,
+        Reason::TermFenced,
+        Reason::TookOver,
+        Reason::StandbyPromoted,
     ];
 }
 
@@ -281,6 +298,6 @@ mod tests {
         for r in Reason::ALL {
             assert!(seen.insert(format!("{r:?}")));
         }
-        assert_eq!(seen.len(), 25);
+        assert_eq!(seen.len(), 28);
     }
 }

@@ -45,6 +45,15 @@ pub enum Error {
     /// recoverable prefix, checkpoints newer than the journal head, bad
     /// magic bytes, or undecodable payloads.
     Corruption(String),
+    /// A coordination-term fencing violation: the peer's term is higher
+    /// than ours, meaning a successor coordinator has taken over and this
+    /// instance must stop granting budget (split-brain defense).
+    Fenced {
+        /// This coordinator's term.
+        ours: u64,
+        /// The higher term observed from a peer.
+        theirs: u64,
+    },
     /// A peer announced a frame larger than the protocol allows. Kept
     /// distinct from [`Error::Corruption`] so receivers can tell a hostile
     /// (or wildly corrupt) length prefix — an allocation attack — apart
@@ -92,6 +101,12 @@ impl fmt::Display for Error {
                 write!(f, "{what} timed out after {partial_len} item(s)")
             }
             Error::Corruption(what) => write!(f, "durable state corrupted: {what}"),
+            Error::Fenced { ours, theirs } => {
+                write!(
+                    f,
+                    "fenced: coordination term {theirs} supersedes ours ({ours})"
+                )
+            }
             Error::FrameTooLarge { len, max } => {
                 write!(
                     f,
@@ -156,6 +171,13 @@ mod tests {
         let e = Error::Corruption("checkpoint 9 is newer than journal head 4".into());
         assert!(e.to_string().contains("corrupted"));
         assert!(e.to_string().contains("checkpoint 9"));
+    }
+
+    #[test]
+    fn fenced_names_both_terms() {
+        let e = Error::Fenced { ours: 3, theirs: 5 };
+        assert!(e.to_string().contains("term 5"));
+        assert!(e.to_string().contains("ours (3)"));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Provides the macro surface this workspace uses — `proptest!` with
 //! `#![proptest_config(...)]`, `prop_assert!`, `prop_assert_eq!`, range and
-//! tuple strategies, `prop::sample::select`, `prop::collection::vec`, and
+//! tuple strategies, `prop::sample::select`, `prop::collection::vec`,
+//! `Strategy::prop_map`, `prop_oneof!` (with optional `weight =>` arms), and
 //! `any::<T>()` — over a deterministic SplitMix64 case generator. No
 //! shrinking: a failing case panics with the offending input, which is
 //! reproducible because the seed is fixed.
@@ -74,6 +75,73 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Adapts this strategy by applying `f` to every draw.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Weighted choice over boxed strategies of one value type, built by the
+/// [`prop_oneof!`] macro.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// An empty union; sampling panics until an option is added.
+    pub fn new() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds `strategy` with relative `weight`.
+    pub fn or(mut self, weight: u32, strategy: impl Strategy<Value = T> + 'static) -> Self {
+        assert!(weight > 0, "zero-weight prop_oneof arm");
+        self.options.push((weight, Box::new(strategy)));
+        self
+    }
+}
+
+impl<T> Default for Union<T> {
+    fn default() -> Self {
+        Union::new()
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof over no options");
+        let mut pick = rng.below(total);
+        for (weight, strategy) in &self.options {
+            if pick < u64::from(*weight) {
+                return strategy.sample(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weighted pick out of range")
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -331,7 +399,44 @@ impl TestRunner {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Weighted choice between strategies yielding one value type.
+///
+/// Arms are either bare strategies (weight 1) or `weight => strategy`;
+/// the two forms can be mixed, as in the real crate:
+///
+/// ```ignore
+/// prop_oneof![
+///     (0u8..6).prop_map(Op::Admit),
+///     3 => Just(Op::Epoch),
+/// ]
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($rest:tt)*) => {
+        $crate::__prop_oneof!{ [$crate::Union::new()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_oneof {
+    ( [$acc:expr] ) => { $acc };
+    ( [$acc:expr] $weight:literal => $strat:expr, $($rest:tt)* ) => {
+        $crate::__prop_oneof!{ [$acc.or($weight, $strat)] $($rest)* }
+    };
+    ( [$acc:expr] $weight:literal => $strat:expr ) => {
+        $acc.or($weight, $strat)
+    };
+    ( [$acc:expr] $strat:expr, $($rest:tt)* ) => {
+        $crate::__prop_oneof!{ [$acc.or(1, $strat)] $($rest)* }
+    };
+    ( [$acc:expr] $strat:expr ) => {
+        $acc.or(1, $strat)
     };
 }
 
@@ -495,6 +600,34 @@ mod tests {
         fn default_config_form_works(x in 0usize..4) {
             prop_assert!(x < 4);
         }
+    }
+
+    #[test]
+    fn prop_map_transforms_draws() {
+        let mut rng = crate::TestRng::new(3);
+        let strat = (0u8..10).prop_map(|v| v as u32 * 2);
+        for _ in 0..200 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn prop_oneof_mixes_weighted_and_bare_arms() {
+        let mut rng = crate::TestRng::new(4);
+        let strat = prop_oneof![
+            (0u8..3).prop_map(i32::from),
+            9 => Just(-1i32),
+        ];
+        let mut constants = 0;
+        for _ in 0..1000 {
+            match crate::Strategy::sample(&strat, &mut rng) {
+                -1 => constants += 1,
+                v => assert!((0..3).contains(&v)),
+            }
+        }
+        // The 9-weight constant arm must dominate the 1-weight range arm.
+        assert!(constants > 700, "weighting ignored: {constants}/1000");
     }
 
     #[test]
