@@ -1,0 +1,156 @@
+//! Scenario-engine benchmark: mini-scenario runs/sec at 1, half-cores and
+//! all-cores workers, plus the serial-vs-parallel speedup.
+//!
+//! Seeds `BENCH_scenario.json` at the current directory (repo root in CI,
+//! where it is uploaded as an artifact), so the datacenter scenario
+//! engine's throughput is tracked from its first PR. The work unit is one
+//! `(seed, policy)` fleet run of the built-in mini scenario — co-tenant
+//! physics, arrival model and allocator epochs included. Like
+//! `sweep_bench`, a single-core host is reported honestly: the run is
+//! flagged `degenerate` and the speedup assertion is skipped, because a
+//! 1-core host can only measure pool overhead.
+//!
+//! Usage: cargo run -p dufp-bench --release --bin scenario_bench -- [--out FILE]
+
+use dufp_scenario::{run_one, PolicyChoice, ScenarioSpec};
+use rayon::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One worker-count measurement over the same run set.
+#[derive(Debug, Serialize)]
+struct Series {
+    workers: usize,
+    runs: usize,
+    elapsed_s: f64,
+    runs_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: &'static str,
+    available_cores: usize,
+    nodes: usize,
+    tenants: usize,
+    intervals: u64,
+    seeds: usize,
+    policies: usize,
+    runs: usize,
+    /// True when the host has a single core: the series then measure pool
+    /// overhead, not parallelism, and the speedup check is skipped.
+    degenerate: bool,
+    series: Vec<Series>,
+    /// runs/sec at the widest worker count over runs/sec serial.
+    speedup_all_vs_serial: f64,
+}
+
+fn measure(spec: &ScenarioSpec, pairs: &[(u64, PolicyChoice)], workers: usize) -> Series {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers)
+        .build()
+        .expect("build pool");
+    let start = Instant::now();
+    let energies: Vec<f64> = pool.install(|| {
+        pairs
+            .par_iter()
+            .map(|&(seed, policy)| {
+                run_one(spec, seed, policy)
+                    .expect("scenario run")
+                    .row
+                    .fleet_energy_j
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(energies.iter().all(|e| e.is_finite() && *e > 0.0));
+    Series {
+        workers,
+        runs: pairs.len(),
+        elapsed_s: elapsed,
+        runs_per_sec: pairs.len() as f64 / elapsed.max(1e-9),
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_scenario.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: scenario_bench [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = ScenarioSpec::mini();
+    let policies = [
+        PolicyChoice::Uncapped,
+        PolicyChoice::StaticSplit,
+        PolicyChoice::DemandBased,
+    ];
+    let seeds: Vec<u64> = (0..8).collect();
+    let pairs: Vec<(u64, PolicyChoice)> = seeds
+        .iter()
+        .flat_map(|&s| policies.iter().map(move |&p| (s, p)))
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // 1, half, all — deduplicated; a single-core host still measures a
+    // 2-worker series so the artifact shows real pool overhead.
+    let mut worker_counts = vec![1, (cores / 2).max(1), cores];
+    if cores == 1 {
+        worker_counts.push(2);
+    }
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    // Warm the process-wide workload cache so the serial series is not
+    // charged for phase-table materialization.
+    let _ = measure(&spec, &pairs, 1);
+
+    let mut series = Vec::new();
+    for &w in &worker_counts {
+        eprintln!("mini scenario ({} runs) on {w} worker(s)...", pairs.len());
+        series.push(measure(&spec, &pairs, w));
+    }
+
+    let serial = series
+        .iter()
+        .find(|s| s.workers == 1)
+        .expect("serial series");
+    let widest = series.last().expect("at least one series");
+    let dt = spec.interval_ms as f64 / 1000.0;
+    let report = Report {
+        bench: "scenario",
+        available_cores: cores,
+        nodes: spec.nodes.len(),
+        tenants: spec.tenant_count(),
+        intervals: (spec.duration_s / dt).ceil() as u64,
+        seeds: seeds.len(),
+        policies: policies.len(),
+        runs: pairs.len(),
+        degenerate: cores == 1,
+        speedup_all_vs_serial: widest.runs_per_sec / serial.runs_per_sec,
+        series,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    println!("{json}");
+    std::fs::write(&out, format!("{json}\n")).expect("write bench json");
+    eprintln!("wrote {out}");
+
+    if report.degenerate {
+        eprintln!("single core available: degenerate run, speedup check skipped");
+    } else {
+        assert!(
+            report.speedup_all_vs_serial > 1.0,
+            "parallel scenario runs slower than serial on a {cores}-core host \
+             (speedup {:.2})",
+            report.speedup_all_vs_serial
+        );
+    }
+}

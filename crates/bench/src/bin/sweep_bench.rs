@@ -32,6 +32,11 @@ struct Report {
     grid_slowdowns: usize,
     grid_seeds: usize,
     jobs: usize,
+    /// True when the host has a single core: every series then measures
+    /// pool overhead, not parallelism, so the speedup check is skipped
+    /// and downstream consumers must not read `speedup_all_vs_serial`
+    /// as a scaling signal.
+    degenerate: bool,
     series: Vec<Series>,
     /// jobs/sec at the widest worker count over jobs/sec serial.
     speedup_all_vs_serial: f64,
@@ -98,6 +103,7 @@ fn main() {
         grid_slowdowns: grid.slowdowns_pct.len(),
         grid_seeds: grid.seeds.len(),
         jobs: grid.len(),
+        degenerate: cores == 1,
         speedup_all_vs_serial: widest.jobs_per_sec / serial.jobs_per_sec,
         series,
     };
@@ -105,4 +111,17 @@ fn main() {
     println!("{json}");
     std::fs::write(&out, format!("{json}\n")).expect("write bench json");
     eprintln!("wrote {out}");
+
+    // The scaling sanity check only means something with real parallelism
+    // on offer; a single-core host measures pool overhead by design.
+    if report.degenerate {
+        eprintln!("single core available: degenerate run, speedup check skipped");
+    } else {
+        assert!(
+            report.speedup_all_vs_serial > 1.0,
+            "parallel sweep slower than serial on a {cores}-core host \
+             (speedup {:.2})",
+            report.speedup_all_vs_serial
+        );
+    }
 }

@@ -98,6 +98,25 @@ USAGE:
                              --net-fault-plan merges extra network-fault
                              rules into every scenario; --fault-plan adds
                              seeded MSR/actuation faults on the agents
+    dufp scenario [--spec FILE.toml] [--seed S] [--policies LIST] [--jobs N]
+                  [--out FILE.jsonl] [--trace-out FILE.jsonl] [--json]
+                  [--print-example]
+                             run a trace-driven datacenter scenario: a
+                             heterogeneous fleet of co-tenant nodes under
+                             a diurnal/bursty arrival model and a global
+                             power budget. Each requested policy (default
+                             uncapped,static-split,demand-based) is scored
+                             against the uncapped baseline into one JSON
+                             line: fleet energy saved vs. SLO violations.
+                             Output is a pure function of --seed and is
+                             byte-identical for any --jobs value. Without
+                             --spec the built-in example scenario runs;
+                             --print-example prints that spec as TOML.
+                             --trace-out records the first policy's
+                             decision trace (intensity shifts, SLO
+                             violations, budget grants) as JSON Lines.
+                             Exits nonzero if any run breaks per-tenant
+                             energy conservation
     dufp platform            print the target platform (Table I)
     dufp apps                list the modeled applications
     dufp probe               check real-hardware access paths
@@ -118,6 +137,9 @@ EXAMPLES:
     dufp chaos --seed 42 --out scorecard.jsonl
     dufp chaos --scenario byzantine-minority --json
     dufp chaos --net-fault-plan \"drop,p=0.1;byz-nan,peer=0\" --epochs 60
+    dufp scenario --print-example > day.toml
+    dufp scenario --spec day.toml --seed 7 --out rows.jsonl
+    dufp scenario --seed 3 --policies demand-based --json
 ";
 
 /// A parsed `run` invocation.
@@ -321,6 +343,27 @@ pub struct ChaosCmd {
     pub json: bool,
 }
 
+/// A parsed `scenario` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCmd {
+    /// Path to a scenario TOML spec (`None` = the built-in example).
+    pub spec: Option<String>,
+    /// Seed: the whole scorecard is a pure function of it.
+    pub seed: u64,
+    /// Policies to score (labels accepted by `PolicyChoice::parse`).
+    pub policies: Vec<String>,
+    /// Worker count for the policy runs (`None` = all cores).
+    pub jobs: Option<usize>,
+    /// Write the scorecard as JSON Lines to this path.
+    pub out: Option<String>,
+    /// Write the first policy's decision trace as JSON Lines.
+    pub trace_out: Option<String>,
+    /// Print the scorecard as JSON Lines on stdout instead of a table.
+    pub json: bool,
+    /// Print the built-in example spec as TOML and exit.
+    pub print_example: bool,
+}
+
 /// A parsed `sweep` invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepCmd {
@@ -361,6 +404,8 @@ pub enum Command {
     Agent(AgentCmd),
     /// Run the deterministic adversarial fleet soak.
     Chaos(ChaosCmd),
+    /// Run a trace-driven datacenter scenario.
+    Scenario(ScenarioCmd),
     /// Print the default platform as editable JSON.
     MachineTemplate,
     /// Print the platform description.
@@ -725,6 +770,60 @@ impl Cli {
                 }
                 Ok(Cli {
                     command: Command::Chaos(cmd),
+                })
+            }
+            "scenario" => {
+                let mut cmd = ScenarioCmd {
+                    spec: None,
+                    seed: 42,
+                    policies: vec![
+                        "uncapped".into(),
+                        "static-split".into(),
+                        "demand-based".into(),
+                    ],
+                    jobs: None,
+                    out: None,
+                    trace_out: None,
+                    json: false,
+                    print_example: false,
+                };
+                while let Some(flag) = it.next() {
+                    match flag.as_str() {
+                        "--spec" => {
+                            cmd.spec = Some(it.next().ok_or("--spec needs a path")?.clone())
+                        }
+                        "--seed" => {
+                            let v = it.next().ok_or("--seed needs a value")?;
+                            cmd.seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+                        }
+                        "--policies" => {
+                            let v = it.next().ok_or("--policies needs a comma list")?;
+                            cmd.policies = v.split(',').map(|s| s.trim().to_string()).collect();
+                            if cmd.policies.iter().any(String::is_empty) {
+                                return Err(format!("bad policy list {v}"));
+                            }
+                        }
+                        "--jobs" => {
+                            let v = it.next().ok_or("--jobs needs a value")?;
+                            let jobs: usize =
+                                v.parse().map_err(|_| format!("bad job count {v}"))?;
+                            if jobs == 0 {
+                                return Err("need at least one job".into());
+                            }
+                            cmd.jobs = Some(jobs);
+                        }
+                        "--out" => cmd.out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                        "--trace-out" => {
+                            cmd.trace_out =
+                                Some(it.next().ok_or("--trace-out needs a path")?.clone())
+                        }
+                        "--json" => cmd.json = true,
+                        "--print-example" => cmd.print_example = true,
+                        other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+                    }
+                }
+                Ok(Cli {
+                    command: Command::Scenario(cmd),
                 })
             }
             "run" | "timeline" | "plan" => {
@@ -1225,6 +1324,63 @@ mod tests {
         assert!(parse(&["chaos", "--agents", "0"]).is_err());
         assert!(parse(&["chaos", "--epochs", "0"]).is_err());
         assert!(parse(&["chaos", "--scenario"]).is_err());
+    }
+
+    #[test]
+    fn scenario_subcommand_parses() {
+        let cli = parse(&[
+            "scenario",
+            "--spec",
+            "day.toml",
+            "--seed",
+            "9",
+            "--policies",
+            "uncapped, demand-based",
+            "--jobs",
+            "3",
+            "--out",
+            "/tmp/rows.jsonl",
+            "--trace-out",
+            "/tmp/trace.jsonl",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Scenario(ScenarioCmd {
+                spec: Some("day.toml".into()),
+                seed: 9,
+                policies: vec!["uncapped".into(), "demand-based".into()],
+                jobs: Some(3),
+                out: Some("/tmp/rows.jsonl".into()),
+                trace_out: Some("/tmp/trace.jsonl".into()),
+                json: true,
+                print_example: false,
+            })
+        );
+
+        // Defaults: the example spec, the full policy set, all cores.
+        let cli = parse(&["scenario"]).unwrap();
+        let Command::Scenario(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.spec, None);
+        assert_eq!(cmd.seed, 42);
+        assert_eq!(
+            cmd.policies,
+            vec!["uncapped", "static-split", "demand-based"]
+        );
+        assert!(!cmd.print_example);
+
+        let cli = parse(&["scenario", "--print-example"]).unwrap();
+        let Command::Scenario(cmd) = cli.command else {
+            panic!()
+        };
+        assert!(cmd.print_example);
+
+        assert!(parse(&["scenario", "--jobs", "0"]).is_err());
+        assert!(parse(&["scenario", "--policies", "a,,b"]).is_err());
+        assert!(parse(&["scenario", "--spec"]).is_err());
     }
 
     #[test]

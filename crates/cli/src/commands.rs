@@ -2,7 +2,7 @@
 
 use crate::args::{
     AgentCmd, ChaosCmd, ControllerArg, CoordinateCmd, FsyncArg, JournalCmd, RecordSpec, ResumeCmd,
-    RunSpec, SweepCmd, TraceCmd,
+    RunSpec, ScenarioCmd, SweepCmd, TraceCmd,
 };
 use crate::plot::{chart, Series};
 use dufp::{
@@ -984,6 +984,111 @@ pub fn chaos(cmd: &ChaosCmd) -> Result<String, String> {
     }
 }
 
+/// `dufp scenario ...` — run a trace-driven datacenter scenario: a
+/// heterogeneous co-tenant fleet under an arrival model and a global
+/// power budget, scored per policy against the uncapped baseline. Errors
+/// (nonzero exit) if any run breaks per-tenant energy conservation.
+pub fn scenario(cmd: &ScenarioCmd) -> Result<String, String> {
+    if cmd.print_example {
+        return Ok(dufp_scenario::EXAMPLE_TOML.to_string());
+    }
+
+    let spec = match &cmd.spec {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("spec {path}: {e}"))?;
+            dufp_scenario::ScenarioSpec::from_toml(&text)
+                .map_err(|e| format!("spec {path}: {e}"))?
+        }
+        None => dufp_scenario::ScenarioSpec::example(),
+    };
+    let policies: Vec<dufp_scenario::PolicyChoice> = cmd
+        .policies
+        .iter()
+        .map(|p| dufp_scenario::PolicyChoice::parse(p).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    let jobs = cmd
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+
+    let rows =
+        dufp_scenario::run_rows(&spec, cmd.seed, &policies, jobs).map_err(|e| e.to_string())?;
+    let jsonl = dufp_scenario::to_jsonl_bytes(&rows).map_err(|e| e.to_string())?;
+    let jsonl = String::from_utf8(jsonl).map_err(|e| e.to_string())?;
+
+    let mut notes = String::new();
+    if let Some(path) = &cmd.out {
+        std::fs::write(path, &jsonl).map_err(|e| format!("scorecard {path}: {e}"))?;
+        writeln!(notes, "scorecard: {} line(s) written to {path}", rows.len()).unwrap();
+    }
+    if let Some(path) = &cmd.trace_out {
+        let run =
+            dufp_scenario::run_one(&spec, cmd.seed, policies[0]).map_err(|e| e.to_string())?;
+        let file = std::fs::File::create(path).map_err(|e| format!("trace {path}: {e}"))?;
+        write_jsonl(std::io::BufWriter::new(file), &run.events)
+            .map_err(|e| format!("trace {path}: {e}"))?;
+        writeln!(
+            notes,
+            "trace: {} event(s) for policy {} written to {path}",
+            run.events.len(),
+            policies[0].label()
+        )
+        .unwrap();
+    }
+
+    let output = if cmd.json {
+        jsonl
+    } else {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "scenario {} — seed {}, {} node(s), {} tenant(s), {:.0} W budget, {:.0} s",
+            spec.name,
+            cmd.seed,
+            spec.nodes.len(),
+            spec.tenant_count(),
+            spec.budget_w,
+            spec.duration_s
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  {:<14} {:>12} {:>8} {:>10} {:>7} {:>7} {:>9}",
+            "policy", "energy kJ", "saved%", "SLO-viol%", "grants", "shrinks", "conserve"
+        )
+        .unwrap();
+        for r in &rows {
+            writeln!(
+                out,
+                "  {:<14} {:>12.1} {:>8.2} {:>10.2} {:>7} {:>7} {:>9}",
+                r.policy,
+                r.fleet_energy_j / 1000.0,
+                r.energy_saved_pct,
+                r.slo_violation_pct,
+                r.grants,
+                r.shrinks,
+                if r.conservation_ok { "ok" } else { "BROKEN" },
+            )
+            .unwrap();
+        }
+        out.push_str(&notes);
+        out
+    };
+
+    let broken: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.conservation_ok)
+        .map(|r| r.policy.as_str())
+        .collect();
+    if broken.is_empty() {
+        Ok(output)
+    } else {
+        Err(format!(
+            "{output}scenario: energy-conservation violations under: {}",
+            broken.join(", ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1013,6 +1118,39 @@ mod tests {
         };
         let err = chaos(&unknown).unwrap_err();
         assert!(err.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn scenario_runs_deterministically_and_prints_example() {
+        let cmd = ScenarioCmd {
+            spec: None,
+            seed: 5,
+            policies: vec!["uncapped".into(), "demand-based".into()],
+            jobs: Some(2),
+            out: None,
+            trace_out: None,
+            json: true,
+            print_example: false,
+        };
+        let a = scenario(&cmd).expect("example scenario must pass");
+        let b = scenario(&cmd).expect("example scenario must pass");
+        assert_eq!(a, b, "same seed, same scorecard bytes");
+        assert!(a.contains("\"policy\":\"demand-based\""), "{a}");
+        assert!(a.contains("\"conservation_ok\":true"), "{a}");
+
+        let example = scenario(&ScenarioCmd {
+            print_example: true,
+            ..cmd.clone()
+        })
+        .unwrap();
+        assert_eq!(example, dufp_scenario::EXAMPLE_TOML);
+
+        let bad = scenario(&ScenarioCmd {
+            policies: vec!["nope".into()],
+            ..cmd
+        })
+        .unwrap_err();
+        assert!(bad.contains("nope"), "{bad}");
     }
 
     fn spec(app: &str, runs: usize) -> RunSpec {

@@ -30,7 +30,11 @@
 //!   the coordinator's grants (safe local cap when unreachable),
 //! * `chaos` — soak an in-process fleet against seeded network chaos
 //!   and byzantine agents; emit a ranked resilience scorecard (JSONL),
-//!   exiting nonzero on any conservation or floor violation.
+//!   exiting nonzero on any conservation or floor violation,
+//! * `scenario` — run a trace-driven datacenter scenario (diurnal load,
+//!   co-tenant sockets, heterogeneous machine classes) under a global
+//!   power budget and score each allocator policy against the uncapped
+//!   baseline (energy saved vs. SLO violations, byte-identical per seed).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +60,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Coordinate(ref cmd) => commands::coordinate(cmd),
         Command::Agent(ref cmd) => commands::agent(cmd),
         Command::Chaos(ref cmd) => commands::chaos(cmd),
+        Command::Scenario(ref cmd) => commands::scenario(cmd),
         Command::MachineTemplate => Ok(commands::machine_template()),
         Command::Platform => Ok(commands::platform()),
         Command::Apps => Ok(commands::apps()),

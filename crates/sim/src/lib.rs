@@ -28,11 +28,13 @@
 pub mod config;
 pub mod governor;
 pub mod machine;
+pub mod shared;
 pub mod socket;
 pub mod trace;
 
 pub use config::{NoiseConfig, SimConfig};
 pub use governor::Governor;
 pub use machine::Machine;
+pub use shared::{SharedSocketCfg, SharedSocketSim, SharedStep, TenantAccount};
 pub use socket::SocketSim;
 pub use trace::{Trace, TracePoint};

@@ -128,11 +128,19 @@ pub enum Reason {
     /// and promoted itself to primary (old = the replayed term, new = the
     /// promoted term).
     StandbyPromoted,
+    /// The scenario engine's arrival model moved a node's offered load
+    /// into a different intensity band (old/new are quarter-intensity
+    /// band ordinals: 0 = idle, 4 = nominal, 8 = 2× nominal).
+    IntensityShift,
+    /// A tenant fell behind its offered load past the scenario's backlog
+    /// threshold this control interval (old = backlog in seconds of
+    /// nominal work, new = the threshold).
+    SloViolation,
 }
 
 impl Reason {
     /// Every reason, in a stable order (used for summary tables).
-    pub const ALL: [Reason; 28] = [
+    pub const ALL: [Reason; 30] = [
         Reason::PhaseReset,
         Reason::SlowdownViolation,
         Reason::BandwidthViolation,
@@ -161,6 +169,8 @@ impl Reason {
         Reason::TermFenced,
         Reason::TookOver,
         Reason::StandbyPromoted,
+        Reason::IntensityShift,
+        Reason::SloViolation,
     ];
 }
 
@@ -298,6 +308,6 @@ mod tests {
         for r in Reason::ALL {
             assert!(seen.insert(format!("{r:?}")));
         }
-        assert_eq!(seen.len(), 28);
+        assert_eq!(seen.len(), 30);
     }
 }

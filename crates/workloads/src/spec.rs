@@ -232,6 +232,24 @@ impl Workload {
             .map(|p| p.work_units * p.rates.bytes_per_unit)
             .sum()
     }
+
+    /// An intensity-scaled copy of the phase table: every phase carries
+    /// `factor` times the work units, so the whole table offers `factor`
+    /// times the FLOPs and bytes at unchanged per-unit roofline rates.
+    ///
+    /// This is how the scenario layer expresses tenant weight — a
+    /// half-weight co-tenant runs the same phase *shape* but issues half
+    /// the work per phase cycle. `factor` must be finite and positive.
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(Error::invalid("scale_factor", format!("{factor}")));
+        }
+        let mut scaled = self.clone();
+        for p in &mut scaled.phases {
+            p.work_units *= factor;
+        }
+        Ok(scaled)
+    }
 }
 
 /// Repeats a slice of specs `count` times (loop unrolling helper).
@@ -397,5 +415,31 @@ mod tests {
     fn empty_workload_rejected() {
         let c = ctx();
         assert!(Workload::from_specs("empty", &[], &c).is_err());
+    }
+
+    #[test]
+    fn scaled_multiplies_work_but_not_rates() {
+        let c = ctx();
+        let w = Workload::from_specs("test", &[mem_spec(), cpu_spec()], &c).unwrap();
+        let half = w.scaled(0.5).unwrap();
+        assert!((half.total_flops() - 0.5 * w.total_flops()).abs() < 1e-6 * w.total_flops());
+        assert!((half.total_bytes() - 0.5 * w.total_bytes()).abs() < 1e-6 * w.total_bytes());
+        for (a, b) in w.phases.iter().zip(half.phases.iter()) {
+            assert_eq!(a.rates, b.rates);
+            assert_eq!(a.core_util, b.core_util);
+        }
+        // A half-weight table nominally lasts half as long.
+        let full = w.nominal_duration(&c).value();
+        assert!((half.nominal_duration(&c).value() - 0.5 * full).abs() < 1e-6 * full);
+    }
+
+    #[test]
+    fn scaled_rejects_degenerate_factors() {
+        let c = ctx();
+        let w = Workload::from_specs("test", &[mem_spec()], &c).unwrap();
+        assert!(w.scaled(0.0).is_err());
+        assert!(w.scaled(-1.0).is_err());
+        assert!(w.scaled(f64::NAN).is_err());
+        assert!(w.scaled(f64::INFINITY).is_err());
     }
 }
