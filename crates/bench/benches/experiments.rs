@@ -29,6 +29,7 @@ fn bench_run_once(c: &mut Criterion) {
                     interval_ms: None,
                     telemetry: false,
                     fault_plan: None,
+                    engine: Default::default(),
                 };
                 let mut seed = 0;
                 b.iter(|| {
@@ -62,6 +63,7 @@ fn bench_interval_tradeoff(c: &mut Criterion) {
                     interval_ms: Some(ms),
                     telemetry: false,
                     fault_plan: None,
+                    engine: Default::default(),
                 };
                 let mut seed = 100;
                 b.iter(|| {

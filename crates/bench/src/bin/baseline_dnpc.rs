@@ -41,6 +41,7 @@ fn main() {
             interval_ms: None,
             telemetry: false,
             fault_plan: None,
+            engine: Default::default(),
         };
         let base = run_repeated(&spec(ControllerKind::Default), runs, 1).expect(app);
         let dnpc = ratios_vs_default(

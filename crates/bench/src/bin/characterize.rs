@@ -86,6 +86,7 @@ fn characterize(app: &str, seed: u64) -> Row {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     let base = run_once(&spec(ControllerKind::Default), seed).unwrap();
     let base_t = base.exec_time.value();

@@ -30,6 +30,7 @@ fn main() {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     let r = run_once(&spec, 7).unwrap();
     let tr = r.trace.unwrap();

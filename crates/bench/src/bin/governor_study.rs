@@ -40,6 +40,7 @@ fn main() {
             interval_ms: None,
             telemetry: false,
             fault_plan: None,
+            engine: Default::default(),
         };
         run_repeated(&spec, runs, seed).expect("run")
     };

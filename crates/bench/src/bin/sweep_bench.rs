@@ -1,21 +1,25 @@
-//! Sweep-engine benchmark: paper-grid throughput at 1, half-cores and
-//! all-cores workers, plus the serial-vs-parallel speedup.
+//! Sweep-engine benchmark: paper-grid throughput for both stepping
+//! engines (the `tick` oracle and the memoized `event` fast path) at 1,
+//! half-cores and all-cores workers, plus the serial-vs-parallel speedup
+//! and the per-job engine speedup.
 //!
 //! Seeds `BENCH_sweep.json` at the current directory (repo root in CI,
-//! where it is uploaded as an artifact), so the batched-engine trajectory
-//! is tracked from its first PR. Numbers are honest for the host they ran
-//! on: `available_cores` is recorded next to every series, and on a
-//! single-core host a 2-worker series is still measured so the pool
-//! overhead (not a fantasy speedup) is what lands in the artifact.
+//! where it is uploaded as an artifact), so the batched-engine and
+//! fast-path trajectories are tracked from their first PRs. Numbers are
+//! honest for the host they ran on: `available_cores` is recorded next to
+//! every series, and on a single-core host a 2-worker series is still
+//! measured so the pool overhead (not a fantasy speedup) is what lands in
+//! the artifact.
 //!
 //! Usage: cargo run -p dufp-bench --release --bin sweep_bench -- [--out FILE]
 
-use dufp::{run_sweep, SweepGrid};
+use dufp::{run_sweep, Engine, SweepGrid};
 use serde::Serialize;
 
-/// One worker-count measurement over the same grid.
+/// One (engine, worker-count) measurement over the same grid.
 #[derive(Debug, Serialize)]
 struct Series {
+    engine: &'static str,
     workers: usize,
     workers_observed: usize,
     jobs: usize,
@@ -38,13 +42,23 @@ struct Report {
     /// as a scaling signal.
     degenerate: bool,
     series: Vec<Series>,
-    /// jobs/sec at the widest worker count over jobs/sec serial.
+    /// Event-engine jobs/sec at the widest worker count over jobs/sec
+    /// serial (the parallel-scaling signal, measured on the default
+    /// engine).
     speedup_all_vs_serial: f64,
+    /// Serial jobs/sec for the legacy per-tick oracle.
+    tick_jobs_per_sec: f64,
+    /// Serial jobs/sec for the memoized fast path.
+    event_jobs_per_sec: f64,
+    /// The per-job fast-path speedup: event over tick, both serial, same
+    /// grid. CI gates on this staying above 5x.
+    event_speedup_vs_tick: f64,
 }
 
 fn measure(grid: &SweepGrid, workers: usize) -> Series {
     let out = run_sweep(grid, workers).expect("sweep run");
     Series {
+        engine: grid.engine.label(),
         workers,
         workers_observed: out.workers_observed,
         jobs: out.rows.len(),
@@ -67,7 +81,7 @@ fn main() {
         }
     }
 
-    let grid = SweepGrid::paper();
+    let mut grid = SweepGrid::paper();
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -80,21 +94,37 @@ fn main() {
     worker_counts.sort_unstable();
     worker_counts.dedup();
 
-    // Warm the process-wide workload cache so the serial series is not
-    // charged for materialization the parallel ones get for free.
+    // Warm the process-wide workload cache so the first serial series is
+    // not charged for materialization the later ones get for free.
     let _ = measure(&grid, 1);
 
+    // Oracle first, fast path second: the artifact reads as a before/after.
     let mut series = Vec::new();
-    for &w in &worker_counts {
-        eprintln!("paper grid ({} jobs) on {w} worker(s)...", grid.len());
-        series.push(measure(&grid, w));
+    for engine in [Engine::Tick, Engine::Event] {
+        grid.engine = engine;
+        for &w in &worker_counts {
+            eprintln!(
+                "paper grid ({} jobs), engine {}, {w} worker(s)...",
+                grid.len(),
+                engine.label()
+            );
+            series.push(measure(&grid, w));
+        }
     }
 
-    let serial = series
+    let serial_for = |engine: &str| {
+        series
+            .iter()
+            .find(|s| s.engine == engine && s.workers == 1)
+            .unwrap_or_else(|| panic!("serial {engine} series"))
+    };
+    let tick_serial = serial_for("tick").jobs_per_sec;
+    let event_serial = serial_for("event").jobs_per_sec;
+    let widest = series
         .iter()
-        .find(|s| s.workers == 1)
-        .expect("serial series");
-    let widest = series.last().expect("at least one series");
+        .filter(|s| s.engine == "event")
+        .next_back()
+        .expect("event series");
     let report = Report {
         bench: "sweep",
         available_cores: cores,
@@ -104,7 +134,10 @@ fn main() {
         grid_seeds: grid.seeds.len(),
         jobs: grid.len(),
         degenerate: cores == 1,
-        speedup_all_vs_serial: widest.jobs_per_sec / serial.jobs_per_sec,
+        speedup_all_vs_serial: widest.jobs_per_sec / event_serial,
+        tick_jobs_per_sec: tick_serial,
+        event_jobs_per_sec: event_serial,
+        event_speedup_vs_tick: event_serial / tick_serial,
         series,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -113,15 +146,23 @@ fn main() {
     eprintln!("wrote {out}");
 
     // The scaling sanity check only means something with real parallelism
-    // on offer; a single-core host measures pool overhead by design.
+    // on offer; a single-core host measures pool overhead by design. The
+    // engine-speedup gate is likewise skipped there: a contended single
+    // core makes both numbers noise.
     if report.degenerate {
-        eprintln!("single core available: degenerate run, speedup check skipped");
+        eprintln!("single core available: degenerate run, speedup checks skipped");
     } else {
         assert!(
             report.speedup_all_vs_serial > 1.0,
             "parallel sweep slower than serial on a {cores}-core host \
              (speedup {:.2})",
             report.speedup_all_vs_serial
+        );
+        assert!(
+            report.event_speedup_vs_tick >= 5.0,
+            "fast-path regression: event engine only {:.1}x the tick oracle \
+             (contract: >= 5x)",
+            report.event_speedup_vs_tick
         );
     }
 }

@@ -57,6 +57,7 @@ fn run_one(
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     let r = run_once(&spec, seed)?;
     let budget_per_socket = sim.arch.pl1_default.value();
@@ -100,6 +101,7 @@ pub fn run_fig1(sockets: u16, seed: u64) -> Result<Fig1Results> {
             interval_ms: None,
             telemetry: false,
             fault_plan: None,
+            engine: Default::default(),
         };
         run_once(&spec, seed)?.exec_time.value()
     };

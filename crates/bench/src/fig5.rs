@@ -41,6 +41,7 @@ pub fn trace_cg(controller: ControllerKind, sockets: u16, seed: u64) -> Result<F
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     let r = run_once(&spec, seed)?;
     let trace = r.trace.expect("trace requested");

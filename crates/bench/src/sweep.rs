@@ -73,6 +73,7 @@ pub fn sweep_app(app: &str, cfg: &SweepConfig) -> Result<AppSweep> {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
 
     let default_run = dufp::run_repeated(&spec(ControllerKind::Default), cfg.runs, cfg.seed)?;

@@ -9,6 +9,7 @@ dufp — dynamic uncore frequency scaling and power capping
 USAGE:
     dufp run <APP> [--controller default|duf|dufp|dufpf|dnpc|cap:<W>] [--slowdown PCT]
                    [--sockets N] [--runs N] [--seed S] [--json]
+                   [--engine tick|event]
                    [--trace-out FILE.jsonl] [--fault-plan PLAN|FILE.json]
                    [--journal-dir DIR] [--fsync always|never|every:N]
                    <APP> is a modeled application (see `dufp apps`) or a
@@ -24,6 +25,10 @@ USAGE:
                    and the control state is checkpointed periodically;
                    requires --runs 1. --fsync picks the durability policy
                    for journal appends (default every:8)
+                   --engine selects the simulation stepping engine:
+                   `event` (default) is the memoized fast path, `tick`
+                   the legacy per-tick oracle. Both are bit-identical;
+                   tick exists for differential testing and benchmarks
     dufp resume <DIR> [--json]
                              resume a crashed journaled run from its
                              journal directory and finish it
@@ -43,7 +48,7 @@ USAGE:
                              sweep DUFP tolerances and recommend the best
                              power-saving setting with no energy loss (§V-H)
     dufp sweep [--grid FILE.toml | --paper] [--jobs N] [--out FILE.jsonl]
-               [--json]
+               [--engine tick|event] [--json]
                              expand a (app × policy × slowdown × seed)
                              grid into independent experiments, run them
                              on a work-stealing pool of N workers (default
@@ -173,6 +178,27 @@ pub struct RunSpec {
     pub journal_dir: Option<String>,
     /// Fsync policy for journal appends (`always`, `never`, `every:N`).
     pub fsync: Option<FsyncArg>,
+    /// Simulation stepping engine.
+    pub engine: EngineArg,
+}
+
+/// Parsed `--engine` value. Mirrors `dufp::Engine` so argument parsing
+/// stays free of the core crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineArg {
+    /// Legacy per-tick stepping — the differential oracle.
+    Tick,
+    /// Memoized fast path (default), bit-identical to `Tick`.
+    #[default]
+    Event,
+}
+
+fn parse_engine(v: &str) -> Result<EngineArg, String> {
+    match v {
+        "tick" => Ok(EngineArg::Tick),
+        "event" => Ok(EngineArg::Event),
+        other => Err(format!("unknown engine {other} (tick|event)")),
+    }
 }
 
 /// Parsed `--fsync` value.
@@ -377,6 +403,9 @@ pub struct SweepCmd {
     pub out: String,
     /// Emit a machine-readable summary instead of a human one.
     pub json: bool,
+    /// Stepping engine override (`None` = whatever the grid file says,
+    /// which itself defaults to the fast path).
+    pub engine: Option<EngineArg>,
 }
 
 /// Subcommands.
@@ -520,6 +549,7 @@ impl Cli {
                     jobs: None,
                     out: "results.jsonl".into(),
                     json: false,
+                    engine: None,
                 };
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -537,6 +567,10 @@ impl Cli {
                         }
                         "--out" => cmd.out = it.next().ok_or("--out needs a path")?.clone(),
                         "--json" => cmd.json = true,
+                        "--engine" => {
+                            let v = it.next().ok_or("--engine needs tick|event")?;
+                            cmd.engine = Some(parse_engine(v)?);
+                        }
                         other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
                     }
                 }
@@ -844,6 +878,7 @@ impl Cli {
                     fault_plan: None,
                     journal_dir: None,
                     fsync: None,
+                    engine: EngineArg::default(),
                 };
                 while let Some(flag) = it.next() {
                     match flag.as_str() {
@@ -900,6 +935,10 @@ impl Cli {
                         "--fsync" => {
                             let v = it.next().ok_or("--fsync needs a policy")?;
                             spec.fsync = Some(parse_fsync(v)?);
+                        }
+                        "--engine" => {
+                            let v = it.next().ok_or("--engine needs tick|event")?;
+                            spec.engine = parse_engine(v)?;
                         }
                         other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
                     }
@@ -1403,6 +1442,7 @@ mod tests {
                 jobs: Some(4),
                 out: "/tmp/r.jsonl".into(),
                 json: true,
+                engine: None,
             })
         );
 
@@ -1420,6 +1460,38 @@ mod tests {
             .contains("mutually exclusive"));
         assert!(parse(&["sweep", "--paper", "--jobs", "0"]).is_err());
         assert!(parse(&["sweep", "--paper", "--jobs", "lots"]).is_err());
+    }
+
+    #[test]
+    fn engine_flag_parses_on_run_and_sweep() {
+        let cli = parse(&["run", "CG", "--engine", "tick"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.engine, EngineArg::Tick);
+
+        let cli = parse(&["run", "CG"]).unwrap();
+        let Command::Run(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.engine, EngineArg::Event, "fast path is the default");
+
+        let cli = parse(&["sweep", "--paper", "--engine", "tick"]).unwrap();
+        let Command::Sweep(cmd) = cli.command else {
+            panic!()
+        };
+        assert_eq!(cmd.engine, Some(EngineArg::Tick));
+
+        let cli = parse(&["timeline", "CG", "--engine", "event"]).unwrap();
+        let Command::Timeline(spec) = cli.command else {
+            panic!()
+        };
+        assert_eq!(spec.engine, EngineArg::Event);
+
+        assert!(parse(&["run", "CG", "--engine", "warp"])
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(parse(&["run", "CG", "--engine"]).is_err());
     }
 
     #[test]

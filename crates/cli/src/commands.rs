@@ -1,12 +1,12 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    AgentCmd, ChaosCmd, ControllerArg, CoordinateCmd, FsyncArg, JournalCmd, RecordSpec, ResumeCmd,
-    RunSpec, ScenarioCmd, SweepCmd, TraceCmd,
+    AgentCmd, ChaosCmd, ControllerArg, CoordinateCmd, EngineArg, FsyncArg, JournalCmd, RecordSpec,
+    ResumeCmd, RunSpec, ScenarioCmd, SweepCmd, TraceCmd,
 };
 use crate::plot::{chart, Series};
 use dufp::{
-    run_journaled, run_once, run_repeated, ControllerKind, ExperimentSpec, JournalOptions,
+    run_journaled, run_once, run_repeated, ControllerKind, Engine, ExperimentSpec, JournalOptions,
     TraceSpec,
 };
 use dufp_journal::{list_checkpoints, FsyncPolicy};
@@ -71,6 +71,13 @@ pub fn machine_template() -> String {
         .expect("SimConfig always serializes")
 }
 
+fn engine_kind(arg: EngineArg) -> Engine {
+    match arg {
+        EngineArg::Tick => Engine::Tick,
+        EngineArg::Event => Engine::Event,
+    }
+}
+
 fn controller_kind(spec: &RunSpec) -> ControllerKind {
     match spec.controller {
         ControllerArg::Default => ControllerKind::Default,
@@ -125,6 +132,7 @@ pub fn run_app(spec: &RunSpec) -> Result<String, String> {
         // the observable record of how the run survived its faults.
         telemetry: spec.trace_out.is_some() || fault_plan.is_some(),
         fault_plan: fault_plan.clone(),
+        engine: engine_kind(spec.engine),
     };
 
     if spec.runs == 1 {
@@ -321,6 +329,7 @@ pub fn timeline(spec: &RunSpec) -> Result<String, String> {
         interval_ms: None,
         telemetry: false,
         fault_plan: resolve_fault_plan(spec)?,
+        engine: engine_kind(spec.engine),
     };
     let r = run_once(&exp, spec.seed).map_err(|e| e.to_string())?;
     let trace = r.trace.as_ref().ok_or("trace missing")?;
@@ -549,6 +558,7 @@ pub fn plan(spec: &RunSpec) -> Result<String, String> {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: engine_kind(spec.engine),
     };
     let base =
         run_repeated(&exp(ControllerKind::Default), runs, spec.seed).map_err(|e| e.to_string())?;
@@ -607,7 +617,7 @@ pub fn plan(spec: &RunSpec) -> Result<String, String> {
 
 /// `dufp sweep ...` — expand a grid, run it on a worker pool, write JSONL.
 pub fn sweep(cmd: &SweepCmd) -> Result<String, String> {
-    let grid = match &cmd.grid {
+    let mut grid = match &cmd.grid {
         Some(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("grid file {path}: {e}"))?;
@@ -615,6 +625,9 @@ pub fn sweep(cmd: &SweepCmd) -> Result<String, String> {
         }
         None => dufp::SweepGrid::paper(),
     };
+    if let Some(engine) = cmd.engine {
+        grid.engine = engine_kind(engine);
+    }
     let jobs = cmd.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -1167,6 +1180,7 @@ mod tests {
             fault_plan: None,
             journal_dir: None,
             fsync: None,
+            engine: EngineArg::default(),
         }
     }
 
@@ -1416,6 +1430,7 @@ mod tests {
             jobs: Some(2),
             out: out_path.to_str().unwrap().into(),
             json: false,
+            engine: None,
         })
         .unwrap();
         assert!(out.contains("4 jobs"), "{out}");
@@ -1452,6 +1467,7 @@ mod tests {
             jobs: Some(1),
             out: out_path.to_str().unwrap().into(),
             json: true,
+            engine: None,
         })
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -1469,6 +1485,7 @@ mod tests {
             jobs: Some(1),
             out: "/tmp/never-written.jsonl".into(),
             json: false,
+            engine: None,
         })
         .unwrap_err();
         assert!(err.contains("grid file"), "{err}");

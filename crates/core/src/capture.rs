@@ -133,6 +133,7 @@ mod tests {
             interval_ms: None,
             telemetry: false,
             fault_plan: None,
+            engine: Default::default(),
         };
         let orig = run_once(&spec("CG".into()), 3).unwrap();
         let capt = run_once(&spec(path.to_str().unwrap().into()), 3).unwrap();

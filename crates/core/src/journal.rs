@@ -371,6 +371,7 @@ mod tests {
             interval_ms: None,
             telemetry: false,
             fault_plan: plan.map(|p| FaultPlan::parse(p).expect("valid plan")),
+            engine: Default::default(),
         }
     }
 
@@ -590,6 +591,7 @@ mod tests {
                 interval_ms: None,
                 telemetry: false,
                 fault_plan: None,
+                engine: Default::default(),
             },
             seed: 1,
         };

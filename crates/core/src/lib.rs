@@ -21,6 +21,7 @@
 //!     trace: None,
 //!     interval_ms: None, telemetry: false, // the paper's 200 ms
 //!     fault_plan: None,
+//!     engine: Engine::default(), // memoized fast path; `Tick` = legacy oracle
 //! };
 //! let result = run_once(&spec, 1).unwrap();
 //! assert!(result.exec_time.value() > 0.0);
@@ -61,7 +62,9 @@ pub use journal::{
     resume, run_journaled, summarize, CheckpointState, JournalOptions, JournalRecord,
     JournalSummary, RunMeta, SocketRegs,
 };
-pub use runner::{run_once, run_repeated, ControllerKind, ExperimentSpec, RunResult, TraceSpec};
+pub use runner::{
+    run_once, run_repeated, ControllerKind, Engine, ExperimentSpec, RunResult, TraceSpec,
+};
 pub use stats::{trimmed, RepeatedResult, Summary};
 pub use sweep::{
     parse_grid, run_sweep, to_jsonl_bytes, SweepGrid, SweepJob, SweepOutput, SweepRow,
@@ -72,7 +75,7 @@ pub use watchdog::{Watchdog, WatchdogTrip};
 pub mod prelude {
     pub use crate::compare::{ratios_vs_default, Ratios};
     pub use crate::runner::{
-        run_once, run_repeated, ControllerKind, ExperimentSpec, RunResult, TraceSpec,
+        run_once, run_repeated, ControllerKind, Engine, ExperimentSpec, RunResult, TraceSpec,
     };
     pub use crate::stats::{trimmed, RepeatedResult, Summary};
     pub use dufp_control::{ControlConfig, Controller, Duf, Dufp};

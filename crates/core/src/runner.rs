@@ -124,6 +124,45 @@ impl ControllerKind {
     }
 }
 
+/// Which stepping engine drives the simulated machine.
+///
+/// Both engines produce bit-identical decision traces, energies and
+/// telemetry — the fast path memoizes the expensive model evaluations of a
+/// converged steady stretch and replays only the per-tick noise draws and
+/// accumulator updates, falling back to a full tick whenever any input it
+/// depends on changes. `Tick` is the permanent differential oracle: the
+/// equivalence suite in `tests/engine_differential.rs` runs every policy,
+/// fault plan and crash/resume scenario under both and compares bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Engine {
+    /// Legacy fixed-Δt stepping: one full model evaluation per tick.
+    Tick,
+    /// Memoized fast path (default): full evaluations only at events —
+    /// phase changes, register writes, allowance regime crossings.
+    #[default]
+    Event,
+}
+
+impl Engine {
+    /// CLI spelling (`--engine tick|event`).
+    pub fn parse(s: &str) -> Result<Engine> {
+        match s {
+            "tick" => Ok(Engine::Tick),
+            "event" => Ok(Engine::Event),
+            other => Err(Error::invalid("engine", format!("unknown engine `{other}` (expected `tick` or `event`)"))),
+        }
+    }
+
+    /// The CLI spelling of this engine.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Tick => "tick",
+            Engine::Event => "event",
+        }
+    }
+}
+
 /// Optional per-run trace request.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceSpec {
@@ -163,6 +202,12 @@ pub struct ExperimentSpec {
     /// resilience layer instead of aborting.
     #[serde(default)]
     pub fault_plan: Option<FaultPlan>,
+    /// Stepping engine. The default [`Engine::Event`] fast path is
+    /// bit-identical to [`Engine::Tick`]; pass `Tick` to run the legacy
+    /// per-tick oracle (differential baseline, ~an order of magnitude
+    /// slower).
+    #[serde(default)]
+    pub engine: Engine,
 }
 
 /// Whole-node measurements of one run.
@@ -433,8 +478,19 @@ pub(crate) fn run_driver(
                 )));
             }
             for regs in resume.intervals.iter().take(replay_to as usize) {
-                for _ in 0..ticks_per_interval {
-                    machine.tick();
+                match spec.engine {
+                    Engine::Tick => {
+                        for _ in 0..ticks_per_interval {
+                            machine.tick();
+                        }
+                    }
+                    // The fast path stops early once every socket is done;
+                    // the tick loop would idle-tick to the interval boundary
+                    // instead. The divergence is unobservable: either way
+                    // the next check rejects the journal as corrupt.
+                    Engine::Event => {
+                        machine.advance(ticks_per_interval);
+                    }
                 }
                 if machine.done() {
                     return Err(Error::Corruption(
@@ -525,29 +581,72 @@ pub(crate) fn run_driver(
             ));
         }
         let t0 = timed.then(std::time::Instant::now);
-        for _ in 0..ticks_per_interval {
-            machine.tick();
-            if machine.done() {
-                break 'outer;
-            }
-            if let Some(at) = crash_at {
-                if machine.now().0 / machine.config().tick.as_micros() >= at {
-                    // The modeled process death: the journal keeps only
-                    // what was durably appended — no Complete record —
-                    // and the safe-state guards restore the platform as
-                    // the error unwinds, exactly like a wrapper script
-                    // cleaning up after a killed run.
-                    return Err(Error::Precondition(format!(
-                        "fault plan crash at tick {at}"
-                    )));
+        match spec.engine {
+            Engine::Tick => {
+                for _ in 0..ticks_per_interval {
+                    machine.tick();
+                    if machine.done() {
+                        break 'outer;
+                    }
+                    if let Some(at) = crash_at {
+                        if machine.now().0 / machine.config().tick.as_micros() >= at {
+                            // The modeled process death: the journal keeps
+                            // only what was durably appended — no Complete
+                            // record — and the safe-state guards restore the
+                            // platform as the error unwinds, exactly like a
+                            // wrapper script cleaning up after a killed run.
+                            return Err(Error::Precondition(format!(
+                                "fault plan crash at tick {at}"
+                            )));
+                        }
+                    }
+                    if machine.now().duration_since(started) >= max_duration {
+                        return Err(Error::Precondition(format!(
+                            "{} did not finish within 10x nominal time under {}",
+                            spec.app,
+                            spec.controller.label()
+                        )));
+                    }
                 }
             }
-            if machine.now().duration_since(started) >= max_duration {
-                return Err(Error::Precondition(format!(
-                    "{} did not finish within 10x nominal time under {}",
-                    spec.app,
-                    spec.controller.label()
-                )));
+            Engine::Event => {
+                // Batched fast-forward up to the next *scheduled* event: the
+                // interval boundary, a `crash,at=N` rule, or the 10× timeout.
+                // Each barrier caps the batch so the corresponding check
+                // fires at exactly the tick the per-tick loop would fire it;
+                // completion needs no barrier because `advance` stops the
+                // moment every socket reports done.
+                let tick_len = machine.config().tick.as_micros();
+                let mut remaining = ticks_per_interval;
+                while remaining > 0 {
+                    let mut batch = remaining;
+                    if let Some(at) = crash_at {
+                        let idx = machine.now().0 / tick_len;
+                        batch = batch.min(at.saturating_sub(idx).max(1));
+                    }
+                    let elapsed = machine.now().duration_since(started).as_micros();
+                    let budget = max_duration.as_micros().saturating_sub(elapsed);
+                    batch = batch.min(budget.div_ceil(tick_len).max(1));
+                    let advanced = machine.advance(batch);
+                    remaining -= advanced.min(remaining);
+                    if machine.done() {
+                        break 'outer;
+                    }
+                    if let Some(at) = crash_at {
+                        if machine.now().0 / tick_len >= at {
+                            return Err(Error::Precondition(format!(
+                                "fault plan crash at tick {at}"
+                            )));
+                        }
+                    }
+                    if machine.now().duration_since(started) >= max_duration {
+                        return Err(Error::Precondition(format!(
+                            "{} did not finish within 10x nominal time under {}",
+                            spec.app,
+                            spec.controller.label()
+                        )));
+                    }
+                }
             }
         }
         if let Some(t0) = t0 {
@@ -730,6 +829,7 @@ mod tests {
             interval_ms: None,
             telemetry: false,
             fault_plan: None,
+            engine: Engine::default(),
         }
     }
 

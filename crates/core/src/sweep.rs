@@ -23,7 +23,7 @@
 //! single-line arrays, `#` comments) parsed by [`parse_grid`] — see the
 //! README's "Running paper-scale sweeps" section for an example.
 
-use crate::runner::{run_once, ControllerKind, ExperimentSpec};
+use crate::runner::{run_once, ControllerKind, Engine, ExperimentSpec};
 use dufp_msr::FaultPlan;
 use dufp_sim::SimConfig;
 use dufp_types::{Error, Ratio, Result, Watts};
@@ -55,6 +55,11 @@ pub struct SweepGrid {
     /// Optional machine description: a path to a `SimConfig` JSON file
     /// (`dufp machine-template` emits one). `None` = the paper's YETI node.
     pub machine: Option<String>,
+    /// Stepping engine for every job: the fast path (default) or the
+    /// per-tick oracle. Either way the rows are byte-identical — `tick`
+    /// exists for differential runs and benchmarking the speedup.
+    #[serde(default)]
+    pub engine: Engine,
 }
 
 impl SweepGrid {
@@ -71,6 +76,7 @@ impl SweepGrid {
             interval_ms: None,
             fault_plan: None,
             machine: None,
+            engine: Engine::default(),
         }
     }
 
@@ -161,6 +167,7 @@ impl SweepGrid {
                                 interval_ms: self.interval_ms,
                                 telemetry: false,
                                 fault_plan: fault_plan.clone(),
+                                engine: self.engine,
                             },
                         });
                     }
@@ -372,6 +379,7 @@ pub fn parse_grid(text: &str) -> Result<SweepGrid> {
         interval_ms: None,
         fault_plan: None,
         machine: None,
+        engine: Engine::default(),
     };
     for (lineno, raw) in text.lines().enumerate() {
         let line = strip_comment(raw).trim();
@@ -418,6 +426,10 @@ pub fn parse_grid(text: &str) -> Result<SweepGrid> {
             }
             "fault_plan" => grid.fault_plan = Some(parse_string(value).map_err(&err)?),
             "machine" => grid.machine = Some(parse_string(value).map_err(&err)?),
+            "engine" => {
+                grid.engine = Engine::parse(&parse_string(value).map_err(&err)?)
+                    .map_err(|e| err(e.to_string()))?;
+            }
             other => return Err(err(format!("unknown key `{other}`"))),
         }
     }
@@ -491,6 +503,7 @@ mod tests {
             interval_ms: None,
             fault_plan: None,
             machine: None,
+            engine: Engine::default(),
         }
     }
 

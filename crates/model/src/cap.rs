@@ -36,6 +36,25 @@ impl Default for CapEnforcerParams {
     }
 }
 
+/// The per-`dt` gains of [`CapEnforcer::step`], precomputed once.
+///
+/// All of `step`'s dependence on `dt` (and on the enforcer's windows and
+/// settle constant) lives in three scalars; with a fixed tick they are
+/// bit-stable across ticks, so the fast-path simulator computes them once
+/// per memoized stretch via [`CapEnforcer::gains`] and replays the cheap
+/// remainder with [`CapEnforcer::step_with_gains`]. `step` itself
+/// delegates through this type, which makes tick-engine and fast-path
+/// arithmetic identical by construction, not by parallel maintenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapGains {
+    /// Long-window EMA coefficient for this `dt`.
+    pub a_long: f64,
+    /// Short-window EMA coefficient for this `dt`.
+    pub a_short: f64,
+    /// First-order settle coefficient for this `dt`.
+    pub k: f64,
+}
+
 /// Windowed-average power-limit enforcement for one package.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CapEnforcer {
@@ -97,10 +116,28 @@ impl CapEnforcer {
     /// Advances the firmware state by `dt` with `measured` package power,
     /// returning the updated instantaneous power allowance.
     pub fn step(&mut self, dt: Seconds, measured: Watts) -> Watts {
-        let a_long = (dt.value() / self.pl1_window.value().max(1e-6)).clamp(0.0, 1.0);
-        let a_short = (dt.value() / self.pl2_window.value().max(1e-6)).clamp(0.0, 1.0);
-        self.ema_long += a_long * (measured.value() - self.ema_long);
-        self.ema_short += a_short * (measured.value() - self.ema_short);
+        let gains = self.gains(dt);
+        self.step_with_gains(measured, &gains)
+    }
+
+    /// The EMA and settle coefficients `step` would use for this `dt`.
+    /// Valid until the windows or settle constant change (they only change
+    /// by replacing the whole enforcer).
+    pub fn gains(&self, dt: Seconds) -> CapGains {
+        CapGains {
+            a_long: (dt.value() / self.pl1_window.value().max(1e-6)).clamp(0.0, 1.0),
+            a_short: (dt.value() / self.pl2_window.value().max(1e-6)).clamp(0.0, 1.0),
+            k: 1.0 - (-dt.value() / self.params.settle_tau.value().max(1e-6)).exp(),
+        }
+    }
+
+    /// The body of [`CapEnforcer::step`] with the `dt`-derived gains
+    /// supplied by the caller — the fast-path hot loop, with `step`'s
+    /// division/`exp` hoisted out. Passing `self.gains(dt)` makes this
+    /// bit-identical to `step(dt, measured)`.
+    pub fn step_with_gains(&mut self, measured: Watts, gains: &CapGains) -> Watts {
+        self.ema_long += gains.a_long * (measured.value() - self.ema_long);
+        self.ema_short += gains.a_short * (measured.value() - self.ema_short);
 
         let pl1_allow =
             self.pl1.value() + self.params.burst_gain * (self.pl1.value() - self.ema_long);
@@ -108,8 +145,7 @@ impl CapEnforcer {
         let target = pl1_allow.min(pl2_allow).max(0.0);
 
         // First-order settle toward the target allowance.
-        let k = 1.0 - (-dt.value() / self.params.settle_tau.value().max(1e-6)).exp();
-        self.allowance += k * (target - self.allowance);
+        self.allowance += gains.k * (target - self.allowance);
         Watts(self.allowance)
     }
 
@@ -230,6 +266,25 @@ mod tests {
                 allow = e.step(Seconds(0.001), Watts(power));
             }
             prop_assert!(allow.value() <= pl1 + 25.0 + 1e-6);
+        }
+
+        #[test]
+        fn step_with_gains_is_bit_identical_to_step(
+            powers in proptest::collection::vec(0.0f64..300.0, 1..200),
+            pl1 in 40.0f64..125.0,
+        ) {
+            let mut a = yeti_enforcer();
+            let mut b = yeti_enforcer();
+            a.set_limits(Watts(pl1), Watts(pl1 + 25.0));
+            b.set_limits(Watts(pl1), Watts(pl1 + 25.0));
+            let dt = Seconds(0.001);
+            let gains = b.gains(dt);
+            for p in powers {
+                let x = a.step(dt, Watts(p));
+                let y = b.step_with_gains(Watts(p), &gains);
+                prop_assert_eq!(x.value().to_bits(), y.value().to_bits());
+            }
+            prop_assert_eq!(&a, &b);
         }
 
         #[test]

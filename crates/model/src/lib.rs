@@ -30,7 +30,7 @@ pub mod power;
 pub mod vf;
 
 pub use bandwidth::BandwidthModel;
-pub use cap::{CapEnforcer, CapEnforcerParams};
+pub use cap::{CapEnforcer, CapEnforcerParams, CapGains};
 pub use perf::{PhaseKind, PhaseRates, RooflineModel};
-pub use power::{DramPowerModel, PowerBreakdown, PowerModel, SocketActivity};
+pub use power::{DramPowerModel, LadderPoint, PowerBreakdown, PowerModel, SocketActivity};
 pub use vf::VfCurve;

@@ -171,16 +171,80 @@ impl PowerModel {
         activity: &SocketActivity,
         allowance: Watts,
     ) -> Hertz {
+        self.ladder_search(min, max, step, uncore_freq, activity, allowance)
+            .freq
+    }
+
+    /// The same descending ladder walk as [`PowerModel::max_frequency_within`]
+    /// (which delegates here — there is exactly one search implementation),
+    /// but returning the predicted powers that bracket the chosen rung so a
+    /// caller can memoize the result: see [`LadderPoint::stable_for`].
+    pub fn ladder_search(
+        &self,
+        min: Hertz,
+        max: Hertz,
+        step: Hertz,
+        uncore_freq: Hertz,
+        activity: &SocketActivity,
+        allowance: Watts,
+    ) -> LadderPoint {
         let steps = ((max.value() - min.value()) / step.value())
             .round()
             .max(0.0) as i64;
         for i in (0..=steps).rev() {
             let f = Hertz(min.value() + i as f64 * step.value());
-            if self.package_total(f, uncore_freq, activity) <= allowance {
-                return f;
+            let power_at = self.package_total(f, uncore_freq, activity);
+            if power_at <= allowance {
+                let power_above = (i < steps).then(|| {
+                    let above = Hertz(min.value() + (i + 1) as f64 * step.value());
+                    self.package_total(above, uncore_freq, activity)
+                });
+                return LadderPoint {
+                    freq: f,
+                    fits: true,
+                    power_at,
+                    power_above,
+                };
             }
         }
-        min
+        LadderPoint {
+            freq: min,
+            fits: false,
+            power_at: self.package_total(min, uncore_freq, activity),
+            power_above: None,
+        }
+    }
+}
+
+/// The rung [`PowerModel::ladder_search`] chose, plus the predicted powers
+/// bounding the allowance interval over which the choice is stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderPoint {
+    /// The chosen frequency (the fallback `min` when nothing fits).
+    pub freq: Hertz,
+    /// Whether `freq`'s predicted power fit the allowance (`false` marks
+    /// the nothing-fits fallback to `min`).
+    pub fits: bool,
+    /// Predicted package power at `freq`.
+    pub power_at: Watts,
+    /// Predicted package power one rung above `freq`; `None` when `freq`
+    /// is already the top rung (or on the fallback path).
+    pub power_above: Option<Watts>,
+}
+
+impl LadderPoint {
+    /// True when re-running the search with `allowance` (same frequency
+    /// range, uncore and activity) is guaranteed to return `freq` again,
+    /// using the exact `<=` comparisons the search itself performs. Relies
+    /// on package power being monotone in core frequency (the model is, by
+    /// construction: voltage and every dynamic/leakage term are
+    /// non-decreasing in `f`), so "this rung fits, the next one up does
+    /// not" pins the descending walk's first hit.
+    pub fn stable_for(&self, allowance: Watts) -> bool {
+        if !self.fits {
+            return !(self.power_at <= allowance);
+        }
+        self.power_at <= allowance && self.power_above.is_none_or(|p| !(p <= allowance))
     }
 }
 
@@ -337,6 +401,37 @@ mod tests {
             let f_lo = m.max_frequency_within(args.0, args.1, args.2, args.3, &act, Watts(lo_w));
             let f_hi = m.max_frequency_within(args.0, args.1, args.2, args.3, &act, Watts(hi_w));
             prop_assert!(f_lo <= f_hi);
+        }
+
+        #[test]
+        fn ladder_point_stability_predicts_the_search(
+            a1 in 20.0f64..200.0,
+            a2 in 20.0f64..200.0,
+            util in 0.0f64..1.0,
+        ) {
+            let m = PowerModel::xeon_gold_6130();
+            let act = SocketActivity { core_util: util, mem_util: 0.3, active_cores: 16 };
+            let args = (
+                Hertz::from_ghz(1.0),
+                Hertz::from_ghz(2.8),
+                Hertz::from_mhz(100.0),
+                Hertz::from_ghz(2.0),
+            );
+            let point = m.ladder_search(args.0, args.1, args.2, args.3, &act, Watts(a1));
+            // The delegation is exact.
+            prop_assert_eq!(
+                point.freq,
+                m.max_frequency_within(args.0, args.1, args.2, args.3, &act, Watts(a1))
+            );
+            // A point is always stable for the allowance that produced it.
+            prop_assert!(point.stable_for(Watts(a1)));
+            // Stability at any other allowance implies the search agrees.
+            if point.stable_for(Watts(a2)) {
+                prop_assert_eq!(
+                    m.max_frequency_within(args.0, args.1, args.2, args.3, &act, Watts(a2)),
+                    point.freq
+                );
+            }
         }
     }
 

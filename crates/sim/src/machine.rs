@@ -182,6 +182,71 @@ impl Machine {
             .fetch_add(self.cfg.tick.as_micros(), Ordering::Relaxed);
     }
 
+    /// Advances up to `max_ticks` ticks through the sockets' memoized fast
+    /// path ([`SocketSim::tick_fast`]), stopping early — *after* the
+    /// completing tick, matching the tick-engine's `tick(); done()` order —
+    /// once every socket has finished. Returns the number of ticks actually
+    /// advanced.
+    ///
+    /// Each socket is locked once for the whole batch and the clock is
+    /// published once at the end, which is observationally equivalent to
+    /// per-tick stepping because MSR accesses, telemetry samples and fault
+    /// injection only happen between driver batches, never mid-batch.
+    pub fn advance(&self, max_ticks: u64) -> u64 {
+        let tick_us = self.cfg.tick.as_micros();
+        if let [only] = &self.sockets[..] {
+            // Single-socket machines (the paper sweep shape) hand whole
+            // batches to the socket's tight kernel, dropping to per-tick
+            // stepping only on ticks that must rebuild the memo.
+            let base = self.now_us.load(Ordering::Relaxed);
+            let mut g = only.lock();
+            let mut advanced = 0u64;
+            while advanced < max_ticks {
+                if g.done() {
+                    // An already-idle machine still performs the tick the
+                    // per-tick loop would before noticing it is done.
+                    g.tick_fast(Instant(base + advanced * tick_us));
+                    advanced += 1;
+                    break;
+                }
+                advanced += g.tick_fast_batch(
+                    Instant(base + advanced * tick_us),
+                    tick_us,
+                    max_ticks - advanced,
+                );
+                if g.done() || advanced >= max_ticks {
+                    break;
+                }
+                g.tick_fast(Instant(base + advanced * tick_us));
+                advanced += 1;
+                if g.done() {
+                    break;
+                }
+            }
+            drop(g);
+            self.now_us.fetch_add(advanced * tick_us, Ordering::Relaxed);
+            return advanced;
+        }
+        let mut guards: Vec<_> = self.sockets.iter().map(|s| s.lock()).collect();
+        let mut now = self.now_us.load(Ordering::Relaxed);
+        let mut advanced = 0u64;
+        while advanced < max_ticks {
+            let mut all_done = true;
+            for g in guards.iter_mut() {
+                g.tick_fast(Instant(now));
+                all_done &= g.done();
+            }
+            now += tick_us;
+            advanced += 1;
+            if all_done {
+                break;
+            }
+        }
+        self.now_us
+            .fetch_add(advanced * tick_us, Ordering::Relaxed);
+        advanced
+    }
+
     /// Runs until every socket finishes or `max` elapses; returns the
     /// elapsed simulated time.
     pub fn run_to_completion(&self, max: Duration) -> Result<Duration> {
@@ -499,6 +564,50 @@ mod tests {
         // Wrong factor counts and bad factors are rejected.
         assert!(m.load_imbalanced(&w, &[1.0, 1.0]).is_err());
         assert!(m.load_imbalanced(&w, &[1.0, 0.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn advance_is_bit_identical_to_per_tick_stepping() {
+        let units = RaplPowerUnit::skylake_sp();
+        let cap = PkgPowerLimit::defaults(Watts(90.0), Seconds(1.0), Watts(100.0), Seconds(0.01))
+            .encode(&units)
+            .unwrap();
+        let run = |fast: bool| -> Vec<(u64, u64, u64)> {
+            let m = Machine::new(SimConfig::yeti(5));
+            let ctx = MaterializeCtx::from_arch(&m.config().arch);
+            // Imbalanced loads make the sockets finish at different times,
+            // exercising the done-socket fast path alongside busy ones.
+            m.load_imbalanced(&apps::cg(&ctx).unwrap(), &[1.0, 1.1, 0.9, 1.0])
+                .unwrap();
+            let mut sig = Vec::new();
+            for round in 0..600 {
+                if round == 40 {
+                    m.write(0, MSR_PKG_POWER_LIMIT, cap).unwrap();
+                }
+                if fast {
+                    m.advance(200);
+                } else {
+                    for _ in 0..200 {
+                        m.tick();
+                        if m.done() {
+                            break;
+                        }
+                    }
+                }
+                let s = m.sample(SocketId(1)).unwrap();
+                sig.push((
+                    m.now().0,
+                    s.pkg_energy.value().to_bits(),
+                    s.flops.to_bits(),
+                ));
+                if m.done() {
+                    break;
+                }
+            }
+            assert!(m.done(), "workload must finish inside the round budget");
+            sig
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

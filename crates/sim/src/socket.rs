@@ -2,7 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::trace::{Trace, TracePoint};
-use dufp_model::{CapEnforcer, PowerModel, RooflineModel, SocketActivity};
+use dufp_model::{CapEnforcer, CapGains, LadderPoint, PowerModel, RooflineModel, SocketActivity};
 use dufp_msr::registers::{PerfCtl, PkgPowerLimit, RaplPowerUnit, UncoreRatioLimit};
 use dufp_telemetry::{Counter, Gauge, Telemetry};
 use dufp_types::{Hertz, Instant, Seconds, Watts};
@@ -56,6 +56,57 @@ pub struct Accumulators {
     pub mperf: f64,
 }
 
+/// The memoized operating point of [`SocketSim::tick_fast`]'s fast path.
+///
+/// A full [`SocketSim::tick`] spends almost all of its time re-deriving
+/// values that are constant across a steady stretch: the DVFS ladder
+/// search (~19 power-model evaluations), achievable bandwidth, roofline
+/// progress rates and the package power base. This memo caches those
+/// outputs *bitwise* along with the entry-state fingerprint and allowance
+/// interval over which `tick` is guaranteed to recompute them identically;
+/// while the memo validates, a tick reduces to the RNG draws, the noise
+/// multiplies and the accumulator additions — the exact f64 operations the
+/// full tick performs, in the same order, on the same cached bit patterns.
+#[derive(Debug, Clone, Copy)]
+struct StepMemo {
+    /// Workload phase index the memo was derived for.
+    phase_idx: usize,
+    /// Whether the socket was done (idle) when the memo was derived.
+    done: bool,
+    /// Bit pattern of the entry `mem_util` the cached activity used.
+    mem_util_bits: u64,
+    /// Tick duration in seconds.
+    dt: Seconds,
+    /// Cap-enforcer EMA/settle coefficients for `dt`.
+    gains: CapGains,
+    /// Effective uncore frequency.
+    uncore: Hertz,
+    /// Bit pattern of `bandwidth.achievable(uncore, allowance)` at build
+    /// time; the fast path recomputes it each tick (three multiplies) and
+    /// bails to a full tick the moment the bits move.
+    bw_bits: u64,
+    /// Cached `bandwidth.uncore_factor(uncore)` — a pure function of the
+    /// memo's fixed uncore frequency, so its bits are exactly what
+    /// `achievable` would recompute; caching it turns the per-tick
+    /// bandwidth check from a `powf` into two multiplies.
+    uf: f64,
+    /// The ladder rung the cap inversion chose, with its stability bounds.
+    /// `None` for an idle (done) socket, which performs no search.
+    ladder: Option<LadderPoint>,
+    /// Applied core frequency (ladder result bounded by the ceiling).
+    core_freq: Hertz,
+    /// Noise-free achieved-bandwidth rate (bytes/s).
+    progress_bw: f64,
+    /// Noise-free FLOP rate (FLOP/s).
+    flops_rate: f64,
+    /// Noise-free work-unit completion rate (units/s).
+    units_rate: f64,
+    /// The `mem_util` value this tick writes back (noise-free).
+    new_mem_util: f64,
+    /// Package power before the multiplicative power noise (W).
+    pkg_power_base: f64,
+}
+
 /// One simulated processor package plus its share of the workload.
 #[derive(Debug)]
 pub struct SocketSim {
@@ -86,6 +137,9 @@ pub struct SocketSim {
     /// Ground-truth workload phase transitions: `(time, new_phase_index)`.
     phase_log: Vec<(Instant, usize)>,
     gauges: Option<SocketGauges>,
+    /// Fast-path memo; `None` whenever the cached operating point may be
+    /// stale (after any register write or workload load).
+    memo: Option<StepMemo>,
 }
 
 impl SocketSim {
@@ -142,6 +196,7 @@ impl SocketSim {
             ticks: 0,
             phase_log: Vec::new(),
             gauges: None,
+            memo: None,
         }
     }
 
@@ -159,6 +214,7 @@ impl SocketSim {
         self.phase_idx = 0;
         self.units_done = 0.0;
         self.phase_log.clear();
+        self.memo = None;
     }
 
     /// Ground-truth phase transitions so far: `(time, new_phase_index)`.
@@ -199,6 +255,7 @@ impl SocketSim {
     /// Programs the uncore ratio register (what an `0x620` write does).
     pub fn write_uncore(&mut self, raw: UncoreRatioLimit) {
         self.uncore_raw = raw;
+        self.memo = None;
     }
 
     /// The power-limit register content.
@@ -222,6 +279,7 @@ impl SocketSim {
             self.cfg.arch.pl2_default
         };
         self.enforcer.set_limits(pl1, pl2);
+        self.memo = None;
     }
 
     /// Applied core frequency (what APERF/MPERF or Fig. 5's traces show).
@@ -237,6 +295,7 @@ impl SocketSim {
     /// Programs the P-state request (what an `IA32_PERF_CTL` write does).
     pub fn write_perf_ctl(&mut self, raw: PerfCtl) {
         self.perf_ctl = raw;
+        self.memo = None;
     }
 
     /// The effective frequency ceiling: the architectural maximum bounded
@@ -391,6 +450,335 @@ impl SocketSim {
             }
         }
         self.ticks += 1;
+    }
+
+    /// Advances the socket by one tick, exactly like [`SocketSim::tick`]
+    /// but through a memoized fast path whenever the cached operating
+    /// point is *provably* what `tick` would recompute — same phase, same
+    /// entry `mem_util` bits, bandwidth bits unmoved, and the allowance
+    /// still inside the ladder rung's stability interval. Every observable
+    /// (accumulators, RNG stream, enforcer state, gauges, trace points,
+    /// phase log) is bit-identical to per-tick stepping; `tick` stays the
+    /// untouched differential oracle.
+    pub fn tick_fast(&mut self, now: Instant) {
+        match self.memo {
+            Some(memo) if self.memo_valid(&memo) => self.apply_memo(&memo, now),
+            _ => {
+                self.tick(now);
+                self.memo = Some(self.build_memo());
+            }
+        }
+    }
+
+
+    /// True when the memo's cached outputs are exactly what `tick` would
+    /// recompute from the current state.
+    fn memo_valid(&self, memo: &StepMemo) -> bool {
+        if memo.done != self.done()
+            || memo.phase_idx != self.phase_idx
+            || memo.mem_util_bits != self.mem_util.to_bits()
+        {
+            return false;
+        }
+        if memo.done {
+            // An idle socket's tick does not depend on the allowance at
+            // all (bandwidth is computed but unused, no ladder search).
+            return true;
+        }
+        let Some(ladder) = memo.ladder else {
+            return false;
+        };
+        let allowance = self.enforcer.allowance();
+        // `achievable` with the powf factor pre-resolved: `memo.uf` holds
+        // the bits `uncore_factor(memo.uncore)` returns, so this product
+        // is bit-for-bit the same value.
+        let bw = self.cfg.bandwidth.peak * memo.uf * self.cfg.bandwidth.cap_factor(allowance);
+        bw.value().to_bits() == memo.bw_bits && ladder.stable_for(allowance)
+    }
+
+    /// Derives a fresh memo from the *current* state — the same
+    /// computation the next `tick` would perform, expression for
+    /// expression, so the cached bits match what it would produce.
+    fn build_memo(&self) -> StepMemo {
+        let dt = self.cfg.tick.as_seconds();
+        let gains = self.enforcer.gains(dt);
+        let done = self.done();
+        let uncore = self.effective_uncore();
+        let allowance = self.enforcer.allowance();
+        if done {
+            let activity = SocketActivity::idle();
+            let core_freq = self.cfg.arch.core_freq_min;
+            return StepMemo {
+                phase_idx: self.phase_idx,
+                done,
+                mem_util_bits: self.mem_util.to_bits(),
+                dt,
+                gains,
+                uncore,
+                bw_bits: 0,
+                uf: self.cfg.bandwidth.uncore_factor(uncore),
+                ladder: None,
+                core_freq,
+                progress_bw: 0.0,
+                flops_rate: 0.0,
+                units_rate: 0.0,
+                new_mem_util: (0.0 / self.cfg.bandwidth.peak.value()).clamp(0.0, 1.0),
+                pkg_power_base: self
+                    .cfg
+                    .power
+                    .package_total(core_freq, uncore, &activity)
+                    .value(),
+            };
+        }
+        let bw = self.cfg.bandwidth.achievable(uncore, allowance);
+        let w = self.workload.as_ref().expect("not done implies loaded");
+        let phase = &w.phases[self.phase_idx];
+        let activity = SocketActivity {
+            core_util: phase.core_util,
+            mem_util: self.mem_util,
+            active_cores: self.cfg.arch.cores_per_socket,
+        };
+        let n = f64::from(self.cfg.arch.cores_per_socket);
+        let fmax = self.cfg.arch.core_freq_max;
+        let tc = if phase.rates.flops_per_core_cycle > 0.0 {
+            phase.rates.flops_per_unit / (phase.rates.flops_per_core_cycle * n * fmax.value())
+        } else {
+            0.0
+        };
+        let tm = phase.rates.bytes_per_unit / bw.value().max(1.0);
+        let compute_share = if tc.max(tm) > 0.0 {
+            tc / tc.max(tm)
+        } else {
+            1.0
+        };
+        let requested = self
+            .cfg
+            .governor
+            .request(self.cfg.arch.core_freq_min, fmax, compute_share);
+        let ceiling = self
+            .cfg
+            .arch
+            .snap_core_freq(requested)
+            .min(self.freq_ceiling());
+        let ladder = self.cfg.power.ladder_search(
+            self.cfg.arch.core_freq_min,
+            self.cfg.arch.core_freq_max,
+            self.cfg.arch.core_freq_step,
+            uncore,
+            &activity,
+            allowance,
+        );
+        let core_freq = ladder.freq.min(ceiling);
+        let roofline = RooflineModel {
+            cores: self.cfg.arch.cores_per_socket,
+        };
+        let pr = roofline.progress(&phase.rates, core_freq, bw);
+        StepMemo {
+            phase_idx: self.phase_idx,
+            done,
+            mem_util_bits: self.mem_util.to_bits(),
+            dt,
+            gains,
+            uncore,
+            bw_bits: bw.value().to_bits(),
+            uf: self.cfg.bandwidth.uncore_factor(uncore),
+            ladder: Some(ladder),
+            core_freq,
+            progress_bw: pr.bandwidth.value(),
+            flops_rate: pr.flops.value(),
+            units_rate: pr.units_per_sec,
+            new_mem_util: (pr.bandwidth.value() / self.cfg.bandwidth.peak.value()).clamp(0.0, 1.0),
+            pkg_power_base: self
+                .cfg
+                .power
+                .package_total(core_freq, uncore, &activity)
+                .value(),
+        }
+    }
+
+    /// The fast tick: replays `tick`'s per-tick arithmetic — RNG draws,
+    /// noise multiplies, accumulator additions, enforcer EMA update, gauge
+    /// and trace emission — against the memo's cached bit patterns.
+    fn apply_memo(&mut self, memo: &StepMemo, now: Instant) {
+        let dt = memo.dt;
+        let uncore = memo.uncore;
+        let allowance = self.enforcer.allowance();
+
+        // Noise evolution — the same draws, in the same order, as `tick`.
+        let n = self.cfg.noise;
+        if n.walk_sigma > 0.0 {
+            self.walk = 0.98 * self.walk + n.walk_sigma * sym(&mut self.rng);
+        }
+        let perf_noise =
+            (self.run_perf_factor + self.walk + n.tick_sigma * sym(&mut self.rng)).max(0.1);
+        let power_noise =
+            (self.run_power_factor + self.walk + n.tick_sigma * sym(&mut self.rng)).max(0.1);
+
+        self.core_freq = memo.core_freq;
+
+        // Progress the workload from the cached noise-free rates.
+        let advanced_units = memo.units_rate * dt.value() * perf_noise;
+        self.acc.flops += memo.flops_rate * dt.value() * perf_noise;
+        self.acc.bytes += memo.progress_bw * dt.value() * perf_noise;
+        self.mem_util = memo.new_mem_util;
+        self.advance_phase(advanced_units, now);
+
+        // Power accounting.
+        let pkg_power = Watts(memo.pkg_power_base * power_noise);
+        let dram_power = self
+            .cfg
+            .dram
+            .power(dufp_types::BytesPerSec(memo.progress_bw * perf_noise));
+        self.acc.pkg_energy += (pkg_power * dt).value();
+        self.acc.dram_energy += (dram_power * dt).value();
+        self.acc.aperf += self.core_freq.value() * dt.value();
+        self.acc.mperf += self.cfg.arch.core_freq_base.value() * dt.value();
+
+        // RAPL firmware reacts to the measured power.
+        self.enforcer.step_with_gains(pkg_power, &memo.gains);
+
+        if let Some(g) = &self.gauges {
+            g.pkg_power.set(pkg_power.value());
+            g.dram_power.set(dram_power.value());
+            g.flops.set(memo.flops_rate * perf_noise);
+            g.bandwidth.set(memo.progress_bw * perf_noise);
+            g.core_freq.set(self.core_freq.value());
+            g.uncore_freq.set(uncore.value());
+            g.ticks.inc();
+        }
+
+        // Trace.
+        if self.ticks.is_multiple_of(u64::from(self.trace_stride)) {
+            let pl1 = self.enforcer.pl1();
+            if let Some(tr) = self.trace.as_mut() {
+                tr.points.push(TracePoint {
+                    at: now,
+                    core_freq: self.core_freq,
+                    uncore_freq: uncore,
+                    pkg_power,
+                    allowance,
+                    pl1,
+                });
+            }
+        }
+        self.ticks += 1;
+    }
+
+    /// Runs up to `max` consecutive fast ticks in one tight loop — the
+    /// same per-tick operations as [`SocketSim::apply_memo`], in the same
+    /// order, with every batch-invariant load hoisted out of the loop and
+    /// the bitwise no-op writes (the fixed-point `mem_util` store, the
+    /// no-crossing half of `advance_phase`) reduced to their observable
+    /// effect. Returns the number of ticks advanced; stops early right
+    /// after a workload phase boundary or done transition, or right
+    /// before the first tick where the memo stops validating — the caller
+    /// falls back to the per-tick path, which rebuilds it.
+    pub(crate) fn tick_fast_batch(&mut self, start: Instant, tick_us: u64, max: u64) -> u64 {
+        let Some(memo) = self.memo else { return 0 };
+        if max == 0 || !self.memo_valid(&memo) {
+            return 0;
+        }
+        // Batching also needs `mem_util` at its fixed point; the opening
+        // ticks of a phase (where it still converges) invalidate the memo
+        // every tick and belong to the per-tick path.
+        if memo.new_mem_util.to_bits() != memo.mem_util_bits {
+            return 0;
+        }
+        let dtv = memo.dt.value();
+        let noise = self.cfg.noise;
+        let walk_on = noise.walk_sigma > 0.0;
+        let aperf_inc = memo.core_freq.value() * dtv;
+        let mperf_inc = self.cfg.arch.core_freq_base.value() * dtv;
+        let peak = self.cfg.bandwidth.peak;
+        let ladder = memo.ladder;
+        let plain = self.gauges.is_none() && self.trace.is_none();
+        // Work units left before the next phase boundary; an idle socket
+        // progresses nothing and never crosses.
+        let cur_work = if memo.done {
+            f64::MAX
+        } else {
+            let w = self.workload.as_ref().expect("not done implies loaded");
+            w.phases[memo.phase_idx].work_units
+        };
+        let seed_log = !memo.done && self.phase_log.is_empty();
+        self.core_freq = memo.core_freq;
+
+        let mut advanced = 0u64;
+        while advanced < max {
+            let allowance = self.enforcer.allowance();
+            if !memo.done {
+                // The per-tick `memo_valid` residue: everything else it
+                // checks is constant across the batch by construction.
+                let bw = peak * memo.uf * self.cfg.bandwidth.cap_factor(allowance);
+                let rung = ladder.expect("busy memo has a ladder");
+                if bw.value().to_bits() != memo.bw_bits || !rung.stable_for(allowance) {
+                    break;
+                }
+            }
+            let now = Instant(start.0 + advanced * tick_us);
+            if walk_on {
+                self.walk = 0.98 * self.walk + noise.walk_sigma * sym(&mut self.rng);
+            }
+            let perf_noise =
+                (self.run_perf_factor + self.walk + noise.tick_sigma * sym(&mut self.rng)).max(0.1);
+            let power_noise =
+                (self.run_power_factor + self.walk + noise.tick_sigma * sym(&mut self.rng)).max(0.1);
+            let advanced_units = memo.units_rate * dtv * perf_noise;
+            self.acc.flops += memo.flops_rate * dtv * perf_noise;
+            self.acc.bytes += memo.progress_bw * dtv * perf_noise;
+            // `mem_util = new_mem_util` is a bitwise no-op at the fixed
+            // point (entry precondition), so the store is elided.
+            let crossing = !memo.done && self.units_done + advanced_units >= cur_work;
+            if crossing || (seed_log && advanced == 0) {
+                // Phase boundaries and the first-ever tick (which seeds
+                // the phase log) take the exact per-tick code.
+                self.advance_phase(advanced_units, now);
+            } else if !memo.done {
+                // The no-crossing body of `advance_phase`, verbatim.
+                self.units_done += advanced_units;
+            }
+            let pkg_power = Watts(memo.pkg_power_base * power_noise);
+            let dram_power = self
+                .cfg
+                .dram
+                .power(dufp_types::BytesPerSec(memo.progress_bw * perf_noise));
+            self.acc.pkg_energy += (pkg_power * memo.dt).value();
+            self.acc.dram_energy += (dram_power * memo.dt).value();
+            self.acc.aperf += aperf_inc;
+            self.acc.mperf += mperf_inc;
+            self.enforcer.step_with_gains(pkg_power, &memo.gains);
+            if !plain {
+                if let Some(g) = &self.gauges {
+                    g.pkg_power.set(pkg_power.value());
+                    g.dram_power.set(dram_power.value());
+                    g.flops.set(memo.flops_rate * perf_noise);
+                    g.bandwidth.set(memo.progress_bw * perf_noise);
+                    g.core_freq.set(self.core_freq.value());
+                    g.uncore_freq.set(memo.uncore.value());
+                    g.ticks.inc();
+                }
+                if self.ticks.is_multiple_of(u64::from(self.trace_stride)) {
+                    let pl1 = self.enforcer.pl1();
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.points.push(TracePoint {
+                            at: now,
+                            core_freq: self.core_freq,
+                            uncore_freq: memo.uncore,
+                            pkg_power,
+                            allowance,
+                            pl1,
+                        });
+                    }
+                }
+            }
+            self.ticks += 1;
+            advanced += 1;
+            if crossing {
+                // The memo's phase fingerprint is stale now.
+                break;
+            }
+        }
+        advanced
     }
 
     fn advance_phase(&mut self, units: f64, now: Instant) {
@@ -723,6 +1111,86 @@ mod tests {
         assert!((delta - 0.2).abs() < 0.01, "delta {delta}");
     }
 
+    /// Drives a tick-stepped and a fast-path socket in lockstep through
+    /// mid-run register writes, asserting every observable stays
+    /// bit-identical tick by tick.
+    fn assert_fast_path_equivalent(c: SimConfig, writes: &[(u64, &dyn Fn(&mut SocketSim))]) {
+        let ctx = MaterializeCtx::from_arch(&c.arch);
+        let w = apps::cg(&ctx).unwrap();
+        let mut slow = SocketSim::new(c.clone(), 0);
+        let mut fast = SocketSim::new(c.clone(), 0);
+        slow.load(w.clone());
+        fast.load(w);
+        slow.enable_trace(7);
+        fast.enable_trace(7);
+        let tick_us = c.tick.as_micros();
+        for i in 0..150_000u64 {
+            for (at, write) in writes {
+                if *at == i {
+                    write(&mut slow);
+                    write(&mut fast);
+                }
+            }
+            let now = Instant(i * tick_us);
+            slow.tick(now);
+            fast.tick_fast(now);
+            let a = slow.accumulators();
+            let b = fast.accumulators();
+            assert_eq!(a.pkg_energy.to_bits(), b.pkg_energy.to_bits(), "tick {i}");
+            assert_eq!(a.flops.to_bits(), b.flops.to_bits(), "tick {i}");
+            if slow.done() && fast.done() {
+                break;
+            }
+        }
+        assert!(slow.done(), "run must complete inside the tick budget");
+        assert_eq!(slow.done(), fast.done());
+        assert_eq!(slow.accumulators(), fast.accumulators());
+        assert_eq!(slow.core_freq(), fast.core_freq());
+        assert_eq!(slow.phase_log(), fast.phase_log());
+        assert_eq!(
+            slow.take_trace().unwrap().points,
+            fast.take_trace().unwrap().points
+        );
+    }
+
+    #[test]
+    fn fast_path_matches_tick_with_noise() {
+        assert_fast_path_equivalent(SimConfig::yeti_single_socket(3), &[]);
+    }
+
+    #[test]
+    fn fast_path_matches_tick_noise_free() {
+        assert_fast_path_equivalent(SimConfig::deterministic(9), &[]);
+    }
+
+    #[test]
+    fn fast_path_matches_tick_across_register_writes() {
+        let units = RaplPowerUnit::skylake_sp();
+        let cap = move |w: f64| {
+            let raw = PkgPowerLimit::defaults(Watts(w), Seconds(1.0), Watts(w), Seconds(0.01))
+                .encode(&units)
+                .unwrap();
+            move |s: &mut SocketSim| s.write_limit(raw)
+        };
+        // A deep cap (65 W, below the 68 W bandwidth knee) forces the
+        // varying-bandwidth regime where the memo must keep falling back;
+        // a mid cap and an uncore pin exercise rung changes and the
+        // pressure-band boundary; PERF_CTL exercises the ceiling path.
+        let deep = cap(65.0);
+        let mid = cap(95.0);
+        let lift = cap(125.0);
+        let pin = |s: &mut SocketSim| s.write_uncore(UncoreRatioLimit::pinned(Hertz::from_ghz(1.6)));
+        let ceil = |s: &mut SocketSim| s.write_perf_ctl(PerfCtl::capped_at(Hertz::from_ghz(2.2)));
+        let writes: [(u64, &dyn Fn(&mut SocketSim)); 5] = [
+            (2_000, &mid),
+            (6_000, &deep),
+            (10_000, &lift),
+            (14_000, &pin),
+            (18_000, &ceil),
+        ];
+        assert_fast_path_equivalent(SimConfig::yeti_single_socket(17), &writes);
+    }
+
     #[test]
     fn same_seed_same_run() {
         let c = SimConfig::yeti_single_socket(7);
@@ -762,6 +1230,7 @@ mod tests {
                 ticks: other.ticks,
                 phase_log: other.phase_log.clone(),
                 gauges: None,
+                memo: None,
             }
         }
     }

@@ -27,6 +27,7 @@ fn main() {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
 
     println!("sweeping {app} under DUFP, {runs} runs per tolerance...\n");

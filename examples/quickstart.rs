@@ -20,6 +20,7 @@ fn main() {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
 
     // Paper protocol: 10 runs, drop best and worst, average the rest.

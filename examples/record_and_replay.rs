@@ -55,6 +55,7 @@ fn main() {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     let base = run_repeated(&spec(ControllerKind::Default), 4, 1).unwrap();
     println!("\nwhat-if on the captured model:");

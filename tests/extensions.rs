@@ -14,6 +14,7 @@ fn spec(app: &str, controller: ControllerKind) -> ExperimentSpec {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     }
 }
 

@@ -18,6 +18,7 @@ fn measure(app: &str, controller: ControllerKind, seed: u64) -> RepeatedResult {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     run_repeated(&spec, RUNS, seed).unwrap()
 }

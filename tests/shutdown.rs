@@ -21,6 +21,7 @@ fn shutdown_request_aborts_the_run_cleanly() {
         interval_ms: None,
         telemetry: false,
         fault_plan: None,
+        engine: Default::default(),
     };
     // The guards drop on the early return, restoring hardware defaults;
     // the caller sees a clean, typed error rather than a dead process.

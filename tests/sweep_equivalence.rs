@@ -26,6 +26,7 @@ fn grid(seed: u64, npolicies: usize, slow_idx: usize, nseeds: usize, faults: boo
         interval_ms: None,
         fault_plan: faults.then(|| format!("seed={seed};write,p=0.005")),
         machine: None,
+        engine: Default::default(),
     }
 }
 

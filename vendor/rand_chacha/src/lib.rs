@@ -7,55 +7,238 @@
 
 use rand::{RngCore, SeedableRng};
 
+/// Words buffered per refill: four 16-word ChaCha blocks.
+const BUF_WORDS: usize = 64;
+
 /// A deterministic generator over the ChaCha8 stream cipher keystream.
 #[derive(Debug, Clone)]
 pub struct ChaCha8Rng {
     key: [u32; 8],
     counter: u64,
-    block: [u32; 16],
-    /// Next unread word in `block`; 16 means exhausted.
+    block: [u32; BUF_WORDS],
+    /// Next unread word in `block`; `BUF_WORDS` means exhausted.
     index: usize,
 }
 
 const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
+/// Four ChaCha8 blocks (`counter .. counter+4`) in vertical form via
+/// SSE2 intrinsics, which are baseline on every x86-64 target. The
+/// auto-vectorizer scalarizes the portable `[u32; 4]` formulation, so
+/// the hot path spells out the 4-wide ops; the emitted words are
+/// bit-identical to the scalar block function.
+#[cfg(target_arch = "x86_64")]
+fn blocks4(key: &[u32; 8], counter: u64) -> [[u32; 4]; 16] {
+    use core::arch::x86_64::*;
+
+    macro_rules! rotl {
+        ($v:expr, $r:literal) => {
+            _mm_or_si128(_mm_slli_epi32($v, $r), _mm_srli_epi32($v, 32 - $r))
+        };
+    }
+    macro_rules! qr_sse {
+        ($a:ident, $b:ident, $c:ident, $d:ident) => {
+            $a = _mm_add_epi32($a, $b);
+            $d = rotl!(_mm_xor_si128($d, $a), 16);
+            $c = _mm_add_epi32($c, $d);
+            $b = rotl!(_mm_xor_si128($b, $c), 12);
+            $a = _mm_add_epi32($a, $b);
+            $d = rotl!(_mm_xor_si128($d, $a), 8);
+            $c = _mm_add_epi32($c, $d);
+            $b = rotl!(_mm_xor_si128($b, $c), 7);
+        };
+    }
+
+    // SAFETY: SSE2 is unconditionally available on x86-64.
+    unsafe {
+        let splat = |w: u32| _mm_set1_epi32(w as i32);
+        let ctr = |j: u64| counter.wrapping_add(j);
+        let mut x0 = splat(CHACHA_CONST[0]);
+        let mut x1 = splat(CHACHA_CONST[1]);
+        let mut x2 = splat(CHACHA_CONST[2]);
+        let mut x3 = splat(CHACHA_CONST[3]);
+        let mut x4 = splat(key[0]);
+        let mut x5 = splat(key[1]);
+        let mut x6 = splat(key[2]);
+        let mut x7 = splat(key[3]);
+        let mut x8 = splat(key[4]);
+        let mut x9 = splat(key[5]);
+        let mut x10 = splat(key[6]);
+        let mut x11 = splat(key[7]);
+        let init12 = _mm_set_epi32(
+            ctr(3) as u32 as i32,
+            ctr(2) as u32 as i32,
+            ctr(1) as u32 as i32,
+            ctr(0) as u32 as i32,
+        );
+        let init13 = _mm_set_epi32(
+            (ctr(3) >> 32) as u32 as i32,
+            (ctr(2) >> 32) as u32 as i32,
+            (ctr(1) >> 32) as u32 as i32,
+            (ctr(0) >> 32) as u32 as i32,
+        );
+        let mut x12 = init12;
+        let mut x13 = init13;
+        // x14/x15 stay zero (stream id).
+        let mut x14 = _mm_setzero_si128();
+        let mut x15 = _mm_setzero_si128();
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            qr_sse!(x0, x4, x8, x12);
+            qr_sse!(x1, x5, x9, x13);
+            qr_sse!(x2, x6, x10, x14);
+            qr_sse!(x3, x7, x11, x15);
+            qr_sse!(x0, x5, x10, x15);
+            qr_sse!(x1, x6, x11, x12);
+            qr_sse!(x2, x7, x8, x13);
+            qr_sse!(x3, x4, x9, x14);
+        }
+        let final12 = _mm_add_epi32(x12, init12);
+        let final13 = _mm_add_epi32(x13, init13);
+        let words = [
+            _mm_add_epi32(x0, splat(CHACHA_CONST[0])),
+            _mm_add_epi32(x1, splat(CHACHA_CONST[1])),
+            _mm_add_epi32(x2, splat(CHACHA_CONST[2])),
+            _mm_add_epi32(x3, splat(CHACHA_CONST[3])),
+            _mm_add_epi32(x4, splat(key[0])),
+            _mm_add_epi32(x5, splat(key[1])),
+            _mm_add_epi32(x6, splat(key[2])),
+            _mm_add_epi32(x7, splat(key[3])),
+            _mm_add_epi32(x8, splat(key[4])),
+            _mm_add_epi32(x9, splat(key[5])),
+            _mm_add_epi32(x10, splat(key[6])),
+            _mm_add_epi32(x11, splat(key[7])),
+            final12,
+            final13,
+            x14,
+            x15,
+        ];
+        let mut out = [[0u32; 4]; 16];
+        for (dst, &v) in out.iter_mut().zip(&words) {
+            _mm_storeu_si128(dst.as_mut_ptr() as *mut __m128i, v);
+        }
+        out
+    }
+}
+
+/// Portable fallback for [`blocks4`] on non-x86-64 targets.
+#[cfg(not(target_arch = "x86_64"))]
+fn blocks4(key: &[u32; 8], counter: u64) -> [[u32; 4]; 16] {
+    let splat = |w: u32| [w; 4];
+    let ctr = |j: u64| counter.wrapping_add(j);
+    let mut x0 = splat(CHACHA_CONST[0]);
+    let mut x1 = splat(CHACHA_CONST[1]);
+    let mut x2 = splat(CHACHA_CONST[2]);
+    let mut x3 = splat(CHACHA_CONST[3]);
+    let mut x4 = splat(key[0]);
+    let mut x5 = splat(key[1]);
+    let mut x6 = splat(key[2]);
+    let mut x7 = splat(key[3]);
+    let mut x8 = splat(key[4]);
+    let mut x9 = splat(key[5]);
+    let mut x10 = splat(key[6]);
+    let mut x11 = splat(key[7]);
+    let mut x12 = [ctr(0) as u32, ctr(1) as u32, ctr(2) as u32, ctr(3) as u32];
+    let mut x13 = [
+        (ctr(0) >> 32) as u32,
+        (ctr(1) >> 32) as u32,
+        (ctr(2) >> 32) as u32,
+        (ctr(3) >> 32) as u32,
+    ];
+    let init12 = x12;
+    let init13 = x13;
+    // x14/x15 stay zero (stream id).
+    let mut x14 = [0u32; 4];
+    let mut x15 = [0u32; 4];
+    for _ in 0..4 {
+        // 8 rounds = 4 double-rounds.
+        qr!(x0, x4, x8, x12);
+        qr!(x1, x5, x9, x13);
+        qr!(x2, x6, x10, x14);
+        qr!(x3, x7, x11, x15);
+        qr!(x0, x5, x10, x15);
+        qr!(x1, x6, x11, x12);
+        qr!(x2, x7, x8, x13);
+        qr!(x3, x4, x9, x14);
+    }
+    [
+        add4(x0, splat(CHACHA_CONST[0])),
+        add4(x1, splat(CHACHA_CONST[1])),
+        add4(x2, splat(CHACHA_CONST[2])),
+        add4(x3, splat(CHACHA_CONST[3])),
+        add4(x4, splat(key[0])),
+        add4(x5, splat(key[1])),
+        add4(x6, splat(key[2])),
+        add4(x7, splat(key[3])),
+        add4(x8, splat(key[4])),
+        add4(x9, splat(key[5])),
+        add4(x10, splat(key[6])),
+        add4(x11, splat(key[7])),
+        add4(x12, init12),
+        add4(x13, init13),
+        x14,
+        x15,
+    ]
+}
+
+/// Lane-wise `a + b` over four independent blocks (vectorizes to one
+/// `paddd` on x86-64).
+#[cfg(not(target_arch = "x86_64"))]
 #[inline(always)]
-fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
+fn add4(a: [u32; 4], b: [u32; 4]) -> [u32; 4] {
+    [
+        a[0].wrapping_add(b[0]),
+        a[1].wrapping_add(b[1]),
+        a[2].wrapping_add(b[2]),
+        a[3].wrapping_add(b[3]),
+    ]
+}
+
+/// Lane-wise `(a ^ b).rotate_left(R)` over four independent blocks.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn xrot4(a: [u32; 4], b: [u32; 4], r: u32) -> [u32; 4] {
+    [
+        (a[0] ^ b[0]).rotate_left(r),
+        (a[1] ^ b[1]).rotate_left(r),
+        (a[2] ^ b[2]).rotate_left(r),
+        (a[3] ^ b[3]).rotate_left(r),
+    ]
+}
+
+/// One ChaCha quarter-round over four named state words, each carrying
+/// the same word position for four consecutive blocks.
+#[cfg(not(target_arch = "x86_64"))]
+macro_rules! qr {
+    ($a:ident, $b:ident, $c:ident, $d:ident) => {
+        $a = add4($a, $b);
+        $d = xrot4($d, $a, 16);
+        $c = add4($c, $d);
+        $b = xrot4($b, $c, 12);
+        $a = add4($a, $b);
+        $d = xrot4($d, $a, 8);
+        $c = add4($c, $d);
+        $b = xrot4($b, $c, 7);
+    };
 }
 
 impl ChaCha8Rng {
+    /// Computes blocks `counter .. counter+4` in one pass and buffers
+    /// them in keystream order, so the per-draw cost is a masked array
+    /// read. The four blocks are laid out *vertically* — each state
+    /// word is a 4-lane vector whose lane `j` belongs to block
+    /// `counter + j` — the classic counter-mode formulation; the
+    /// emitted words are bit-identical to running the scalar block
+    /// function four times.
     fn refill(&mut self) {
-        let mut state = [0u32; 16];
-        state[..4].copy_from_slice(&CHACHA_CONST);
-        state[4..12].copy_from_slice(&self.key);
-        state[12] = self.counter as u32;
-        state[13] = (self.counter >> 32) as u32;
-        // state[14..16] stay zero (stream id).
-        let initial = state;
-        for _ in 0..4 {
-            // 8 rounds = 4 double-rounds.
-            quarter_round(&mut state, 0, 4, 8, 12);
-            quarter_round(&mut state, 1, 5, 9, 13);
-            quarter_round(&mut state, 2, 6, 10, 14);
-            quarter_round(&mut state, 3, 7, 11, 15);
-            quarter_round(&mut state, 0, 5, 10, 15);
-            quarter_round(&mut state, 1, 6, 11, 12);
-            quarter_round(&mut state, 2, 7, 8, 13);
-            quarter_round(&mut state, 3, 4, 9, 14);
+        let out = blocks4(&self.key, self.counter);
+        // Transpose lanes back to keystream order: block j contiguous.
+        for (word, lanes) in out.iter().enumerate() {
+            for (j, &lane) in lanes.iter().enumerate() {
+                self.block[j * 16 + word] = lane;
+            }
         }
-        for (word, init) in state.iter_mut().zip(initial) {
-            *word = word.wrapping_add(init);
-        }
-        self.block = state;
-        self.counter = self.counter.wrapping_add(1);
+        self.counter = self.counter.wrapping_add(4);
         self.index = 0;
     }
 }
@@ -71,23 +254,39 @@ impl SeedableRng for ChaCha8Rng {
         ChaCha8Rng {
             key,
             counter: 0,
-            block: [0; 16],
-            index: 16,
+            block: [0; BUF_WORDS],
+            index: BUF_WORDS,
         }
     }
 }
 
 impl RngCore for ChaCha8Rng {
+    // Inline across crate boundaries: the simulator draws several times
+    // per tick and the call overhead otherwise dwarfs the word read
+    // (the workspace builds without LTO).
+    #[inline]
     fn next_u32(&mut self) -> u32 {
-        if self.index >= 16 {
+        if self.index >= BUF_WORDS {
             self.refill();
         }
-        let word = self.block[self.index];
+        // The mask is a no-op (index < BUF_WORDS here) that lets the
+        // compiler drop the bounds check on this hot read.
+        let word = self.block[self.index & (BUF_WORDS - 1)];
         self.index += 1;
         word
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
+        // Single-branch fast path: both halves from the buffered
+        // keystream, same word order as two `next_u32` calls.
+        if self.index + 2 <= BUF_WORDS {
+            let i = self.index & (BUF_WORDS - 1);
+            let lo = self.block[i] as u64;
+            let hi = self.block[(i + 1) & (BUF_WORDS - 1)] as u64;
+            self.index += 2;
+            return hi << 32 | lo;
+        }
         let lo = self.next_u32() as u64;
         let hi = self.next_u32() as u64;
         hi << 32 | lo
